@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark harnesses (imported by every bench module).
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+corresponding experiment driver once (``benchmark.pedantic`` with a single
+round so heavy experiments stay affordable), prints the resulting rows in
+the same layout the paper reports, and asserts the qualitative shape (who
+wins, by roughly what factor) so regressions are caught.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.reporting import format_markdown_table
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def emit_rows(benchmark, title: str, rows) -> None:
+    """Print rows as a markdown table and attach them to the benchmark record."""
+    if not rows:
+        return
+    if isinstance(rows, dict):
+        rows = [rows]
+    headers = list(rows[0].keys())
+    table = format_markdown_table(headers, [[row[h] for h in headers] for row in rows])
+    print(f"\n## {title}\n{table}")
+    benchmark.extra_info[title] = rows
+
+
+@pytest.fixture
+def emit(benchmark):
+    """Fixture returning a row-emitting helper bound to this benchmark."""
+
+    def _emit(title, rows):
+        emit_rows(benchmark, title, rows)
+
+    return _emit

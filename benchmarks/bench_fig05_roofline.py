@@ -1,0 +1,23 @@
+"""Fig. 5: roofline characterization on the desktop GPU."""
+
+from _bench_utils import emit_rows, run_once
+
+from repro.evaluation import experiments
+
+
+def test_fig05_roofline(benchmark):
+    """Symbolic stages are memory-bound, neural stages are compute-bound."""
+    rows = run_once(benchmark, experiments.characterization_roofline)
+    emit_rows(benchmark, "Fig. 5 roofline placement", rows)
+    for workload in ("nvsa", "lvrf", "prae"):
+        symbolic = next(
+            r for r in rows if r["workload"] == workload and r["stage"] == "symbolic"
+        )
+        assert symbolic["bound"] == "memory"
+    neural_points = [r for r in rows if r["stage"] == "neural"]
+    symbolic_points = [r for r in rows if r["stage"] == "symbolic"]
+    avg_neural_ai = sum(r["arithmetic_intensity"] for r in neural_points) / len(neural_points)
+    avg_symbolic_ai = sum(r["arithmetic_intensity"] for r in symbolic_points) / len(
+        symbolic_points
+    )
+    assert avg_neural_ai > avg_symbolic_ai

@@ -1,0 +1,14 @@
+"""Fig. 6: breakdown of symbolic runtime by operation type."""
+
+from _bench_utils import emit_rows, run_once
+
+from repro.evaluation import experiments
+
+
+def test_fig06_symbolic_operation_breakdown(benchmark):
+    """Circular convolution plus matrix-vector products dominate symbolic time."""
+    shares = run_once(benchmark, experiments.symbolic_breakdown)
+    emit_rows(benchmark, "Fig. 6 symbolic operation shares", [shares])
+    dominant = shares["circconv"] + shares["matvec"]
+    assert dominant > 0.6
+    assert shares["gemm"] == 0.0 and shares["conv"] == 0.0

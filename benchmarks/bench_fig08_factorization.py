@@ -1,0 +1,14 @@
+"""Fig. 8: memory and runtime impact of the symbolic factorization strategy."""
+
+from _bench_utils import emit_rows, run_once
+
+from repro.evaluation import experiments
+
+
+def test_fig08_factorization_efficiency(benchmark):
+    """Factorization shrinks the codebook by >50x and speeds up the pipeline."""
+    result = run_once(benchmark, experiments.factorization_efficiency)
+    emit_rows(benchmark, "Fig. 8 factorization efficiency", [result])
+    assert result["memory_reduction"] > 50
+    assert result["factorized_kib"] < 1024
+    assert result["runtime_speedup"] > 1.5

@@ -1,0 +1,43 @@
+"""Fig. 11: bubble-streaming dataflow versus the GEMV lowering."""
+
+import numpy as np
+from _bench_utils import emit_rows, run_once
+
+from repro.evaluation import experiments
+from repro.hardware.bubble_stream import BubbleStreamSimulator
+from repro.vsa.operations import circular_convolve
+
+
+def test_fig11ab_cycle_comparison(benchmark):
+    """The tiny 3-element example: CogSys finishes faster than the GEMV lowering."""
+    result = run_once(benchmark, experiments.bs_dataflow_comparison, vector_dim=3, num_convs=3)
+    emit_rows(benchmark, "Fig. 11a/b BS dataflow cycles", [result])
+    assert result["cogsys_cycles"] < result["tpu_like_cycles"]
+    assert result["speedup"] > 1.5
+
+
+def test_fig11b_functional_correctness(benchmark):
+    """The BS dataflow schedule computes exact circular convolutions."""
+
+    def run():
+        rng = np.random.default_rng(0)
+        dim = 64
+        simulator = BubbleStreamSimulator(dim)
+        a, b = rng.normal(size=(2, dim))
+        result = simulator.run(a, b)
+        np.testing.assert_allclose(result.output, circular_convolve(a, b), atol=1e-9)
+        return result
+
+    result = run_once(benchmark, run)
+    assert result.cycles == 4 * 64 - 1
+
+
+def test_fig11c_roofline(benchmark):
+    """BS dataflow is compute-bound while the GEMV lowering is memory-bound."""
+    rows = run_once(benchmark, experiments.bs_roofline, vector_dim=2048)
+    emit_rows(benchmark, "Fig. 11c circconv roofline", rows)
+    bs = next(r for r in rows if "BS" in r["implementation"])
+    gemv = next(r for r in rows if "GEMV" in r["implementation"])
+    assert bs["bound"] == "compute"
+    assert gemv["bound"] == "memory"
+    assert bs["arithmetic_intensity"] > 100 * gemv["arithmetic_intensity"]

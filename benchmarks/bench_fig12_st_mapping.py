@@ -1,0 +1,19 @@
+"""Fig. 12: spatial versus temporal mapping of circular convolutions."""
+
+from _bench_utils import emit_rows, run_once
+
+from repro.evaluation import experiments
+
+
+def test_fig12_st_mapping_tradeoff(benchmark):
+    """Temporal mapping wins for many convolutions, spatial for single large ones."""
+    rows = run_once(benchmark, experiments.st_mapping_tradeoff)
+    emit_rows(benchmark, "Fig. 12 ST mapping trade-off", rows)
+    nvsa_case = next(r for r in rows if r["num_convs"] == 210)
+    lvrf_case = next(r for r in rows if r["num_convs"] == 2575)
+    single_large = next(r for r in rows if r["num_convs"] == 1)
+    assert nvsa_case["chosen"] == "temporal"
+    assert lvrf_case["chosen"] == "temporal"
+    assert single_large["chosen"] == "spatial"
+    # Spatial mapping always needs fewer memory reads per pass.
+    assert all(r["spatial_reads_per_pass"] < r["temporal_reads_per_pass"] for r in rows)

@@ -1,0 +1,25 @@
+"""Fig. 15: end-to-end runtime of CogSys versus CPU, GPU and edge SoCs."""
+
+from _bench_utils import emit_rows, run_once
+
+from repro.evaluation import experiments
+
+
+def test_fig15_end_to_end_speedup(benchmark):
+    """CogSys is the fastest device on every reasoning dataset.
+
+    The paper's ordering (TX2 slowest, then NX, then Xeon, then RTX, CogSys
+    fastest) and real-time operation (<0.3 s per task) must hold; absolute
+    speedup factors are expected to differ from the silicon measurements.
+    """
+    rows = run_once(benchmark, experiments.end_to_end_speedups)
+    emit_rows(benchmark, "Fig. 15 end-to-end normalized runtime", rows)
+    assert len(rows) == 5
+    for row in rows:
+        assert row["jetson_tx2"] > row["xeon"] > row["rtx2080ti"] > 1.0
+        assert row["xavier_nx"] > row["xeon"]
+        # Real-time reasoning: well under 0.3 s per task on CogSys.
+        assert row["cogsys_seconds"] < 0.3
+    raven = next(r for r in rows if r["dataset"] == "raven")
+    assert raven["jetson_tx2"] > 20
+    assert raven["rtx2080ti"] > 2

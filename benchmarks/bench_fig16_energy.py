@@ -1,0 +1,18 @@
+"""Fig. 16: energy consumption and performance-per-watt comparison."""
+
+from _bench_utils import emit_rows, run_once
+
+from repro.evaluation import experiments
+
+
+def test_fig16_energy_efficiency(benchmark):
+    """CogSys consumes orders of magnitude less energy per reasoning task."""
+    rows = run_once(benchmark, experiments.energy_efficiency)
+    emit_rows(benchmark, "Fig. 16 energy efficiency", rows)
+    for row in rows:
+        assert row["cogsys_energy_j"] < 0.5
+        for device in ("jetson_tx2", "xavier_nx", "xeon", "rtx2080ti"):
+            # Every baseline burns far more energy per task ...
+            assert row[f"{device}_energy_j"] > 10 * row["cogsys_energy_j"]
+            # ... so its performance per watt is a small fraction of CogSys.
+            assert row[f"{device}_perf_per_watt_vs_cogsys"] < 0.2

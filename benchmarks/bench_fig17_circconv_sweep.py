@@ -1,0 +1,27 @@
+"""Fig. 17: circular-convolution speedup sweep over dimension and batch size."""
+
+from _bench_utils import emit_rows, run_once
+
+from repro.evaluation import experiments
+
+
+def test_fig17_circconv_speedup_sweep(benchmark):
+    """Speedup grows with vector dimension and number of convolutions."""
+    rows = run_once(benchmark, experiments.circconv_speedup_sweep)
+    emit_rows(benchmark, "Fig. 17 circconv speedup sweep", rows)
+    by_key = {(r["vector_dim"], r["num_convs"]): r for r in rows}
+
+    # The largest corner shows the biggest gains (paper: up to 75.96x / 18.9x).
+    largest = by_key[(2048, 10000)]
+    smallest = by_key[(128, 1)]
+    assert largest["speedup_vs_tpu"] > 30
+    assert largest["speedup_vs_gpu"] > 5
+    assert largest["speedup_vs_tpu"] > smallest["speedup_vs_tpu"]
+
+    # Speedup is monotone (non-decreasing) in the number of convolutions for
+    # the high-dimensional case.
+    tpu_series = [by_key[(2048, k)]["speedup_vs_tpu"] for k in (1, 10, 100, 1000, 10000)]
+    assert all(a <= b * 1.05 for a, b in zip(tpu_series, tpu_series[1:]))
+    # And it grows with the vector dimension for large batches.
+    dim_series = [by_key[(d, 1000)]["speedup_vs_tpu"] for d in (128, 512, 2048)]
+    assert dim_series[0] < dim_series[-1]

@@ -1,0 +1,20 @@
+"""Fig. 18: comparison against TPU-like, MTIA-like and Gemmini-like accelerators."""
+
+from _bench_utils import emit_rows, run_once
+
+from repro.evaluation import experiments
+
+
+def test_fig18_ml_accelerator_comparison(benchmark):
+    """Neural performance is comparable; symbolic and end-to-end strongly favour CogSys."""
+    rows = run_once(benchmark, experiments.ml_accelerator_comparison)
+    emit_rows(benchmark, "Fig. 18 ML accelerator comparison", rows)
+    for row in rows:
+        # Neural kernels run within a small factor of CogSys on every baseline.
+        assert row["neural_vs_cogsys"] < 6.0
+    nvsa_rows = {r["device"]: r for r in rows if r["workload"] == "nvsa"}
+    # Symbolic kernels are far slower without reconfigurable nsPE support,
+    # and the monolithic TPU-like array suffers the most.
+    assert nvsa_rows["tpu_like"]["symbolic_vs_cogsys"] > 10
+    assert nvsa_rows["tpu_like"]["symbolic_vs_cogsys"] > nvsa_rows["mtia_like"]["symbolic_vs_cogsys"]
+    assert all(r["end_to_end_vs_cogsys"] > 1.0 for r in nvsa_rows.values())

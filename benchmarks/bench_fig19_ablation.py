@@ -1,0 +1,22 @@
+"""Fig. 19: ablation of the adaptive scheduler, scalable array and nsPE."""
+
+from _bench_utils import emit_rows, run_once
+
+from repro.evaluation import experiments
+
+
+def test_fig19_hardware_ablation(benchmark):
+    """Each hardware technique contributes a further runtime reduction."""
+    rows = run_once(benchmark, experiments.hardware_ablation, num_tasks=3)
+    emit_rows(benchmark, "Fig. 19 hardware ablation (normalized runtime)", rows)
+    for row in rows:
+        # Progressive removal of techniques increases runtime monotonically.
+        assert (
+            row["cogsys"]
+            < row["without_adsch"]
+            <= row["without_adsch_so"]
+            <= row["without_adsch_so_nspe"]
+        )
+        # The full design achieves a large reduction versus the stripped one
+        # (the paper reports ~71 % runtime reduction on average).
+        assert row["cogsys"] < 0.6

@@ -1,0 +1,17 @@
+"""Tab. II: kernel-level hardware inefficiency of symbolic operations."""
+
+from _bench_utils import emit_rows, run_once
+
+from repro.evaluation import experiments
+
+
+def test_tab02_kernel_profile(benchmark):
+    """Symbolic kernels show low compute utilisation but high DRAM pressure."""
+    profile = run_once(benchmark, experiments.kernel_profile)
+    rows = [{"kernel": name, **metrics} for name, metrics in profile.items()]
+    emit_rows(benchmark, "Tab. II kernel profile", rows)
+    neural = [m for name, m in profile.items() if "neural" in name]
+    symbolic = [m for name, m in profile.items() if "symbolic" in name]
+    assert min(m["compute_throughput"] for m in neural) > 90
+    assert max(m["compute_throughput"] for m in symbolic) < 10
+    assert min(m["dram_bw_utilization"] for m in symbolic) > 70

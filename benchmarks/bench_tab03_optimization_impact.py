@@ -1,0 +1,18 @@
+"""Tab. III: accuracy/latency/memory impact of the algorithm optimizations."""
+
+from _bench_utils import emit_rows, run_once
+
+from repro.evaluation import experiments
+
+
+def test_tab03_optimization_impact(benchmark):
+    """Stochasticity keeps accuracy and quantization keeps it within a few points."""
+    rows = run_once(benchmark, experiments.optimization_impact, num_tasks=6)
+    emit_rows(benchmark, "Tab. III optimization impact", rows)
+    baseline = rows[0]["accuracy"]
+    stochastic = rows[1]["accuracy"]
+    quantized = rows[2]["accuracy"]
+    assert stochastic >= baseline - 0.2
+    assert quantized >= stochastic - 0.25
+    # INT8 shrinks the factorized codebook footprint by 4x.
+    assert rows[2]["memory_kib"] * 3.9 < rows[0]["memory_kib"]

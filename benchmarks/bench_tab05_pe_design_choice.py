@@ -1,0 +1,21 @@
+"""Tab. V: reconfigurable nsPE versus heterogeneous dedicated PE pools."""
+
+from _bench_utils import emit_rows, run_once
+
+from repro.evaluation import experiments
+
+
+def test_tab05_pe_design_choice(benchmark):
+    """Same-area heterogeneous PEs double latency; same-latency ones double area."""
+    rows = run_once(benchmark, experiments.pe_design_choice, num_tasks=2)
+    emit_rows(benchmark, "Tab. V PE design choice", rows)
+    reconfigurable = next(r for r in rows if r["configuration"].startswith("reconfigurable"))
+    same_area = next(r for r in rows if "8+8" in r["configuration"])
+    same_latency = next(r for r in rows if "16+16" in r["configuration"])
+    assert reconfigurable["utilization"] > same_area["utilization"]
+    # The paper reports a 2x latency penalty for the same-area heterogeneous
+    # design; our model shows the same direction (SIMD and DRAM-bound phases
+    # dilute the penalty) so we assert the ordering rather than the factor.
+    assert same_area["measured_latency_factor"] > 1.05
+    assert same_area["reported_latency_factor"] == 2.0
+    assert same_latency["area_factor"] > 1.8

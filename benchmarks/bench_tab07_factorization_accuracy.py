@@ -1,0 +1,33 @@
+"""Tab. VII: factorization accuracy across RAVEN constellations and rules."""
+
+from _bench_utils import emit_rows, run_once
+
+from repro.evaluation import experiments
+
+
+def test_tab07_accuracy_by_constellation(benchmark):
+    """Attribute recovery stays high (paper: ~95 %) across all constellations."""
+    rows = run_once(
+        benchmark,
+        experiments.factorization_accuracy_by_constellation,
+        tasks_per_constellation=2,
+        vector_dim=1024,
+    )
+    emit_rows(benchmark, "Tab. VII factorization accuracy (constellations)", rows)
+    assert len(rows) == 7
+    average = sum(r["accuracy"] for r in rows) / len(rows)
+    assert average > 0.85
+    assert all(r["accuracy"] > 0.6 for r in rows)
+
+
+def test_tab07_accuracy_by_rule(benchmark):
+    """Attribute recovery grouped by governing rule stays high (paper: ~93 %)."""
+    rows = run_once(
+        benchmark,
+        experiments.factorization_accuracy_by_rule,
+        tasks_per_rule=2,
+        vector_dim=1024,
+    )
+    emit_rows(benchmark, "Tab. VII factorization accuracy (rules)", rows)
+    average = sum(r["accuracy"] for r in rows) / len(rows)
+    assert average > 0.75

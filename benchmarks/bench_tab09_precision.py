@@ -1,0 +1,40 @@
+"""Tab. IX / Fig. 14: precision scaling of area, power and accuracy."""
+
+from _bench_utils import emit_rows, run_once
+
+from repro.evaluation import experiments
+from repro.hardware import CogSysAccelerator
+
+
+def test_tab09_precision_impact(benchmark):
+    """FP8/INT8 slash area and power while keeping reasoning accuracy."""
+    rows = run_once(benchmark, experiments.precision_impact, num_tasks=5)
+    emit_rows(benchmark, "Tab. IX precision impact", rows)
+    by_precision = {row["precision"]: row for row in rows}
+    assert by_precision["fp32"]["array_area_mm2"] > 2 * by_precision["fp8"]["array_area_mm2"]
+    assert by_precision["fp8"]["array_area_mm2"] > by_precision["int8"]["array_area_mm2"]
+    assert by_precision["fp32"]["array_power_mw"] > 3 * by_precision["int8"]["array_power_mw"]
+    # The reconfigurability overhead at FP8 stays below 5 % (headline claim).
+    assert by_precision["fp8"]["area_overhead_vs_systolic"] < 0.05
+    # Accuracy degrades gracefully under quantization.
+    assert by_precision["int8"]["accuracy"] >= by_precision["fp32"]["accuracy"] - 0.3
+
+
+def test_fig14_accelerator_spec(benchmark):
+    """The default configuration matches the taped-out accelerator spec."""
+
+    def build():
+        accelerator = CogSysAccelerator()
+        return {
+            "area_mm2": accelerator.area_mm2(),
+            "power_w": accelerator.power_watts,
+            "total_pes": accelerator.config.total_pes,
+            "sram_bytes": accelerator.config.total_sram_bytes,
+            "frequency_ghz": accelerator.config.frequency_hz / 1e9,
+        }
+
+    spec = run_once(benchmark, build)
+    emit_rows(benchmark, "Fig. 14 accelerator specification", [spec])
+    assert 3.5 < spec["area_mm2"] < 4.5
+    assert 1.3 < spec["power_w"] < 1.6
+    assert spec["total_pes"] == 16 * 32 * 32

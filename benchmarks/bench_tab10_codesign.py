@@ -1,0 +1,18 @@
+"""Tab. X: necessity of the algorithm-hardware co-design."""
+
+from _bench_utils import emit_rows, run_once
+
+from repro.evaluation import experiments
+
+
+def test_tab10_codesign_ablation(benchmark):
+    """Algorithm-only helps modestly; algorithm + accelerator is transformative."""
+    rows = run_once(benchmark, experiments.codesign_ablation)
+    emit_rows(benchmark, "Tab. X co-design ablation (normalized runtime)", rows)
+    assert len(rows) == 5
+    for row in rows:
+        # The CogSys algorithm alone (on Xavier NX) already trims runtime
+        # (paper: ~89 % of NVSA), and the full co-design reduces it to a few
+        # percent (paper: ~1.8 %).
+        assert row["cogsys_algorithm_on_xavier_nx"] < 1.0
+        assert row["cogsys_algorithm_on_cogsys_accelerator"] < 0.1

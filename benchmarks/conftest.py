@@ -1,0 +1,8 @@
+"""Pytest configuration for the benchmark suite (path setup only)."""
+
+import sys
+from pathlib import Path
+
+_BENCH_DIR = Path(__file__).parent
+if str(_BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(_BENCH_DIR))

@@ -1,0 +1,13 @@
+"""Repository-level pytest configuration.
+
+Ensures ``src/`` is importable even when the package has not been installed,
+so ``pytest tests/`` and ``pytest benchmarks/`` work out of the box in
+offline environments.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,57 @@
+"""Explore the CogSys accelerator design space and compare against baselines.
+
+Run with ``python examples/accelerator_design_space.py``.  The script builds
+the NVSA workload, sweeps accelerator configurations (precision, cell count,
+ablated features) and prints latency/energy next to GPU, CPU, edge-SoC and
+ML-accelerator baselines — a condensed version of Figs. 15-19.
+"""
+
+from __future__ import annotations
+
+from repro.core import Precision
+from repro.hardware import CogSysAccelerator, CogSysConfig, make_device
+from repro.workloads import build_workload
+
+
+def main() -> None:
+    workload = build_workload("nvsa", num_tasks=2)
+
+    print("=== Baseline devices (NVSA, batch of 2 reasoning tasks) ===")
+    for device_name in ("jetson_tx2", "xavier_nx", "xeon", "rtx2080ti", "tpu_like", "mtia_like"):
+        report = make_device(device_name).workload_time(workload)
+        print(
+            f"{device_name:12s}  latency {report.total_seconds*1e3:9.2f} ms   "
+            f"symbolic share {report.symbolic_fraction:5.1%}   "
+            f"energy {report.energy_joules:8.2f} J"
+        )
+
+    print("\n=== CogSys configurations ===")
+    configurations = {
+        "cogsys (INT8, 16 cells)": CogSysAccelerator(CogSysConfig(precision=Precision.INT8)),
+        "cogsys (FP8, 16 cells)": CogSysAccelerator(CogSysConfig(precision=Precision.FP8)),
+        "cogsys (INT8, 8 cells)": CogSysAccelerator(CogSysConfig(num_cells=8)),
+        "cogsys w/o nsPE mode": CogSysAccelerator(reconfigurable_symbolic=False),
+        "cogsys w/o scale-out": CogSysAccelerator(scale_out=False),
+    }
+    for name, accelerator in configurations.items():
+        report = accelerator.simulate(workload, scheduler="adaptive")
+        print(
+            f"{name:26s}  latency {report.total_seconds*1e3:7.3f} ms   "
+            f"occupancy {report.array_occupancy:5.1%}   "
+            f"energy {report.energy_joules*1e3:7.2f} mJ   "
+            f"area {accelerator.area_mm2():5.2f} mm^2   power {accelerator.power_watts:.2f} W"
+        )
+
+    print("\n=== Circular-convolution mapping decisions ===")
+    accelerator = CogSysAccelerator()
+    for count, dim in ((1, 2048), (210, 1024), (2575, 1024), (1000, 64)):
+        decision = accelerator.circconv_mapping(dim, count)
+        print(
+            f"k={count:5d} d={dim:5d}  ->  {decision.mode.value:8s} mapping, "
+            f"{decision.cycles:9d} cycles, "
+            f"{decision.memory_reads_per_pass:6d} reads/pass"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Quickstart: vector-symbolic basics and the CogSys factorizer.
+
+Run with ``python examples/quickstart.py``.  The script builds a small
+attribute grammar, encodes an object as an entangled query hypervector, and
+shows that the iterative factorizer recovers the attributes without ever
+materialising the combinatorial product codebook.
+"""
+
+from __future__ import annotations
+
+from repro.core import ConstantGaussianNoise, Factorizer, FactorizerConfig, compare_footprints
+from repro.vsa import BipolarSpace, CodebookSet, SceneEncoder
+
+
+def main() -> None:
+    # 1. A hypervector space and one codebook per attribute.
+    space = BipolarSpace(dim=1024, seed=42)
+    factors = {
+        "type": ["triangle", "square", "pentagon", "hexagon", "circle"],
+        "size": ["small", "medium", "large"],
+        "color": [f"color_{i}" for i in range(8)],
+        "position": [f"slot_{i}" for i in range(9)],
+    }
+    codebooks = CodebookSet.from_factors(factors, space)
+    encoder = SceneEncoder(codebooks)
+
+    # 2. The neural front-end would emit this entangled query vector.
+    truth = {"type": "pentagon", "size": "large", "color": "color_3", "position": "slot_7"}
+    query = encoder.encode_object(truth)
+
+    # 3. Factorize it back into per-attribute labels.
+    factorizer = Factorizer(
+        codebooks,
+        FactorizerConfig(similarity_noise=ConstantGaussianNoise(0.05), seed=0),
+    )
+    result = factorizer.factorize(query)
+
+    print("ground truth :", truth)
+    print("decoded      :", result.labels)
+    print(f"correct      : {result.matches(truth)}")
+    print(f"iterations   : {result.iterations}, confidence {result.confidence:.2f}")
+
+    # 4. Why this matters: storage of the exhaustive product codebook vs the
+    #    factorized per-attribute codebooks (Fig. 8 of the paper).
+    report = compare_footprints(codebooks.factor_sizes, codebooks.dim)
+    print(
+        f"product codebook: {report.product_codebook_kib:,.0f} KiB, "
+        f"factorized: {report.factorized_kib:,.0f} KiB "
+        f"({report.reduction_factor:.1f}x smaller)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Solve synthetic RAVEN / I-RAVEN / PGM reasoning tasks end to end.
+
+Run with ``python examples/raven_reasoning.py``.  The script generates
+symbolic Raven's-Progressive-Matrices tasks, runs the full neurosymbolic
+pipeline (simulated perception, VSA factorization, probabilistic abduction
+and execution) and reports accuracy per dataset — the software side of the
+paper's Tab. VIII.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import NeuroSymbolicSolver, SolverConfig
+from repro.tasks import IRavenGenerator, PGMGenerator, RavenGenerator
+
+
+def main(tasks_per_dataset: int = 10) -> None:
+    datasets = {
+        "RAVEN (center)": (RavenGenerator("center", seed=1), 0.03),
+        "RAVEN (2x2 grid)": (RavenGenerator("2x2_grid", seed=2), 0.03),
+        "I-RAVEN": (IRavenGenerator("center", seed=3), 0.03),
+        "PGM": (PGMGenerator(seed=4), 0.20),
+    }
+
+    pmf_solver_header = "probabilistic abduction (PrAE-style)"
+    vsa_solver_header = "VSA factorization + abduction (NVSA/CogSys-style)"
+    print(f"{'dataset':20s} | {pmf_solver_header:38s} | {vsa_solver_header}")
+    print("-" * 110)
+    for name, (generator, error) in datasets.items():
+        batch = generator.generate(tasks_per_dataset)
+        pmf_solver = NeuroSymbolicSolver(SolverConfig(perception_error=error))
+        vsa_solver = NeuroSymbolicSolver(
+            SolverConfig(
+                perception_error=error,
+                use_vsa_factorization=True,
+                stochasticity=0.05,
+                vector_dim=1024,
+            )
+        )
+        pmf_accuracy = pmf_solver.accuracy(batch)
+        vsa_accuracy = vsa_solver.accuracy(batch)
+        print(f"{name:20s} | {pmf_accuracy:38.2%} | {vsa_accuracy:.2%}")
+
+    # Inspect a single solved task in detail.
+    task = RavenGenerator("center", seed=9).generate_task()
+    outcome = NeuroSymbolicSolver(SolverConfig()).solve_task(task)
+    print("\nexample task rules :", dict(task.rules))
+    print("selected answer    :", outcome.answer_index, "expected:", outcome.expected_index)
+    print("solved correctly   :", outcome.correct)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim so legacy editable installs work in offline environments.
+
+``pip install -e . --no-build-isolation --no-use-pep517`` (or
+``python setup.py develop``) works without network access or the ``wheel``
+package; the project metadata itself lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

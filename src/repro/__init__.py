@@ -1,0 +1,37 @@
+"""CogSys reproduction: efficient and scalable neurosymbolic cognition system.
+
+This package reproduces the system described in "CogSys: Efficient and
+Scalable Neurosymbolic Cognition System via Algorithm-Hardware Co-Design"
+(HPCA 2025).  It is organised as a set of substrates plus the paper's core
+contribution:
+
+``repro.vsa``
+    Vector-symbolic architecture substrate: hypervector spaces, binding via
+    circular convolution, bundling, codebooks and cleanup memories.
+``repro.core``
+    The paper's algorithmic contribution: the iterative symbolic codebook
+    factorizer (resonator), stochasticity injection, quantization and memory
+    footprint accounting.
+``repro.neural``
+    Numpy neural layers with FLOP/byte accounting and a perception simulator.
+``repro.symbolic``
+    Probabilistic abduction reasoning over Raven's-Progressive-Matrices-style
+    rules.
+``repro.tasks``
+    Synthetic cognitive task generators (RAVEN, I-RAVEN, PGM, CVR, SVRT).
+``repro.workloads``
+    Operator-graph models of the four neurosymbolic workloads analysed by
+    the paper (NVSA, MIMONet, LVRF, PrAE).
+``repro.hardware``
+    Cycle-level and analytical hardware models: the CogSys accelerator
+    (nsPE array, bubble-streaming dataflow, spatial/temporal mapping, SIMD,
+    SRAM/DRAM, energy/area) and baseline devices (TPU/GPU/CPU/edge SoCs).
+``repro.scheduler``
+    Sequential and adaptive workload-aware (adSCH) schedulers.
+``repro.profiling`` and ``repro.evaluation``
+    Workload characterization and per-figure experiment drivers.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

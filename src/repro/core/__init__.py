@@ -1,0 +1,66 @@
+"""CogSys algorithm-level contribution.
+
+This subpackage contains the paper's algorithmic optimizations (Sec. IV):
+
+* :mod:`repro.core.factorizer` — the iterative symbolic-codebook factorizer
+  (unbind → similarity search → projection), which replaces the exhaustive
+  product codebook.
+* :mod:`repro.core.stochastic` — stochasticity (additive Gaussian noise)
+  injection schedules that help the factorizer escape limit cycles.
+* :mod:`repro.core.convergence` — convergence and limit-cycle detection.
+* :mod:`repro.core.quantization` — FP32/FP8/INT8 precision emulation.
+* :mod:`repro.core.footprint` — memory footprint accounting for the
+  exhaustive codebook versus the factorized representation.
+"""
+
+from repro.core.convergence import ConvergenceTracker
+from repro.core.factorizer import (
+    ExhaustiveFactorizer,
+    FactorizationResult,
+    Factorizer,
+    FactorizerConfig,
+    OperationCount,
+)
+from repro.core.footprint import (
+    FootprintReport,
+    codebook_footprint,
+    codebook_set_footprint,
+    compare_footprints,
+    factorizer_footprint,
+)
+from repro.core.quantization import (
+    Precision,
+    QuantizedCodebook,
+    QuantizedTensor,
+    dequantize,
+    quantize,
+)
+from repro.core.stochastic import (
+    AnnealedGaussianNoise,
+    ConstantGaussianNoise,
+    NoNoise,
+    NoiseSchedule,
+)
+
+__all__ = [
+    "ConvergenceTracker",
+    "ExhaustiveFactorizer",
+    "FactorizationResult",
+    "Factorizer",
+    "FactorizerConfig",
+    "OperationCount",
+    "FootprintReport",
+    "codebook_footprint",
+    "codebook_set_footprint",
+    "compare_footprints",
+    "factorizer_footprint",
+    "Precision",
+    "QuantizedCodebook",
+    "QuantizedTensor",
+    "dequantize",
+    "quantize",
+    "NoiseSchedule",
+    "NoNoise",
+    "ConstantGaussianNoise",
+    "AnnealedGaussianNoise",
+]

@@ -1,0 +1,57 @@
+"""Convergence and limit-cycle detection for iterative factorization.
+
+The factorizer decodes, at every iteration, one winning codevector index per
+factor.  Convergence means the decoded tuple stops changing; a limit cycle
+means the iteration revisits a previously decoded tuple without settling.
+The paper's stochasticity injection exists precisely to escape such cycles,
+so the tracker also reports whether a cycle was observed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["ConvergenceTracker"]
+
+
+class ConvergenceTracker:
+    """Track decoded index tuples across factorization iterations."""
+
+    def __init__(self, patience: int = 2) -> None:
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        self.patience = int(patience)
+        self.history: list[tuple[int, ...]] = []
+        self._cycle_detected = False
+
+    def update(self, decoded: Sequence[int]) -> None:
+        """Record the decoded tuple for the current iteration."""
+        state = tuple(int(i) for i in decoded)
+        if state in self.history and self.history[-1] != state:
+            # Revisiting an earlier, non-consecutive state is a limit cycle.
+            self._cycle_detected = True
+        self.history.append(state)
+
+    @property
+    def iterations(self) -> int:
+        """Number of recorded iterations."""
+        return len(self.history)
+
+    @property
+    def converged(self) -> bool:
+        """True when the last ``patience + 1`` decoded tuples are identical."""
+        needed = self.patience + 1
+        if len(self.history) < needed:
+            return False
+        tail = self.history[-needed:]
+        return all(state == tail[0] for state in tail)
+
+    @property
+    def cycle_detected(self) -> bool:
+        """True if the iteration revisited an earlier, non-adjacent state."""
+        return self._cycle_detected
+
+    @property
+    def final_state(self) -> tuple[int, ...] | None:
+        """The most recently decoded tuple, or None before the first update."""
+        return self.history[-1] if self.history else None

@@ -1,0 +1,102 @@
+"""Memory footprint accounting: exhaustive codebook vs. factorization.
+
+Fig. 8 of the paper reports that replacing the materialised symbolic
+knowledge codebook with the iterative factorizer shrinks the codebook
+storage from 13,560 KB to 190 KB (71.4x) for the NVSA workload.  The
+functions here compute both sides of that comparison from first principles
+(number of factors, codevectors per factor, vector dimension, precision) so
+the same accounting applies to any workload configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.quantization import Precision
+from repro.errors import FactorizationError
+from repro.vsa.codebook import CodebookSet
+
+__all__ = ["FootprintReport", "codebook_footprint", "factorizer_footprint", "compare_footprints"]
+
+
+@dataclass(frozen=True)
+class FootprintReport:
+    """Byte-level comparison between the two symbolic storage strategies."""
+
+    product_codebook_bytes: int
+    factorized_bytes: int
+    precision: Precision
+
+    @property
+    def reduction_factor(self) -> float:
+        """How many times smaller the factorized representation is."""
+        if self.factorized_bytes == 0:
+            raise FactorizationError("factorized footprint is zero; nothing to compare")
+        return self.product_codebook_bytes / self.factorized_bytes
+
+    @property
+    def product_codebook_kib(self) -> float:
+        """Product codebook footprint in KiB."""
+        return self.product_codebook_bytes / 1024.0
+
+    @property
+    def factorized_kib(self) -> float:
+        """Factorized footprint in KiB."""
+        return self.factorized_bytes / 1024.0
+
+
+def codebook_footprint(
+    factor_sizes: list[int], dim: int, precision: Precision | str = Precision.FP32
+) -> int:
+    """Bytes needed to materialise the full product codebook."""
+    precision = Precision.parse(precision)
+    if dim <= 0:
+        raise FactorizationError(f"dim must be positive, got {dim}")
+    if not factor_sizes or any(size <= 0 for size in factor_sizes):
+        raise FactorizationError(f"factor sizes must be positive, got {factor_sizes}")
+    combinations = 1
+    for size in factor_sizes:
+        combinations *= size
+    return combinations * dim * precision.bytes_per_element
+
+
+def factorizer_footprint(
+    factor_sizes: list[int], dim: int, precision: Precision | str = Precision.FP32
+) -> int:
+    """Bytes needed by the factorized representation (per-factor codebooks).
+
+    The factorizer additionally keeps one estimate and one unbound vector per
+    factor plus the query during iteration; that transient state is included
+    since it is what the accelerator must actually buffer.
+    """
+    precision = Precision.parse(precision)
+    if dim <= 0:
+        raise FactorizationError(f"dim must be positive, got {dim}")
+    if not factor_sizes or any(size <= 0 for size in factor_sizes):
+        raise FactorizationError(f"factor sizes must be positive, got {factor_sizes}")
+    codebooks = sum(factor_sizes) * dim
+    working_state = (2 * len(factor_sizes) + 1) * dim
+    return (codebooks + working_state) * precision.bytes_per_element
+
+
+def compare_footprints(
+    factor_sizes: list[int], dim: int, precision: Precision | str = Precision.FP32
+) -> FootprintReport:
+    """Build a :class:`FootprintReport` for the given symbolic configuration."""
+    precision = Precision.parse(precision)
+    return FootprintReport(
+        product_codebook_bytes=codebook_footprint(factor_sizes, dim, precision),
+        factorized_bytes=factorizer_footprint(factor_sizes, dim, precision),
+        precision=precision,
+    )
+
+
+def codebook_set_footprint(
+    codebooks: CodebookSet, precision: Precision | str = Precision.FP32
+) -> FootprintReport:
+    """Footprint comparison for an actual :class:`CodebookSet` instance."""
+    return compare_footprints(
+        factor_sizes=codebooks.factor_sizes,
+        dim=codebooks.dim,
+        precision=precision,
+    )

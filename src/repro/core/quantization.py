@@ -1,0 +1,174 @@
+"""Precision emulation: FP32, FP8 (E4M3) and INT8.
+
+The paper (Sec. IV-B, Tab. IX) quantizes both neural and symbolic operands
+to 8-bit formats to shrink memory footprint, area and power.  This module
+emulates those formats in numpy so the accuracy impact can be measured by
+running the real factorization/reasoning pipelines on quantized codebooks,
+while ``repro.hardware.energy`` uses the same :class:`Precision` enum for
+area/power accounting.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.vsa.codebook import Codebook
+
+__all__ = ["Precision", "QuantizedTensor", "quantize", "dequantize", "QuantizedCodebook"]
+
+
+class Precision(enum.Enum):
+    """Supported arithmetic precisions."""
+
+    FP32 = "fp32"
+    FP8 = "fp8"
+    INT8 = "int8"
+
+    @property
+    def bytes_per_element(self) -> int:
+        """Storage bytes per element for footprint accounting."""
+        return 4 if self is Precision.FP32 else 1
+
+    @classmethod
+    def parse(cls, value: "Precision | str") -> "Precision":
+        """Accept either a :class:`Precision` or its string value."""
+        if isinstance(value, Precision):
+            return value
+        try:
+            return cls(value.lower())
+        except (ValueError, AttributeError) as exc:
+            known = ", ".join(p.value for p in cls)
+            raise QuantizationError(
+                f"unknown precision '{value}'; known precisions: {known}"
+            ) from exc
+
+
+# E4M3: 4 exponent bits (bias 7), 3 mantissa bits, max finite value 448.
+_FP8_MAX = 448.0
+_FP8_MANTISSA_BITS = 3
+_FP8_MIN_EXPONENT = -6
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """A quantized array together with the metadata needed to dequantize it."""
+
+    data: np.ndarray
+    scale: float
+    precision: Precision
+
+    @property
+    def nbytes(self) -> int:
+        """Storage footprint of the quantized payload."""
+        return self.data.size * self.precision.bytes_per_element
+
+    def dequantize(self) -> np.ndarray:
+        """Recover the float32-domain values."""
+        return dequantize(self)
+
+
+def _quantize_int8(values: np.ndarray) -> QuantizedTensor:
+    max_abs = float(np.max(np.abs(values))) if values.size else 0.0
+    scale = max_abs / 127.0 if max_abs > 0 else 1.0
+    quantized = np.clip(np.round(values / scale), -127, 127).astype(np.int8)
+    return QuantizedTensor(data=quantized, scale=scale, precision=Precision.INT8)
+
+
+def _round_to_fp8(values: np.ndarray) -> np.ndarray:
+    """Round float values to the nearest representable E4M3 number."""
+    clipped = np.clip(values, -_FP8_MAX, _FP8_MAX)
+    result = np.zeros_like(clipped)
+    nonzero = clipped != 0
+    if not np.any(nonzero):
+        return result
+    magnitude = np.abs(clipped[nonzero])
+    exponent = np.floor(np.log2(magnitude))
+    exponent = np.maximum(exponent, _FP8_MIN_EXPONENT)
+    step = np.power(2.0, exponent - _FP8_MANTISSA_BITS)
+    rounded = np.round(magnitude / step) * step
+    result[nonzero] = np.sign(clipped[nonzero]) * rounded
+    return result
+
+
+def _quantize_fp8(values: np.ndarray) -> QuantizedTensor:
+    return QuantizedTensor(
+        data=_round_to_fp8(values).astype(np.float32),
+        scale=1.0,
+        precision=Precision.FP8,
+    )
+
+
+def quantize(values: np.ndarray, precision: Precision | str) -> QuantizedTensor:
+    """Quantize an array to the requested precision.
+
+    FP32 is a pass-through (kept so callers can treat precision uniformly),
+    INT8 uses symmetric per-tensor scaling, and FP8 rounds to the E4M3 grid.
+    """
+    precision = Precision.parse(precision)
+    values = np.asarray(values, dtype=np.float64)
+    if precision is Precision.FP32:
+        return QuantizedTensor(
+            data=values.astype(np.float32), scale=1.0, precision=precision
+        )
+    if precision is Precision.INT8:
+        return _quantize_int8(values)
+    return _quantize_fp8(values)
+
+
+def dequantize(tensor: QuantizedTensor) -> np.ndarray:
+    """Map a quantized tensor back to float64 values."""
+    if tensor.precision is Precision.INT8:
+        return tensor.data.astype(np.float64) * tensor.scale
+    return tensor.data.astype(np.float64)
+
+
+def quantization_error(values: np.ndarray, precision: Precision | str) -> float:
+    """Root-mean-square error introduced by quantizing ``values``."""
+    values = np.asarray(values, dtype=np.float64)
+    restored = dequantize(quantize(values, precision))
+    if values.size == 0:
+        return 0.0
+    return float(np.sqrt(np.mean((values - restored) ** 2)))
+
+
+class QuantizedCodebook:
+    """A codebook whose vectors are stored (and searched) in low precision.
+
+    Wrapping instead of subclassing keeps the original full-precision
+    codebook available for accuracy comparisons.
+    """
+
+    def __init__(self, codebook: Codebook, precision: Precision | str) -> None:
+        self.precision = Precision.parse(precision)
+        self.codebook = codebook
+        self._quantized = quantize(codebook.vectors, self.precision)
+        self.vectors = dequantize(self._quantized)
+
+    @property
+    def name(self) -> str:
+        """Name of the wrapped codebook."""
+        return self.codebook.name
+
+    @property
+    def labels(self) -> list[str]:
+        """Labels of the wrapped codebook."""
+        return self.codebook.labels
+
+    def __len__(self) -> int:
+        return len(self.codebook)
+
+    def nbytes(self) -> int:
+        """Footprint at the quantized precision."""
+        return self._quantized.nbytes
+
+    def cleanup(self, query: np.ndarray) -> tuple[str, float]:
+        """Nearest-label lookup using the quantized codevectors."""
+        sims = self.codebook.space.similarity_matrix(
+            np.asarray(query)[np.newaxis, :], self.vectors
+        )[0]
+        best = int(np.argmax(sims))
+        return self.labels[best], float(sims[best])

@@ -1,0 +1,83 @@
+"""Stochasticity injection for the factorizer.
+
+The paper (Sec. IV-B) observes that adding Gaussian noise to the similarity
+and projection steps lets the factorization escape limit cycles and converge
+in fewer iterations.  The classes here encapsulate *when* and *how much*
+noise to add, so the factorizer itself stays deterministic when given
+:class:`NoNoise`.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import FactorizationError
+
+__all__ = ["NoiseSchedule", "NoNoise", "ConstantGaussianNoise", "AnnealedGaussianNoise"]
+
+
+class NoiseSchedule(abc.ABC):
+    """Strategy deciding the noise amplitude at a given iteration."""
+
+    @abc.abstractmethod
+    def std_at(self, iteration: int) -> float:
+        """Noise standard deviation (relative to signal scale) at ``iteration``."""
+
+    def apply(
+        self,
+        values: np.ndarray,
+        iteration: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Return ``values`` perturbed according to the schedule.
+
+        The noise amplitude is expressed relative to the standard deviation of
+        ``values`` so one schedule works across similarity vectors of very
+        different scales.
+        """
+        std = self.std_at(iteration)
+        if std < 0:
+            raise FactorizationError(f"noise std must be non-negative, got {std}")
+        if std == 0:
+            return values
+        scale = float(np.std(values))
+        if scale == 0.0:
+            scale = 1.0
+        return values + rng.normal(0.0, std * scale, size=values.shape)
+
+
+class NoNoise(NoiseSchedule):
+    """Disable stochasticity (the deterministic baseline factorizer)."""
+
+    def std_at(self, iteration: int) -> float:
+        return 0.0
+
+
+class ConstantGaussianNoise(NoiseSchedule):
+    """Inject a fixed relative amount of Gaussian noise every iteration."""
+
+    def __init__(self, std: float = 0.05) -> None:
+        if std < 0:
+            raise FactorizationError(f"std must be non-negative, got {std}")
+        self.std = float(std)
+
+    def std_at(self, iteration: int) -> float:
+        return self.std
+
+
+class AnnealedGaussianNoise(NoiseSchedule):
+    """Exponentially decaying noise: strong exploration early, none late."""
+
+    def __init__(self, initial_std: float = 0.2, decay: float = 0.9, floor: float = 0.0) -> None:
+        if initial_std < 0 or floor < 0:
+            raise FactorizationError("noise std values must be non-negative")
+        if not 0 < decay <= 1:
+            raise FactorizationError(f"decay must be in (0, 1], got {decay}")
+        self.initial_std = float(initial_std)
+        self.decay = float(decay)
+        self.floor = float(floor)
+
+    def std_at(self, iteration: int) -> float:
+        return max(self.floor, self.initial_std * self.decay**iteration)

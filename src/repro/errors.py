@@ -1,0 +1,41 @@
+"""Exception hierarchy shared across the CogSys reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class DimensionMismatchError(ReproError):
+    """Raised when hypervectors or matrices with incompatible shapes meet."""
+
+
+class CodebookError(ReproError):
+    """Raised for invalid codebook construction or lookup requests."""
+
+
+class FactorizationError(ReproError):
+    """Raised when the factorizer is configured or invoked incorrectly."""
+
+
+class QuantizationError(ReproError):
+    """Raised for unsupported precision formats or invalid quantization."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload model is built with inconsistent parameters."""
+
+
+class HardwareConfigError(ReproError):
+    """Raised for invalid hardware configurations (array sizes, memories)."""
+
+
+class MappingError(ReproError):
+    """Raised when an operation cannot be mapped onto the requested array."""
+
+
+class SchedulingError(ReproError):
+    """Raised when the scheduler receives an inconsistent operation graph."""
+
+
+class TaskGenerationError(ReproError):
+    """Raised when a cognitive task generator receives invalid parameters."""

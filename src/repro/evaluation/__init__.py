@@ -1,0 +1,19 @@
+"""Evaluation harness: cognitive solvers and per-figure experiment drivers."""
+
+from repro.evaluation.solver import (
+    CVRSolver,
+    NeuroSymbolicSolver,
+    SolverConfig,
+    SVRTSolver,
+)
+from repro.evaluation.reporting import format_markdown_table
+from repro.evaluation import experiments
+
+__all__ = [
+    "NeuroSymbolicSolver",
+    "SolverConfig",
+    "CVRSolver",
+    "SVRTSolver",
+    "format_markdown_table",
+    "experiments",
+]

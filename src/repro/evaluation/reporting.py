@@ -1,0 +1,28 @@
+"""Small helpers to render experiment results as text tables."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_markdown_table", "format_value"]
+
+
+def format_value(value) -> str:
+    """Render one cell: floats get 3 significant decimals, others use str()."""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_markdown_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render rows as a GitHub-flavoured markdown table."""
+    header_line = "| " + " | ".join(str(h) for h in headers) + " |"
+    separator = "| " + " | ".join("---" for _ in headers) + " |"
+    body = [
+        "| " + " | ".join(format_value(cell) for cell in row) + " |" for row in rows
+    ]
+    return "\n".join([header_line, separator, *body])

@@ -1,0 +1,166 @@
+"""Area, power and energy accounting for the CogSys accelerator.
+
+The silicon numbers come from the paper's TSMC 28 nm implementation results
+(Tab. IX and Fig. 14): the 16x32x32 reconfigurable array and the 512-PE SIMD
+unit are characterised at FP32, FP8 and INT8, and the taped-out accelerator
+occupies 4.0 mm^2 at an average power of 1.48 W.  The model scales those
+per-PE constants to arbitrary array configurations and converts latency into
+energy for efficiency comparisons against CPU/GPU baselines (Fig. 16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.quantization import Precision
+from repro.errors import HardwareConfigError
+
+__all__ = ["Precision", "PrecisionSilicon", "AreaPowerModel", "PE_DESIGN_CHOICES"]
+
+#: reference configuration the paper's Tab. IX numbers were measured at
+_REFERENCE_ARRAY_PES = 16 * 32 * 32
+_REFERENCE_SIMD_PES = 512
+
+
+@dataclass(frozen=True)
+class PrecisionSilicon:
+    """Published silicon characteristics of one arithmetic precision."""
+
+    array_area_mm2: float
+    array_power_mw: float
+    simd_area_mm2: float
+    simd_power_mw: float
+    #: area overhead of reconfigurability versus a plain systolic array
+    reconfigurability_overhead: float
+
+
+#: Tab. IX: area/power of the reconfigurable array (16x32x32 PEs) and the
+#: custom SIMD unit (512 PEs) per precision, and the reconfigurable-array
+#: area overhead versus a conventional systolic array.
+PRECISION_SILICON: dict[Precision, PrecisionSilicon] = {
+    Precision.FP32: PrecisionSilicon(
+        array_area_mm2=28.9,
+        array_power_mw=4468.5,
+        simd_area_mm2=2.01,
+        simd_power_mw=297.0,
+        reconfigurability_overhead=0.009,
+    ),
+    Precision.FP8: PrecisionSilicon(
+        array_area_mm2=9.9,
+        array_power_mw=1237.8,
+        simd_area_mm2=0.28,
+        simd_power_mw=64.8,
+        reconfigurability_overhead=0.048,
+    ),
+    Precision.INT8: PrecisionSilicon(
+        array_area_mm2=3.8,
+        array_power_mw=1104.6,
+        simd_area_mm2=0.21,
+        simd_power_mw=80.4,
+        reconfigurability_overhead=0.121,
+    ),
+}
+
+#: Tab. V design-choice comparison: reconfigurable nsPEs versus dedicated
+#: (heterogeneous) neural + symbolic PE pools of equal or half chip size.
+PE_DESIGN_CHOICES: dict[str, dict[str, float]] = {
+    "reconfigurable_16x32x32": {
+        "area": 1.0,
+        "latency": 1.0,
+        "energy": 1.0,
+        "utilization": 0.90,
+    },
+    "heterogeneous_16+16": {
+        "area": 1.96,
+        "latency": 1.0,
+        "energy": 1.3,
+        "utilization": 0.45,
+    },
+    "heterogeneous_8+8": {
+        "area": 0.98,
+        "latency": 2.0,
+        "energy": 1.3,
+        "utilization": 0.45,
+    },
+}
+
+#: SRAM, controller and interconnect power that tops the INT8/FP8 array up to
+#: the reported 1.48 W average accelerator power (Fig. 14)
+_PERIPHERAL_POWER_MW = 295.0
+
+
+class AreaPowerModel:
+    """Scale the published silicon numbers to a given array configuration."""
+
+    def __init__(self, precision: Precision | str = Precision.FP8) -> None:
+        self.precision = Precision.parse(precision)
+        if self.precision not in PRECISION_SILICON:
+            raise HardwareConfigError(f"no silicon data for precision {self.precision}")
+        self._silicon = PRECISION_SILICON[self.precision]
+
+    # -- per-unit constants -------------------------------------------------------
+    @property
+    def area_per_array_pe_mm2(self) -> float:
+        """Area of one nsPE at this precision."""
+        return self._silicon.array_area_mm2 / _REFERENCE_ARRAY_PES
+
+    @property
+    def power_per_array_pe_mw(self) -> float:
+        """Power of one nsPE at this precision."""
+        return self._silicon.array_power_mw / _REFERENCE_ARRAY_PES
+
+    @property
+    def area_per_simd_pe_mm2(self) -> float:
+        """Area of one SIMD lane at this precision."""
+        return self._silicon.simd_area_mm2 / _REFERENCE_SIMD_PES
+
+    @property
+    def power_per_simd_pe_mw(self) -> float:
+        """Power of one SIMD lane at this precision."""
+        return self._silicon.simd_power_mw / _REFERENCE_SIMD_PES
+
+    @property
+    def reconfigurability_overhead(self) -> float:
+        """Array area overhead versus a plain systolic array."""
+        return self._silicon.reconfigurability_overhead
+
+    # -- whole-accelerator figures ----------------------------------------------------
+    def array_area_mm2(self, total_pes: int = _REFERENCE_ARRAY_PES) -> float:
+        """Array area for ``total_pes`` nsPEs."""
+        self._check_positive(total_pes)
+        return self.area_per_array_pe_mm2 * total_pes
+
+    def simd_area_mm2(self, simd_pes: int = _REFERENCE_SIMD_PES) -> float:
+        """SIMD-unit area for ``simd_pes`` lanes."""
+        self._check_positive(simd_pes)
+        return self.area_per_simd_pe_mm2 * simd_pes
+
+    def accelerator_area_mm2(
+        self, total_pes: int = _REFERENCE_ARRAY_PES, simd_pes: int = _REFERENCE_SIMD_PES
+    ) -> float:
+        """Total compute area (array plus SIMD unit)."""
+        return self.array_area_mm2(total_pes) + self.simd_area_mm2(simd_pes)
+
+    def accelerator_power_w(
+        self, total_pes: int = _REFERENCE_ARRAY_PES, simd_pes: int = _REFERENCE_SIMD_PES
+    ) -> float:
+        """Average accelerator power including SRAM/controller peripherals."""
+        self._check_positive(total_pes)
+        self._check_positive(simd_pes)
+        milliwatts = (
+            self.power_per_array_pe_mw * total_pes
+            + self.power_per_simd_pe_mw * simd_pes
+            + _PERIPHERAL_POWER_MW
+        )
+        return milliwatts / 1000.0
+
+    def energy_joules(self, latency_seconds: float, **kwargs) -> float:
+        """Energy of a run of ``latency_seconds`` at average power."""
+        if latency_seconds < 0:
+            raise HardwareConfigError("latency must be non-negative")
+        return self.accelerator_power_w(**kwargs) * latency_seconds
+
+    @staticmethod
+    def _check_positive(value: int) -> None:
+        if value < 1:
+            raise HardwareConfigError(f"PE counts must be positive, got {value}")

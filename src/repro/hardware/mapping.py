@@ -1,0 +1,115 @@
+"""Adaptive spatial/temporal (ST) mapping of circular convolutions.
+
+The scale-up organisation of the CogSys array exposes ``N`` independent 1-D
+nsPE arrays of ``M`` PEs each.  A batch of ``k`` circular convolutions of
+dimension ``d`` can be mapped two ways (Fig. 12):
+
+* **Spatial** — one convolution at a time, its ``d`` elements folded across
+  all ``N x M`` PEs.  Latency ``k * ceil(d / (N*M)) * T`` with only ``2d``
+  memory reads per ``T``-cycle pass (both operands streamed once).
+* **Temporal** — ``N`` different convolutions in flight, one per array, each
+  folded over its own ``M`` PEs.  Latency ``ceil(k/N) * ceil(d/M) * T`` with
+  ``(d + M) * N`` memory reads per pass.
+
+``T = 3M + d - 1`` is the per-pass bubble-streaming latency.  CogSys picks
+the mapping with the lower latency and breaks ties towards the lower
+bandwidth demand, which reproduces the paper's choices (temporal for the
+high-``k`` NVSA/LVRF workloads, spatial for single large convolutions).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import MappingError
+from repro.hardware.bubble_stream import bs_latency_cycles
+
+__all__ = ["MappingMode", "MappingDecision", "spatial_mapping", "temporal_mapping", "choose_mapping"]
+
+
+class MappingMode(enum.Enum):
+    """The two ST mapping modes."""
+
+    SPATIAL = "spatial"
+    TEMPORAL = "temporal"
+
+
+@dataclass(frozen=True)
+class MappingDecision:
+    """Latency/bandwidth outcome of mapping a circconv batch onto the array."""
+
+    mode: MappingMode
+    cycles: int
+    memory_reads_per_pass: int
+    pass_cycles: int
+    num_arrays: int
+    array_length: int
+
+    @property
+    def bandwidth_words_per_cycle(self) -> float:
+        """Average operand words fetched per cycle during a pass."""
+        return self.memory_reads_per_pass / self.pass_cycles if self.pass_cycles else 0.0
+
+
+def _validate(num_arrays: int, array_length: int, num_convs: int, vector_dim: int) -> None:
+    if min(num_arrays, array_length, num_convs, vector_dim) < 1:
+        raise MappingError(
+            "num_arrays, array_length, num_convs and vector_dim must all be positive, got "
+            f"({num_arrays}, {array_length}, {num_convs}, {vector_dim})"
+        )
+
+
+def spatial_mapping(
+    num_arrays: int, array_length: int, num_convs: int, vector_dim: int
+) -> MappingDecision:
+    """Map the batch spatially: one convolution folded across all arrays."""
+    _validate(num_arrays, array_length, num_convs, vector_dim)
+    pass_cycles = bs_latency_cycles(vector_dim, min(array_length, vector_dim))
+    folds = -(-vector_dim // (num_arrays * array_length))
+    cycles = num_convs * folds * pass_cycles
+    return MappingDecision(
+        mode=MappingMode.SPATIAL,
+        cycles=int(cycles),
+        memory_reads_per_pass=2 * vector_dim,
+        pass_cycles=pass_cycles,
+        num_arrays=num_arrays,
+        array_length=array_length,
+    )
+
+
+def temporal_mapping(
+    num_arrays: int, array_length: int, num_convs: int, vector_dim: int
+) -> MappingDecision:
+    """Map the batch temporally: a different convolution on every array."""
+    _validate(num_arrays, array_length, num_convs, vector_dim)
+    pass_cycles = bs_latency_cycles(vector_dim, min(array_length, vector_dim))
+    conv_groups = -(-num_convs // num_arrays)
+    folds = -(-vector_dim // array_length)
+    cycles = conv_groups * folds * pass_cycles
+    return MappingDecision(
+        mode=MappingMode.TEMPORAL,
+        cycles=int(cycles),
+        memory_reads_per_pass=(vector_dim + array_length) * num_arrays,
+        pass_cycles=pass_cycles,
+        num_arrays=num_arrays,
+        array_length=array_length,
+    )
+
+
+def choose_mapping(
+    num_arrays: int, array_length: int, num_convs: int, vector_dim: int
+) -> MappingDecision:
+    """Adaptively choose between spatial and temporal mapping.
+
+    The lower-latency mapping wins; on a latency tie the mapping with the
+    lower memory-read requirement (spatial, for large ``d``) is preferred so
+    bandwidth pressure stays bounded.
+    """
+    spatial = spatial_mapping(num_arrays, array_length, num_convs, vector_dim)
+    temporal = temporal_mapping(num_arrays, array_length, num_convs, vector_dim)
+    if temporal.cycles < spatial.cycles:
+        return temporal
+    if spatial.cycles < temporal.cycles:
+        return spatial
+    return min(spatial, temporal, key=lambda decision: decision.memory_reads_per_pass)

@@ -1,0 +1,71 @@
+"""On-chip SRAM (double-buffered) and DRAM traffic model.
+
+CogSys backs the compute array with three double-buffered SRAMs (Sec. V-F):
+SRAM A holds weights shared by all cells, SRAM B is distributed across cells
+for activations/operands, SRAM C stages outputs.  Double buffering lets DRAM
+transfers overlap compute, so a kernel's wall-clock time is the maximum of
+its compute time and its DRAM transfer time; data that fits on-chip is only
+fetched once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareConfigError
+
+__all__ = ["MemorySystem", "TransferEstimate"]
+
+
+@dataclass(frozen=True)
+class TransferEstimate:
+    """DRAM traffic and timing for one kernel."""
+
+    dram_bytes: int
+    transfer_seconds: float
+    fits_on_chip: bool
+
+
+@dataclass(frozen=True)
+class MemorySystem:
+    """Double-buffered SRAM hierarchy plus a DRAM channel."""
+
+    sram_a_bytes: int
+    sram_b_bytes: int
+    sram_c_bytes: int
+    dram_bandwidth_bytes_per_s: float
+
+    def __post_init__(self) -> None:
+        if min(self.sram_a_bytes, self.sram_b_bytes, self.sram_c_bytes) < 0:
+            raise HardwareConfigError("SRAM sizes must be non-negative")
+        if self.dram_bandwidth_bytes_per_s <= 0:
+            raise HardwareConfigError("DRAM bandwidth must be positive")
+
+    @property
+    def total_sram_bytes(self) -> int:
+        """Total on-chip capacity."""
+        return self.sram_a_bytes + self.sram_b_bytes + self.sram_c_bytes
+
+    def transfer(self, bytes_read: int, bytes_written: int, resident_bytes: int = 0) -> TransferEstimate:
+        """Estimate DRAM traffic for a kernel.
+
+        ``resident_bytes`` is the portion of the kernel's working set already
+        resident on chip (e.g. weights kept in SRAM A across reuse); it is
+        subtracted from the read traffic.
+        """
+        if min(bytes_read, bytes_written, resident_bytes) < 0:
+            raise HardwareConfigError("byte counts must be non-negative")
+        dram_reads = max(0, bytes_read - resident_bytes)
+        dram_bytes = dram_reads + bytes_written
+        working_set = bytes_read + bytes_written
+        return TransferEstimate(
+            dram_bytes=dram_bytes,
+            transfer_seconds=dram_bytes / self.dram_bandwidth_bytes_per_s,
+            fits_on_chip=working_set <= self.total_sram_bytes,
+        )
+
+    def overlapped_seconds(self, compute_seconds: float, transfer: TransferEstimate) -> float:
+        """Wall-clock time with double-buffered compute/transfer overlap."""
+        if compute_seconds < 0:
+            raise HardwareConfigError("compute_seconds must be non-negative")
+        return max(compute_seconds, transfer.transfer_seconds)

@@ -1,0 +1,113 @@
+"""Reconfigurable neuro/symbolic processing element (nsPE).
+
+Each nsPE holds four registers (stationary, passing, streaming, partial sum)
+and supports three operating modes: LOAD (fill the stationary register),
+GEMM (TPU-style weight-stationary MAC with inputs arriving from the left)
+and CIRCCONV (bubble-streaming circular convolution with inputs arriving
+from the top through the passing register).  The functional model here is
+used by the bubble-streaming simulator and by unit tests; the per-precision
+area/energy characteristics live in :mod:`repro.hardware.energy`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import HardwareConfigError
+
+__all__ = ["PEMode", "ReconfigurablePE"]
+
+
+class PEMode(enum.Enum):
+    """Operating modes of the reconfigurable nsPE."""
+
+    LOAD = "load"
+    GEMM = "gemm"
+    CIRCCONV = "circconv"
+
+
+@dataclass
+class ReconfigurablePE:
+    """Functional model of one nsPE.
+
+    The four registers mirror Fig. 10 of the paper.  ``step`` consumes the
+    inputs for one cycle in the current mode and returns the outputs passed
+    to the neighbouring PEs.
+    """
+
+    mode: PEMode = PEMode.LOAD
+    stationary: float = 0.0
+    passing: float = 0.0
+    streaming: float = 0.0
+    partial_sum: float = 0.0
+    #: number of multiply-accumulate operations this PE has executed
+    mac_count: int = field(default=0, repr=False)
+
+    def set_mode(self, mode: PEMode) -> None:
+        """Switch operating mode (reconfiguration is a single-cycle event)."""
+        if not isinstance(mode, PEMode):
+            raise HardwareConfigError(f"invalid PE mode {mode!r}")
+        self.mode = mode
+
+    def reset(self) -> None:
+        """Clear all registers (between kernels)."""
+        self.passing = 0.0
+        self.streaming = 0.0
+        self.partial_sum = 0.0
+        self.mac_count = 0
+
+    def step(
+        self,
+        top_in_a: float = 0.0,
+        top_in_b: float = 0.0,
+        left_in: float = 0.0,
+        sum_in: float = 0.0,
+    ) -> dict[str, float]:
+        """Advance one cycle.
+
+        Returns the values presented on the PE's output links:
+        ``top_out_a`` (stationary forwarding), ``top_out_b`` (streaming
+        forwarding to the next PE's passing register), ``left_out`` (GEMM
+        operand forwarding) and ``sum_out`` (partial-sum reduction).
+        """
+        if self.mode is PEMode.LOAD:
+            # Stationary weights ripple down the column through top_in_A.
+            previous_stationary = self.stationary
+            self.stationary = top_in_a
+            return {
+                "top_out_a": previous_stationary,
+                "top_out_b": 0.0,
+                "left_out": 0.0,
+                "sum_out": 0.0,
+            }
+
+        if self.mode is PEMode.GEMM:
+            # Weight-stationary MAC: operand arrives from the left, partial
+            # sums reduce from top to bottom.
+            product = self.stationary * left_in
+            self.partial_sum = sum_in + product
+            self.mac_count += 1
+            return {
+                "top_out_a": 0.0,
+                "top_out_b": 0.0,
+                "left_out": left_in,
+                "sum_out": self.partial_sum,
+            }
+
+        # CIRCCONV mode: the streaming operand enters the passing register,
+        # moves to the streaming register one cycle later (the "bubble"), and
+        # is forwarded to the next PE's passing register.
+        product = self.stationary * self.streaming
+        self.partial_sum = sum_in + product
+        if self.streaming != 0.0 or self.stationary != 0.0:
+            self.mac_count += 1
+        forwarded = self.streaming
+        self.streaming = self.passing
+        self.passing = top_in_b
+        return {
+            "top_out_a": 0.0,
+            "top_out_b": forwarded,
+            "left_out": 0.0,
+            "sum_out": self.partial_sum,
+        }

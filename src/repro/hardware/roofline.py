@@ -1,0 +1,76 @@
+"""Roofline model utilities.
+
+Used for the Fig. 5 characterization (neuro kernels are compute-bound,
+symbolic kernels are memory-bound on GPUs) and the Fig. 11c comparison of
+the bubble-streaming dataflow against GEMV lowerings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareConfigError
+
+__all__ = ["Roofline", "RooflinePoint"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel placed on a roofline plot."""
+
+    name: str
+    arithmetic_intensity: float
+    attainable_flops: float
+    memory_bound: bool
+
+    @property
+    def bound(self) -> str:
+        """Human-readable bound classification."""
+        return "memory" if self.memory_bound else "compute"
+
+
+@dataclass(frozen=True)
+class Roofline:
+    """A device roofline defined by peak compute and memory bandwidth."""
+
+    name: str
+    peak_flops: float
+    memory_bandwidth_bytes_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0 or self.memory_bandwidth_bytes_per_s <= 0:
+            raise HardwareConfigError(
+                "peak_flops and memory bandwidth must be positive"
+            )
+
+    @property
+    def ridge_point(self) -> float:
+        """Arithmetic intensity at which the device becomes compute-bound."""
+        return self.peak_flops / self.memory_bandwidth_bytes_per_s
+
+    def attainable_flops(self, arithmetic_intensity: float) -> float:
+        """Attainable FLOP/s at a given arithmetic intensity."""
+        if arithmetic_intensity < 0:
+            raise HardwareConfigError("arithmetic intensity must be non-negative")
+        return min(self.peak_flops, arithmetic_intensity * self.memory_bandwidth_bytes_per_s)
+
+    def place(self, name: str, flops: int, traffic_bytes: int) -> RooflinePoint:
+        """Place a kernel with the given FLOPs and traffic on this roofline."""
+        if flops < 0 or traffic_bytes < 0:
+            raise HardwareConfigError("flops and traffic must be non-negative")
+        intensity = flops / traffic_bytes if traffic_bytes else float("inf")
+        attainable = self.attainable_flops(min(intensity, 1e12))
+        return RooflinePoint(
+            name=name,
+            arithmetic_intensity=intensity,
+            attainable_flops=attainable,
+            memory_bound=intensity < self.ridge_point,
+        )
+
+    def time_seconds(self, flops: int, traffic_bytes: int) -> float:
+        """Roofline execution-time lower bound for a kernel."""
+        if flops < 0 or traffic_bytes < 0:
+            raise HardwareConfigError("flops and traffic must be non-negative")
+        compute_time = flops / self.peak_flops
+        memory_time = traffic_bytes / self.memory_bandwidth_bytes_per_s
+        return max(compute_time, memory_time)

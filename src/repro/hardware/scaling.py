@@ -1,0 +1,104 @@
+"""Scale-up / scale-out organisation of the CogSys cells.
+
+The 16 32x32 cells can operate as one large logical array (scale-up), as 16
+independent cells (scale-out), or as a partitioned mixture.  GEMM kernels
+with small ``n``/``k`` dimensions waste most of a monolithic array, so the
+scale-out organisation wins for the CNN front-ends the paper analyses
+(Sec. V-E quotes 91.26 % utilisation and a 10.7x speedup over a single
+128x128 array); symbolic kernels pick scale-up for high-dimensional vectors
+and scale-out for low-dimensional ones (e.g. MIMONet's d = 64 bindings).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import HardwareConfigError, MappingError
+from repro.hardware.systolic import SystolicArrayModel
+
+__all__ = ["OrganizationMode", "ArrayOrganization", "choose_organization", "gemm_cycles_scaled"]
+
+
+class OrganizationMode(enum.Enum):
+    """How the cells are logically combined."""
+
+    SCALE_UP = "scale_up"
+    SCALE_OUT = "scale_out"
+
+
+@dataclass(frozen=True)
+class ArrayOrganization:
+    """A concrete organisation of ``num_cells`` cells of ``rows x cols`` PEs."""
+
+    mode: OrganizationMode
+    num_cells: int
+    cell_rows: int
+    cell_cols: int
+
+    def __post_init__(self) -> None:
+        if min(self.num_cells, self.cell_rows, self.cell_cols) < 1:
+            raise HardwareConfigError("cell counts and dimensions must be positive")
+
+    @property
+    def logical_arrays(self) -> int:
+        """Number of independently schedulable arrays."""
+        return 1 if self.mode is OrganizationMode.SCALE_UP else self.num_cells
+
+    @property
+    def logical_rows(self) -> int:
+        """Rows of one logical array."""
+        if self.mode is OrganizationMode.SCALE_UP:
+            return self.cell_rows * self.num_cells
+        return self.cell_rows
+
+    @property
+    def logical_cols(self) -> int:
+        """Columns of one logical array."""
+        return self.cell_cols
+
+    @property
+    def total_pes(self) -> int:
+        """Total PEs across the organisation."""
+        return self.num_cells * self.cell_rows * self.cell_cols
+
+    def systolic_model(self) -> SystolicArrayModel:
+        """Systolic model of one logical array."""
+        return SystolicArrayModel(self.logical_rows, self.logical_cols)
+
+
+def gemm_cycles_scaled(organization: ArrayOrganization, m: int, k: int, n: int) -> int:
+    """Cycles for a GEMM under a given organisation.
+
+    Scale-out splits the ``m`` dimension (independent activation rows) across
+    the logical arrays; scale-up runs the whole GEMM on the single large
+    array.
+    """
+    if min(m, k, n) < 1:
+        raise MappingError(f"GEMM dimensions must be positive, got ({m}, {k}, {n})")
+    model = organization.systolic_model()
+    arrays = organization.logical_arrays
+    m_per_array = -(-m // arrays)
+    return model.gemm_cycles(m_per_array, k, n).cycles
+
+
+def choose_organization(
+    num_cells: int, cell_rows: int, cell_cols: int, m: int, k: int, n: int
+) -> tuple[ArrayOrganization, int]:
+    """Pick the organisation with the lower GEMM latency.
+
+    Returns the chosen organisation and its cycle count.  Small weight
+    matrices (``k``/``n`` much smaller than the monolithic array) favour
+    scale-out; very large GEMMs amortise the monolithic array's fill cost
+    and may favour scale-up.
+    """
+    candidates = [
+        ArrayOrganization(OrganizationMode.SCALE_OUT, num_cells, cell_rows, cell_cols),
+        ArrayOrganization(OrganizationMode.SCALE_UP, num_cells, cell_rows, cell_cols),
+    ]
+    best: tuple[ArrayOrganization, int] | None = None
+    for organization in candidates:
+        cycles = gemm_cycles_scaled(organization, m, k, n)
+        if best is None or cycles < best[1]:
+            best = (organization, cycles)
+    return best

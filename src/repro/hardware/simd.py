@@ -1,0 +1,57 @@
+"""Custom SIMD unit for element-wise and reduction operations.
+
+The CogSys accelerator offloads element-wise kernels (activations,
+normalisation, softmax, probability updates) and vector reductions to a
+512-PE SIMD unit so the nsPE array stays busy with GEMM / circular
+convolution work (Sec. V-F).  The model here is a throughput model: the
+lanes process one element per cycle, with a small per-operation overhead for
+transcendental functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareConfigError
+
+__all__ = ["SIMDUnit"]
+
+#: extra cycles per element for transcendental-heavy operations
+_TRANSCENDENTAL_FACTOR = 4
+
+
+@dataclass(frozen=True)
+class SIMDUnit:
+    """Throughput model of the custom SIMD unit."""
+
+    num_pes: int = 512
+    #: fixed start-up cycles per issued vector operation
+    issue_overhead_cycles: int = 8
+
+    def __post_init__(self) -> None:
+        if self.num_pes < 1:
+            raise HardwareConfigError(f"num_pes must be positive, got {self.num_pes}")
+        if self.issue_overhead_cycles < 0:
+            raise HardwareConfigError("issue_overhead_cycles must be non-negative")
+
+    def elementwise_cycles(
+        self, elements: int, ops_per_element: int = 1, transcendental: bool = False
+    ) -> int:
+        """Cycles to process ``elements`` with ``ops_per_element`` each."""
+        if elements < 0 or ops_per_element < 0:
+            raise HardwareConfigError("elements and ops_per_element must be non-negative")
+        if elements == 0:
+            return 0
+        per_element = ops_per_element * (_TRANSCENDENTAL_FACTOR if transcendental else 1)
+        lanes_passes = -(-elements // self.num_pes)
+        return self.issue_overhead_cycles + lanes_passes * max(1, per_element)
+
+    def reduction_cycles(self, elements: int) -> int:
+        """Cycles for a tree reduction over ``elements``."""
+        if elements < 0:
+            raise HardwareConfigError("elements must be non-negative")
+        if elements <= 1:
+            return self.issue_overhead_cycles
+        lanes_passes = -(-elements // self.num_pes)
+        tree_depth = max(1, (self.num_pes - 1).bit_length())
+        return self.issue_overhead_cycles + lanes_passes + tree_depth

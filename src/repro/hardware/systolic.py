@@ -1,0 +1,138 @@
+"""Systolic-array cycle model (GEMM mode and GEMV-lowered circular convolution).
+
+This model serves two purposes:
+
+* it is the *GEMM mode* of the CogSys cells (the nsPE array behaves like a
+  weight-stationary systolic array for convolutions and GEMMs), and
+* it is the baseline model for TPU/MTIA/Gemmini-like accelerators, including
+  the O(d^2) GEMV lowering those architectures need for circular
+  convolution (Tab. IV / Fig. 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareConfigError, MappingError
+
+__all__ = ["GemmCycleEstimate", "SystolicArrayModel"]
+
+
+@dataclass(frozen=True)
+class GemmCycleEstimate:
+    """Cycle count and utilisation of one GEMM on a systolic array."""
+
+    cycles: int
+    ideal_macs: int
+    array_macs_capacity: int
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the array's MAC slots doing useful work."""
+        if self.cycles == 0 or self.array_macs_capacity == 0:
+            return 0.0
+        return min(1.0, self.ideal_macs / (self.cycles * self.array_macs_capacity))
+
+
+class SystolicArrayModel:
+    """Weight-stationary systolic array of ``rows x cols`` MAC units."""
+
+    def __init__(self, rows: int, cols: int, double_buffered: bool = True) -> None:
+        if rows < 1 or cols < 1:
+            raise HardwareConfigError(
+                f"array dimensions must be positive, got {rows}x{cols}"
+            )
+        self.rows = rows
+        self.cols = cols
+        self.double_buffered = double_buffered
+
+    @property
+    def num_pes(self) -> int:
+        """Number of MAC units in the array."""
+        return self.rows * self.cols
+
+    # -- GEMM --------------------------------------------------------------------
+    def gemm_cycles(self, m: int, k: int, n: int) -> GemmCycleEstimate:
+        """Cycles for a dense ``(m x k) @ (k x n)`` product.
+
+        The array is weight-stationary: the ``k x n`` operand is tiled onto
+        the PEs (``ceil(k/rows) * ceil(n/cols)`` tiles) and the ``m`` rows of
+        the activation stream through each tile.  Each tile must also load
+        its ``rows`` weight rows; with double buffering the load of the next
+        tile overlaps the streaming of the current one, so a tile costs
+        ``max(m, rows)`` cycles (weight loading dominates GEMV-like shapes
+        with small ``m``, which is exactly why the GEMV lowering of circular
+        convolution is so expensive on these arrays).  Without double
+        buffering a tile costs ``m + rows`` cycles.
+        """
+        if min(m, k, n) < 1:
+            raise MappingError(f"GEMM dimensions must be positive, got ({m}, {k}, {n})")
+        row_tiles = -(-k // self.rows)
+        col_tiles = -(-n // self.cols)
+        tiles = row_tiles * col_tiles
+        if self.double_buffered:
+            tile_cycles = max(m, self.rows)
+        else:
+            tile_cycles = m + self.rows
+        fill_drain = self.rows + self.cols - 2
+        cycles = tiles * tile_cycles + fill_drain
+        return GemmCycleEstimate(
+            cycles=int(cycles),
+            ideal_macs=m * k * n,
+            array_macs_capacity=self.num_pes,
+        )
+
+    def multi_cell_gemm_cycles(self, num_cells: int, m: int, k: int, n: int) -> int:
+        """Cycles for a GEMM distributed over ``num_cells`` identical arrays.
+
+        The ``(k, n)`` weight tiles are spread across the cells; when there
+        are fewer tiles than cells the surplus cells split the activation
+        rows instead, so both wide-weight GEMMs (many tiles) and tall
+        activation GEMMs (large ``m``) scale with the cell count.
+        """
+        if num_cells < 1:
+            raise MappingError(f"num_cells must be positive, got {num_cells}")
+        if min(m, k, n) < 1:
+            raise MappingError(f"GEMM dimensions must be positive, got ({m}, {k}, {n})")
+        row_tiles = -(-k // self.rows)
+        col_tiles = -(-n // self.cols)
+        tiles = row_tiles * col_tiles
+        cells_for_rows = max(1, num_cells // tiles)
+        m_per_cell = -(-m // cells_for_rows)
+        if self.double_buffered:
+            tile_cycles = max(m_per_cell, self.rows)
+        else:
+            tile_cycles = m_per_cell + self.rows
+        tiles_per_cell = -(-tiles // num_cells)
+        return tiles_per_cell * tile_cycles + self.rows + self.cols - 2
+
+    # -- circular convolution lowered to GEMV ------------------------------------------
+    def circconv_cycles_gemv(self, vector_dim: int, count: int = 1) -> GemmCycleEstimate:
+        """Cycles for ``count`` circular convolutions lowered to GEMV.
+
+        A systolic array without the bubble-streaming dataflow must
+        materialise the ``d x d`` circulant matrix and run a matrix-vector
+        product per circular convolution.  A GEMV streams a single activation
+        row, so there is no way to parallelise multiple independent
+        convolutions across columns of one cell (no column-wise parallelism,
+        Tab. IV) — the ``count`` operations execute sequentially.
+        """
+        if vector_dim < 1 or count < 1:
+            raise MappingError(
+                f"vector_dim and count must be positive, got {vector_dim}, {count}"
+            )
+        single = self.gemm_cycles(m=1, k=vector_dim, n=vector_dim)
+        return GemmCycleEstimate(
+            cycles=single.cycles * count,
+            ideal_macs=single.ideal_macs * count,
+            array_macs_capacity=self.num_pes,
+        )
+
+    def circconv_gemv_bytes(self, vector_dim: int, count: int = 1, element_bytes: int = 4) -> int:
+        """Traffic of the GEMV lowering: the circulant matrix plus vectors."""
+        if vector_dim < 1 or count < 1:
+            raise MappingError(
+                f"vector_dim and count must be positive, got {vector_dim}, {count}"
+            )
+        per_op = vector_dim * vector_dim + 2 * vector_dim
+        return per_op * count * element_bytes

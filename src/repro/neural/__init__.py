@@ -1,0 +1,47 @@
+"""Neural substrate: numpy layers, small CNN backbones, perception simulation.
+
+The neural half of a neurosymbolic workload is dominated by GEMM and
+convolution kernels.  This subpackage provides:
+
+* :mod:`repro.neural.layers` — numpy forward implementations of the layer
+  types the paper's workloads use (convolution, linear, batch-norm, ReLU,
+  pooling, softmax), each reporting its FLOPs, parameter count and memory
+  traffic so the workload models and hardware simulator can consume them.
+* :mod:`repro.neural.network` — a sequential container plus builders for the
+  perception backbones used by the NVSA/MIMONet/LVRF/PrAE workload models.
+* :mod:`repro.neural.perception` — the perception *simulator* that replaces
+  the paper's trained CNN front-end: it converts ground-truth panel
+  attributes into noisy probability mass functions (and optionally VSA query
+  vectors), preserving the statistical behaviour the symbolic stages see.
+"""
+
+from repro.neural.layers import (
+    BatchNorm,
+    Conv2d,
+    Flatten,
+    Layer,
+    LayerStats,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Softmax,
+)
+from repro.neural.network import NetworkStats, SequentialNetwork, build_perception_backbone
+from repro.neural.perception import PerceptionConfig, PerceptionSimulator
+
+__all__ = [
+    "Layer",
+    "LayerStats",
+    "Conv2d",
+    "Linear",
+    "BatchNorm",
+    "ReLU",
+    "MaxPool2d",
+    "Softmax",
+    "Flatten",
+    "SequentialNetwork",
+    "NetworkStats",
+    "build_perception_backbone",
+    "PerceptionSimulator",
+    "PerceptionConfig",
+]

@@ -1,0 +1,143 @@
+"""Sequential network container and perception backbone builders."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DimensionMismatchError
+from repro.neural.layers import (
+    BatchNorm,
+    Conv2d,
+    Flatten,
+    Layer,
+    LayerStats,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+
+__all__ = ["NetworkStats", "SequentialNetwork", "build_perception_backbone"]
+
+
+@dataclass(frozen=True)
+class NetworkStats:
+    """Aggregate compute/memory summary of a network at a given input shape."""
+
+    layer_stats: tuple[LayerStats, ...]
+
+    @property
+    def total_flops(self) -> int:
+        """Sum of per-layer FLOPs."""
+        return sum(stat.flops for stat in self.layer_stats)
+
+    @property
+    def total_params(self) -> int:
+        """Sum of per-layer parameter counts."""
+        return sum(stat.params for stat in self.layer_stats)
+
+    def total_bytes(self, element_bytes: int = 4) -> int:
+        """Sum of per-layer traffic estimates."""
+        return sum(stat.total_bytes(element_bytes) for stat in self.layer_stats)
+
+    def weight_bytes(self, element_bytes: int = 4) -> int:
+        """Total parameter storage."""
+        return self.total_params * element_bytes
+
+    @property
+    def output_shape(self) -> tuple[int, ...]:
+        """Shape of the final layer's output."""
+        return self.layer_stats[-1].output_shape if self.layer_stats else ()
+
+
+class SequentialNetwork:
+    """A plain feed-forward stack of layers."""
+
+    def __init__(self, name: str, layers: list[Layer]) -> None:
+        if not layers:
+            raise DimensionMismatchError(f"network '{name}' needs at least one layer")
+        self.name = name
+        self.layers = list(layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def forward(self, activations: np.ndarray) -> np.ndarray:
+        """Run all layers in order."""
+        for layer in self.layers:
+            activations = layer.forward(activations)
+        return activations
+
+    def stats(self, input_shape: tuple[int, ...]) -> NetworkStats:
+        """Collect per-layer stats by propagating the input shape."""
+        shape = tuple(input_shape)
+        collected = []
+        for layer in self.layers:
+            stat = layer.stats(shape)
+            collected.append(stat)
+            shape = stat.output_shape
+        return NetworkStats(layer_stats=tuple(collected))
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Shape produced for a given input shape."""
+        return self.stats(input_shape).output_shape
+
+
+def build_perception_backbone(
+    name: str = "perception",
+    input_channels: int = 1,
+    image_size: int = 32,
+    embedding_dim: int = 128,
+    width: int = 16,
+    num_blocks: int = 3,
+    seed: int | None = 0,
+) -> SequentialNetwork:
+    """Build the small CNN backbone used by the workload example pipelines.
+
+    The paper's workloads use ResNet-style perception front-ends; the shape
+    of the compute (stacked conv/BN/ReLU blocks with spatial downsampling
+    followed by a GEMM head) is what matters for the hardware analysis, so
+    the builder exposes depth/width knobs rather than replicating an exact
+    architecture.
+    """
+    if image_size // (2**num_blocks) < 1:
+        raise DimensionMismatchError(
+            f"image_size {image_size} too small for {num_blocks} pooling stages"
+        )
+    layers: list[Layer] = []
+    in_channels = input_channels
+    channels = width
+    spatial = image_size
+    for block in range(num_blocks):
+        layers.append(
+            Conv2d(
+                f"{name}_conv{block}",
+                in_channels,
+                channels,
+                kernel_size=3,
+                stride=1,
+                padding=1,
+                seed=None if seed is None else seed + block,
+            )
+        )
+        layers.append(BatchNorm(f"{name}_bn{block}", channels))
+        layers.append(ReLU(f"{name}_relu{block}"))
+        layers.append(MaxPool2d(f"{name}_pool{block}", pool_size=2))
+        in_channels = channels
+        channels *= 2
+        spatial //= 2
+    layers.append(Flatten(f"{name}_flatten"))
+    flat_features = in_channels * spatial * spatial
+    layers.append(
+        Linear(
+            f"{name}_head",
+            flat_features,
+            embedding_dim,
+            seed=None if seed is None else seed + 100,
+        )
+    )
+    return SequentialNetwork(name, layers)

@@ -1,0 +1,140 @@
+"""Perception simulator: the documented substitute for the trained CNN.
+
+The paper's pipelines run a trained ResNet-style network over RAVEN/PGM
+panel images and obtain, for each panel, probability mass functions (PMFs)
+over the symbolic attribute values (type, size, color, ...), or equivalently
+a VSA query vector.  Training such a network is outside the scope of an
+offline reproduction, so this module models the *output statistics* of that
+front-end instead: given the ground-truth attributes of a panel it emits a
+PMF that puts most probability on the true value and spreads a configurable
+amount of confusion over the remaining values.  Downstream components (the
+factorizer, the probabilistic abduction engine, the schedulers and hardware
+models) are exercised exactly as they would be by a real perception network.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.symbolic.attributes import AttributePMF
+from repro.vsa.encoding import SceneEncoder
+
+__all__ = ["PerceptionConfig", "PerceptionSimulator"]
+
+
+@dataclass(frozen=True)
+class PerceptionConfig:
+    """Noise model of the simulated perception front-end.
+
+    Attributes
+    ----------
+    error_rate:
+        Probability mass assigned to *incorrect* attribute values, spread
+        uniformly over them.  0.0 reproduces a perfect perception module.
+    confusion_concentration:
+        Optional extra mass placed on the values adjacent to the true one
+        (ordinal attributes such as size are typically confused with their
+        neighbours rather than uniformly).
+    seed:
+        Seed for the simulator's random generator (sampled mis-detections).
+    """
+
+    error_rate: float = 0.05
+    confusion_concentration: float = 0.5
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.error_rate < 1.0:
+            raise WorkloadError(f"error_rate must be in [0, 1), got {self.error_rate}")
+        if not 0.0 <= self.confusion_concentration <= 1.0:
+            raise WorkloadError(
+                "confusion_concentration must be in [0, 1], got "
+                f"{self.confusion_concentration}"
+            )
+
+
+class PerceptionSimulator:
+    """Produce attribute PMFs (and query vectors) from ground-truth panels."""
+
+    def __init__(
+        self,
+        attribute_domains: Mapping[str, Sequence[str]],
+        config: PerceptionConfig | None = None,
+        encoder: SceneEncoder | None = None,
+    ) -> None:
+        if not attribute_domains:
+            raise WorkloadError("attribute_domains must not be empty")
+        self.attribute_domains = {
+            name: list(values) for name, values in attribute_domains.items()
+        }
+        for name, values in self.attribute_domains.items():
+            if not values:
+                raise WorkloadError(f"attribute '{name}' has an empty value domain")
+        self.config = config or PerceptionConfig()
+        self.encoder = encoder
+        self._rng = np.random.default_rng(self.config.seed)
+
+    # -- PMF interface ---------------------------------------------------------
+    def perceive_attribute(self, name: str, true_value: str) -> AttributePMF:
+        """Return a noisy PMF over the values of attribute ``name``."""
+        values = self._domain(name)
+        if true_value not in values:
+            raise WorkloadError(
+                f"value '{true_value}' is not in the domain of attribute '{name}'"
+            )
+        size = len(values)
+        probabilities = np.zeros(size)
+        true_index = values.index(true_value)
+        error = self.config.error_rate if size > 1 else 0.0
+        probabilities[true_index] = 1.0 - error
+        if error > 0:
+            neighbour_mass = error * self.config.confusion_concentration
+            uniform_mass = error - neighbour_mass
+            others = [i for i in range(size) if i != true_index]
+            probabilities[others] += uniform_mass / len(others)
+            neighbours = [i for i in (true_index - 1, true_index + 1) if 0 <= i < size]
+            if neighbours:
+                probabilities[neighbours] += neighbour_mass / len(neighbours)
+            else:
+                probabilities[true_index] += neighbour_mass
+        return AttributePMF(
+            name=name,
+            values=tuple(values),
+            probabilities=probabilities / probabilities.sum(),
+        )
+
+    def perceive_panel(self, attributes: Mapping[str, str]) -> dict[str, AttributePMF]:
+        """Return PMFs for every attribute of one panel."""
+        return {
+            name: self.perceive_attribute(name, value)
+            for name, value in attributes.items()
+        }
+
+    def sample_misperceived_panel(self, attributes: Mapping[str, str]) -> dict[str, str]:
+        """Sample a concrete (possibly wrong) detection for every attribute."""
+        sampled = {}
+        for name, value in attributes.items():
+            pmf = self.perceive_attribute(name, value)
+            sampled[name] = str(self._rng.choice(pmf.values, p=pmf.probabilities))
+        return sampled
+
+    # -- VSA interface ------------------------------------------------------------
+    def query_vector(self, attributes: Mapping[str, str], noise_std: float = 0.1) -> np.ndarray:
+        """Encode a panel into a (noisy) VSA query vector.
+
+        Requires the simulator to have been built with a ``SceneEncoder``.
+        """
+        if self.encoder is None:
+            raise WorkloadError("query_vector requires a SceneEncoder")
+        return self.encoder.encode_with_noise([dict(attributes)], noise_std, rng=self._rng)
+
+    # -- internals ------------------------------------------------------------------
+    def _domain(self, name: str) -> list[str]:
+        try:
+            return self.attribute_domains[name]
+        except KeyError as exc:
+            raise WorkloadError(f"unknown attribute '{name}'") from exc

@@ -1,0 +1,30 @@
+"""Workload characterization (Sec. III of the paper).
+
+These utilities regenerate the profiling results that motivate CogSys:
+runtime breakdowns across devices (Fig. 4a/b), task-size scalability
+(Fig. 4c), memory footprints (Fig. 4d), roofline placement of the neural and
+symbolic stages (Fig. 5), the symbolic operation breakdown (Fig. 6) and the
+kernel-level hardware-inefficiency profile (Tab. II).
+"""
+
+from repro.profiling.characterization import (
+    KERNEL_PROFILE,
+    MemoryFootprint,
+    RuntimeBreakdown,
+    memory_footprint,
+    roofline_points,
+    runtime_breakdown,
+    symbolic_operation_breakdown,
+    task_size_scaling,
+)
+
+__all__ = [
+    "KERNEL_PROFILE",
+    "RuntimeBreakdown",
+    "MemoryFootprint",
+    "runtime_breakdown",
+    "task_size_scaling",
+    "memory_footprint",
+    "roofline_points",
+    "symbolic_operation_breakdown",
+]

@@ -1,0 +1,186 @@
+"""Runtime, memory and roofline characterization of neurosymbolic workloads."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.hardware.baselines import DeviceModel, GenericDevice
+from repro.hardware.roofline import Roofline, RooflinePoint
+from repro.workloads.base import KernelKind, Stage, Workload
+
+__all__ = [
+    "RuntimeBreakdown",
+    "MemoryFootprint",
+    "KERNEL_PROFILE",
+    "runtime_breakdown",
+    "task_size_scaling",
+    "memory_footprint",
+    "roofline_points",
+    "symbolic_operation_breakdown",
+]
+
+#: Tab. II — measured compute/memory characteristics of representative neural
+#: and symbolic kernels on a CPU+GPU platform (percentages as reported).
+KERNEL_PROFILE: dict[str, dict[str, float]] = {
+    "sgemm_nn (neural)": {
+        "compute_throughput": 95.1,
+        "alu_utilization": 90.1,
+        "l1_throughput": 79.7,
+        "l2_throughput": 19.2,
+        "l1_hit_rate": 1.6,
+        "l2_hit_rate": 86.8,
+        "dram_bw_utilization": 14.9,
+    },
+    "relu_nn (neural)": {
+        "compute_throughput": 92.9,
+        "alu_utilization": 48.3,
+        "l1_throughput": 82.6,
+        "l2_throughput": 17.5,
+        "l1_hit_rate": 51.6,
+        "l2_hit_rate": 65.5,
+        "dram_bw_utilization": 24.2,
+    },
+    "vectorized_elem (symbolic)": {
+        "compute_throughput": 3.0,
+        "alu_utilization": 5.9,
+        "l1_throughput": 28.4,
+        "l2_throughput": 29.8,
+        "l1_hit_rate": 29.5,
+        "l2_hit_rate": 48.6,
+        "dram_bw_utilization": 90.9,
+    },
+    "elementwise (symbolic)": {
+        "compute_throughput": 2.3,
+        "alu_utilization": 4.5,
+        "l1_throughput": 10.8,
+        "l2_throughput": 22.8,
+        "l1_hit_rate": 33.3,
+        "l2_hit_rate": 34.3,
+        "dram_bw_utilization": 78.4,
+    },
+}
+
+
+@dataclass(frozen=True)
+class RuntimeBreakdown:
+    """Neural/symbolic runtime split of one workload on one device."""
+
+    workload: str
+    device: str
+    total_seconds: float
+    neural_seconds: float
+    symbolic_seconds: float
+
+    @property
+    def symbolic_fraction(self) -> float:
+        """Fraction of end-to-end runtime spent in symbolic kernels."""
+        return self.symbolic_seconds / self.total_seconds if self.total_seconds else 0.0
+
+    @property
+    def neural_fraction(self) -> float:
+        """Fraction of end-to-end runtime spent in neural kernels."""
+        return self.neural_seconds / self.total_seconds if self.total_seconds else 0.0
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """Static memory footprint of one workload."""
+
+    workload: str
+    weight_bytes: int
+    codebook_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Weights plus symbolic codebooks."""
+        return self.weight_bytes + self.codebook_bytes
+
+    @property
+    def total_megabytes(self) -> float:
+        """Total footprint in MB."""
+        return self.total_bytes / 1e6
+
+    @property
+    def codebook_fraction(self) -> float:
+        """Share of the footprint attributable to the symbolic codebooks."""
+        return self.codebook_bytes / self.total_bytes if self.total_bytes else 0.0
+
+
+def runtime_breakdown(workload: Workload, device: DeviceModel) -> RuntimeBreakdown:
+    """Fig. 4a/4b: neural vs symbolic runtime of a workload on a device."""
+    report = device.workload_time(workload)
+    return RuntimeBreakdown(
+        workload=workload.name,
+        device=device.name,
+        total_seconds=report.total_seconds,
+        neural_seconds=report.neural_seconds,
+        symbolic_seconds=report.symbolic_seconds,
+    )
+
+
+def task_size_scaling(
+    builder: Callable[..., Workload],
+    device: DeviceModel,
+    grid_sizes: Sequence[int] = (2, 3),
+    **builder_kwargs,
+) -> list[RuntimeBreakdown]:
+    """Fig. 4c: how the runtime split evolves with reasoning task size."""
+    breakdowns = []
+    for grid_size in grid_sizes:
+        workload = builder(grid_size=grid_size, **builder_kwargs)
+        breakdowns.append(runtime_breakdown(workload, device))
+    return breakdowns
+
+
+def memory_footprint(workload: Workload) -> MemoryFootprint:
+    """Fig. 4d: weights vs symbolic codebook storage."""
+    return MemoryFootprint(
+        workload=workload.name,
+        weight_bytes=workload.weight_bytes,
+        codebook_bytes=workload.codebook_bytes,
+    )
+
+
+def _stage_traffic_on_device(workload: Workload, device: GenericDevice, stage: Stage) -> int:
+    """Device-visible traffic of one stage (GPU view of circular convolution)."""
+    return sum(
+        device._device_traffic_bytes(kernel) for kernel in workload.by_stage(stage)
+    )
+
+
+def roofline_points(workload: Workload, device: GenericDevice) -> dict[str, RooflinePoint]:
+    """Fig. 5: place the neural and symbolic stages on the device's roofline."""
+    roofline = Roofline(
+        name=device.name,
+        peak_flops=device.spec.peak_flops,
+        memory_bandwidth_bytes_per_s=device.spec.memory_bandwidth_bytes_per_s,
+    )
+    points = {}
+    for stage in Stage:
+        flops = workload.total_flops(stage)
+        traffic = _stage_traffic_on_device(workload, device, stage)
+        points[stage.value] = roofline.place(
+            f"{workload.name}/{stage.value}", flops, traffic
+        )
+    return points
+
+
+def symbolic_operation_breakdown(
+    workload: Workload, device: DeviceModel
+) -> dict[str, float]:
+    """Fig. 6: share of symbolic runtime per kernel kind.
+
+    The paper reports that vector-symbolic circular convolution plus
+    vector-vector multiplication dominate (~80 %) the symbolic stage.
+    """
+    report = device.workload_time(workload)
+    totals: dict[str, float] = {kind.value: 0.0 for kind in KernelKind}
+    symbolic_total = 0.0
+    for kernel in workload.by_stage(Stage.SYMBOLIC):
+        seconds = report.kernel_seconds[kernel.name]
+        totals[kernel.kind.value] += seconds
+        symbolic_total += seconds
+    if symbolic_total == 0:
+        return {kind: 0.0 for kind in totals}
+    return {kind: seconds / symbolic_total for kind, seconds in totals.items()}

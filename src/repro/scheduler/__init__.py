@@ -1,0 +1,33 @@
+"""Workload scheduling onto the CogSys compute resources.
+
+Two schedulers are provided:
+
+* :class:`SequentialScheduler` — the baseline behaviour of ML accelerators:
+  kernels execute one at a time on the whole array, so the symbolic stage
+  strictly follows the neural stage of the same task.
+* :class:`AdaptiveScheduler` (adSCH) — the paper's workload-aware scheduler:
+  kernels whose dependencies are satisfied are greedily packed onto
+  partitioned cell blocks (cell-wise partitioning), symbolic kernels are
+  interleaved with neural kernels of other reasoning tasks, and element-wise
+  kernels are offloaded to the SIMD unit.
+
+Both schedulers are independent of the hardware model: they take a cycle
+model callable ``(kernel, num_cells) -> cycles`` so they can be reused with
+ablated accelerator variants.
+"""
+
+from repro.scheduler.graph import OperationGraph
+from repro.scheduler.schedulers import (
+    AdaptiveScheduler,
+    ScheduledKernel,
+    ScheduleResult,
+    SequentialScheduler,
+)
+
+__all__ = [
+    "OperationGraph",
+    "ScheduledKernel",
+    "ScheduleResult",
+    "SequentialScheduler",
+    "AdaptiveScheduler",
+]

@@ -1,0 +1,85 @@
+"""Operation-graph view of a workload for scheduling."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import SchedulingError
+from repro.workloads.base import KernelOp, Workload
+
+__all__ = ["OperationGraph"]
+
+
+class OperationGraph:
+    """A dependency DAG over a workload's kernels.
+
+    The scheduler interacts with the graph through ``ready_kernels`` /
+    ``mark_complete``, which lets it discover newly unblocked kernels as
+    execution progresses.
+    """
+
+    def __init__(self, workload: Workload) -> None:
+        self.workload = workload
+        self._graph = nx.DiGraph()
+        for kernel in workload.kernels:
+            self._graph.add_node(kernel.name, kernel=kernel)
+        for kernel in workload.kernels:
+            for dependency in kernel.depends_on:
+                self._graph.add_edge(dependency, kernel.name)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            raise SchedulingError(
+                f"workload '{workload.name}' has a cyclic dependency graph"
+            )
+        self._completed: set[str] = set()
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def kernel(self, name: str) -> KernelOp:
+        """Return the kernel stored at a node."""
+        try:
+            return self._graph.nodes[name]["kernel"]
+        except KeyError as exc:
+            raise SchedulingError(f"unknown kernel '{name}'") from exc
+
+    @property
+    def completed(self) -> set[str]:
+        """Names of kernels already marked complete."""
+        return set(self._completed)
+
+    @property
+    def all_complete(self) -> bool:
+        """True once every kernel has been marked complete."""
+        return len(self._completed) == len(self)
+
+    def ready_kernels(self, exclude: set[str] | None = None) -> list[KernelOp]:
+        """Kernels whose dependencies are all complete and that are not done.
+
+        ``exclude`` lists kernels that are currently executing and therefore
+        neither complete nor schedulable.
+        """
+        exclude = exclude or set()
+        ready = []
+        for name in self._graph.nodes:
+            if name in self._completed or name in exclude:
+                continue
+            predecessors = set(self._graph.predecessors(name))
+            if predecessors <= self._completed:
+                ready.append(self.kernel(name))
+        return ready
+
+    def mark_complete(self, name: str) -> None:
+        """Mark one kernel as finished."""
+        if name not in self._graph.nodes:
+            raise SchedulingError(f"unknown kernel '{name}'")
+        self._completed.add(name)
+
+    def critical_path_length(self, weight_fn) -> float:
+        """Length of the critical path under a per-kernel weight function."""
+        lengths: dict[str, float] = {}
+        for name in nx.topological_sort(self._graph):
+            kernel = self.kernel(name)
+            predecessors = list(self._graph.predecessors(name))
+            longest_prefix = max((lengths[p] for p in predecessors), default=0.0)
+            lengths[name] = longest_prefix + float(weight_fn(kernel))
+        return max(lengths.values()) if lengths else 0.0

@@ -1,0 +1,41 @@
+"""Symbolic reasoning substrate: attribute PMFs, RPM rules, abduction.
+
+This subpackage implements the "system 2" half of the neurosymbolic
+pipeline: probability mass functions over symbolic attribute values
+(:mod:`repro.symbolic.attributes`), the Raven's-Progressive-Matrices rule
+library (:mod:`repro.symbolic.rules`), and the probabilistic abduction and
+execution engine (:mod:`repro.symbolic.abduction`) that infers which rule
+governs each attribute and predicts the missing panel.
+"""
+
+from repro.symbolic.attributes import AttributePMF
+from repro.symbolic.rules import (
+    ArithmeticRule,
+    ConstantRule,
+    DistributeThreeRule,
+    LogicalRule,
+    ProgressionRule,
+    Rule,
+    default_rule_library,
+    logical_rule_library,
+)
+from repro.symbolic.abduction import (
+    AbductionResult,
+    ProbabilisticAbductionEngine,
+    RulePosterior,
+)
+
+__all__ = [
+    "AttributePMF",
+    "Rule",
+    "ConstantRule",
+    "ProgressionRule",
+    "ArithmeticRule",
+    "DistributeThreeRule",
+    "LogicalRule",
+    "default_rule_library",
+    "logical_rule_library",
+    "ProbabilisticAbductionEngine",
+    "AbductionResult",
+    "RulePosterior",
+]

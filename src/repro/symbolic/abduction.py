@@ -1,0 +1,223 @@
+"""Probabilistic abduction and execution over RPM-style tasks.
+
+This is the reasoning backbone shared by the NVSA, LVRF and PrAE workloads:
+given the perception front-end's PMFs for the eight context panels of a 3x3
+matrix, the engine (1) infers a posterior over the rule governing each
+attribute, (2) *executes* the most plausible rules to predict a PMF for the
+missing ninth panel, and (3) scores each candidate answer against that
+prediction.  All reasoning happens in probability space, so imperfect
+perception degrades confidence gracefully instead of breaking the pipeline.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TaskGenerationError
+from repro.symbolic.attributes import AttributePMF
+from repro.symbolic.rules import Rule, default_rule_library
+
+__all__ = ["RulePosterior", "AbductionResult", "ProbabilisticAbductionEngine"]
+
+#: a panel is a mapping from attribute name to its PMF
+Panel = Mapping[str, AttributePMF]
+
+
+@dataclass(frozen=True)
+class RulePosterior:
+    """Posterior distribution over rules for one attribute."""
+
+    attribute: str
+    rule_names: tuple[str, ...]
+    probabilities: np.ndarray
+
+    @property
+    def most_likely(self) -> str:
+        """Name of the maximum-a-posteriori rule."""
+        return self.rule_names[int(np.argmax(self.probabilities))]
+
+    def probability_of(self, rule_name: str) -> float:
+        """Posterior probability of a specific rule."""
+        if rule_name not in self.rule_names:
+            raise TaskGenerationError(
+                f"rule '{rule_name}' not in posterior for '{self.attribute}'"
+            )
+        return float(self.probabilities[self.rule_names.index(rule_name)])
+
+
+@dataclass(frozen=True)
+class AbductionResult:
+    """Outcome of solving one RPM task."""
+
+    answer_index: int
+    answer_scores: np.ndarray
+    rule_posteriors: dict[str, RulePosterior]
+    predicted_panel: dict[str, AttributePMF]
+
+    @property
+    def confidence(self) -> float:
+        """Normalised margin of the selected answer over the runner-up."""
+        scores = np.sort(self.answer_scores)[::-1]
+        if len(scores) < 2 or scores[0] == 0:
+            return 1.0
+        return float((scores[0] - scores[1]) / scores[0])
+
+
+class ProbabilisticAbductionEngine:
+    """Infer rules from context panels and execute them to pick an answer."""
+
+    def __init__(self, rules: Sequence[Rule] | None = None) -> None:
+        self.rules = list(rules) if rules is not None else default_rule_library()
+        if not self.rules:
+            raise TaskGenerationError("the abduction engine needs at least one rule")
+
+    # -- public API ------------------------------------------------------------
+    def solve(
+        self, context: Sequence[Panel], candidates: Sequence[Panel]
+    ) -> AbductionResult:
+        """Solve a 3x3 RPM task given 8 context panels and candidate answers."""
+        if len(context) != 8:
+            raise TaskGenerationError(
+                f"expected 8 context panels (3x3 grid minus the answer), got {len(context)}"
+            )
+        if not candidates:
+            raise TaskGenerationError("at least one candidate answer is required")
+        attributes = self._shared_attributes(context, candidates)
+
+        rule_posteriors: dict[str, RulePosterior] = {}
+        predicted_panel: dict[str, AttributePMF] = {}
+        for attribute in attributes:
+            posterior = self.infer_rule_posterior(context, attribute)
+            rule_posteriors[attribute] = posterior
+            predicted_panel[attribute] = self.predict_missing(context, attribute, posterior)
+
+        scores = np.array(
+            [self._score_candidate(candidate, predicted_panel) for candidate in candidates]
+        )
+        return AbductionResult(
+            answer_index=int(np.argmax(scores)),
+            answer_scores=scores,
+            rule_posteriors=rule_posteriors,
+            predicted_panel=predicted_panel,
+        )
+
+    def infer_rule_posterior(
+        self, context: Sequence[Panel], attribute: str
+    ) -> RulePosterior:
+        """Posterior over rules for ``attribute`` from the two complete rows."""
+        rows = self._complete_rows(context, attribute)
+        map_rows = [tuple(pmf.most_likely_index for pmf in row) for row in rows]
+        domain_size = rows[0][0].size
+
+        likelihoods = np.zeros(len(self.rules))
+        for index, rule in enumerate(self.rules):
+            likelihood = 1.0
+            for row in rows:
+                likelihood *= self._row_likelihood(rule, row, domain_size, map_rows)
+            likelihoods[index] = likelihood
+
+        total = likelihoods.sum()
+        if total <= 0:
+            probabilities = np.full(len(self.rules), 1.0 / len(self.rules))
+        else:
+            probabilities = likelihoods / total
+        return RulePosterior(
+            attribute=attribute,
+            rule_names=tuple(rule.name for rule in self.rules),
+            probabilities=probabilities,
+        )
+
+    def predict_missing(
+        self,
+        context: Sequence[Panel],
+        attribute: str,
+        posterior: RulePosterior | None = None,
+    ) -> AttributePMF:
+        """Execute the rule posterior to predict the missing panel's PMF."""
+        posterior = posterior or self.infer_rule_posterior(context, attribute)
+        rows = self._complete_rows(context, attribute)
+        map_rows = [tuple(pmf.most_likely_index for pmf in row) for row in rows]
+        first_pmf = context[6][attribute]
+        second_pmf = context[7][attribute]
+        values = first_pmf.values
+        domain_size = len(values)
+
+        prediction = np.zeros(domain_size)
+        for rule, rule_probability in zip(self.rules, posterior.probabilities):
+            if rule_probability <= 0:
+                continue
+            for first in range(domain_size):
+                p_first = first_pmf.probabilities[first]
+                if p_first <= 0:
+                    continue
+                for second in range(domain_size):
+                    p_second = second_pmf.probabilities[second]
+                    if p_second <= 0:
+                        continue
+                    third = rule.predict(first, second, domain_size, observed_rows=map_rows)
+                    if third is None:
+                        continue
+                    prediction[third] += rule_probability * p_first * p_second
+
+        if prediction.sum() <= 0:
+            return AttributePMF.uniform(attribute, values)
+        return AttributePMF.from_index_distribution(attribute, values, prediction)
+
+    # -- internals -----------------------------------------------------------------
+    @staticmethod
+    def _shared_attributes(
+        context: Sequence[Panel], candidates: Sequence[Panel]
+    ) -> list[str]:
+        attributes = list(context[0].keys())
+        for panel in list(context) + list(candidates):
+            if set(panel.keys()) != set(attributes):
+                raise TaskGenerationError(
+                    "all panels must describe the same attribute set; "
+                    f"expected {sorted(attributes)}, got {sorted(panel.keys())}"
+                )
+        return attributes
+
+    @staticmethod
+    def _complete_rows(
+        context: Sequence[Panel], attribute: str
+    ) -> list[tuple[AttributePMF, AttributePMF, AttributePMF]]:
+        return [
+            (context[0][attribute], context[1][attribute], context[2][attribute]),
+            (context[3][attribute], context[4][attribute], context[5][attribute]),
+        ]
+
+    @staticmethod
+    def _row_likelihood(
+        rule: Rule,
+        row: tuple[AttributePMF, AttributePMF, AttributePMF],
+        domain_size: int,
+        map_rows: list[tuple[int, int, int]],
+    ) -> float:
+        """Probability that a complete row was generated by ``rule``."""
+        first_pmf, second_pmf, third_pmf = row
+        likelihood = 0.0
+        for first in range(domain_size):
+            p_first = first_pmf.probabilities[first]
+            if p_first <= 0:
+                continue
+            for second in range(domain_size):
+                p_second = second_pmf.probabilities[second]
+                if p_second <= 0:
+                    continue
+                third = rule.predict(first, second, domain_size, observed_rows=map_rows)
+                if third is None:
+                    continue
+                likelihood += p_first * p_second * third_pmf.probabilities[third]
+        return likelihood
+
+    def _score_candidate(
+        self, candidate: Panel, predicted_panel: Mapping[str, AttributePMF]
+    ) -> float:
+        """Joint agreement between a candidate panel and the prediction."""
+        score = 1.0
+        for attribute, predicted in predicted_panel.items():
+            score *= predicted.dot(candidate[attribute])
+        return score

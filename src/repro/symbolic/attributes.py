@@ -1,0 +1,134 @@
+"""Probability mass functions over symbolic attribute values.
+
+The neural front-end reports its belief about every panel attribute as a PMF
+over the attribute's discrete value domain; the abduction engine reasons
+directly in this probability space (that is what makes the pipeline
+"probabilistic abduction" rather than hard symbolic matching).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import TaskGenerationError
+
+__all__ = ["AttributePMF"]
+
+
+@dataclass(frozen=True)
+class AttributePMF:
+    """A normalised distribution over the values of one attribute."""
+
+    name: str
+    values: tuple[str, ...]
+    probabilities: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        probabilities = np.asarray(self.probabilities, dtype=np.float64)
+        if len(self.values) == 0:
+            raise TaskGenerationError(f"attribute '{self.name}' has no values")
+        if probabilities.shape != (len(self.values),):
+            raise TaskGenerationError(
+                f"attribute '{self.name}' has {len(self.values)} values but "
+                f"probabilities of shape {probabilities.shape}"
+            )
+        if np.any(probabilities < -1e-12):
+            raise TaskGenerationError(f"attribute '{self.name}' has negative probabilities")
+        total = probabilities.sum()
+        if not np.isclose(total, 1.0, atol=1e-6):
+            raise TaskGenerationError(
+                f"attribute '{self.name}' probabilities sum to {total}, expected 1"
+            )
+        object.__setattr__(self, "probabilities", np.clip(probabilities, 0.0, None))
+
+    # -- constructors -----------------------------------------------------------
+    @classmethod
+    def delta(cls, name: str, values: Sequence[str], value: str) -> "AttributePMF":
+        """A PMF with all mass on ``value``."""
+        values = tuple(values)
+        if value not in values:
+            raise TaskGenerationError(f"value '{value}' not in domain of '{name}'")
+        probabilities = np.zeros(len(values))
+        probabilities[values.index(value)] = 1.0
+        return cls(name=name, values=values, probabilities=probabilities)
+
+    @classmethod
+    def uniform(cls, name: str, values: Sequence[str]) -> "AttributePMF":
+        """A PMF with equal mass on every value."""
+        values = tuple(values)
+        if not values:
+            raise TaskGenerationError(f"attribute '{name}' has no values")
+        return cls(
+            name=name,
+            values=values,
+            probabilities=np.full(len(values), 1.0 / len(values)),
+        )
+
+    @classmethod
+    def from_index_distribution(
+        cls, name: str, values: Sequence[str], distribution: np.ndarray
+    ) -> "AttributePMF":
+        """Build a PMF from an un-normalised weight vector over indices."""
+        distribution = np.asarray(distribution, dtype=np.float64)
+        total = distribution.sum()
+        if total <= 0:
+            raise TaskGenerationError(
+                f"cannot normalise an all-zero distribution for '{name}'"
+            )
+        return cls(name=name, values=tuple(values), probabilities=distribution / total)
+
+    # -- queries ----------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of values in the domain."""
+        return len(self.values)
+
+    def probability_of(self, value: str) -> float:
+        """Probability assigned to ``value``."""
+        if value not in self.values:
+            raise TaskGenerationError(f"value '{value}' not in domain of '{self.name}'")
+        return float(self.probabilities[self.values.index(value)])
+
+    @property
+    def most_likely(self) -> str:
+        """The value with the highest probability."""
+        return self.values[int(np.argmax(self.probabilities))]
+
+    @property
+    def most_likely_index(self) -> int:
+        """Index of the most likely value."""
+        return int(np.argmax(self.probabilities))
+
+    @property
+    def entropy(self) -> float:
+        """Shannon entropy in bits."""
+        probabilities = self.probabilities[self.probabilities > 0]
+        return float(-(probabilities * np.log2(probabilities)).sum())
+
+    @property
+    def is_delta(self) -> bool:
+        """True when all mass sits on one value."""
+        return bool(np.isclose(self.probabilities.max(), 1.0))
+
+    # -- algebra ------------------------------------------------------------------
+    def dot(self, other: "AttributePMF") -> float:
+        """Bhattacharyya-style agreement between two PMFs on the same domain."""
+        self._check_same_domain(other)
+        return float(np.dot(self.probabilities, other.probabilities))
+
+    def mix(self, other: "AttributePMF", weight: float = 0.5) -> "AttributePMF":
+        """Convex combination of two PMFs on the same domain."""
+        self._check_same_domain(other)
+        if not 0.0 <= weight <= 1.0:
+            raise TaskGenerationError(f"weight must be in [0, 1], got {weight}")
+        mixed = weight * self.probabilities + (1.0 - weight) * other.probabilities
+        return AttributePMF(name=self.name, values=self.values, probabilities=mixed)
+
+    def _check_same_domain(self, other: "AttributePMF") -> None:
+        if self.values != other.values:
+            raise TaskGenerationError(
+                f"PMFs over different domains: {self.values} vs {other.values}"
+            )

@@ -1,0 +1,33 @@
+"""Synthetic cognitive task generators.
+
+The paper evaluates on five spatial-temporal reasoning benchmarks: RAVEN,
+I-RAVEN, PGM, CVR and SVRT.  The original datasets are rendered images; this
+reproduction generates the *symbolic* task structure directly (panel
+attributes, governing rules, candidate answers), which is exactly the
+information the perception front-end extracts before the symbolic stages
+run.  See DESIGN.md for the substitution rationale.
+"""
+
+from repro.tasks.base import RPMTask, TaskBatch
+from repro.tasks.raven import RavenConfiguration, RavenGenerator, RAVEN_CONFIGURATIONS
+from repro.tasks.iraven import IRavenGenerator
+from repro.tasks.pgm import PGMGenerator
+from repro.tasks.cvr import CVRGenerator, CVRTask
+from repro.tasks.svrt import SVRTGenerator, SVRTTask
+from repro.tasks.registry import TASK_GENERATORS, make_generator
+
+__all__ = [
+    "RPMTask",
+    "TaskBatch",
+    "RavenConfiguration",
+    "RavenGenerator",
+    "RAVEN_CONFIGURATIONS",
+    "IRavenGenerator",
+    "PGMGenerator",
+    "CVRGenerator",
+    "CVRTask",
+    "SVRTGenerator",
+    "SVRTTask",
+    "TASK_GENERATORS",
+    "make_generator",
+]

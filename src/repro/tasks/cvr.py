@@ -1,0 +1,99 @@
+"""CVR-style compositional visual reasoning tasks (odd-one-out).
+
+The Compositional Visual Reasoning benchmark [Zerroug et al., NeurIPS 2022]
+presents four panels, three of which share a latent compositional regularity
+while the fourth violates it; the solver must point at the outlier.  The
+symbolic equivalent generated here gives every panel a set of attributes,
+makes three panels agree on one hidden attribute (the "rule attribute") and
+lets everything else vary freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TaskGenerationError
+
+__all__ = ["CVRTask", "CVRGenerator"]
+
+#: attribute domains used for CVR-style panels
+CVR_DOMAINS: dict[str, tuple[str, ...]] = {
+    "shape": ("triangle", "square", "pentagon", "hexagon", "circle", "star"),
+    "size": tuple(f"size_{i}" for i in range(4)),
+    "color": tuple(f"color_{i}" for i in range(6)),
+    "count": tuple(str(i) for i in range(1, 5)),
+}
+
+
+@dataclass(frozen=True)
+class CVRTask:
+    """One odd-one-out problem."""
+
+    name: str
+    panels: tuple[dict[str, str], ...]
+    odd_index: int
+    rule_attribute: str
+    shared_value: str
+
+    def __post_init__(self) -> None:
+        if len(self.panels) < 3:
+            raise TaskGenerationError("a CVR task needs at least three panels")
+        if not 0 <= self.odd_index < len(self.panels):
+            raise TaskGenerationError(
+                f"odd_index {self.odd_index} out of range for {len(self.panels)} panels"
+            )
+
+    @property
+    def num_panels(self) -> int:
+        """Number of panels in the task."""
+        return len(self.panels)
+
+
+class CVRGenerator:
+    """Generate odd-one-out tasks over the CVR attribute domains."""
+
+    dataset_name = "cvr"
+
+    def __init__(self, num_panels: int = 4, seed: int | None = None) -> None:
+        if num_panels < 3:
+            raise TaskGenerationError(f"num_panels must be >= 3, got {num_panels}")
+        self.num_panels = num_panels
+        self.attribute_domains = dict(CVR_DOMAINS)
+        self._rng = np.random.default_rng(seed)
+
+    def _random_panel(self) -> dict[str, str]:
+        return {
+            name: str(self._rng.choice(domain))
+            for name, domain in self.attribute_domains.items()
+        }
+
+    def generate_task(self) -> CVRTask:
+        """Generate one odd-one-out task."""
+        rule_attribute = str(self._rng.choice(list(self.attribute_domains)))
+        domain = self.attribute_domains[rule_attribute]
+        shared_value = str(self._rng.choice(domain))
+        odd_value = str(
+            self._rng.choice([value for value in domain if value != shared_value])
+        )
+        odd_index = int(self._rng.integers(0, self.num_panels))
+
+        panels = []
+        for index in range(self.num_panels):
+            panel = self._random_panel()
+            panel[rule_attribute] = odd_value if index == odd_index else shared_value
+            panels.append(panel)
+        return CVRTask(
+            name=self.dataset_name,
+            panels=tuple(panels),
+            odd_index=odd_index,
+            rule_attribute=rule_attribute,
+            shared_value=shared_value,
+        )
+
+    def generate(self, num_tasks: int) -> list[CVRTask]:
+        """Generate a list of tasks."""
+        if num_tasks < 1:
+            raise TaskGenerationError(f"num_tasks must be positive, got {num_tasks}")
+        return [self.generate_task() for _ in range(num_tasks)]

@@ -1,0 +1,86 @@
+"""I-RAVEN: RAVEN with an unbiased answer set.
+
+The original RAVEN answer sets can be solved by a context-blind majority
+vote because every distractor is a one-attribute perturbation of the correct
+answer.  I-RAVEN [Hu et al., AAAI 2021] regenerates the candidates with an
+*attribute bisection tree*: attributes to perturb are chosen hierarchically
+so that, for every attribute, the correct value appears in exactly half of
+the candidates.  This generator reuses the RAVEN context/rule machinery and
+only replaces the candidate construction.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TaskGenerationError
+from repro.tasks.raven import RavenGenerator
+
+__all__ = ["IRavenGenerator"]
+
+
+class IRavenGenerator(RavenGenerator):
+    """RAVEN generator with attribute-bisection-tree candidate sets."""
+
+    dataset_name = "iraven"
+
+    def _build_candidates(self, answer: dict[str, str]) -> tuple[list[dict[str, str]], int]:
+        """Build an unbiased answer set via a 3-level attribute bisection tree.
+
+        Candidate ``i`` (for ``i`` in ``0..7``) differs from the correct
+        answer exactly on the attributes whose bit is set in ``i``:  bit 0,
+        1 and 2 each select one attribute (sampled without replacement when
+        possible), so every attribute value is shared by exactly half of the
+        candidates and a majority vote over the answer set carries no signal.
+        """
+        attributes = list(self.attribute_domains)
+        depth = min(3, len(attributes))
+        chosen = list(
+            self._rng.choice(attributes, size=depth, replace=len(attributes) < depth)
+        )
+        alternates: dict[str, str] = {}
+        for attribute in chosen:
+            domain = self.attribute_domains[attribute]
+            alternatives = [value for value in domain if value != answer[attribute]]
+            if not alternatives:
+                raise TaskGenerationError(
+                    f"attribute '{attribute}' has a single value; cannot build distractors"
+                )
+            alternates[attribute] = str(self._rng.choice(alternatives))
+
+        candidates: list[dict[str, str]] = []
+        for code in range(2**depth):
+            candidate = dict(answer)
+            for bit, attribute in enumerate(chosen):
+                if code & (1 << bit):
+                    candidate[attribute] = alternates[attribute]
+            if candidate not in candidates:
+                candidates.append(candidate)
+
+        # Top up (duplicates can occur when the same attribute was sampled
+        # twice for small attribute sets) with RAVEN-style perturbations.
+        attempts = 0
+        while len(candidates) < self.num_candidates:
+            attempts += 1
+            if attempts > 200 * self.num_candidates:
+                raise TaskGenerationError(
+                    "could not generate enough unique candidate panels"
+                )
+            distractor = self._make_distractor(answer)
+            if distractor not in candidates:
+                candidates.append(distractor)
+        candidates = candidates[: self.num_candidates]
+
+        order = self._rng.permutation(len(candidates))
+        shuffled = [candidates[int(i)] for i in order]
+        answer_index = shuffled.index(dict(answer))
+        return shuffled, answer_index
+
+    @staticmethod
+    def answer_value_balance(candidates: list[dict[str, str]], attribute: str) -> float:
+        """Fraction of candidates sharing the most common value of ``attribute``.
+
+        For a perfectly unbiased answer set built from a full bisection tree
+        this is 0.5, which is what removes the majority-vote shortcut.
+        """
+        values = [candidate[attribute] for candidate in candidates]
+        counts = {value: values.count(value) for value in set(values)}
+        return max(counts.values()) / len(values)

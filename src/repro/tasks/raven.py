@@ -1,0 +1,247 @@
+"""Synthetic RAVEN task generator.
+
+RAVEN [Zhang et al., CVPR 2019] poses 3x3 Raven's-Progressive-Matrices
+problems over seven panel *constellations* (center, 2x2 grid, 3x3 grid,
+left-right, up-down, out-in center, out-in grid).  Each panel is described
+by per-component attributes (type, size, color, and number for grid
+constellations) and every attribute evolves along each row according to one
+of the RAVEN rules (constant, progression, arithmetic, distribute-three).
+
+The generator below produces the same symbolic structure: ground-truth
+attribute values for the eight context panels, the correct answer and a set
+of distractor candidates.  Rendering to pixels is intentionally skipped —
+the perception simulator consumes these symbolic descriptions directly (see
+DESIGN.md for the substitution rationale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TaskGenerationError
+from repro.symbolic.rules import (
+    ArithmeticRule,
+    ConstantRule,
+    DistributeThreeRule,
+    ProgressionRule,
+    Rule,
+)
+from repro.tasks.base import RPMTask, TaskBatch
+
+__all__ = ["RavenConfiguration", "RavenGenerator", "RAVEN_CONFIGURATIONS"]
+
+#: canonical RAVEN attribute value domains
+TYPE_VALUES = ("triangle", "square", "pentagon", "hexagon", "circle")
+SIZE_VALUES = tuple(f"size_{i}" for i in range(6))
+COLOR_VALUES = tuple(f"color_{i}" for i in range(10))
+
+
+@dataclass(frozen=True)
+class RavenConfiguration:
+    """One RAVEN panel constellation.
+
+    Attributes
+    ----------
+    name:
+        Constellation identifier (e.g. ``"center"``, ``"2x2_grid"``).
+    components:
+        Independent visual components whose attributes each follow their own
+        rule (e.g. ``("left", "right")`` for the left-right constellation).
+    grid_slots:
+        Number of object slots per component; values above 1 add a
+        ``number`` attribute whose domain is ``1..grid_slots``.
+    """
+
+    name: str
+    components: tuple[str, ...]
+    grid_slots: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise TaskGenerationError(f"configuration '{self.name}' has no components")
+        if self.grid_slots < 1:
+            raise TaskGenerationError(
+                f"configuration '{self.name}' needs at least one slot"
+            )
+
+    def attribute_domains(self) -> dict[str, tuple[str, ...]]:
+        """Flat attribute -> value-domain mapping for this constellation."""
+        domains: dict[str, tuple[str, ...]] = {}
+        for component in self.components:
+            domains[f"{component}.type"] = TYPE_VALUES
+            domains[f"{component}.size"] = SIZE_VALUES
+            domains[f"{component}.color"] = COLOR_VALUES
+            if self.grid_slots > 1:
+                domains[f"{component}.number"] = tuple(
+                    str(count) for count in range(1, self.grid_slots + 1)
+                )
+        return domains
+
+
+#: the seven constellations evaluated by the paper (Tab. VII)
+RAVEN_CONFIGURATIONS: dict[str, RavenConfiguration] = {
+    "center": RavenConfiguration("center", ("center",)),
+    "2x2_grid": RavenConfiguration("2x2_grid", ("grid",), grid_slots=4),
+    "3x3_grid": RavenConfiguration("3x3_grid", ("grid",), grid_slots=9),
+    "left_right": RavenConfiguration("left_right", ("left", "right")),
+    "up_down": RavenConfiguration("up_down", ("up", "down")),
+    "out_in_center": RavenConfiguration("out_in_center", ("out", "in")),
+    "out_in_grid": RavenConfiguration("out_in_grid", ("out", "in_grid"), grid_slots=4),
+}
+
+
+class RavenGenerator:
+    """Generate RAVEN-style RPM tasks for one constellation."""
+
+    #: dataset tag used in task names
+    dataset_name = "raven"
+
+    def __init__(
+        self,
+        configuration: str | RavenConfiguration = "center",
+        num_candidates: int = 8,
+        seed: int | None = None,
+    ) -> None:
+        if isinstance(configuration, str):
+            try:
+                configuration = RAVEN_CONFIGURATIONS[configuration]
+            except KeyError as exc:
+                raise TaskGenerationError(
+                    f"unknown RAVEN configuration '{configuration}'; known: "
+                    f"{sorted(RAVEN_CONFIGURATIONS)}"
+                ) from exc
+        if num_candidates < 2:
+            raise TaskGenerationError(
+                f"num_candidates must be at least 2, got {num_candidates}"
+            )
+        self.configuration = configuration
+        self.num_candidates = num_candidates
+        self._rng = np.random.default_rng(seed)
+        self.attribute_domains = configuration.attribute_domains()
+
+    # -- rule selection -----------------------------------------------------
+    def _candidate_rules(self, attribute: str, domain_size: int) -> list[Rule]:
+        """Rules that can govern ``attribute`` given its domain size."""
+        rules: list[Rule] = [ConstantRule()]
+        for step in (1, 2, -1, -2):
+            if domain_size > 2 * abs(step):
+                rules.append(ProgressionRule(step))
+        if domain_size >= 3:
+            rules.append(DistributeThreeRule())
+        # Arithmetic acts on magnitude-like attributes (number, size, color).
+        kind = attribute.rsplit(".", maxsplit=1)[-1]
+        if kind in {"number", "size", "color"} and domain_size >= 3:
+            rules.append(ArithmeticRule(subtract=False))
+            rules.append(ArithmeticRule(subtract=True))
+        return rules
+
+    # -- row generation -------------------------------------------------------
+    def _generate_rows(self, rule: Rule, domain_size: int) -> list[tuple[int, int, int]]:
+        """Generate three rows of value indices consistent with ``rule``."""
+        if isinstance(rule, ConstantRule):
+            return [self._constant_row(domain_size) for _ in range(3)]
+        if isinstance(rule, ProgressionRule):
+            return [self._progression_row(rule.step, domain_size) for _ in range(3)]
+        if isinstance(rule, ArithmeticRule):
+            return [self._arithmetic_row(rule, domain_size) for _ in range(3)]
+        if isinstance(rule, DistributeThreeRule):
+            return self._distribute_three_rows(domain_size)
+        raise TaskGenerationError(f"unsupported rule type {type(rule).__name__}")
+
+    def _constant_row(self, domain_size: int) -> tuple[int, int, int]:
+        value = int(self._rng.integers(0, domain_size))
+        return (value, value, value)
+
+    def _progression_row(self, step: int, domain_size: int) -> tuple[int, int, int]:
+        low = max(0, -2 * step)
+        high = min(domain_size, domain_size - 2 * step)
+        if high <= low:
+            raise TaskGenerationError(
+                f"progression step {step} does not fit a domain of {domain_size}"
+            )
+        start = int(self._rng.integers(low, high))
+        return (start, start + step, start + 2 * step)
+
+    def _arithmetic_row(self, rule: ArithmeticRule, domain_size: int) -> tuple[int, int, int]:
+        if rule.subtract:
+            first = int(self._rng.integers(0, domain_size))
+            second = int(self._rng.integers(0, first + 1))
+            return (first, second, first - second)
+        first = int(self._rng.integers(0, domain_size))
+        second = int(self._rng.integers(0, domain_size - first))
+        return (first, second, first + second)
+
+    def _distribute_three_rows(self, domain_size: int) -> list[tuple[int, int, int]]:
+        values = self._rng.choice(domain_size, size=3, replace=False)
+        rows = []
+        for _ in range(3):
+            permutation = self._rng.permutation(values)
+            rows.append(tuple(int(v) for v in permutation))
+        return rows
+
+    # -- candidate (answer set) generation ---------------------------------------
+    def _make_distractor(self, answer: dict[str, str]) -> dict[str, str]:
+        """RAVEN-style distractor: perturb a random subset of attributes."""
+        distractor = dict(answer)
+        attributes = list(self.attribute_domains)
+        num_changes = int(self._rng.integers(1, min(3, len(attributes)) + 1))
+        changed = self._rng.choice(attributes, size=num_changes, replace=False)
+        for attribute in changed:
+            domain = self.attribute_domains[attribute]
+            alternatives = [value for value in domain if value != answer[attribute]]
+            distractor[attribute] = str(self._rng.choice(alternatives))
+        return distractor
+
+    def _build_candidates(self, answer: dict[str, str]) -> tuple[list[dict[str, str]], int]:
+        candidates = [dict(answer)]
+        attempts = 0
+        while len(candidates) < self.num_candidates:
+            attempts += 1
+            if attempts > 200 * self.num_candidates:
+                raise TaskGenerationError(
+                    "could not generate enough unique candidate panels"
+                )
+            distractor = self._make_distractor(answer)
+            if distractor not in candidates:
+                candidates.append(distractor)
+        order = self._rng.permutation(len(candidates))
+        shuffled = [candidates[int(i)] for i in order]
+        answer_index = shuffled.index(answer)
+        return shuffled, answer_index
+
+    # -- public API -----------------------------------------------------------------
+    def generate_task(self) -> RPMTask:
+        """Generate one task instance."""
+        panels: list[dict[str, str]] = [dict() for _ in range(9)]
+        rules: dict[str, str] = {}
+        for attribute, domain in self.attribute_domains.items():
+            domain_size = len(domain)
+            candidate_rules = self._candidate_rules(attribute, domain_size)
+            rule = candidate_rules[int(self._rng.integers(0, len(candidate_rules)))]
+            rules[attribute] = rule.name
+            rows = self._generate_rows(rule, domain_size)
+            for row_index, row in enumerate(rows):
+                for column_index, value_index in enumerate(row):
+                    panels[row_index * 3 + column_index][attribute] = domain[value_index]
+
+        answer = panels[8]
+        candidates, answer_index = self._build_candidates(answer)
+        return RPMTask(
+            name=f"{self.dataset_name}/{self.configuration.name}",
+            context=tuple(panels[:8]),
+            candidates=tuple(candidates),
+            answer_index=answer_index,
+            rules=rules,
+            attribute_domains=dict(self.attribute_domains),
+        )
+
+    def generate(self, num_tasks: int) -> TaskBatch:
+        """Generate a batch of tasks."""
+        if num_tasks < 1:
+            raise TaskGenerationError(f"num_tasks must be positive, got {num_tasks}")
+        return TaskBatch(
+            name=f"{self.dataset_name}/{self.configuration.name}",
+            tasks=tuple(self.generate_task() for _ in range(num_tasks)),
+        )

@@ -1,0 +1,39 @@
+"""Registry mapping dataset names to generator factories.
+
+The evaluation harness iterates over the five datasets of the paper's
+Fig. 15/16 (RAVEN, I-RAVEN, PGM, CVR, SVRT); this registry is the single
+place that knows how to construct a generator for each.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import TaskGenerationError
+from repro.tasks.cvr import CVRGenerator
+from repro.tasks.iraven import IRavenGenerator
+from repro.tasks.pgm import PGMGenerator
+from repro.tasks.raven import RavenGenerator
+from repro.tasks.svrt import SVRTGenerator
+
+__all__ = ["TASK_GENERATORS", "make_generator"]
+
+#: dataset name -> factory taking a seed keyword
+TASK_GENERATORS: dict[str, Callable[..., object]] = {
+    "raven": RavenGenerator,
+    "iraven": IRavenGenerator,
+    "pgm": PGMGenerator,
+    "cvr": CVRGenerator,
+    "svrt": SVRTGenerator,
+}
+
+
+def make_generator(dataset: str, seed: int | None = None, **kwargs):
+    """Instantiate the generator for ``dataset`` (``raven``, ``iraven``, ...)."""
+    try:
+        factory = TASK_GENERATORS[dataset]
+    except KeyError as exc:
+        raise TaskGenerationError(
+            f"unknown dataset '{dataset}'; known datasets: {sorted(TASK_GENERATORS)}"
+        ) from exc
+    return factory(seed=seed, **kwargs)

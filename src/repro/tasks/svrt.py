@@ -1,0 +1,80 @@
+"""SVRT-style same/different tasks.
+
+The Synthetic Visual Reasoning Test [Fleuret et al., PNAS 2011] asks whether
+two scenes obey the same abstract relation.  The symbolic generator here
+produces pairs of panels labelled *same* (the panels agree on every
+relational attribute) or *different* (they disagree on at least one),
+which is the canonical SVRT problem #1 family and exercises the same
+comparison kernels in the workload models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TaskGenerationError
+
+__all__ = ["SVRTTask", "SVRTGenerator"]
+
+#: attribute domains describing one SVRT scene
+SVRT_DOMAINS: dict[str, tuple[str, ...]] = {
+    "shape": ("blob_a", "blob_b", "blob_c", "blob_d", "blob_e"),
+    "size": tuple(f"size_{i}" for i in range(4)),
+    "arrangement": ("adjacent", "nested", "aligned", "scattered"),
+}
+
+
+@dataclass(frozen=True)
+class SVRTTask:
+    """One same/different classification problem."""
+
+    name: str
+    panel_a: dict[str, str]
+    panel_b: dict[str, str]
+    same: bool
+
+    @property
+    def label(self) -> int:
+        """1 for *same*, 0 for *different* (the SVRT class convention)."""
+        return int(self.same)
+
+
+class SVRTGenerator:
+    """Generate same/different scene pairs."""
+
+    dataset_name = "svrt"
+
+    def __init__(self, seed: int | None = None) -> None:
+        self.attribute_domains = dict(SVRT_DOMAINS)
+        self._rng = np.random.default_rng(seed)
+
+    def _random_panel(self) -> dict[str, str]:
+        return {
+            name: str(self._rng.choice(domain))
+            for name, domain in self.attribute_domains.items()
+        }
+
+    def generate_task(self) -> SVRTTask:
+        """Generate one pair, same/different with equal probability."""
+        panel_a = self._random_panel()
+        same = bool(self._rng.integers(0, 2))
+        if same:
+            panel_b = dict(panel_a)
+        else:
+            panel_b = dict(panel_a)
+            attribute = str(self._rng.choice(list(self.attribute_domains)))
+            domain = self.attribute_domains[attribute]
+            panel_b[attribute] = str(
+                self._rng.choice([value for value in domain if value != panel_a[attribute]])
+            )
+        return SVRTTask(
+            name=self.dataset_name, panel_a=panel_a, panel_b=panel_b, same=same
+        )
+
+    def generate(self, num_tasks: int) -> list[SVRTTask]:
+        """Generate a list of tasks."""
+        if num_tasks < 1:
+            raise TaskGenerationError(f"num_tasks must be positive, got {num_tasks}")
+        return [self.generate_task() for _ in range(num_tasks)]

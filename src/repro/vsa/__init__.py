@@ -1,0 +1,52 @@
+"""Vector-symbolic architecture (VSA) substrate.
+
+This subpackage implements the symbolic representation layer that every
+neurosymbolic workload in the paper builds on: hypervector spaces, the
+algebraic operations over them (binding via circular convolution, bundling,
+permutation, similarity), attribute codebooks and cleanup memories, and the
+scene encoder that turns structured attribute descriptions into a single
+entangled query hypervector.
+"""
+
+from repro.vsa.operations import (
+    circular_convolve,
+    circular_correlate,
+    cosine_similarity,
+    dot_similarity,
+    normalize_vector,
+    permute,
+    random_bipolar,
+    random_unitary,
+)
+from repro.vsa.spaces import (
+    BipolarSpace,
+    BinarySparseBlockSpace,
+    HRRSpace,
+    VSASpace,
+    make_space,
+)
+from repro.vsa.codebook import Codebook, CodebookSet, ProductCodebook
+from repro.vsa.memory import CleanupMemory
+from repro.vsa.encoding import SceneEncoder, SceneDescription
+
+__all__ = [
+    "circular_convolve",
+    "circular_correlate",
+    "cosine_similarity",
+    "dot_similarity",
+    "normalize_vector",
+    "permute",
+    "random_bipolar",
+    "random_unitary",
+    "VSASpace",
+    "BipolarSpace",
+    "HRRSpace",
+    "BinarySparseBlockSpace",
+    "make_space",
+    "Codebook",
+    "CodebookSet",
+    "ProductCodebook",
+    "CleanupMemory",
+    "SceneEncoder",
+    "SceneDescription",
+]

@@ -1,0 +1,90 @@
+"""Scene encoding: from structured attribute descriptions to query vectors.
+
+The neural front-end of an NVSA-style system emits, for each panel of a
+reasoning task, a *query hypervector* that entangles the attributes of the
+objects in the scene.  The :class:`SceneEncoder` reproduces that interface:
+it binds one codevector per attribute into a product vector for a single
+object and bundles multiple objects into a scene vector.  Downstream, the
+factorizer (``repro.core``) decomposes these query vectors back into their
+constituent attributes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import CodebookError
+from repro.vsa.codebook import CodebookSet
+
+__all__ = ["SceneDescription", "SceneEncoder"]
+
+
+@dataclass(frozen=True)
+class SceneDescription:
+    """A symbolic description of a scene as a list of attribute assignments.
+
+    Each object is a mapping from factor name to label, e.g.
+    ``{"type": "triangle", "color": "red", "size": "small"}``.
+    """
+
+    objects: tuple[Mapping[str, str], ...] = field(default_factory=tuple)
+
+    @classmethod
+    def single(cls, **attributes: str) -> "SceneDescription":
+        """Convenience constructor for a one-object scene."""
+        return cls(objects=(dict(attributes),))
+
+    @property
+    def num_objects(self) -> int:
+        """Number of objects in the scene."""
+        return len(self.objects)
+
+
+class SceneEncoder:
+    """Encode symbolic scene descriptions into query hypervectors."""
+
+    def __init__(self, codebooks: CodebookSet) -> None:
+        self.codebooks = codebooks
+        self.space = codebooks.space
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of produced query vectors."""
+        return self.codebooks.dim
+
+    def encode_object(self, attributes: Mapping[str, str]) -> np.ndarray:
+        """Bind the attribute codevectors of one object into a product vector."""
+        return self.codebooks.bind_combination(attributes)
+
+    def encode_scene(self, scene: SceneDescription | Sequence[Mapping[str, str]]) -> np.ndarray:
+        """Encode a multi-object scene by bundling per-object product vectors."""
+        objects = scene.objects if isinstance(scene, SceneDescription) else tuple(scene)
+        if not objects:
+            raise CodebookError("cannot encode an empty scene")
+        vectors = np.stack([self.encode_object(obj) for obj in objects])
+        if len(objects) == 1:
+            return vectors[0]
+        return self.space.bundle(vectors)
+
+    def encode_with_noise(
+        self,
+        scene: SceneDescription | Sequence[Mapping[str, str]],
+        noise_std: float,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Encode a scene and perturb it with additive Gaussian noise.
+
+        This models the imperfect query vectors produced by a real neural
+        front-end; the factorizer must still recover the attributes.
+        """
+        if noise_std < 0:
+            raise CodebookError(f"noise_std must be non-negative, got {noise_std}")
+        rng = rng or np.random.default_rng()
+        clean = self.encode_scene(scene)
+        if noise_std == 0:
+            return clean
+        scale = noise_std * float(np.std(clean) or 1.0)
+        return clean + rng.normal(0.0, scale, size=clean.shape)

@@ -1,0 +1,81 @@
+"""Cleanup (associative item) memory.
+
+A cleanup memory maps noisy hypervectors back to the nearest stored
+prototype.  The symbolic reasoning pipelines use it to recover discrete
+attribute values and rule identities from bundled or unbound vectors.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.errors import CodebookError
+from repro.vsa.spaces import VSASpace
+
+__all__ = ["CleanupMemory"]
+
+
+class CleanupMemory:
+    """Associative memory of labelled hypervectors."""
+
+    def __init__(self, space: VSASpace) -> None:
+        self.space = space
+        self._labels: list[str] = []
+        self._vectors: list[np.ndarray] = []
+
+    @classmethod
+    def from_items(cls, space: VSASpace, items: Mapping[str, np.ndarray]) -> "CleanupMemory":
+        """Build a memory from ``{label: vector}``."""
+        memory = cls(space)
+        for label, vector in items.items():
+            memory.store(label, vector)
+        return memory
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._labels
+
+    @property
+    def labels(self) -> list[str]:
+        """Stored labels in insertion order."""
+        return list(self._labels)
+
+    def store(self, label: str, vector: np.ndarray) -> None:
+        """Add (or overwrite) an item."""
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.space.dim,):
+            raise CodebookError(
+                f"vector for '{label}' has shape {vector.shape}, "
+                f"expected ({self.space.dim},)"
+            )
+        if label in self._labels:
+            self._vectors[self._labels.index(label)] = vector
+        else:
+            self._labels.append(label)
+            self._vectors.append(vector)
+
+    def vector(self, label: str) -> np.ndarray:
+        """Return the stored vector for ``label``."""
+        try:
+            return self._vectors[self._labels.index(label)]
+        except ValueError as exc:
+            raise CodebookError(f"no item stored for label '{label}'") from exc
+
+    def recall(self, query: np.ndarray, top_k: int = 1) -> list[tuple[str, float]]:
+        """Return the ``top_k`` most similar stored items as (label, similarity)."""
+        if not self._labels:
+            raise CodebookError("cleanup memory is empty")
+        if top_k <= 0:
+            raise CodebookError(f"top_k must be positive, got {top_k}")
+        matrix = np.stack(self._vectors)
+        sims = self.space.similarity_matrix(np.asarray(query)[np.newaxis, :], matrix)[0]
+        order = np.argsort(sims)[::-1][:top_k]
+        return [(self._labels[i], float(sims[i])) for i in order]
+
+    def cleanup(self, query: np.ndarray) -> tuple[str, float]:
+        """Return the single best-matching stored item."""
+        return self.recall(query, top_k=1)[0]

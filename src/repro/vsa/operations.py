@@ -1,0 +1,183 @@
+"""Elementary vector-symbolic operations.
+
+The operations here are the computational kernels that dominate symbolic
+runtime in the paper's characterization (Fig. 6): circular convolution
+(binding), circular correlation (unbinding), similarity search, and the
+supporting element-wise operations.  Every function operates on plain numpy
+arrays so the same kernels can be reused by the workload models and by the
+hardware simulator's functional checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DimensionMismatchError
+
+__all__ = [
+    "circular_convolve",
+    "circular_convolve_direct",
+    "circular_correlate",
+    "circular_correlate_direct",
+    "cosine_similarity",
+    "dot_similarity",
+    "normalize_vector",
+    "permute",
+    "random_bipolar",
+    "random_unitary",
+    "circconv_flops",
+    "circconv_bytes_gemv",
+    "circconv_bytes_streaming",
+]
+
+
+def _as_1d(vector: np.ndarray, name: str) -> np.ndarray:
+    """Return ``vector`` as a float 1-D array, validating its shape."""
+    array = np.asarray(vector, dtype=np.float64)
+    if array.ndim != 1:
+        raise DimensionMismatchError(
+            f"{name} must be a 1-D vector, got shape {array.shape}"
+        )
+    return array
+
+
+def _check_same_dim(a: np.ndarray, b: np.ndarray) -> None:
+    if a.shape[-1] != b.shape[-1]:
+        raise DimensionMismatchError(
+            f"operands have mismatched dimensions {a.shape[-1]} and {b.shape[-1]}"
+        )
+
+
+def circular_convolve(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Bind two hypervectors with circular convolution.
+
+    Computes ``c[n] = sum_k a[k] * b[(n - k) mod N]`` using the FFT, which is
+    the functional reference for the bubble-streaming hardware dataflow.
+    """
+    a = _as_1d(a, "a")
+    b = _as_1d(b, "b")
+    _check_same_dim(a, b)
+    return np.real(np.fft.ifft(np.fft.fft(a) * np.fft.fft(b)))
+
+
+def circular_convolve_direct(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Bind two hypervectors with the O(d^2) direct-sum definition.
+
+    This is the exact arithmetic performed by the nsPE array in circular
+    convolution mode and is used to cross-check both the FFT implementation
+    and the hardware simulator's functional model.
+    """
+    a = _as_1d(a, "a")
+    b = _as_1d(b, "b")
+    _check_same_dim(a, b)
+    dim = a.shape[0]
+    result = np.zeros(dim)
+    for n in range(dim):
+        shifted = b[(n - np.arange(dim)) % dim]
+        result[n] = float(np.dot(a, shifted))
+    return result
+
+
+def circular_correlate(c: np.ndarray, a: np.ndarray) -> np.ndarray:
+    """Unbind ``a`` from ``c`` with circular correlation.
+
+    Circular correlation is the approximate inverse of circular convolution:
+    if ``c = a (*) b`` then ``circular_correlate(c, a)`` is approximately
+    ``b`` for quasi-orthogonal hypervectors.
+    """
+    c = _as_1d(c, "c")
+    a = _as_1d(a, "a")
+    _check_same_dim(c, a)
+    return np.real(np.fft.ifft(np.fft.fft(c) * np.conj(np.fft.fft(a))))
+
+
+def circular_correlate_direct(c: np.ndarray, a: np.ndarray) -> np.ndarray:
+    """Unbind with the O(d^2) direct definition (involution + convolution)."""
+    c = _as_1d(c, "c")
+    a = _as_1d(a, "a")
+    _check_same_dim(c, a)
+    dim = a.shape[0]
+    involution = a[(-np.arange(dim)) % dim]
+    return circular_convolve_direct(involution, c)
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity between two hypervectors."""
+    a = _as_1d(a, "a")
+    b = _as_1d(b, "b")
+    _check_same_dim(a, b)
+    denom = np.linalg.norm(a) * np.linalg.norm(b)
+    if denom == 0.0:
+        return 0.0
+    return float(np.dot(a, b) / denom)
+
+
+def dot_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Raw inner-product similarity between two hypervectors."""
+    a = _as_1d(a, "a")
+    b = _as_1d(b, "b")
+    _check_same_dim(a, b)
+    return float(np.dot(a, b))
+
+
+def normalize_vector(vector: np.ndarray) -> np.ndarray:
+    """Return the unit-norm version of ``vector`` (zero vectors unchanged)."""
+    vector = _as_1d(vector, "vector")
+    norm = np.linalg.norm(vector)
+    if norm == 0.0:
+        return vector.copy()
+    return vector / norm
+
+
+def permute(vector: np.ndarray, shift: int = 1) -> np.ndarray:
+    """Cyclically permute a hypervector (used to protect sequence order)."""
+    vector = _as_1d(vector, "vector")
+    return np.roll(vector, shift)
+
+
+def random_bipolar(dim: int, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Sample a random dense bipolar (+1/-1) hypervector."""
+    rng = rng or np.random.default_rng()
+    return rng.choice(np.array([-1.0, 1.0]), size=dim)
+
+
+def random_unitary(dim: int, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Sample a random unitary hypervector for HRR circular-convolution VSAs.
+
+    A unitary vector has unit-magnitude Fourier coefficients, which makes
+    circular convolution exactly invertible by circular correlation.  These
+    are the codevectors the paper's factorizer assumes (quasi-orthogonal and
+    cleanly unbindable).
+    """
+    rng = rng or np.random.default_rng()
+    half = dim // 2
+    phases = rng.uniform(-np.pi, np.pi, size=dim)
+    spectrum = np.exp(1j * phases)
+    # Enforce conjugate symmetry so the inverse FFT is purely real.
+    spectrum[0] = 1.0
+    if dim % 2 == 0:
+        spectrum[half] = np.sign(np.cos(phases[half])) or 1.0
+    for k in range(1, (dim + 1) // 2):
+        spectrum[dim - k] = np.conj(spectrum[k])
+    vector = np.real(np.fft.ifft(spectrum))
+    return vector * np.sqrt(dim)
+
+
+def circconv_flops(dim: int) -> int:
+    """Multiply-accumulate FLOPs of one direct circular convolution."""
+    return 2 * dim * dim - dim
+
+
+def circconv_bytes_gemv(dim: int, element_bytes: int = 4) -> int:
+    """Bytes touched when circular convolution is lowered to a GEMV.
+
+    A TPU-like systolic cell materialises the d x d circulant matrix, so the
+    traffic is ``d*d`` matrix elements plus the input and output vectors.
+    This is the O(d^2) footprint called out in Tab. IV of the paper.
+    """
+    return element_bytes * (dim * dim + 2 * dim)
+
+
+def circconv_bytes_streaming(dim: int, element_bytes: int = 4) -> int:
+    """Bytes touched by the bubble-streaming dataflow (O(d) footprint)."""
+    return element_bytes * (3 * dim)

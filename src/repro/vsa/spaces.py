@@ -1,0 +1,276 @@
+"""Hypervector spaces (VSA models).
+
+Three VSA models cover the workloads analysed in the paper:
+
+``BipolarSpace``
+    Dense bipolar (+1/-1) vectors with element-wise (Hadamard) binding.  This
+    is the multiply-add-permute model used by the factorizer's unbinding step
+    (the paper's Step 1 "factor unbinding via element-wise multiplication").
+``HRRSpace``
+    Holographic reduced representations: real unitary vectors bound by
+    circular convolution and unbound by circular correlation.  Circular
+    convolution is the symbolic kernel the CogSys hardware accelerates.
+``BinarySparseBlockSpace``
+    NVSA-style binary sparse block codes: the vector is split into blocks and
+    each block is one-hot; binding is block-wise circular convolution.
+
+Every space exposes the same small interface (``random_vector``, ``bind``,
+``unbind``, ``bundle``, ``similarity``, ``cleanup``), so the factorizer and
+the encoders are agnostic to the representation.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import DimensionMismatchError
+from repro.vsa import operations as ops
+
+__all__ = ["VSASpace", "BipolarSpace", "HRRSpace", "BinarySparseBlockSpace", "make_space"]
+
+
+class VSASpace(abc.ABC):
+    """Abstract hypervector space.
+
+    Parameters
+    ----------
+    dim:
+        Dimensionality of the hypervectors.
+    seed:
+        Optional seed for the space's private random generator.  Codebooks
+        and random vectors drawn from the same seeded space are reproducible.
+    """
+
+    #: short identifier used by :func:`make_space` and reports
+    name: str = "abstract"
+
+    def __init__(self, dim: int, seed: int | None = None) -> None:
+        if dim <= 0:
+            raise DimensionMismatchError(f"dimension must be positive, got {dim}")
+        self.dim = int(dim)
+        self._rng = np.random.default_rng(seed)
+
+    # -- vector creation ---------------------------------------------------
+    @abc.abstractmethod
+    def random_vector(self) -> np.ndarray:
+        """Draw one random hypervector of this space."""
+
+    def random_vectors(self, count: int) -> np.ndarray:
+        """Draw ``count`` random hypervectors stacked into a matrix."""
+        if count <= 0:
+            raise DimensionMismatchError(f"count must be positive, got {count}")
+        return np.stack([self.random_vector() for _ in range(count)])
+
+    # -- algebra -----------------------------------------------------------
+    @abc.abstractmethod
+    def bind(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Associate two hypervectors into a composite one."""
+
+    @abc.abstractmethod
+    def unbind(self, composite: np.ndarray, factor: np.ndarray) -> np.ndarray:
+        """Remove ``factor`` from ``composite`` (approximate inverse of bind)."""
+
+    @abc.abstractmethod
+    def bundle(self, vectors: np.ndarray) -> np.ndarray:
+        """Superpose a set of hypervectors into one (set-like composition)."""
+
+    @abc.abstractmethod
+    def cleanup(self, vector: np.ndarray) -> np.ndarray:
+        """Project an arbitrary vector back onto the space's code manifold."""
+
+    @abc.abstractmethod
+    def identity(self) -> np.ndarray:
+        """Return the binding identity element."""
+
+    # -- similarity ----------------------------------------------------------
+    def similarity(self, a: np.ndarray, b: np.ndarray) -> float:
+        """Normalised similarity in [-1, 1] between two hypervectors."""
+        return ops.cosine_similarity(a, b)
+
+    def similarity_matrix(self, queries: np.ndarray, keys: np.ndarray) -> np.ndarray:
+        """Pairwise similarities between rows of ``queries`` and ``keys``."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        keys = np.atleast_2d(np.asarray(keys, dtype=np.float64))
+        if queries.shape[1] != keys.shape[1]:
+            raise DimensionMismatchError(
+                f"query dim {queries.shape[1]} != key dim {keys.shape[1]}"
+            )
+        qn = np.linalg.norm(queries, axis=1, keepdims=True)
+        kn = np.linalg.norm(keys, axis=1, keepdims=True)
+        qn[qn == 0] = 1.0
+        kn[kn == 0] = 1.0
+        return (queries / qn) @ (keys / kn).T
+
+    # -- misc ----------------------------------------------------------------
+    def bind_all(self, vectors: np.ndarray) -> np.ndarray:
+        """Bind a sequence of hypervectors left to right."""
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        result = vectors[0]
+        for row in vectors[1:]:
+            result = self.bind(result, row)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(dim={self.dim})"
+
+
+class BipolarSpace(VSASpace):
+    """Dense bipolar vectors with element-wise binding (MAP model)."""
+
+    name = "bipolar"
+
+    def random_vector(self) -> np.ndarray:
+        return self._rng.choice(np.array([-1.0, 1.0]), size=self.dim)
+
+    def bind(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        if a.shape != b.shape:
+            raise DimensionMismatchError(f"shape mismatch {a.shape} vs {b.shape}")
+        return a * b
+
+    def unbind(self, composite: np.ndarray, factor: np.ndarray) -> np.ndarray:
+        # Bipolar binding is an involution: unbinding is the same multiply.
+        return self.bind(composite, factor)
+
+    def bundle(self, vectors: np.ndarray) -> np.ndarray:
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        summed = vectors.sum(axis=0)
+        return self.cleanup(summed)
+
+    def cleanup(self, vector: np.ndarray) -> np.ndarray:
+        vector = np.asarray(vector, dtype=np.float64)
+        signs = np.sign(vector)
+        # Break ties deterministically towards +1 so cleanup is idempotent.
+        signs[signs == 0] = 1.0
+        return signs
+
+    def identity(self) -> np.ndarray:
+        return np.ones(self.dim)
+
+
+class HRRSpace(VSASpace):
+    """Holographic reduced representations bound by circular convolution."""
+
+    name = "hrr"
+
+    def random_vector(self) -> np.ndarray:
+        return ops.random_unitary(self.dim, rng=self._rng)
+
+    def bind(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return ops.circular_convolve(a, b)
+
+    def unbind(self, composite: np.ndarray, factor: np.ndarray) -> np.ndarray:
+        return ops.circular_correlate(composite, factor)
+
+    def bundle(self, vectors: np.ndarray) -> np.ndarray:
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        return vectors.sum(axis=0)
+
+    def cleanup(self, vector: np.ndarray) -> np.ndarray:
+        """Project onto the unitary manifold (unit-magnitude spectrum)."""
+        vector = np.asarray(vector, dtype=np.float64)
+        spectrum = np.fft.fft(vector)
+        magnitude = np.abs(spectrum)
+        magnitude[magnitude == 0] = 1.0
+        projected = np.real(np.fft.ifft(spectrum / magnitude))
+        return projected * np.sqrt(self.dim)
+
+    def identity(self) -> np.ndarray:
+        # The delta function has an all-ones spectrum, so convolving with it
+        # leaves any vector unchanged.
+        identity = np.zeros(self.dim)
+        identity[0] = 1.0
+        return identity
+
+
+class BinarySparseBlockSpace(VSASpace):
+    """NVSA-style binary sparse block codes.
+
+    The ``dim``-dimensional vector is organised as ``num_blocks`` contiguous
+    blocks of ``block_size`` elements; a well-formed codevector has exactly
+    one active element per block.  Binding is block-wise circular convolution,
+    which for one-hot blocks reduces to a modular shift of the active index.
+    """
+
+    name = "block"
+
+    def __init__(self, dim: int, num_blocks: int = 4, seed: int | None = None) -> None:
+        super().__init__(dim, seed=seed)
+        if num_blocks <= 0 or dim % num_blocks != 0:
+            raise DimensionMismatchError(
+                f"dim {dim} must be divisible by num_blocks {num_blocks}"
+            )
+        self.num_blocks = int(num_blocks)
+        self.block_size = dim // num_blocks
+
+    def _blocks(self, vector: np.ndarray) -> np.ndarray:
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.dim,):
+            raise DimensionMismatchError(
+                f"expected shape ({self.dim},), got {vector.shape}"
+            )
+        return vector.reshape(self.num_blocks, self.block_size)
+
+    def random_vector(self) -> np.ndarray:
+        vector = np.zeros((self.num_blocks, self.block_size))
+        indices = self._rng.integers(0, self.block_size, size=self.num_blocks)
+        vector[np.arange(self.num_blocks), indices] = 1.0
+        return vector.reshape(self.dim)
+
+    def bind(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        blocks_a = self._blocks(a)
+        blocks_b = self._blocks(b)
+        out = np.empty_like(blocks_a)
+        for i in range(self.num_blocks):
+            out[i] = np.real(
+                np.fft.ifft(np.fft.fft(blocks_a[i]) * np.fft.fft(blocks_b[i]))
+            )
+        return out.reshape(self.dim)
+
+    def unbind(self, composite: np.ndarray, factor: np.ndarray) -> np.ndarray:
+        blocks_c = self._blocks(composite)
+        blocks_f = self._blocks(factor)
+        out = np.empty_like(blocks_c)
+        for i in range(self.num_blocks):
+            out[i] = np.real(
+                np.fft.ifft(np.fft.fft(blocks_c[i]) * np.conj(np.fft.fft(blocks_f[i])))
+            )
+        return out.reshape(self.dim)
+
+    def bundle(self, vectors: np.ndarray) -> np.ndarray:
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        return vectors.sum(axis=0)
+
+    def cleanup(self, vector: np.ndarray) -> np.ndarray:
+        blocks = self._blocks(vector)
+        cleaned = np.zeros_like(blocks)
+        winners = blocks.argmax(axis=1)
+        cleaned[np.arange(self.num_blocks), winners] = 1.0
+        return cleaned.reshape(self.dim)
+
+    def identity(self) -> np.ndarray:
+        identity = np.zeros((self.num_blocks, self.block_size))
+        identity[:, 0] = 1.0
+        return identity.reshape(self.dim)
+
+
+_SPACE_REGISTRY = {
+    BipolarSpace.name: BipolarSpace,
+    HRRSpace.name: HRRSpace,
+    BinarySparseBlockSpace.name: BinarySparseBlockSpace,
+}
+
+
+def make_space(kind: str, dim: int, seed: int | None = None, **kwargs) -> VSASpace:
+    """Create a hypervector space by name (``bipolar``, ``hrr`` or ``block``)."""
+    try:
+        factory = _SPACE_REGISTRY[kind]
+    except KeyError as exc:
+        known = ", ".join(sorted(_SPACE_REGISTRY))
+        raise DimensionMismatchError(
+            f"unknown VSA space '{kind}'; known spaces: {known}"
+        ) from exc
+    return factory(dim, seed=seed, **kwargs)

@@ -1,0 +1,30 @@
+"""Operator-graph models of the four neurosymbolic workloads.
+
+The paper characterises four VSA-based neurosymbolic models (NVSA, MIMONet,
+LVRF, PrAE).  For hardware analysis what matters is each workload's kernel
+composition: which GEMM/convolution kernels the neural stage issues, which
+circular-convolution / matrix-vector / element-wise kernels the symbolic
+stage issues, their shapes, FLOPs, data traffic and dependencies.  The
+classes here build those operator graphs, parameterised by reasoning task
+size, so the schedulers and device models can consume them.
+"""
+
+from repro.workloads.base import KernelKind, KernelOp, Stage, Workload
+from repro.workloads.nvsa import build_nvsa_workload
+from repro.workloads.mimonet import build_mimonet_workload
+from repro.workloads.lvrf import build_lvrf_workload
+from repro.workloads.prae import build_prae_workload
+from repro.workloads.registry import WORKLOAD_BUILDERS, build_workload
+
+__all__ = [
+    "KernelKind",
+    "KernelOp",
+    "Stage",
+    "Workload",
+    "build_nvsa_workload",
+    "build_mimonet_workload",
+    "build_lvrf_workload",
+    "build_prae_workload",
+    "WORKLOAD_BUILDERS",
+    "build_workload",
+]

@@ -1,0 +1,200 @@
+"""Kernel-level workload representation.
+
+A :class:`Workload` is a directed acyclic graph of :class:`KernelOp` nodes.
+Each node carries enough shape information for every hardware model in
+``repro.hardware`` to derive cycles and traffic:
+
+* GEMM-like kernels (``gemm``, ``conv`` lowered via im2col, ``matvec``)
+  carry ``(m, k, n)`` dimensions.
+* Circular-convolution kernels carry the vector dimension ``d`` and the
+  number of independent convolutions ``count``.
+* Element-wise kernels carry an element count.
+
+The graph edges (``depends_on``) capture the neural -> symbolic sequential
+dependency the paper identifies as a system-level bottleneck; kernels from
+different reasoning tasks (different ``task_id``) are independent, which is
+what the adaptive scheduler exploits.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+
+__all__ = ["KernelKind", "Stage", "KernelOp", "Workload"]
+
+
+class KernelKind(enum.Enum):
+    """Kernel categories used across the hardware models."""
+
+    GEMM = "gemm"
+    CONV = "conv"
+    MATVEC = "matvec"
+    CIRCCONV = "circconv"
+    ELEMENTWISE = "elementwise"
+
+
+class Stage(enum.Enum):
+    """Which half of the neurosymbolic pipeline a kernel belongs to."""
+
+    NEURAL = "neural"
+    SYMBOLIC = "symbolic"
+
+
+@dataclass(frozen=True)
+class KernelOp:
+    """One kernel in the workload operator graph."""
+
+    name: str
+    kind: KernelKind
+    stage: Stage
+    flops: int
+    bytes_read: int
+    bytes_written: int
+    m: int = 1
+    k: int = 1
+    n: int = 1
+    vector_dim: int = 0
+    count: int = 1
+    launches: int = 0
+    task_id: int = 0
+    depends_on: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.bytes_read < 0 or self.bytes_written < 0:
+            raise WorkloadError(f"kernel '{self.name}' has negative cost fields")
+        if self.launches < 0:
+            raise WorkloadError(f"kernel '{self.name}' has negative launch count")
+        if min(self.m, self.k, self.n, self.count) < 1:
+            raise WorkloadError(f"kernel '{self.name}' has non-positive dimensions")
+        if self.kind is KernelKind.CIRCCONV and self.vector_dim < 1:
+            raise WorkloadError(
+                f"circular convolution kernel '{self.name}' needs vector_dim >= 1"
+            )
+
+    @property
+    def total_bytes(self) -> int:
+        """Total off-array traffic of the kernel."""
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def device_launches(self) -> int:
+        """Separate kernel launches this operation needs on a CPU/GPU host.
+
+        Batched operations fuse many logical sub-operations into one launch,
+        so this may be much smaller than ``count``; it defaults to ``count``
+        when the builder did not specify a fused launch structure.
+        """
+        return self.launches if self.launches > 0 else self.count
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per byte (roofline x-axis)."""
+        return self.flops / self.total_bytes if self.total_bytes else 0.0
+
+    @property
+    def is_symbolic(self) -> bool:
+        """True when the kernel belongs to the symbolic stage."""
+        return self.stage is Stage.SYMBOLIC
+
+
+@dataclass
+class Workload:
+    """A named DAG of kernels plus workload-level memory metadata."""
+
+    name: str
+    kernels: list[KernelOp]
+    weight_bytes: int = 0
+    codebook_bytes: int = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.kernels:
+            raise WorkloadError(f"workload '{self.name}' has no kernels")
+        names = [kernel.name for kernel in self.kernels]
+        if len(set(names)) != len(names):
+            raise WorkloadError(f"workload '{self.name}' has duplicate kernel names")
+        known = set(names)
+        for kernel in self.kernels:
+            unknown = set(kernel.depends_on) - known
+            if unknown:
+                raise WorkloadError(
+                    f"kernel '{kernel.name}' depends on unknown kernels {sorted(unknown)}"
+                )
+
+    # -- lookups -----------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.kernels)
+
+    def __iter__(self):
+        return iter(self.kernels)
+
+    def kernel(self, name: str) -> KernelOp:
+        """Return the kernel with the given name."""
+        for kernel in self.kernels:
+            if kernel.name == name:
+                return kernel
+        raise WorkloadError(f"workload '{self.name}' has no kernel named '{name}'")
+
+    def by_stage(self, stage: Stage) -> list[KernelOp]:
+        """All kernels belonging to one pipeline stage."""
+        return [kernel for kernel in self.kernels if kernel.stage is stage]
+
+    def by_kind(self, kind: KernelKind) -> list[KernelOp]:
+        """All kernels of one kind."""
+        return [kernel for kernel in self.kernels if kernel.kind is kind]
+
+    # -- aggregate metrics ----------------------------------------------------------
+    def total_flops(self, stage: Stage | None = None) -> int:
+        """Total FLOPs, optionally restricted to one stage."""
+        return sum(k.flops for k in self._select(stage))
+
+    def total_bytes(self, stage: Stage | None = None) -> int:
+        """Total kernel traffic, optionally restricted to one stage."""
+        return sum(k.total_bytes for k in self._select(stage))
+
+    def symbolic_flops_fraction(self) -> float:
+        """Fraction of workload FLOPs issued by symbolic kernels."""
+        total = self.total_flops()
+        return self.total_flops(Stage.SYMBOLIC) / total if total else 0.0
+
+    def memory_footprint_bytes(self) -> int:
+        """Model weights plus symbolic codebook storage."""
+        return self.weight_bytes + self.codebook_bytes
+
+    def _select(self, stage: Stage | None) -> Iterable[KernelOp]:
+        if stage is None:
+            return self.kernels
+        return self.by_stage(stage)
+
+    # -- graph helpers ----------------------------------------------------------------
+    def dependencies_of(self, name: str) -> list[KernelOp]:
+        """Direct predecessors of a kernel."""
+        kernel = self.kernel(name)
+        return [self.kernel(dep) for dep in kernel.depends_on]
+
+    def topological_order(self) -> list[KernelOp]:
+        """Kernels sorted so every dependency precedes its dependents."""
+        order: list[KernelOp] = []
+        resolved: set[str] = set()
+        remaining = list(self.kernels)
+        while remaining:
+            progressed = False
+            still_remaining = []
+            for kernel in remaining:
+                if set(kernel.depends_on) <= resolved:
+                    order.append(kernel)
+                    resolved.add(kernel.name)
+                    progressed = True
+                else:
+                    still_remaining.append(kernel)
+            if not progressed:
+                raise WorkloadError(
+                    f"workload '{self.name}' has a dependency cycle among "
+                    f"{[k.name for k in still_remaining]}"
+                )
+            remaining = still_remaining
+        return order

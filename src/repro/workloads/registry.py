@@ -1,0 +1,33 @@
+"""Registry of workload builders used by the evaluation harness."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Workload
+from repro.workloads.lvrf import build_lvrf_workload
+from repro.workloads.mimonet import build_mimonet_workload
+from repro.workloads.nvsa import build_nvsa_workload
+from repro.workloads.prae import build_prae_workload
+
+__all__ = ["WORKLOAD_BUILDERS", "build_workload"]
+
+#: workload name -> builder callable
+WORKLOAD_BUILDERS: dict[str, Callable[..., Workload]] = {
+    "nvsa": build_nvsa_workload,
+    "mimonet": build_mimonet_workload,
+    "lvrf": build_lvrf_workload,
+    "prae": build_prae_workload,
+}
+
+
+def build_workload(name: str, **kwargs) -> Workload:
+    """Build one of the four analysed workloads by name."""
+    try:
+        builder = WORKLOAD_BUILDERS[name]
+    except KeyError as exc:
+        raise WorkloadError(
+            f"unknown workload '{name}'; known workloads: {sorted(WORKLOAD_BUILDERS)}"
+        ) from exc
+    return builder(**kwargs)

@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.vsa import BipolarSpace, CodebookSet, HRRSpace, SceneEncoder
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_factors():
+    """A small factor grammar used across VSA/core tests."""
+    return {
+        "type": ["triangle", "square", "pentagon", "hexagon", "circle"],
+        "size": ["small", "medium", "large"],
+        "color": ["white", "grey", "black", "red"],
+    }
+
+
+@pytest.fixture
+def bipolar_space():
+    """A seeded bipolar space of moderate dimension."""
+    return BipolarSpace(512, seed=7)
+
+
+@pytest.fixture
+def hrr_space():
+    """A seeded HRR space of moderate dimension."""
+    return HRRSpace(512, seed=7)
+
+
+@pytest.fixture
+def bipolar_codebooks(small_factors, bipolar_space):
+    """Codebooks over the small factor grammar in the bipolar space."""
+    return CodebookSet.from_factors(small_factors, bipolar_space)
+
+
+@pytest.fixture
+def hrr_codebooks(small_factors, hrr_space):
+    """Codebooks over the small factor grammar in the HRR space."""
+    return CodebookSet.from_factors(small_factors, hrr_space)
+
+
+@pytest.fixture
+def bipolar_encoder(bipolar_codebooks):
+    """Scene encoder over the bipolar codebooks."""
+    return SceneEncoder(bipolar_codebooks)
+
+
+@pytest.fixture
+def hrr_encoder(hrr_codebooks):
+    """Scene encoder over the HRR codebooks."""
+    return SceneEncoder(hrr_codebooks)

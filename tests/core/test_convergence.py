@@ -1,0 +1,52 @@
+"""Tests for convergence and limit-cycle tracking."""
+
+import pytest
+
+from repro.core import ConvergenceTracker
+
+
+class TestConvergenceTracker:
+    def test_not_converged_before_enough_updates(self):
+        tracker = ConvergenceTracker(patience=2)
+        tracker.update([1, 2])
+        assert not tracker.converged
+
+    def test_converges_after_patience_identical_states(self):
+        tracker = ConvergenceTracker(patience=2)
+        for _ in range(3):
+            tracker.update([4, 0, 2])
+        assert tracker.converged
+        assert tracker.final_state == (4, 0, 2)
+
+    def test_changing_states_do_not_converge(self):
+        tracker = ConvergenceTracker(patience=1)
+        tracker.update([0, 0])
+        tracker.update([0, 1])
+        assert not tracker.converged
+
+    def test_cycle_detection(self):
+        tracker = ConvergenceTracker(patience=3)
+        tracker.update([0, 0])
+        tracker.update([1, 1])
+        tracker.update([0, 0])
+        assert tracker.cycle_detected
+        assert not tracker.converged
+
+    def test_repeated_state_without_gap_is_not_a_cycle(self):
+        tracker = ConvergenceTracker(patience=5)
+        tracker.update([2, 2])
+        tracker.update([2, 2])
+        assert not tracker.cycle_detected
+
+    def test_iterations_counts_updates(self):
+        tracker = ConvergenceTracker()
+        for i in range(4):
+            tracker.update([i])
+        assert tracker.iterations == 4
+
+    def test_final_state_none_before_updates(self):
+        assert ConvergenceTracker().final_state is None
+
+    def test_invalid_patience_rejected(self):
+        with pytest.raises(ValueError):
+            ConvergenceTracker(patience=0)

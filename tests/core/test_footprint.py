@@ -1,0 +1,64 @@
+"""Tests for the codebook-vs-factorizer memory footprint accounting."""
+
+import pytest
+
+from repro.core import Precision, codebook_footprint, factorizer_footprint
+from repro.core.footprint import codebook_set_footprint, compare_footprints
+from repro.errors import FactorizationError
+from repro.vsa import BipolarSpace, CodebookSet
+
+
+class TestAnalyticalFootprints:
+    def test_product_footprint_is_combinatorial(self):
+        assert codebook_footprint([10, 10], dim=100) == 100 * 100 * 4
+        assert codebook_footprint([10, 10, 10], dim=100) == 1000 * 100 * 4
+
+    def test_factorized_footprint_is_additive(self):
+        bytes_ = factorizer_footprint([10, 10, 10], dim=100)
+        # 30 codevectors plus 7 working vectors (2 per factor + query).
+        assert bytes_ == (30 + 7) * 100 * 4
+
+    def test_precision_scales_footprints(self):
+        fp32 = codebook_footprint([5, 5], dim=64, precision=Precision.FP32)
+        int8 = codebook_footprint([5, 5], dim=64, precision=Precision.INT8)
+        assert fp32 == 4 * int8
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(FactorizationError):
+            codebook_footprint([], dim=10)
+        with pytest.raises(FactorizationError):
+            codebook_footprint([3, 0], dim=10)
+        with pytest.raises(FactorizationError):
+            factorizer_footprint([3, 3], dim=0)
+
+    def test_nvsa_scale_reduction_factor_matches_paper_magnitude(self):
+        """Fig. 8: the factorization shrinks the codebook by roughly 70x.
+
+        With the paper's NVSA-like configuration (5 attribute codebooks of
+        tens of entries each, d=1024) the product codebook is two orders of
+        magnitude larger than the factorized form.
+        """
+        report = compare_footprints([7, 10, 6, 9, 5], dim=1024)
+        assert report.reduction_factor > 50
+        assert report.product_codebook_bytes > 50 * report.factorized_bytes
+
+    def test_report_unit_conversions(self):
+        report = compare_footprints([4, 4], dim=256)
+        assert report.product_codebook_kib == pytest.approx(
+            report.product_codebook_bytes / 1024
+        )
+        assert report.factorized_kib == pytest.approx(report.factorized_bytes / 1024)
+
+
+class TestCodebookSetFootprint:
+    def test_matches_analytical_formula(self, small_factors):
+        space = BipolarSpace(128, seed=0)
+        codebooks = CodebookSet.from_factors(small_factors, space)
+        report = codebook_set_footprint(codebooks)
+        assert report.product_codebook_bytes == codebook_footprint(
+            codebooks.factor_sizes, codebooks.dim
+        )
+        assert report.factorized_bytes == factorizer_footprint(
+            codebooks.factor_sizes, codebooks.dim
+        )
+        assert report.reduction_factor > 1

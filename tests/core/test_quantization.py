@@ -1,0 +1,120 @@
+"""Tests for FP32/FP8/INT8 precision emulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import Precision, QuantizedCodebook, dequantize, quantize
+from repro.core.quantization import quantization_error
+from repro.errors import QuantizationError
+from repro.vsa import BipolarSpace, Codebook
+
+
+class TestPrecision:
+    def test_bytes_per_element(self):
+        assert Precision.FP32.bytes_per_element == 4
+        assert Precision.FP8.bytes_per_element == 1
+        assert Precision.INT8.bytes_per_element == 1
+
+    def test_parse_accepts_strings_and_enums(self):
+        assert Precision.parse("int8") is Precision.INT8
+        assert Precision.parse("FP8") is Precision.FP8
+        assert Precision.parse(Precision.FP32) is Precision.FP32
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(QuantizationError):
+            Precision.parse("int4")
+
+
+class TestQuantizeRoundtrip:
+    def test_fp32_is_lossless(self, rng):
+        values = rng.normal(size=100)
+        restored = dequantize(quantize(values, Precision.FP32))
+        np.testing.assert_allclose(restored, values, rtol=1e-6)
+
+    def test_int8_roundtrip_error_is_bounded(self, rng):
+        values = rng.normal(size=1000)
+        restored = dequantize(quantize(values, Precision.INT8))
+        max_abs = np.max(np.abs(values))
+        assert np.max(np.abs(restored - values)) <= max_abs / 127.0 + 1e-12
+
+    def test_int8_payload_dtype_and_range(self, rng):
+        tensor = quantize(rng.normal(size=64), Precision.INT8)
+        assert tensor.data.dtype == np.int8
+        assert np.max(np.abs(tensor.data)) <= 127
+
+    def test_int8_preserves_sign_pattern(self, rng):
+        values = rng.choice([-1.0, 1.0], size=128)
+        restored = dequantize(quantize(values, Precision.INT8))
+        np.testing.assert_array_equal(np.sign(restored), np.sign(values))
+
+    def test_fp8_roundtrip_relative_error(self, rng):
+        values = rng.normal(size=1000)
+        restored = dequantize(quantize(values, Precision.FP8))
+        # E4M3 has 3 mantissa bits, so the relative error for normal-range
+        # values is bounded by 2^-4; very small values fall into the
+        # fixed-step subnormal range and are excluded from the check.
+        normal = np.abs(values) > 0.05
+        relative = np.abs(restored[normal] - values[normal]) / np.abs(values[normal])
+        assert np.max(relative) < 0.0625 + 1e-9
+
+    def test_fp8_clamps_to_max_value(self):
+        restored = dequantize(quantize(np.array([1e6, -1e6]), Precision.FP8))
+        np.testing.assert_allclose(np.abs(restored), [448.0, 448.0])
+
+    def test_fp8_preserves_zero(self):
+        restored = dequantize(quantize(np.zeros(10), Precision.FP8))
+        np.testing.assert_array_equal(restored, np.zeros(10))
+
+    def test_nbytes_accounting(self, rng):
+        values = rng.normal(size=256)
+        assert quantize(values, Precision.FP32).nbytes == 256 * 4
+        assert quantize(values, Precision.INT8).nbytes == 256
+        assert quantize(values, Precision.FP8).nbytes == 256
+
+    def test_quantization_error_ordering(self, rng):
+        values = rng.normal(size=2000)
+        assert quantization_error(values, Precision.FP32) <= 1e-7
+        assert quantization_error(values, Precision.INT8) < quantization_error(
+            values, Precision.FP8
+        ) * 10
+        assert quantization_error(values, Precision.FP8) > 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        values=arrays(
+            dtype=np.float64,
+            shape=st.integers(1, 64),
+            elements=st.floats(-400, 400, allow_nan=False, allow_infinity=False),
+        )
+    )
+    def test_property_int8_error_bound(self, values):
+        restored = dequantize(quantize(values, Precision.INT8))
+        bound = (np.max(np.abs(values)) / 127.0 if values.size else 0.0) * 0.5 + 1e-9
+        assert np.max(np.abs(restored - values)) <= bound * 2
+
+
+class TestQuantizedCodebook:
+    def test_quantized_cleanup_still_recovers_labels(self, rng):
+        space = BipolarSpace(512, seed=2)
+        codebook = Codebook("shape", ["a", "b", "c", "d"], space)
+        quantized = QuantizedCodebook(codebook, Precision.INT8)
+        for label in codebook.labels:
+            noisy = codebook.vector(label) + rng.normal(0, 0.3, size=512)
+            assert quantized.cleanup(noisy)[0] == label
+
+    def test_footprint_shrinks_4x_for_int8(self):
+        space = BipolarSpace(256, seed=2)
+        codebook = Codebook("shape", ["a", "b", "c"], space)
+        quantized = QuantizedCodebook(codebook, "int8")
+        assert quantized.nbytes() * 4 == codebook.nbytes()
+
+    def test_metadata_passthrough(self):
+        space = BipolarSpace(64, seed=2)
+        codebook = Codebook("shape", ["a", "b"], space)
+        quantized = QuantizedCodebook(codebook, Precision.FP8)
+        assert quantized.name == "shape"
+        assert quantized.labels == ["a", "b"]
+        assert len(quantized) == 2

@@ -1,0 +1,80 @@
+"""Tests for the end-to-end neurosymbolic solvers."""
+
+import pytest
+
+from repro.core import Precision
+from repro.errors import TaskGenerationError
+from repro.evaluation import CVRSolver, NeuroSymbolicSolver, SolverConfig, SVRTSolver
+from repro.tasks import CVRGenerator, IRavenGenerator, RavenGenerator, SVRTGenerator
+
+
+class TestSolverConfig:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(TaskGenerationError):
+            SolverConfig(vector_dim=2)
+        with pytest.raises(TaskGenerationError):
+            SolverConfig(query_noise=-1)
+
+
+class TestNeuroSymbolicSolver:
+    def test_pmf_mode_solves_clean_tasks(self):
+        solver = NeuroSymbolicSolver(SolverConfig(perception_error=0.0))
+        batch = RavenGenerator("center", seed=1).generate(8)
+        assert solver.accuracy(batch) >= 0.85
+
+    def test_vsa_mode_solves_clean_tasks(self):
+        solver = NeuroSymbolicSolver(
+            SolverConfig(
+                perception_error=0.0,
+                use_vsa_factorization=True,
+                stochasticity=0.05,
+                vector_dim=512,
+            )
+        )
+        batch = RavenGenerator("center", seed=2).generate(5)
+        assert solver.accuracy(batch) >= 0.6
+
+    def test_quantized_codebooks_still_work(self):
+        solver = NeuroSymbolicSolver(
+            SolverConfig(
+                use_vsa_factorization=True,
+                quantization=Precision.INT8,
+                vector_dim=512,
+            )
+        )
+        outcome = solver.solve_task(RavenGenerator("center", seed=3).generate_task())
+        assert outcome.answer_index in range(8)
+
+    def test_high_perception_noise_hurts_accuracy(self):
+        batch = IRavenGenerator("center", seed=4).generate(8)
+        clean = NeuroSymbolicSolver(SolverConfig(perception_error=0.0)).accuracy(batch)
+        noisy = NeuroSymbolicSolver(SolverConfig(perception_error=0.45)).accuracy(batch)
+        assert noisy <= clean
+
+    def test_outcome_records_expected_index(self):
+        task = RavenGenerator("center", seed=5).generate_task()
+        outcome = NeuroSymbolicSolver(SolverConfig()).solve_task(task)
+        assert outcome.expected_index == task.answer_index
+        assert outcome.correct == (outcome.answer_index == outcome.expected_index)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(TaskGenerationError):
+            NeuroSymbolicSolver(SolverConfig()).accuracy([])
+
+
+class TestCVRAndSVRTSolvers:
+    def test_cvr_solver_accuracy(self):
+        # Odd-one-out with free-varying distractor attributes is genuinely
+        # ambiguous sometimes; well above the 25 % chance level is expected.
+        tasks = CVRGenerator(seed=6).generate(40)
+        assert CVRSolver(perception_error=0.02).accuracy(tasks) > 0.6
+
+    def test_svrt_solver_accuracy(self):
+        tasks = SVRTGenerator(seed=7).generate(40)
+        assert SVRTSolver(perception_error=0.0).accuracy(tasks) > 0.9
+
+    def test_empty_lists_rejected(self):
+        with pytest.raises(TaskGenerationError):
+            CVRSolver().accuracy([])
+        with pytest.raises(TaskGenerationError):
+            SVRTSolver().accuracy([])

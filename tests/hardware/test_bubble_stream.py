@@ -1,0 +1,72 @@
+"""Tests for the bubble-streaming dataflow."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HardwareConfigError, MappingError
+from repro.hardware import BubbleStreamSimulator, bs_latency_cycles
+from repro.vsa.operations import circular_convolve
+
+
+class TestLatencyFormula:
+    def test_matched_array_is_4d_minus_1(self):
+        assert bs_latency_cycles(1024) == 4 * 1024 - 1
+        assert bs_latency_cycles(3) == 11
+
+    def test_general_formula(self):
+        assert bs_latency_cycles(1024, 512) == 3 * 512 + 1024 - 1
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(MappingError):
+            bs_latency_cycles(0)
+        with pytest.raises(MappingError):
+            bs_latency_cycles(8, 0)
+
+
+class TestBubbleStreamSimulator:
+    def test_output_matches_fft_reference(self, rng):
+        dim = 32
+        simulator = BubbleStreamSimulator(dim)
+        a, b = rng.normal(size=(2, dim))
+        result = simulator.run(a, b)
+        np.testing.assert_allclose(result.output, circular_convolve(a, b), atol=1e-9)
+
+    def test_cycles_match_closed_form(self, rng):
+        dim = 16
+        result = BubbleStreamSimulator(dim).run(*rng.normal(size=(2, dim)))
+        assert result.cycles == bs_latency_cycles(dim)
+        assert max(result.output_completion_cycles) <= result.cycles
+
+    def test_every_pe_performs_d_macs(self, rng):
+        dim = 12
+        result = BubbleStreamSimulator(dim).run(*rng.normal(size=(2, dim)))
+        assert result.mac_count == dim * dim
+        assert result.macs_per_cycle > 0
+
+    def test_dimension_mismatch_rejected(self, rng):
+        simulator = BubbleStreamSimulator(8)
+        with pytest.raises(MappingError):
+            simulator.run(rng.normal(size=8), rng.normal(size=4))
+        with pytest.raises(MappingError):
+            simulator.run(rng.normal(size=16), rng.normal(size=16))
+
+    def test_invalid_array_length_rejected(self):
+        with pytest.raises(HardwareConfigError):
+            BubbleStreamSimulator(0)
+
+    def test_run_batch(self, rng):
+        simulator = BubbleStreamSimulator(8)
+        pairs = [tuple(rng.normal(size=(2, 8))) for _ in range(3)]
+        results = simulator.run_batch(pairs)
+        assert len(results) == 3
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000), dim=st.sampled_from([4, 8, 16, 32]))
+    def test_property_functional_correctness(self, seed, dim):
+        rng = np.random.default_rng(seed)
+        a, b = rng.normal(size=(2, dim))
+        result = BubbleStreamSimulator(dim).run(a, b)
+        np.testing.assert_allclose(result.output, circular_convolve(a, b), atol=1e-8)
+        assert result.cycles == 4 * dim - 1

@@ -1,0 +1,138 @@
+"""Tests for the nsPE, SIMD unit, memory system, scaling and config."""
+
+import pytest
+
+from repro.core import Precision
+from repro.errors import HardwareConfigError, MappingError
+from repro.hardware import ArrayOrganization, CogSysConfig, MemorySystem, PEMode, ReconfigurablePE, SIMDUnit
+from repro.hardware.scaling import OrganizationMode, choose_organization, gemm_cycles_scaled
+
+
+class TestCogSysConfig:
+    def test_default_matches_paper_configuration(self):
+        config = CogSysConfig()
+        assert config.total_pes == 16 * 32 * 32
+        assert config.total_sram_bytes == pytest.approx(4.5 * 1024 * 1024, rel=0.05)
+        assert config.scale_up_columns == 32
+        assert config.scale_up_column_depth == 512
+        assert config.precision is Precision.INT8
+
+    def test_cycles_to_seconds(self):
+        config = CogSysConfig()
+        assert config.cycles_to_seconds(0.8e9) == pytest.approx(1.0)
+        with pytest.raises(HardwareConfigError):
+            config.cycles_to_seconds(-1)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(HardwareConfigError):
+            CogSysConfig(num_cells=0)
+        with pytest.raises(HardwareConfigError):
+            CogSysConfig(frequency_hz=0)
+
+
+class TestReconfigurablePE:
+    def test_load_mode_fills_stationary_register(self):
+        pe = ReconfigurablePE(mode=PEMode.LOAD)
+        pe.step(top_in_a=3.0)
+        assert pe.stationary == 3.0
+
+    def test_gemm_mode_macs(self):
+        pe = ReconfigurablePE(mode=PEMode.GEMM, stationary=2.0)
+        outputs = pe.step(left_in=4.0, sum_in=1.0)
+        assert outputs["sum_out"] == 9.0
+        assert pe.mac_count == 1
+
+    def test_circconv_mode_bubbles_the_stream(self):
+        pe = ReconfigurablePE(mode=PEMode.CIRCCONV, stationary=1.0)
+        # Cycle 1: element enters the passing register only.
+        pe.step(top_in_b=5.0)
+        assert pe.passing == 5.0 and pe.streaming == 0.0
+        # Cycle 2: it moves into the streaming register (one-cycle bubble).
+        pe.step(top_in_b=7.0)
+        assert pe.streaming == 5.0 and pe.passing == 7.0
+
+    def test_invalid_mode_rejected(self):
+        pe = ReconfigurablePE()
+        with pytest.raises(HardwareConfigError):
+            pe.set_mode("turbo")
+
+    def test_reset_clears_state(self):
+        pe = ReconfigurablePE(mode=PEMode.GEMM, stationary=2.0)
+        pe.step(left_in=1.0)
+        pe.reset()
+        assert pe.partial_sum == 0.0 and pe.mac_count == 0
+
+
+class TestSIMDUnit:
+    def test_elementwise_cycles_scale_with_elements(self):
+        simd = SIMDUnit(num_pes=512)
+        assert simd.elementwise_cycles(512) < simd.elementwise_cycles(51200)
+        assert simd.elementwise_cycles(0) == 0
+
+    def test_transcendental_ops_cost_more(self):
+        simd = SIMDUnit()
+        assert simd.elementwise_cycles(1024, transcendental=True) > simd.elementwise_cycles(1024)
+
+    def test_reduction_cycles(self):
+        simd = SIMDUnit()
+        assert simd.reduction_cycles(4096) > simd.reduction_cycles(1)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(HardwareConfigError):
+            SIMDUnit(num_pes=0)
+        with pytest.raises(HardwareConfigError):
+            SIMDUnit().elementwise_cycles(-1)
+
+
+class TestMemorySystem:
+    def _memory(self):
+        return MemorySystem(
+            sram_a_bytes=256 * 1024,
+            sram_b_bytes=4 * 1024 * 1024,
+            sram_c_bytes=256 * 1024,
+            dram_bandwidth_bytes_per_s=700e9,
+        )
+
+    def test_transfer_time_and_on_chip_fit(self):
+        memory = self._memory()
+        transfer = memory.transfer(bytes_read=1_000_000, bytes_written=500_000)
+        assert transfer.dram_bytes == 1_500_000
+        assert transfer.transfer_seconds == pytest.approx(1_500_000 / 700e9)
+        assert transfer.fits_on_chip
+
+    def test_resident_bytes_reduce_traffic(self):
+        memory = self._memory()
+        transfer = memory.transfer(bytes_read=1_000_000, bytes_written=0, resident_bytes=600_000)
+        assert transfer.dram_bytes == 400_000
+
+    def test_overlap_takes_the_maximum(self):
+        memory = self._memory()
+        transfer = memory.transfer(bytes_read=7_000_000, bytes_written=0)
+        assert memory.overlapped_seconds(1e-6, transfer) == pytest.approx(1e-5)
+        assert memory.overlapped_seconds(1e-3, transfer) == pytest.approx(1e-3)
+
+    def test_invalid_inputs_rejected(self):
+        memory = self._memory()
+        with pytest.raises(HardwareConfigError):
+            memory.transfer(-1, 0)
+        with pytest.raises(HardwareConfigError):
+            MemorySystem(1, 1, 1, dram_bandwidth_bytes_per_s=0)
+
+
+class TestScaling:
+    def test_scale_out_wins_for_small_weight_matrices(self):
+        organization, cycles = choose_organization(16, 32, 32, m=4096, k=64, n=32)
+        assert organization.mode is OrganizationMode.SCALE_OUT
+        assert cycles > 0
+
+    def test_logical_dimensions(self):
+        scale_up = ArrayOrganization(OrganizationMode.SCALE_UP, 16, 32, 32)
+        scale_out = ArrayOrganization(OrganizationMode.SCALE_OUT, 16, 32, 32)
+        assert scale_up.logical_rows == 512 and scale_up.logical_arrays == 1
+        assert scale_out.logical_rows == 32 and scale_out.logical_arrays == 16
+        assert scale_up.total_pes == scale_out.total_pes == 16384
+
+    def test_gemm_cycles_scaled_validates_input(self):
+        organization = ArrayOrganization(OrganizationMode.SCALE_OUT, 4, 8, 8)
+        with pytest.raises(MappingError):
+            gemm_cycles_scaled(organization, 0, 8, 8)

@@ -1,0 +1,80 @@
+"""Tests for the area/power model and the roofline utilities."""
+
+import pytest
+
+from repro.core import Precision
+from repro.errors import HardwareConfigError
+from repro.hardware import AreaPowerModel, Roofline
+from repro.hardware.energy import PE_DESIGN_CHOICES, PRECISION_SILICON
+
+
+class TestAreaPowerModel:
+    def test_reference_configuration_matches_published_numbers(self):
+        model = AreaPowerModel(Precision.INT8)
+        assert model.array_area_mm2() == pytest.approx(3.8)
+        assert model.simd_area_mm2() == pytest.approx(0.21)
+        assert model.accelerator_area_mm2() == pytest.approx(4.01, abs=0.05)
+        assert model.accelerator_power_w() == pytest.approx(1.48, abs=0.02)
+
+    def test_precision_ordering_of_area_and_power(self):
+        fp32 = AreaPowerModel(Precision.FP32)
+        fp8 = AreaPowerModel(Precision.FP8)
+        int8 = AreaPowerModel(Precision.INT8)
+        assert fp32.accelerator_area_mm2() > fp8.accelerator_area_mm2() > int8.accelerator_area_mm2()
+        assert fp32.accelerator_power_w() > fp8.accelerator_power_w()
+
+    def test_fp8_reconfigurability_overhead_below_five_percent(self):
+        assert AreaPowerModel(Precision.FP8).reconfigurability_overhead < 0.05
+        assert AreaPowerModel(Precision.INT8).reconfigurability_overhead > 0.05
+
+    def test_area_scales_linearly_with_pes(self):
+        model = AreaPowerModel(Precision.FP8)
+        assert model.array_area_mm2(8192) == pytest.approx(model.array_area_mm2(16384) / 2)
+
+    def test_energy_accounting(self):
+        model = AreaPowerModel(Precision.INT8)
+        assert model.energy_joules(2.0) == pytest.approx(2.0 * model.accelerator_power_w())
+        with pytest.raises(HardwareConfigError):
+            model.energy_joules(-1.0)
+
+    def test_invalid_pe_counts_rejected(self):
+        with pytest.raises(HardwareConfigError):
+            AreaPowerModel(Precision.FP8).array_area_mm2(0)
+
+    def test_published_tables_are_complete(self):
+        assert set(PRECISION_SILICON) == {Precision.FP32, Precision.FP8, Precision.INT8}
+        assert set(PE_DESIGN_CHOICES) == {
+            "reconfigurable_16x32x32",
+            "heterogeneous_16+16",
+            "heterogeneous_8+8",
+        }
+
+
+class TestRoofline:
+    def test_attainable_performance_saturates_at_peak(self):
+        roofline = Roofline("gpu", peak_flops=10e12, memory_bandwidth_bytes_per_s=500e9)
+        assert roofline.attainable_flops(1000) == 10e12
+        assert roofline.attainable_flops(1) == 500e9
+
+    def test_ridge_point(self):
+        roofline = Roofline("gpu", peak_flops=10e12, memory_bandwidth_bytes_per_s=500e9)
+        assert roofline.ridge_point == pytest.approx(20.0)
+
+    def test_place_classifies_bound(self):
+        roofline = Roofline("gpu", peak_flops=10e12, memory_bandwidth_bytes_per_s=500e9)
+        memory_bound = roofline.place("symbolic", flops=10**9, traffic_bytes=10**9)
+        compute_bound = roofline.place("neural", flops=10**12, traffic_bytes=10**9)
+        assert memory_bound.memory_bound and memory_bound.bound == "memory"
+        assert not compute_bound.memory_bound and compute_bound.bound == "compute"
+
+    def test_time_lower_bound(self):
+        roofline = Roofline("gpu", peak_flops=1e12, memory_bandwidth_bytes_per_s=1e11)
+        assert roofline.time_seconds(flops=1e12, traffic_bytes=0) == pytest.approx(1.0)
+        assert roofline.time_seconds(flops=0, traffic_bytes=1e11) == pytest.approx(1.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(HardwareConfigError):
+            Roofline("bad", peak_flops=0, memory_bandwidth_bytes_per_s=1)
+        roofline = Roofline("gpu", peak_flops=1e12, memory_bandwidth_bytes_per_s=1e11)
+        with pytest.raises(HardwareConfigError):
+            roofline.attainable_flops(-1)

@@ -1,0 +1,88 @@
+"""Tests for the systolic GEMM model and the spatial/temporal mapping."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.hardware import SystolicArrayModel, choose_mapping
+from repro.hardware.mapping import MappingMode, spatial_mapping, temporal_mapping
+
+
+class TestSystolicArrayModel:
+    def test_gemm_cycles_scale_with_tiles(self):
+        array = SystolicArrayModel(32, 32)
+        small = array.gemm_cycles(m=64, k=32, n=32)
+        large = array.gemm_cycles(m=64, k=128, n=128)
+        assert large.cycles > small.cycles
+        assert 0 < small.utilization <= 1
+
+    def test_weight_loading_dominates_gemv_shapes(self):
+        array = SystolicArrayModel(32, 32)
+        gemv = array.gemm_cycles(m=1, k=1024, n=1024)
+        # 1024 tiles, each paying the 32-cycle weight load.
+        assert gemv.cycles >= 1024 * 32
+
+    def test_double_buffering_helps(self):
+        buffered = SystolicArrayModel(32, 32, double_buffered=True)
+        unbuffered = SystolicArrayModel(32, 32, double_buffered=False)
+        assert (
+            buffered.gemm_cycles(64, 64, 64).cycles
+            < unbuffered.gemm_cycles(64, 64, 64).cycles
+        )
+
+    def test_circconv_gemv_is_sequential_in_count(self):
+        array = SystolicArrayModel(32, 32)
+        one = array.circconv_cycles_gemv(256, 1).cycles
+        four = array.circconv_cycles_gemv(256, 4).cycles
+        assert four == 4 * one
+
+    def test_circconv_gemv_footprint_is_quadratic(self):
+        array = SystolicArrayModel(32, 32)
+        assert array.circconv_gemv_bytes(1024) == (1024 * 1024 + 2048) * 4
+
+    def test_multi_cell_gemm_scales_with_cells(self):
+        array = SystolicArrayModel(32, 32)
+        one_cell = array.multi_cell_gemm_cycles(1, m=256, k=256, n=256)
+        four_cells = array.multi_cell_gemm_cycles(4, m=256, k=256, n=256)
+        assert four_cells < one_cell
+        # Few-tile, tall-activation GEMMs also benefit (rows are split).
+        tall_one = array.multi_cell_gemm_cycles(1, m=4096, k=16, n=16)
+        tall_four = array.multi_cell_gemm_cycles(4, m=4096, k=16, n=16)
+        assert tall_four < tall_one
+
+    def test_invalid_dimensions_rejected(self):
+        array = SystolicArrayModel(8, 8)
+        with pytest.raises(MappingError):
+            array.gemm_cycles(0, 1, 1)
+        with pytest.raises(MappingError):
+            array.circconv_cycles_gemv(0)
+
+
+class TestSTMapping:
+    def test_formulas_match_paper(self):
+        # Latency: spatial = k*ceil(d/(N*M))*T, temporal = ceil(k/N)*ceil(d/M)*T.
+        spatial = spatial_mapping(num_arrays=32, array_length=512, num_convs=210, vector_dim=1024)
+        temporal = temporal_mapping(num_arrays=32, array_length=512, num_convs=210, vector_dim=1024)
+        pass_cycles = 3 * 512 + 1024 - 1
+        assert spatial.cycles == 210 * 1 * pass_cycles
+        assert temporal.cycles == 7 * 2 * pass_cycles
+        # Memory reads per pass: 2d vs (d + M) * N.
+        assert spatial.memory_reads_per_pass == 2 * 1024
+        assert temporal.memory_reads_per_pass == (1024 + 512) * 32
+
+    def test_adaptive_choice_temporal_for_many_convs(self):
+        decision = choose_mapping(32, 512, num_convs=210, vector_dim=1024)
+        assert decision.mode is MappingMode.TEMPORAL
+
+    def test_adaptive_choice_spatial_for_single_large_conv(self):
+        decision = choose_mapping(32, 512, num_convs=1, vector_dim=2048)
+        assert decision.mode is MappingMode.SPATIAL
+
+    def test_bandwidth_per_cycle_is_positive(self):
+        decision = choose_mapping(32, 512, num_convs=64, vector_dim=1024)
+        assert decision.bandwidth_words_per_cycle > 0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(MappingError):
+            choose_mapping(0, 512, 1, 1024)
+        with pytest.raises(MappingError):
+            spatial_mapping(32, 512, 0, 1024)

@@ -1,0 +1,105 @@
+"""Tests for the numpy neural layers and their cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionMismatchError
+from repro.neural import BatchNorm, Conv2d, Flatten, Linear, MaxPool2d, ReLU, Softmax
+
+
+class TestConv2d:
+    def test_output_shape_and_forward_agree(self, rng):
+        conv = Conv2d("conv", in_channels=3, out_channels=8, kernel_size=3, padding=1, seed=0)
+        activations = rng.normal(size=(3, 10, 10))
+        output = conv.forward(activations)
+        assert output.shape == conv.output_shape((3, 10, 10)) == (8, 10, 10)
+
+    def test_stride_reduces_spatial_size(self):
+        conv = Conv2d("conv", 1, 4, kernel_size=3, stride=2, padding=1, seed=0)
+        assert conv.output_shape((1, 16, 16)) == (4, 8, 8)
+
+    def test_matches_manual_convolution_on_tiny_example(self):
+        conv = Conv2d("conv", 1, 1, kernel_size=2, seed=0)
+        conv.weights = np.ones((1, 1, 2, 2))
+        conv.bias = np.zeros(1)
+        activations = np.arange(9, dtype=float).reshape(1, 3, 3)
+        output = conv.forward(activations)
+        # Each output is the sum of a 2x2 patch.
+        expected = np.array([[[0 + 1 + 3 + 4, 1 + 2 + 4 + 5], [3 + 4 + 6 + 7, 4 + 5 + 7 + 8]]])
+        np.testing.assert_allclose(output, expected)
+
+    def test_flops_formula(self):
+        conv = Conv2d("conv", 2, 4, kernel_size=3, padding=1, seed=0)
+        # m = 8*8 outputs, each needing 2*3*3 MACs per output channel.
+        assert conv.flops((2, 8, 8)) == 2 * 4 * 8 * 8 * 2 * 3 * 3
+
+    def test_wrong_channel_count_raises(self):
+        conv = Conv2d("conv", 2, 4, kernel_size=3, seed=0)
+        with pytest.raises(DimensionMismatchError):
+            conv.output_shape((3, 8, 8))
+
+    def test_invalid_configuration_raises(self):
+        with pytest.raises(DimensionMismatchError):
+            Conv2d("conv", 0, 4, kernel_size=3)
+
+    def test_stats_record(self):
+        conv = Conv2d("conv", 1, 2, kernel_size=3, padding=1, seed=0)
+        stats = conv.stats((1, 8, 8))
+        assert stats.kind == "conv"
+        assert stats.params == conv.params()
+        assert stats.arithmetic_intensity > 0
+
+
+class TestLinear:
+    def test_forward_matches_matmul(self, rng):
+        layer = Linear("fc", 6, 4, seed=0)
+        x = rng.normal(size=6)
+        np.testing.assert_allclose(layer.forward(x), layer.weights @ x + layer.bias)
+
+    def test_accepts_multidimensional_input_by_flattening(self, rng):
+        layer = Linear("fc", 12, 3, seed=0)
+        assert layer.forward(rng.normal(size=(3, 2, 2))).shape == (3,)
+
+    def test_wrong_size_raises(self):
+        layer = Linear("fc", 6, 4, seed=0)
+        with pytest.raises(DimensionMismatchError):
+            layer.output_shape((5,))
+
+    def test_flops_and_params(self):
+        layer = Linear("fc", 10, 5, seed=0)
+        assert layer.flops((10,)) == 2 * 10 * 5
+        assert layer.params() == 10 * 5 + 5
+
+
+class TestElementwiseLayers:
+    def test_relu_clamps_negatives(self):
+        relu = ReLU("relu")
+        np.testing.assert_array_equal(relu.forward(np.array([-1.0, 0.5])), [0.0, 0.5])
+
+    def test_batchnorm_identity_with_default_stats(self, rng):
+        bn = BatchNorm("bn", channels=4)
+        x = rng.normal(size=(4, 3, 3))
+        np.testing.assert_allclose(bn.forward(x), x, atol=1e-3)
+
+    def test_batchnorm_rejects_wrong_channels(self):
+        bn = BatchNorm("bn", channels=4)
+        with pytest.raises(DimensionMismatchError):
+            bn.forward(np.zeros((3, 2, 2)))
+
+    def test_maxpool_downsamples(self):
+        pool = MaxPool2d("pool", pool_size=2)
+        x = np.arange(16, dtype=float).reshape(1, 4, 4)
+        output = pool.forward(x)
+        assert output.shape == (1, 2, 2)
+        assert output[0, 0, 0] == 5.0  # max of the top-left 2x2 block
+
+    def test_softmax_normalises(self, rng):
+        softmax = Softmax("softmax")
+        output = softmax.forward(rng.normal(size=10))
+        assert output.sum() == pytest.approx(1.0)
+        assert np.all(output > 0)
+
+    def test_flatten(self, rng):
+        flat = Flatten("flatten")
+        assert flat.forward(rng.normal(size=(2, 3, 4))).shape == (24,)
+        assert flat.flops((2, 3, 4)) == 0

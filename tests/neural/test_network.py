@@ -1,0 +1,57 @@
+"""Tests for the sequential network container and backbone builder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionMismatchError
+from repro.neural import SequentialNetwork, build_perception_backbone
+from repro.neural.layers import Linear, ReLU
+
+
+class TestSequentialNetwork:
+    def test_forward_runs_layers_in_order(self, rng):
+        network = SequentialNetwork("mlp", [Linear("fc1", 8, 4, seed=0), ReLU("relu"), Linear("fc2", 4, 2, seed=1)])
+        output = network.forward(rng.normal(size=8))
+        assert output.shape == (2,)
+
+    def test_stats_aggregate_layers(self):
+        network = SequentialNetwork("mlp", [Linear("fc1", 8, 4, seed=0), Linear("fc2", 4, 2, seed=1)])
+        stats = network.stats((8,))
+        assert stats.total_flops == 2 * 8 * 4 + 2 * 4 * 2
+        assert stats.total_params == (8 * 4 + 4) + (4 * 2 + 2)
+        assert stats.output_shape == (2,)
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            SequentialNetwork("empty", [])
+
+    def test_len_and_iteration(self):
+        network = SequentialNetwork("mlp", [Linear("fc1", 4, 4, seed=0), ReLU("r")])
+        assert len(network) == 2
+        assert [layer.name for layer in network] == ["fc1", "r"]
+
+
+class TestPerceptionBackbone:
+    def test_backbone_produces_embedding(self, rng):
+        backbone = build_perception_backbone(image_size=16, embedding_dim=32, width=4, num_blocks=2)
+        output = backbone.forward(rng.normal(size=(1, 16, 16)))
+        assert output.shape == (32,)
+
+    def test_backbone_output_shape_matches_stats(self):
+        backbone = build_perception_backbone(image_size=32, embedding_dim=64, width=8, num_blocks=3)
+        assert backbone.output_shape((1, 32, 32)) == (64,)
+
+    def test_deeper_backbone_has_more_flops(self):
+        shallow = build_perception_backbone(image_size=32, num_blocks=2, width=8)
+        deep = build_perception_backbone(image_size=32, num_blocks=3, width=8)
+        assert deep.stats((1, 32, 32)).total_flops > shallow.stats((1, 32, 32)).total_flops
+
+    def test_too_many_blocks_for_image_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            build_perception_backbone(image_size=8, num_blocks=5)
+
+    def test_seeded_backbone_is_reproducible(self, rng):
+        x = rng.normal(size=(1, 16, 16))
+        a = build_perception_backbone(image_size=16, width=4, num_blocks=2, seed=3).forward(x)
+        b = build_perception_backbone(image_size=16, width=4, num_blocks=2, seed=3).forward(x)
+        np.testing.assert_allclose(a, b)

@@ -1,0 +1,53 @@
+"""Tests for the operation graph used by the schedulers."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.scheduler import OperationGraph
+from repro.workloads import Workload, build_nvsa_workload
+from repro.workloads.builders import gemm_kernel
+
+
+class TestOperationGraph:
+    def test_ready_kernels_respect_dependencies(self):
+        workload = build_nvsa_workload()
+        graph = OperationGraph(workload)
+        ready_names = {kernel.name for kernel in graph.ready_kernels()}
+        assert any("conv0" in name for name in ready_names)
+        assert not any("symb" in name for name in ready_names)
+
+    def test_marking_complete_unlocks_dependents(self):
+        a = gemm_kernel("a", 2, 2, 2)
+        b = gemm_kernel("b", 2, 2, 2, depends_on=("a",))
+        graph = OperationGraph(Workload(name="toy", kernels=[a, b]))
+        assert [k.name for k in graph.ready_kernels()] == ["a"]
+        graph.mark_complete("a")
+        assert [k.name for k in graph.ready_kernels()] == ["b"]
+        graph.mark_complete("b")
+        assert graph.all_complete
+
+    def test_exclude_running_kernels(self):
+        a = gemm_kernel("a", 2, 2, 2)
+        b = gemm_kernel("b", 2, 2, 2)
+        graph = OperationGraph(Workload(name="toy", kernels=[a, b]))
+        assert len(graph.ready_kernels(exclude={"a"})) == 1
+
+    def test_cycle_detection(self):
+        a = gemm_kernel("a", 2, 2, 2, depends_on=("b",))
+        b = gemm_kernel("b", 2, 2, 2, depends_on=("a",))
+        with pytest.raises(SchedulingError):
+            OperationGraph(Workload(name="cycle", kernels=[a, b]))
+
+    def test_unknown_kernel_rejected(self):
+        graph = OperationGraph(Workload(name="toy", kernels=[gemm_kernel("a", 2, 2, 2)]))
+        with pytest.raises(SchedulingError):
+            graph.mark_complete("ghost")
+        with pytest.raises(SchedulingError):
+            graph.kernel("ghost")
+
+    def test_critical_path_length(self):
+        a = gemm_kernel("a", 2, 2, 2)
+        b = gemm_kernel("b", 2, 2, 2, depends_on=("a",))
+        c = gemm_kernel("c", 2, 2, 2)
+        graph = OperationGraph(Workload(name="toy", kernels=[a, b, c]))
+        assert graph.critical_path_length(lambda kernel: 10) == 20

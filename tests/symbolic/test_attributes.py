@@ -1,0 +1,82 @@
+"""Tests for attribute PMFs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TaskGenerationError
+from repro.symbolic import AttributePMF
+
+VALUES = ("a", "b", "c", "d")
+
+
+class TestConstruction:
+    def test_delta_puts_all_mass_on_value(self):
+        pmf = AttributePMF.delta("attr", VALUES, "c")
+        assert pmf.is_delta
+        assert pmf.probability_of("c") == 1.0
+        assert pmf.most_likely == "c"
+
+    def test_uniform_has_equal_mass_and_max_entropy(self):
+        pmf = AttributePMF.uniform("attr", VALUES)
+        assert pmf.probability_of("a") == pytest.approx(0.25)
+        assert pmf.entropy == pytest.approx(2.0)
+
+    def test_from_index_distribution_normalises(self):
+        pmf = AttributePMF.from_index_distribution("attr", VALUES, np.array([1.0, 1.0, 2.0, 0.0]))
+        assert pmf.probability_of("c") == pytest.approx(0.5)
+
+    def test_unnormalised_probabilities_rejected(self):
+        with pytest.raises(TaskGenerationError):
+            AttributePMF("attr", VALUES, np.array([0.5, 0.5, 0.5, 0.5]))
+
+    def test_negative_probabilities_rejected(self):
+        with pytest.raises(TaskGenerationError):
+            AttributePMF("attr", VALUES, np.array([1.2, -0.2, 0.0, 0.0]))
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(TaskGenerationError):
+            AttributePMF("attr", VALUES, np.array([1.0]))
+
+    def test_delta_with_unknown_value_rejected(self):
+        with pytest.raises(TaskGenerationError):
+            AttributePMF.delta("attr", VALUES, "z")
+
+    def test_zero_weight_distribution_rejected(self):
+        with pytest.raises(TaskGenerationError):
+            AttributePMF.from_index_distribution("attr", VALUES, np.zeros(4))
+
+
+class TestAlgebra:
+    def test_dot_is_high_for_matching_deltas(self):
+        a = AttributePMF.delta("attr", VALUES, "b")
+        b = AttributePMF.delta("attr", VALUES, "b")
+        c = AttributePMF.delta("attr", VALUES, "d")
+        assert a.dot(b) == 1.0
+        assert a.dot(c) == 0.0
+
+    def test_mix_interpolates(self):
+        a = AttributePMF.delta("attr", VALUES, "a")
+        b = AttributePMF.delta("attr", VALUES, "b")
+        mixed = a.mix(b, weight=0.25)
+        assert mixed.probability_of("a") == pytest.approx(0.25)
+        assert mixed.probability_of("b") == pytest.approx(0.75)
+
+    def test_mix_rejects_bad_weight(self):
+        a = AttributePMF.delta("attr", VALUES, "a")
+        with pytest.raises(TaskGenerationError):
+            a.mix(a, weight=1.5)
+
+    def test_different_domains_rejected(self):
+        a = AttributePMF.delta("attr", VALUES, "a")
+        b = AttributePMF.delta("attr", ("x", "y"), "x")
+        with pytest.raises(TaskGenerationError):
+            a.dot(b)
+
+    @settings(max_examples=30, deadline=None)
+    @given(weights=st.lists(st.floats(0.01, 10), min_size=4, max_size=4))
+    def test_property_entropy_bounded(self, weights):
+        pmf = AttributePMF.from_index_distribution("attr", VALUES, np.array(weights))
+        assert 0.0 <= pmf.entropy <= 2.0 + 1e-9
+        assert pmf.probabilities.sum() == pytest.approx(1.0)

@@ -1,0 +1,122 @@
+"""Tests for the RPM rule library."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TaskGenerationError
+from repro.symbolic import (
+    ArithmeticRule,
+    ConstantRule,
+    DistributeThreeRule,
+    LogicalRule,
+    ProgressionRule,
+    default_rule_library,
+    logical_rule_library,
+)
+
+
+class TestConstantRule:
+    def test_consistent_and_predict(self):
+        rule = ConstantRule()
+        assert rule.consistent_row((2, 2, 2), 5)
+        assert not rule.consistent_row((2, 2, 3), 5)
+        assert rule.predict(4, 4, 5) == 4
+        assert rule.predict(4, 3, 5) is None
+
+
+class TestProgressionRule:
+    @pytest.mark.parametrize("step", [1, 2, -1, -2])
+    def test_consistent_rows(self, step):
+        rule = ProgressionRule(step)
+        start = 4
+        row = (start, start + step, start + 2 * step)
+        assert rule.consistent_row(row, 10)
+        assert rule.predict(row[0], row[1], 10) == row[2]
+
+    def test_prediction_outside_domain_is_none(self):
+        rule = ProgressionRule(2)
+        assert rule.predict(6, 8, 10) is None  # 10 is out of range
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(TaskGenerationError):
+            ProgressionRule(0)
+
+    def test_names_are_unique(self):
+        assert ProgressionRule(1).name != ProgressionRule(-1).name
+
+
+class TestArithmeticRule:
+    def test_plus_and_minus(self):
+        plus = ArithmeticRule(subtract=False)
+        minus = ArithmeticRule(subtract=True)
+        assert plus.predict(2, 3, 10) == 5
+        assert minus.predict(7, 3, 10) == 4
+        assert plus.consistent_row((2, 3, 5), 10)
+        assert not plus.consistent_row((2, 3, 6), 10)
+
+    def test_out_of_domain_result_is_none(self):
+        plus = ArithmeticRule(subtract=False)
+        minus = ArithmeticRule(subtract=True)
+        assert plus.predict(7, 7, 10) is None
+        assert minus.predict(3, 7, 10) is None
+
+
+class TestDistributeThreeRule:
+    def test_predict_uses_observed_row_set(self):
+        rule = DistributeThreeRule()
+        observed = [(1, 4, 7), (7, 1, 4)]
+        assert rule.predict(4, 7, 10, observed_rows=observed) == 1
+        assert rule.predict(4, 4, 10, observed_rows=observed) is None
+
+    def test_rows_with_different_sets_are_inconsistent(self):
+        rule = DistributeThreeRule()
+        assert rule.consistent_rows([(1, 2, 3), (3, 1, 2)], 10)
+        assert not rule.consistent_rows([(1, 2, 3), (4, 5, 6)], 10)
+
+    def test_without_observed_rows_no_prediction(self):
+        assert DistributeThreeRule().predict(1, 2, 10) is None
+
+
+class TestLogicalRule:
+    @pytest.mark.parametrize(
+        "operator,first,second,expected",
+        [("xor", 0b1010, 0b0110, 0b1100), ("and", 0b1010, 0b0110, 0b0010), ("or", 0b1010, 0b0110, 0b1110)],
+    )
+    def test_operators(self, operator, first, second, expected):
+        rule = LogicalRule(operator)
+        assert rule.predict(first, second, 16) == expected
+        assert rule.consistent_row((first, second, expected), 16)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(TaskGenerationError):
+            LogicalRule("nand")
+
+    def test_out_of_domain_result_is_none(self):
+        assert LogicalRule("or").predict(5, 3, 4) is None
+
+    @settings(max_examples=30, deadline=None)
+    @given(first=st.integers(0, 15), second=st.integers(0, 15))
+    def test_property_xor_is_self_inverse(self, first, second):
+        rule = LogicalRule("xor")
+        third = rule.predict(first, second, 16)
+        assert rule.predict(third, second, 16) == first
+
+
+class TestLibraries:
+    def test_default_library_contents(self):
+        names = {rule.name for rule in default_rule_library()}
+        assert "constant" in names
+        assert "distribute_three" in names
+        assert any(name.startswith("progression") for name in names)
+        assert any(name.startswith("arithmetic") for name in names)
+
+    def test_logical_library_extends_default(self):
+        default_names = {rule.name for rule in default_rule_library()}
+        logical_names = {rule.name for rule in logical_rule_library()}
+        assert default_names < logical_names
+        assert {"logical_xor", "logical_and", "logical_or"} <= logical_names
+
+    def test_invalid_domain_rejected(self):
+        with pytest.raises(TaskGenerationError):
+            ConstantRule().consistent_row((0, 0, 0), 0)

@@ -1,0 +1,77 @@
+"""Tests for the CVR/SVRT generators and the dataset registry."""
+
+import pytest
+
+from repro.errors import TaskGenerationError
+from repro.tasks import (
+    CVRGenerator,
+    CVRTask,
+    SVRTGenerator,
+    make_generator,
+    TASK_GENERATORS,
+)
+
+
+class TestCVRGenerator:
+    def test_task_structure(self):
+        task = CVRGenerator(seed=1).generate_task()
+        assert task.num_panels == 4
+        assert 0 <= task.odd_index < 4
+
+    def test_regular_panels_share_the_rule_value(self):
+        task = CVRGenerator(seed=2).generate_task()
+        for index, panel in enumerate(task.panels):
+            if index == task.odd_index:
+                assert panel[task.rule_attribute] != task.shared_value
+            else:
+                assert panel[task.rule_attribute] == task.shared_value
+
+    def test_custom_panel_count(self):
+        task = CVRGenerator(num_panels=6, seed=3).generate_task()
+        assert task.num_panels == 6
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(TaskGenerationError):
+            CVRGenerator(num_panels=2)
+        with pytest.raises(TaskGenerationError):
+            CVRGenerator(seed=0).generate(0)
+
+    def test_invalid_task_construction_rejected(self):
+        with pytest.raises(TaskGenerationError):
+            CVRTask(name="bad", panels=({"shape": "a"},), odd_index=0,
+                    rule_attribute="shape", shared_value="a")
+
+
+class TestSVRTGenerator:
+    def test_same_tasks_have_identical_panels(self):
+        generator = SVRTGenerator(seed=4)
+        tasks = generator.generate(40)
+        for task in tasks:
+            if task.same:
+                assert task.panel_a == task.panel_b
+            else:
+                assert task.panel_a != task.panel_b
+
+    def test_labels_are_binary(self):
+        generator = SVRTGenerator(seed=5)
+        labels = {task.label for task in generator.generate(30)}
+        assert labels <= {0, 1}
+        assert len(labels) == 2
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(TaskGenerationError):
+            SVRTGenerator(seed=0).generate(0)
+
+
+class TestRegistry:
+    def test_all_five_datasets_registered(self):
+        assert set(TASK_GENERATORS) == {"raven", "iraven", "pgm", "cvr", "svrt"}
+
+    def test_make_generator_builds_each(self):
+        for name in TASK_GENERATORS:
+            generator = make_generator(name, seed=0)
+            assert generator is not None
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(TaskGenerationError):
+            make_generator("clevr")

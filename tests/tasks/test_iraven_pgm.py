@@ -1,0 +1,84 @@
+"""Tests for the I-RAVEN and PGM generators."""
+
+import pytest
+
+from repro.symbolic.rules import logical_rule_library
+from repro.tasks import IRavenGenerator, PGMGenerator
+from repro.tasks.pgm import POSITION_MASKS, mask_from_label, popcount_of_label
+
+
+class TestIRavenGenerator:
+    def test_answer_set_is_unbiased(self):
+        generator = IRavenGenerator("center", seed=1)
+        balances = []
+        for task in generator.generate(10):
+            for attribute in task.attribute_domains:
+                balances.append(
+                    IRavenGenerator.answer_value_balance(list(task.candidates), attribute)
+                )
+        # With the bisection tree no attribute value should dominate the
+        # candidate set the way plain RAVEN distractors do.
+        assert sum(balances) / len(balances) < 0.75
+
+    def test_majority_vote_shortcut_only_works_on_raven(self):
+        """The context-blind majority-vote shortcut that motivated I-RAVEN."""
+        from repro.tasks import RavenGenerator
+
+        def majority_vote_accuracy(generator, num_tasks=20):
+            correct = 0
+            for task in generator.generate(num_tasks):
+                scores = []
+                for candidate in task.candidates:
+                    score = sum(
+                        sum(other[attr] == candidate[attr] for other in task.candidates)
+                        for attr in task.attribute_domains
+                    )
+                    scores.append(score)
+                correct += scores.index(max(scores)) == task.answer_index
+            return correct / num_tasks
+
+        raven_shortcut = majority_vote_accuracy(RavenGenerator("center", seed=2))
+        iraven_shortcut = majority_vote_accuracy(IRavenGenerator("center", seed=2))
+        assert raven_shortcut > iraven_shortcut
+        assert raven_shortcut > 0.5
+
+    def test_correct_answer_present_exactly_once(self):
+        task = IRavenGenerator("center", seed=3).generate_task()
+        assert task.candidates.count(task.correct_answer) == 1
+
+    def test_task_name_uses_dataset_tag(self):
+        task = IRavenGenerator("center", seed=4).generate_task()
+        assert task.name.startswith("iraven/")
+
+
+class TestPGMGenerator:
+    def test_position_masks_cover_all_bitmasks(self):
+        assert len(POSITION_MASKS) == 16
+        assert mask_from_label("mask_1010") == 0b1010
+        assert popcount_of_label("mask_0111") == 3
+
+    def test_generated_tasks_include_position_attribute(self):
+        task = PGMGenerator(seed=5).generate_task()
+        assert "shape.position" in task.attribute_domains
+        assert len(task.attribute_domains["shape.position"]) == 16
+
+    def test_logical_rules_appear_in_batches(self):
+        batch = PGMGenerator(seed=6).generate(30)
+        histogram = batch.rule_histogram()
+        assert any(name.startswith("logical_") for name in histogram)
+
+    def test_rows_obey_logical_rules(self):
+        rules = {rule.name: rule for rule in logical_rule_library()}
+        for task in PGMGenerator(seed=7).generate(10):
+            rule = rules[task.rules["shape.position"]]
+            domain = list(task.attribute_domains["shape.position"])
+            panels = list(task.context) + [task.correct_answer]
+            rows = [
+                tuple(domain.index(panels[row * 3 + col]["shape.position"]) for col in range(3))
+                for row in range(3)
+            ]
+            assert rule.consistent_rows(rows, len(domain))
+
+    def test_mask_label_validation(self):
+        with pytest.raises(Exception):
+            mask_from_label("position_3")

@@ -1,0 +1,114 @@
+"""Tests for the RAVEN task generator."""
+
+import pytest
+
+from repro.errors import TaskGenerationError
+from repro.symbolic.rules import logical_rule_library
+from repro.tasks import RAVEN_CONFIGURATIONS, RavenGenerator
+from repro.tasks.base import RPMTask
+
+
+def _rule_by_name(name):
+    for rule in logical_rule_library():
+        if rule.name == name:
+            return rule
+    raise AssertionError(f"unknown rule {name}")
+
+
+class TestConfigurations:
+    def test_all_seven_constellations_present(self):
+        assert len(RAVEN_CONFIGURATIONS) == 7
+        assert {"center", "2x2_grid", "3x3_grid", "left_right", "up_down",
+                "out_in_center", "out_in_grid"} == set(RAVEN_CONFIGURATIONS)
+
+    def test_grid_configurations_add_number_attribute(self):
+        domains = RAVEN_CONFIGURATIONS["2x2_grid"].attribute_domains()
+        assert "grid.number" in domains
+        assert len(domains["grid.number"]) == 4
+
+    def test_multi_component_configurations_have_per_component_attributes(self):
+        domains = RAVEN_CONFIGURATIONS["left_right"].attribute_domains()
+        assert "left.type" in domains and "right.type" in domains
+
+
+class TestRavenGenerator:
+    @pytest.mark.parametrize("configuration", list(RAVEN_CONFIGURATIONS))
+    def test_generated_task_is_well_formed(self, configuration):
+        task = RavenGenerator(configuration, seed=1).generate_task()
+        assert isinstance(task, RPMTask)
+        assert len(task.context) == 8
+        assert len(task.candidates) == 8
+        assert set(task.rules) == set(task.attribute_domains)
+
+    def test_rows_obey_sampled_rules(self):
+        generator = RavenGenerator("center", seed=2)
+        for task in generator.generate(10):
+            panels = list(task.context) + [task.correct_answer]
+            for attribute, rule_name in task.rules.items():
+                rule = _rule_by_name(rule_name)
+                domain = list(task.attribute_domains[attribute])
+                rows = [
+                    tuple(domain.index(panels[row * 3 + col][attribute]) for col in range(3))
+                    for row in range(3)
+                ]
+                assert rule.consistent_rows(rows, len(domain)), (rule_name, rows)
+
+    def test_correct_answer_is_in_candidates_once(self):
+        task = RavenGenerator("center", seed=3).generate_task()
+        matches = [c for c in task.candidates if c == task.correct_answer]
+        assert len(matches) == 1
+
+    def test_distractors_differ_from_answer(self):
+        task = RavenGenerator("center", seed=4).generate_task()
+        for index, candidate in enumerate(task.candidates):
+            if index != task.answer_index:
+                assert candidate != task.correct_answer
+
+    def test_batch_generation_and_rule_histogram(self):
+        batch = RavenGenerator("center", seed=5).generate(6)
+        assert len(batch) == 6
+        histogram = batch.rule_histogram()
+        assert sum(histogram.values()) == 6 * 3  # three attributes per center task
+
+    def test_seeding_is_reproducible(self):
+        a = RavenGenerator("center", seed=7).generate_task()
+        b = RavenGenerator("center", seed=7).generate_task()
+        assert a.context == b.context and a.candidates == b.candidates
+
+    def test_unknown_configuration_rejected(self):
+        with pytest.raises(TaskGenerationError):
+            RavenGenerator("spiral")
+
+    def test_too_few_candidates_rejected(self):
+        with pytest.raises(TaskGenerationError):
+            RavenGenerator("center", num_candidates=1)
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(TaskGenerationError):
+            RavenGenerator("center", seed=0).generate(0)
+
+
+class TestRPMTaskValidation:
+    def test_wrong_context_length_rejected(self):
+        task = RavenGenerator("center", seed=8).generate_task()
+        with pytest.raises(TaskGenerationError):
+            RPMTask(
+                name="broken",
+                context=task.context[:5],
+                candidates=task.candidates,
+                answer_index=task.answer_index,
+                rules=task.rules,
+                attribute_domains=task.attribute_domains,
+            )
+
+    def test_answer_index_out_of_range_rejected(self):
+        task = RavenGenerator("center", seed=9).generate_task()
+        with pytest.raises(TaskGenerationError):
+            RPMTask(
+                name="broken",
+                context=task.context,
+                candidates=task.candidates,
+                answer_index=99,
+                rules=task.rules,
+                attribute_domains=task.attribute_domains,
+            )

@@ -1,0 +1,157 @@
+"""Tests for codebooks, codebook sets and the product codebook."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodebookError, DimensionMismatchError
+from repro.vsa import BipolarSpace, Codebook, CodebookSet, ProductCodebook
+
+
+@pytest.fixture
+def space():
+    return BipolarSpace(512, seed=11)
+
+
+@pytest.fixture
+def color_codebook(space):
+    return Codebook("color", ["red", "green", "blue"], space)
+
+
+class TestCodebook:
+    def test_length_and_membership(self, color_codebook):
+        assert len(color_codebook) == 3
+        assert "red" in color_codebook
+        assert "purple" not in color_codebook
+
+    def test_vector_lookup_by_label_and_index(self, color_codebook):
+        np.testing.assert_array_equal(
+            color_codebook.vector("green"), color_codebook.vector(1)
+        )
+
+    def test_index_of_unknown_label_raises(self, color_codebook):
+        with pytest.raises(CodebookError):
+            color_codebook.index_of("purple")
+
+    def test_vector_index_out_of_range_raises(self, color_codebook):
+        with pytest.raises(CodebookError):
+            color_codebook.vector(7)
+
+    def test_cleanup_recovers_stored_label(self, color_codebook):
+        label, similarity = color_codebook.cleanup(color_codebook.vector("blue"))
+        assert label == "blue"
+        assert similarity == pytest.approx(1.0)
+
+    def test_cleanup_recovers_label_under_noise(self, color_codebook, rng):
+        noisy = color_codebook.vector("red") + rng.normal(0, 0.5, size=512)
+        label, similarity = color_codebook.cleanup(noisy)
+        assert label == "red"
+        assert similarity > 0.5
+
+    def test_similarities_vector_shape(self, color_codebook):
+        sims = color_codebook.similarities(color_codebook.vector("red"))
+        assert sims.shape == (3,)
+        assert np.argmax(sims) == 0
+
+    def test_duplicate_labels_rejected(self, space):
+        with pytest.raises(CodebookError):
+            Codebook("color", ["red", "red"], space)
+
+    def test_empty_labels_rejected(self, space):
+        with pytest.raises(CodebookError):
+            Codebook("color", [], space)
+
+    def test_explicit_vectors_must_match_shape(self, space):
+        with pytest.raises(DimensionMismatchError):
+            Codebook("color", ["red", "blue"], space, vectors=np.ones((2, 8)))
+
+    def test_nbytes_accounting(self, color_codebook):
+        assert color_codebook.nbytes() == 3 * 512 * 4
+        assert color_codebook.nbytes(element_bytes=1) == 3 * 512
+
+
+class TestCodebookSet:
+    def test_from_factors_preserves_order(self, small_factors, space):
+        cbs = CodebookSet.from_factors(small_factors, space)
+        assert cbs.factor_names == list(small_factors)
+        assert cbs.factor_sizes == [len(v) for v in small_factors.values()]
+
+    def test_num_combinations(self, small_factors, space):
+        cbs = CodebookSet.from_factors(small_factors, space)
+        assert cbs.num_combinations == 5 * 3 * 4
+
+    def test_getitem_by_name_and_index(self, small_factors, space):
+        cbs = CodebookSet.from_factors(small_factors, space)
+        assert cbs["size"] is cbs[1]
+
+    def test_unknown_name_raises(self, small_factors, space):
+        cbs = CodebookSet.from_factors(small_factors, space)
+        with pytest.raises(CodebookError):
+            cbs["weight"]
+
+    def test_bind_combination_mapping_and_sequence_agree(self, small_factors, space):
+        cbs = CodebookSet.from_factors(small_factors, space)
+        mapping = {"type": "square", "size": "large", "color": "red"}
+        sequence = ["square", "large", "red"]
+        np.testing.assert_array_equal(
+            cbs.bind_combination(mapping), cbs.bind_combination(sequence)
+        )
+
+    def test_bind_combination_missing_factor_raises(self, small_factors, space):
+        cbs = CodebookSet.from_factors(small_factors, space)
+        with pytest.raises(CodebookError):
+            cbs.bind_combination({"type": "square"})
+
+    def test_bind_combination_wrong_length_raises(self, small_factors, space):
+        cbs = CodebookSet.from_factors(small_factors, space)
+        with pytest.raises(CodebookError):
+            cbs.bind_combination(["square", "large"])
+
+    def test_requires_consistent_dimensions(self, space):
+        other = BipolarSpace(128, seed=2)
+        with pytest.raises(DimensionMismatchError):
+            CodebookSet(
+                [Codebook("a", ["x"], space), Codebook("b", ["y"], other)]
+            )
+
+    def test_requires_unique_names(self, space):
+        with pytest.raises(CodebookError):
+            CodebookSet(
+                [Codebook("a", ["x"], space), Codebook("a", ["y"], space)]
+            )
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(CodebookError):
+            CodebookSet([])
+
+    def test_footprints(self, small_factors, space):
+        cbs = CodebookSet.from_factors(small_factors, space)
+        assert cbs.nbytes() == (5 + 3 + 4) * 512 * 4
+        assert cbs.product_nbytes() == 60 * 512 * 4
+        assert cbs.product_nbytes() > cbs.nbytes()
+
+
+class TestProductCodebook:
+    def test_materialises_all_combinations(self, small_factors, space):
+        cbs = CodebookSet.from_factors(small_factors, space)
+        product = ProductCodebook(cbs)
+        assert len(product) == cbs.num_combinations
+        assert product.vectors.shape == (60, 512)
+
+    def test_lookup_finds_exact_combination(self, small_factors, space):
+        cbs = CodebookSet.from_factors(small_factors, space)
+        product = ProductCodebook(cbs)
+        query = cbs.bind_combination({"type": "circle", "size": "small", "color": "black"})
+        labels, similarity = product.lookup(query)
+        assert labels == ("circle", "small", "black")
+        assert similarity == pytest.approx(1.0)
+
+    def test_refuses_combinatorial_explosion(self, space):
+        factors = {f"f{i}": [f"v{j}" for j in range(10)] for i in range(6)}
+        cbs = CodebookSet.from_factors(factors, space)
+        with pytest.raises(CodebookError):
+            ProductCodebook(cbs, max_combinations=1000)
+
+    def test_nbytes_matches_analytical_product_footprint(self, small_factors, space):
+        cbs = CodebookSet.from_factors(small_factors, space)
+        product = ProductCodebook(cbs)
+        assert product.nbytes() == cbs.product_nbytes()

@@ -1,0 +1,70 @@
+"""Tests for scene descriptions and the scene encoder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodebookError
+from repro.vsa import SceneDescription, SceneEncoder
+
+
+class TestSceneDescription:
+    def test_single_constructor(self):
+        scene = SceneDescription.single(type="square", size="small", color="red")
+        assert scene.num_objects == 1
+        assert scene.objects[0]["type"] == "square"
+
+    def test_multi_object_scene(self):
+        scene = SceneDescription(objects=({"type": "square"}, {"type": "circle"}))
+        assert scene.num_objects == 2
+
+
+class TestSceneEncoder:
+    def test_encode_object_matches_bind_combination(self, bipolar_codebooks):
+        encoder = SceneEncoder(bipolar_codebooks)
+        attributes = {"type": "square", "size": "large", "color": "red"}
+        np.testing.assert_array_equal(
+            encoder.encode_object(attributes),
+            bipolar_codebooks.bind_combination(attributes),
+        )
+
+    def test_encode_scene_single_object(self, bipolar_encoder):
+        scene = SceneDescription.single(type="circle", size="small", color="grey")
+        vector = bipolar_encoder.encode_scene(scene)
+        assert vector.shape == (bipolar_encoder.dim,)
+
+    def test_encode_scene_bundles_multiple_objects(self, bipolar_encoder):
+        obj_a = {"type": "circle", "size": "small", "color": "grey"}
+        obj_b = {"type": "square", "size": "large", "color": "red"}
+        scene = SceneDescription(objects=(obj_a, obj_b))
+        bundled = bipolar_encoder.encode_scene(scene)
+        space = bipolar_encoder.space
+        assert space.similarity(bundled, bipolar_encoder.encode_object(obj_a)) > 0.3
+        assert space.similarity(bundled, bipolar_encoder.encode_object(obj_b)) > 0.3
+
+    def test_encode_empty_scene_raises(self, bipolar_encoder):
+        with pytest.raises(CodebookError):
+            bipolar_encoder.encode_scene(SceneDescription(objects=()))
+
+    def test_encode_with_noise_zero_noise_is_exact(self, hrr_encoder):
+        scene = SceneDescription.single(type="circle", size="small", color="grey")
+        clean = hrr_encoder.encode_scene(scene)
+        np.testing.assert_array_equal(
+            hrr_encoder.encode_with_noise(scene, noise_std=0.0), clean
+        )
+
+    def test_encode_with_noise_stays_recoverable(self, hrr_encoder, rng):
+        scene = SceneDescription.single(type="circle", size="small", color="grey")
+        clean = hrr_encoder.encode_scene(scene)
+        noisy = hrr_encoder.encode_with_noise(scene, noise_std=0.3, rng=rng)
+        assert not np.array_equal(noisy, clean)
+        assert hrr_encoder.space.similarity(noisy, clean) > 0.8
+
+    def test_encode_with_negative_noise_raises(self, hrr_encoder):
+        scene = SceneDescription.single(type="circle", size="small", color="grey")
+        with pytest.raises(CodebookError):
+            hrr_encoder.encode_with_noise(scene, noise_std=-0.1)
+
+    def test_accepts_plain_sequence_of_objects(self, bipolar_encoder):
+        objs = [{"type": "circle", "size": "small", "color": "grey"}]
+        vector = bipolar_encoder.encode_scene(objs)
+        assert vector.shape == (bipolar_encoder.dim,)

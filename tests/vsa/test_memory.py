@@ -1,0 +1,70 @@
+"""Tests for the cleanup (associative item) memory."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodebookError
+from repro.vsa import BipolarSpace, CleanupMemory
+
+
+@pytest.fixture
+def space():
+    return BipolarSpace(256, seed=5)
+
+
+@pytest.fixture
+def memory(space):
+    memory = CleanupMemory(space)
+    for label in ["alpha", "beta", "gamma"]:
+        memory.store(label, space.random_vector())
+    return memory
+
+
+class TestCleanupMemory:
+    def test_length_and_membership(self, memory):
+        assert len(memory) == 3
+        assert "alpha" in memory
+        assert "delta" not in memory
+
+    def test_from_items_constructor(self, space):
+        items = {"a": space.random_vector(), "b": space.random_vector()}
+        memory = CleanupMemory.from_items(space, items)
+        assert memory.labels == ["a", "b"]
+
+    def test_store_overwrites_existing_label(self, memory, space):
+        replacement = space.random_vector()
+        memory.store("alpha", replacement)
+        assert len(memory) == 3
+        np.testing.assert_array_equal(memory.vector("alpha"), replacement)
+
+    def test_store_rejects_wrong_shape(self, memory):
+        with pytest.raises(CodebookError):
+            memory.store("bad", np.ones(7))
+
+    def test_vector_for_unknown_label_raises(self, memory):
+        with pytest.raises(CodebookError):
+            memory.vector("delta")
+
+    def test_cleanup_recovers_exact_item(self, memory):
+        label, similarity = memory.cleanup(memory.vector("beta"))
+        assert label == "beta"
+        assert similarity == pytest.approx(1.0)
+
+    def test_cleanup_recovers_noisy_item(self, memory, rng):
+        noisy = memory.vector("gamma") + rng.normal(0, 0.6, size=256)
+        label, _ = memory.cleanup(noisy)
+        assert label == "gamma"
+
+    def test_recall_top_k_ordering(self, memory):
+        results = memory.recall(memory.vector("alpha"), top_k=3)
+        assert [label for label, _ in results][0] == "alpha"
+        sims = [similarity for _, similarity in results]
+        assert sims == sorted(sims, reverse=True)
+
+    def test_recall_from_empty_memory_raises(self, space):
+        with pytest.raises(CodebookError):
+            CleanupMemory(space).recall(space.random_vector())
+
+    def test_recall_rejects_bad_top_k(self, memory, space):
+        with pytest.raises(CodebookError):
+            memory.recall(space.random_vector(), top_k=0)

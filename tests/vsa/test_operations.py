@@ -1,0 +1,163 @@
+"""Unit and property tests for the elementary VSA operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import DimensionMismatchError
+from repro.vsa import operations as ops
+
+
+def _finite_vectors(dim):
+    return arrays(
+        dtype=np.float64,
+        shape=dim,
+        elements=st.floats(-10, 10, allow_nan=False, allow_infinity=False),
+    )
+
+
+class TestCircularConvolve:
+    def test_matches_direct_definition(self, rng):
+        a = rng.normal(size=16)
+        b = rng.normal(size=16)
+        np.testing.assert_allclose(
+            ops.circular_convolve(a, b), ops.circular_convolve_direct(a, b), atol=1e-9
+        )
+
+    def test_known_small_example(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([4.0, 5.0, 6.0])
+        # c[0] = 1*4 + 2*6 + 3*5 = 31, c[1] = 1*5 + 2*4 + 3*6 = 31,
+        # c[2] = 1*6 + 2*5 + 3*4 = 28
+        np.testing.assert_allclose(ops.circular_convolve(a, b), [31, 31, 28], atol=1e-9)
+
+    def test_commutative(self, rng):
+        a = rng.normal(size=32)
+        b = rng.normal(size=32)
+        np.testing.assert_allclose(
+            ops.circular_convolve(a, b), ops.circular_convolve(b, a), atol=1e-9
+        )
+
+    def test_associative(self, rng):
+        a, b, c = rng.normal(size=(3, 32))
+        left = ops.circular_convolve(ops.circular_convolve(a, b), c)
+        right = ops.circular_convolve(a, ops.circular_convolve(b, c))
+        np.testing.assert_allclose(left, right, atol=1e-8)
+
+    def test_identity_element(self, rng):
+        a = rng.normal(size=16)
+        identity = np.zeros(16)
+        identity[0] = 1.0
+        np.testing.assert_allclose(ops.circular_convolve(a, identity), a, atol=1e-9)
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(DimensionMismatchError):
+            ops.circular_convolve(np.ones(4), np.ones(5))
+
+    def test_rejects_matrix_input(self):
+        with pytest.raises(DimensionMismatchError):
+            ops.circular_convolve(np.ones((2, 4)), np.ones(4))
+
+    @settings(max_examples=25, deadline=None)
+    @given(a=_finite_vectors(16), b=_finite_vectors(16))
+    def test_property_commutativity(self, a, b):
+        np.testing.assert_allclose(
+            ops.circular_convolve(a, b), ops.circular_convolve(b, a), atol=1e-6
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(a=_finite_vectors(16), b=_finite_vectors(16), c=_finite_vectors(16))
+    def test_property_distributes_over_addition(self, a, b, c):
+        left = ops.circular_convolve(a, b + c)
+        right = ops.circular_convolve(a, b) + ops.circular_convolve(a, c)
+        np.testing.assert_allclose(left, right, atol=1e-6)
+
+
+class TestCircularCorrelate:
+    def test_inverts_convolution_for_unitary_vectors(self, rng):
+        a = ops.random_unitary(64, rng=rng)
+        b = ops.random_unitary(64, rng=rng)
+        bound = ops.circular_convolve(a, b)
+        recovered = ops.circular_correlate(bound, a)
+        assert ops.cosine_similarity(recovered, b) > 0.99
+
+    def test_matches_direct_definition(self, rng):
+        c = rng.normal(size=12)
+        a = rng.normal(size=12)
+        np.testing.assert_allclose(
+            ops.circular_correlate(c, a), ops.circular_correlate_direct(c, a), atol=1e-9
+        )
+
+    def test_random_vectors_unbind_approximately(self, rng):
+        a = rng.normal(size=2048)
+        b = rng.normal(size=2048)
+        bound = ops.circular_convolve(a, b)
+        recovered = ops.circular_correlate(bound, a)
+        assert ops.cosine_similarity(recovered, b) > 0.6
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(DimensionMismatchError):
+            ops.circular_correlate(np.ones(8), np.ones(4))
+
+
+class TestSimilarity:
+    def test_cosine_of_identical_vectors_is_one(self, rng):
+        v = rng.normal(size=50)
+        assert ops.cosine_similarity(v, v) == pytest.approx(1.0)
+
+    def test_cosine_of_opposite_vectors_is_minus_one(self, rng):
+        v = rng.normal(size=50)
+        assert ops.cosine_similarity(v, -v) == pytest.approx(-1.0)
+
+    def test_cosine_of_zero_vector_is_zero(self):
+        assert ops.cosine_similarity(np.zeros(8), np.ones(8)) == 0.0
+
+    def test_random_bipolar_vectors_are_quasi_orthogonal(self, rng):
+        a = ops.random_bipolar(4096, rng=rng)
+        b = ops.random_bipolar(4096, rng=rng)
+        assert abs(ops.cosine_similarity(a, b)) < 0.1
+
+    def test_dot_similarity_scales_with_norm(self, rng):
+        v = rng.normal(size=32)
+        assert ops.dot_similarity(v, 2 * v) == pytest.approx(2 * np.dot(v, v))
+
+    @settings(max_examples=25, deadline=None)
+    @given(v=_finite_vectors(32))
+    def test_property_cosine_bounded(self, v):
+        other = np.roll(v, 3) + 1.0
+        sim = ops.cosine_similarity(v, other)
+        assert -1.0 - 1e-9 <= sim <= 1.0 + 1e-9
+
+
+class TestHelpers:
+    def test_normalize_vector_has_unit_norm(self, rng):
+        v = rng.normal(size=40)
+        assert np.linalg.norm(ops.normalize_vector(v)) == pytest.approx(1.0)
+
+    def test_normalize_zero_vector_is_unchanged(self):
+        np.testing.assert_array_equal(ops.normalize_vector(np.zeros(5)), np.zeros(5))
+
+    def test_permute_is_cyclic(self, rng):
+        v = rng.normal(size=10)
+        np.testing.assert_allclose(ops.permute(ops.permute(v, 4), 6), v)
+
+    def test_random_unitary_has_unit_magnitude_spectrum(self, rng):
+        v = ops.random_unitary(128, rng=rng)
+        spectrum = np.abs(np.fft.fft(v / np.sqrt(128)))
+        np.testing.assert_allclose(spectrum, np.ones(128), atol=1e-9)
+
+    def test_random_bipolar_values(self, rng):
+        v = ops.random_bipolar(256, rng=rng)
+        assert set(np.unique(v)) <= {-1.0, 1.0}
+
+    def test_circconv_flops_positive_and_quadratic(self):
+        assert ops.circconv_flops(8) == 2 * 64 - 8
+        assert ops.circconv_flops(1024) > ops.circconv_flops(512) * 3
+
+    def test_footprint_gemv_vs_streaming(self):
+        dim = 1024
+        assert ops.circconv_bytes_gemv(dim) > ops.circconv_bytes_streaming(dim) * 100
+        # Streaming footprint is linear in d.
+        assert ops.circconv_bytes_streaming(dim) == 4 * 3 * dim

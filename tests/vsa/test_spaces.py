@@ -1,0 +1,196 @@
+"""Tests for the hypervector spaces (bipolar, HRR, binary sparse block)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DimensionMismatchError
+from repro.vsa import (
+    BinarySparseBlockSpace,
+    BipolarSpace,
+    HRRSpace,
+    make_space,
+)
+
+ALL_SPACES = [
+    lambda: BipolarSpace(512, seed=3),
+    lambda: HRRSpace(512, seed=3),
+    lambda: BinarySparseBlockSpace(512, num_blocks=32, seed=3),
+]
+
+
+@pytest.fixture(params=ALL_SPACES, ids=["bipolar", "hrr", "block"])
+def any_space(request):
+    return request.param()
+
+
+class TestCommonSpaceBehaviour:
+    def test_random_vector_has_right_shape(self, any_space):
+        assert any_space.random_vector().shape == (any_space.dim,)
+
+    def test_random_vectors_stack(self, any_space):
+        assert any_space.random_vectors(5).shape == (5, any_space.dim)
+
+    def test_random_vectors_rejects_nonpositive_count(self, any_space):
+        with pytest.raises(DimensionMismatchError):
+            any_space.random_vectors(0)
+
+    def test_self_similarity_is_one(self, any_space):
+        v = any_space.random_vector()
+        assert any_space.similarity(v, v) == pytest.approx(1.0)
+
+    def test_random_vectors_quasi_orthogonal(self, any_space):
+        a = any_space.random_vector()
+        b = any_space.random_vector()
+        assert abs(any_space.similarity(a, b)) < 0.3
+
+    def test_bind_unbind_roundtrip(self, any_space):
+        a = any_space.random_vector()
+        b = any_space.random_vector()
+        bound = any_space.bind(a, b)
+        recovered = any_space.cleanup(any_space.unbind(bound, a))
+        assert any_space.similarity(recovered, b) > 0.9
+
+    def test_bound_vector_dissimilar_to_inputs(self, any_space):
+        a = any_space.random_vector()
+        b = any_space.random_vector()
+        bound = any_space.bind(a, b)
+        assert abs(any_space.similarity(bound, a)) < 0.4
+        assert abs(any_space.similarity(bound, b)) < 0.4
+
+    def test_identity_binding_preserves_vector(self, any_space):
+        a = any_space.random_vector()
+        bound = any_space.bind(a, any_space.identity())
+        assert any_space.similarity(any_space.cleanup(bound), a) > 0.99
+
+    def test_bundle_is_similar_to_members(self, any_space):
+        members = any_space.random_vectors(3)
+        bundled = any_space.bundle(members)
+        for member in members:
+            assert any_space.similarity(bundled, member) > 0.25
+
+    def test_cleanup_is_idempotent(self, any_space):
+        v = any_space.random_vector() + 0.01
+        once = any_space.cleanup(v)
+        twice = any_space.cleanup(once)
+        np.testing.assert_allclose(once, twice, atol=1e-9)
+
+    def test_bind_all_reduces_left_to_right(self, any_space):
+        a, b, c = any_space.random_vectors(3)
+        expected = any_space.bind(any_space.bind(a, b), c)
+        np.testing.assert_allclose(any_space.bind_all(np.stack([a, b, c])), expected)
+
+    def test_similarity_matrix_shape_and_diagonal(self, any_space):
+        vectors = any_space.random_vectors(4)
+        matrix = any_space.similarity_matrix(vectors, vectors)
+        assert matrix.shape == (4, 4)
+        np.testing.assert_allclose(np.diag(matrix), np.ones(4), atol=1e-9)
+
+    def test_similarity_matrix_dimension_mismatch(self, any_space):
+        with pytest.raises(DimensionMismatchError):
+            any_space.similarity_matrix(np.ones((2, 8)), np.ones((2, 9)))
+
+    def test_rejects_nonpositive_dimension(self):
+        with pytest.raises(DimensionMismatchError):
+            BipolarSpace(0)
+
+
+class TestBipolarSpace:
+    def test_vectors_are_bipolar(self):
+        space = BipolarSpace(256, seed=0)
+        assert set(np.unique(space.random_vector())) <= {-1.0, 1.0}
+
+    def test_binding_is_involutive(self):
+        space = BipolarSpace(256, seed=0)
+        a, b = space.random_vectors(2)
+        np.testing.assert_array_equal(space.unbind(space.bind(a, b), a), b)
+
+    def test_cleanup_breaks_ties_to_plus_one(self):
+        space = BipolarSpace(4, seed=0)
+        np.testing.assert_array_equal(
+            space.cleanup(np.array([0.0, -2.0, 3.0, 0.0])), [1.0, -1.0, 1.0, 1.0]
+        )
+
+    def test_shape_mismatch_raises(self):
+        space = BipolarSpace(16, seed=0)
+        with pytest.raises(DimensionMismatchError):
+            space.bind(np.ones(16), np.ones(8))
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_property_bind_preserves_bipolarity(self, seed):
+        space = BipolarSpace(64, seed=seed)
+        a, b = space.random_vectors(2)
+        assert set(np.unique(space.bind(a, b))) <= {-1.0, 1.0}
+
+
+class TestHRRSpace:
+    def test_random_vectors_are_unitary(self):
+        space = HRRSpace(128, seed=1)
+        v = space.random_vector() / np.sqrt(128)
+        np.testing.assert_allclose(np.abs(np.fft.fft(v)), np.ones(128), atol=1e-9)
+
+    def test_exact_unbinding_for_unitary_vectors(self):
+        space = HRRSpace(256, seed=1)
+        a, b = space.random_vectors(2)
+        recovered = space.unbind(space.bind(a, b), a)
+        assert space.similarity(recovered, b) > 0.999
+
+    def test_cleanup_projects_to_unitary_manifold(self):
+        space = HRRSpace(128, seed=1)
+        noisy = space.random_vector() + np.random.default_rng(0).normal(size=128)
+        cleaned = space.cleanup(noisy) / np.sqrt(128)
+        np.testing.assert_allclose(np.abs(np.fft.fft(cleaned)), np.ones(128), atol=1e-6)
+
+    def test_identity_is_binding_neutral(self):
+        space = HRRSpace(64, seed=1)
+        a = space.random_vector()
+        np.testing.assert_allclose(space.bind(a, space.identity()), a, atol=1e-9)
+
+
+class TestBinarySparseBlockSpace:
+    def test_dimension_must_divide_into_blocks(self):
+        with pytest.raises(DimensionMismatchError):
+            BinarySparseBlockSpace(100, num_blocks=3)
+
+    def test_random_vector_is_one_hot_per_block(self):
+        space = BinarySparseBlockSpace(64, num_blocks=8, seed=2)
+        blocks = space.random_vector().reshape(8, 8)
+        np.testing.assert_array_equal(blocks.sum(axis=1), np.ones(8))
+        assert set(np.unique(blocks)) <= {0.0, 1.0}
+
+    def test_binding_shifts_block_indices(self):
+        space = BinarySparseBlockSpace(16, num_blocks=2, seed=2)
+        a = np.zeros(16)
+        b = np.zeros(16)
+        a[1] = 1.0  # block 0 index 1
+        a[8 + 3] = 1.0  # block 1 index 3
+        b[2] = 1.0  # block 0 index 2
+        b[8 + 7] = 1.0  # block 1 index 7
+        bound = space.cleanup(space.bind(a, b))
+        blocks = bound.reshape(2, 8)
+        assert blocks[0].argmax() == (1 + 2) % 8
+        assert blocks[1].argmax() == (3 + 7) % 8
+
+    def test_cleanup_restores_one_hot_structure(self):
+        space = BinarySparseBlockSpace(32, num_blocks=4, seed=2)
+        noisy = space.random_vector() + 0.3
+        cleaned = space.cleanup(noisy).reshape(4, 8)
+        np.testing.assert_array_equal(cleaned.sum(axis=1), np.ones(4))
+
+
+class TestMakeSpace:
+    def test_factory_builds_each_kind(self):
+        assert isinstance(make_space("bipolar", 64), BipolarSpace)
+        assert isinstance(make_space("hrr", 64), HRRSpace)
+        assert isinstance(make_space("block", 64, num_blocks=8), BinarySparseBlockSpace)
+
+    def test_factory_rejects_unknown_kind(self):
+        with pytest.raises(DimensionMismatchError):
+            make_space("fourier", 64)
+
+    def test_factory_seeding_is_reproducible(self):
+        a = make_space("bipolar", 128, seed=5).random_vector()
+        b = make_space("bipolar", 128, seed=5).random_vector()
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,97 @@
+"""Tests for the kernel/workload graph representation."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import KernelKind, KernelOp, Stage, Workload
+from repro.workloads.builders import circconv_kernel, elementwise_kernel, gemm_kernel
+
+
+def _simple_workload():
+    a = gemm_kernel("a", m=4, k=4, n=4)
+    b = circconv_kernel("b", vector_dim=8, count=2, depends_on=("a",))
+    c = elementwise_kernel("c", elements=16, depends_on=("b",))
+    return Workload(name="toy", kernels=[a, b, c], weight_bytes=100, codebook_bytes=50)
+
+
+class TestKernelOp:
+    def test_arithmetic_intensity(self):
+        kernel = gemm_kernel("g", m=8, k=8, n=8)
+        assert kernel.arithmetic_intensity == pytest.approx(
+            kernel.flops / kernel.total_bytes
+        )
+
+    def test_device_launches_defaults_to_count(self):
+        kernel = circconv_kernel("c", vector_dim=8, count=5)
+        assert kernel.device_launches == 5
+        fused = circconv_kernel("c2", vector_dim=8, count=5, launches=2)
+        assert fused.device_launches == 2
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(WorkloadError):
+            KernelOp(
+                name="bad",
+                kind=KernelKind.GEMM,
+                stage=Stage.NEURAL,
+                flops=10,
+                bytes_read=10,
+                bytes_written=10,
+                m=0,
+            )
+
+    def test_circconv_requires_vector_dim(self):
+        with pytest.raises(WorkloadError):
+            KernelOp(
+                name="bad",
+                kind=KernelKind.CIRCCONV,
+                stage=Stage.SYMBOLIC,
+                flops=10,
+                bytes_read=10,
+                bytes_written=10,
+            )
+
+
+class TestWorkload:
+    def test_stage_and_kind_selection(self):
+        workload = _simple_workload()
+        assert [k.name for k in workload.by_stage(Stage.NEURAL)] == ["a"]
+        assert [k.name for k in workload.by_kind(KernelKind.CIRCCONV)] == ["b"]
+
+    def test_aggregate_metrics(self):
+        workload = _simple_workload()
+        assert workload.total_flops() == sum(k.flops for k in workload)
+        assert 0 < workload.symbolic_flops_fraction() < 1
+        assert workload.memory_footprint_bytes() == 150
+
+    def test_topological_order_respects_dependencies(self):
+        workload = _simple_workload()
+        order = [k.name for k in workload.topological_order()]
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_kernel_lookup(self):
+        workload = _simple_workload()
+        assert workload.kernel("b").kind is KernelKind.CIRCCONV
+        assert [k.name for k in workload.dependencies_of("b")] == ["a"]
+        with pytest.raises(WorkloadError):
+            workload.kernel("missing")
+
+    def test_duplicate_kernel_names_rejected(self):
+        a = gemm_kernel("a", m=2, k=2, n=2)
+        with pytest.raises(WorkloadError):
+            Workload(name="dup", kernels=[a, a])
+
+    def test_unknown_dependency_rejected(self):
+        a = gemm_kernel("a", m=2, k=2, n=2, depends_on=("ghost",))
+        with pytest.raises(WorkloadError):
+            Workload(name="bad", kernels=[a])
+
+    def test_cyclic_dependencies_detected(self):
+        a = gemm_kernel("a", m=2, k=2, n=2, depends_on=("b",))
+        b = gemm_kernel("b", m=2, k=2, n=2, depends_on=("a",))
+        workload = Workload(name="cycle", kernels=[a, b])
+        with pytest.raises(WorkloadError):
+            workload.topological_order()
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(WorkloadError):
+            Workload(name="empty", kernels=[])

@@ -1,0 +1,94 @@
+"""Tests for the NVSA/MIMONet/LVRF/PrAE workload builders."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    KernelKind,
+    Stage,
+    build_lvrf_workload,
+    build_mimonet_workload,
+    build_nvsa_workload,
+    build_prae_workload,
+    build_workload,
+)
+
+ALL_BUILDERS = {
+    "nvsa": build_nvsa_workload,
+    "mimonet": build_mimonet_workload,
+    "lvrf": build_lvrf_workload,
+    "prae": build_prae_workload,
+}
+
+
+class TestCommonProperties:
+    @pytest.mark.parametrize("name", list(ALL_BUILDERS))
+    def test_graph_is_valid_and_has_both_stages(self, name):
+        workload = ALL_BUILDERS[name]()
+        order = workload.topological_order()
+        assert len(order) == len(workload)
+        assert workload.by_stage(Stage.NEURAL)
+        assert workload.by_stage(Stage.SYMBOLIC)
+        assert workload.memory_footprint_bytes() > 1_000_000
+
+    @pytest.mark.parametrize("name", list(ALL_BUILDERS))
+    def test_registry_builds_same_workload(self, name):
+        assert build_workload(name).name == ALL_BUILDERS[name]().name
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(WorkloadError):
+            build_workload("alphageometry")
+
+
+class TestNVSA:
+    def test_symbolic_kernels_depend_on_neural_output(self):
+        workload = build_nvsa_workload()
+        unbind = workload.kernel("task0/symb/unbind")
+        assert any("neuro" in dep for dep in unbind.depends_on)
+
+    def test_symbolic_flops_are_minor_share(self):
+        workload = build_nvsa_workload()
+        assert 0.05 < workload.symbolic_flops_fraction() < 0.5
+
+    def test_grid_size_scales_work(self):
+        small = build_nvsa_workload(grid_size=2)
+        large = build_nvsa_workload(grid_size=3)
+        assert large.total_flops() > small.total_flops()
+
+    def test_codebook_variant_has_much_larger_codebook(self):
+        factorized = build_nvsa_workload(use_factorization=True)
+        exhaustive = build_nvsa_workload(use_factorization=False)
+        assert exhaustive.codebook_bytes > 20 * factorized.codebook_bytes
+
+    def test_multi_task_batches_have_independent_kernels(self):
+        workload = build_nvsa_workload(num_tasks=3)
+        task_ids = {kernel.task_id for kernel in workload}
+        assert task_ids == {0, 1, 2}
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(WorkloadError):
+            build_nvsa_workload(grid_size=1)
+        with pytest.raises(WorkloadError):
+            build_nvsa_workload(num_tasks=0)
+
+
+class TestWorkloadCharacter:
+    def test_mimonet_is_neural_dominated(self):
+        workload = build_mimonet_workload()
+        assert workload.symbolic_flops_fraction() < 0.1
+        circconvs = workload.by_kind(KernelKind.CIRCCONV)
+        assert circconvs and all(k.vector_dim <= 128 for k in circconvs)
+
+    def test_lvrf_has_the_most_circular_convolutions(self):
+        lvrf = sum(k.count for k in build_lvrf_workload().by_kind(KernelKind.CIRCCONV))
+        nvsa = sum(k.count for k in build_nvsa_workload().by_kind(KernelKind.CIRCCONV))
+        assert lvrf > nvsa
+
+    def test_prae_symbolic_stage_is_elementwise_heavy(self):
+        workload = build_prae_workload()
+        symbolic = workload.by_stage(Stage.SYMBOLIC)
+        elementwise_flops = sum(
+            k.flops for k in symbolic if k.kind is KernelKind.ELEMENTWISE
+        )
+        assert elementwise_flops > 0.5 * sum(k.flops for k in symbolic)
+        assert not workload.by_kind(KernelKind.CIRCCONV)
