@@ -1,22 +1,37 @@
 """Shared helpers for the benchmark harnesses (imported by every bench module).
 
-Every benchmark regenerates one table or figure of the paper: it runs the
-corresponding experiment driver once (``benchmark.pedantic`` with a single
-round so heavy experiments stay affordable), prints the resulting rows in
-the same layout the paper reports, and asserts the qualitative shape (who
-wins, by roughly what factor) so regressions are caught.
+Every benchmark regenerates one table or figure of the paper: it resolves
+the experiment through the declarative registry, runs it once through the
+execution engine (``benchmark.pedantic`` with a single round so heavy
+experiments stay affordable, caching disabled so the timing is real),
+prints the resulting rows in the same layout the paper reports, and asserts
+the qualitative shape (who wins, by roughly what factor) so regressions are
+caught.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.evaluation import engine
 from repro.evaluation.reporting import format_markdown_table
 
 
 def run_once(benchmark, func, *args, **kwargs):
     """Run ``func`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def run_spec(benchmark, experiment_id: str, **overrides):
+    """Run a registered experiment once through the engine, uncached.
+
+    Returns the :class:`~repro.evaluation.engine.ResultTable`; benchmarks
+    assert on ``.rows`` so they exercise exactly what the ``repro`` CLI and
+    ``repro report`` serve to users.
+    """
+    return run_once(
+        benchmark, engine.run, experiment_id, use_cache=False, **overrides
+    )
 
 
 def emit_rows(benchmark, title: str, rows) -> None:
@@ -29,6 +44,11 @@ def emit_rows(benchmark, title: str, rows) -> None:
     table = format_markdown_table(headers, [[row[h] for h in headers] for row in rows])
     print(f"\n## {title}\n{table}")
     benchmark.extra_info[title] = rows
+
+
+def emit_table(benchmark, table) -> None:
+    """Emit a :class:`ResultTable` under its registry title."""
+    emit_rows(benchmark, table.title, table.rows)
 
 
 @pytest.fixture

@@ -1,14 +1,13 @@
 """Fig. 4: end-to-end runtime, scalability and memory characterization."""
 
-from _bench_utils import emit_rows, run_once
-
-from repro.evaluation import experiments
+from _bench_utils import emit_table, run_spec
 
 
 def test_fig04a_runtime_breakdown(benchmark):
     """Symbolic kernels dominate runtime for the VSA-heavy workloads."""
-    rows = run_once(benchmark, experiments.characterization_runtime)
-    emit_rows(benchmark, "Fig. 4a/4b runtime breakdown", rows)
+    table = run_spec(benchmark, "fig04a")
+    emit_table(benchmark, table)
+    rows = table.rows
     nvsa_gpu = next(r for r in rows if r["workload"] == "nvsa" and r["device"] == "rtx2080ti")
     mimonet_gpu = next(
         r for r in rows if r["workload"] == "mimonet" and r["device"] == "rtx2080ti"
@@ -22,8 +21,9 @@ def test_fig04a_runtime_breakdown(benchmark):
 
 def test_fig04c_task_size_scaling(benchmark):
     """Scaling the RPM grid grows runtime while the symbolic share stays stable."""
-    rows = run_once(benchmark, experiments.characterization_scaling)
-    emit_rows(benchmark, "Fig. 4c task-size scaling", rows)
+    table = run_spec(benchmark, "fig04c")
+    emit_table(benchmark, table)
+    rows = table.rows
     # The paper measures ~5x growth from 2x2 to 3x3; our workload model grows
     # more mildly (panel count rather than full combination count), but the
     # direction and the stability of the symbolic share must hold.
@@ -33,6 +33,6 @@ def test_fig04c_task_size_scaling(benchmark):
 
 def test_fig04d_memory_footprint(benchmark):
     """Symbolic codebooks plus weights reach tens of MB per workload."""
-    rows = run_once(benchmark, experiments.characterization_memory)
-    emit_rows(benchmark, "Fig. 4d memory footprint", rows)
-    assert all(row["total_mb"] > 1.0 for row in rows)
+    table = run_spec(benchmark, "fig04d")
+    emit_table(benchmark, table)
+    assert all(row["total_mb"] > 1.0 for row in table.rows)

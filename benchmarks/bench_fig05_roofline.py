@@ -1,14 +1,13 @@
 """Fig. 5: roofline characterization on the desktop GPU."""
 
-from _bench_utils import emit_rows, run_once
-
-from repro.evaluation import experiments
+from _bench_utils import emit_table, run_spec
 
 
 def test_fig05_roofline(benchmark):
     """Symbolic stages are memory-bound, neural stages are compute-bound."""
-    rows = run_once(benchmark, experiments.characterization_roofline)
-    emit_rows(benchmark, "Fig. 5 roofline placement", rows)
+    table = run_spec(benchmark, "fig05")
+    emit_table(benchmark, table)
+    rows = table.rows
     for workload in ("nvsa", "lvrf", "prae"):
         symbolic = next(
             r for r in rows if r["workload"] == workload and r["stage"] == "symbolic"

@@ -1,14 +1,13 @@
 """Fig. 6: breakdown of symbolic runtime by operation type."""
 
-from _bench_utils import emit_rows, run_once
-
-from repro.evaluation import experiments
+from _bench_utils import emit_table, run_spec
 
 
 def test_fig06_symbolic_operation_breakdown(benchmark):
     """Circular convolution plus matrix-vector products dominate symbolic time."""
-    shares = run_once(benchmark, experiments.symbolic_breakdown)
-    emit_rows(benchmark, "Fig. 6 symbolic operation shares", [shares])
+    table = run_spec(benchmark, "fig06")
+    emit_table(benchmark, table)
+    shares = table.rows[0]
     dominant = shares["circconv"] + shares["matvec"]
     assert dominant > 0.6
     assert shares["gemm"] == 0.0 and shares["conv"] == 0.0

@@ -1,14 +1,13 @@
 """Fig. 8: memory and runtime impact of the symbolic factorization strategy."""
 
-from _bench_utils import emit_rows, run_once
-
-from repro.evaluation import experiments
+from _bench_utils import emit_table, run_spec
 
 
 def test_fig08_factorization_efficiency(benchmark):
     """Factorization shrinks the codebook by >50x and speeds up the pipeline."""
-    result = run_once(benchmark, experiments.factorization_efficiency)
-    emit_rows(benchmark, "Fig. 8 factorization efficiency", [result])
+    table = run_spec(benchmark, "fig08")
+    emit_table(benchmark, table)
+    result = table.rows[0]
     assert result["memory_reduction"] > 50
     assert result["factorized_kib"] < 1024
     assert result["runtime_speedup"] > 1.5

@@ -1,17 +1,17 @@
 """Fig. 11: bubble-streaming dataflow versus the GEMV lowering."""
 
 import numpy as np
-from _bench_utils import emit_rows, run_once
+from _bench_utils import emit_table, run_once, run_spec
 
-from repro.evaluation import experiments
 from repro.hardware.bubble_stream import BubbleStreamSimulator
 from repro.vsa.operations import circular_convolve
 
 
 def test_fig11ab_cycle_comparison(benchmark):
     """The tiny 3-element example: CogSys finishes faster than the GEMV lowering."""
-    result = run_once(benchmark, experiments.bs_dataflow_comparison, vector_dim=3, num_convs=3)
-    emit_rows(benchmark, "Fig. 11a/b BS dataflow cycles", [result])
+    table = run_spec(benchmark, "fig11a", vector_dim=3, num_convs=3)
+    emit_table(benchmark, table)
+    result = table.rows[0]
     assert result["cogsys_cycles"] < result["tpu_like_cycles"]
     assert result["speedup"] > 1.5
 
@@ -34,8 +34,9 @@ def test_fig11b_functional_correctness(benchmark):
 
 def test_fig11c_roofline(benchmark):
     """BS dataflow is compute-bound while the GEMV lowering is memory-bound."""
-    rows = run_once(benchmark, experiments.bs_roofline, vector_dim=2048)
-    emit_rows(benchmark, "Fig. 11c circconv roofline", rows)
+    table = run_spec(benchmark, "fig11c", vector_dim=2048)
+    emit_table(benchmark, table)
+    rows = table.rows
     bs = next(r for r in rows if "BS" in r["implementation"])
     gemv = next(r for r in rows if "GEMV" in r["implementation"])
     assert bs["bound"] == "compute"

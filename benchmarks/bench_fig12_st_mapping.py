@@ -1,14 +1,13 @@
 """Fig. 12: spatial versus temporal mapping of circular convolutions."""
 
-from _bench_utils import emit_rows, run_once
-
-from repro.evaluation import experiments
+from _bench_utils import emit_table, run_spec
 
 
 def test_fig12_st_mapping_tradeoff(benchmark):
     """Temporal mapping wins for many convolutions, spatial for single large ones."""
-    rows = run_once(benchmark, experiments.st_mapping_tradeoff)
-    emit_rows(benchmark, "Fig. 12 ST mapping trade-off", rows)
+    table = run_spec(benchmark, "fig12")
+    emit_table(benchmark, table)
+    rows = table.rows
     nvsa_case = next(r for r in rows if r["num_convs"] == 210)
     lvrf_case = next(r for r in rows if r["num_convs"] == 2575)
     single_large = next(r for r in rows if r["num_convs"] == 1)

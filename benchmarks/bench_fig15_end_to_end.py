@@ -1,8 +1,6 @@
 """Fig. 15: end-to-end runtime of CogSys versus CPU, GPU and edge SoCs."""
 
-from _bench_utils import emit_rows, run_once
-
-from repro.evaluation import experiments
+from _bench_utils import emit_table, run_spec
 
 
 def test_fig15_end_to_end_speedup(benchmark):
@@ -12,8 +10,9 @@ def test_fig15_end_to_end_speedup(benchmark):
     fastest) and real-time operation (<0.3 s per task) must hold; absolute
     speedup factors are expected to differ from the silicon measurements.
     """
-    rows = run_once(benchmark, experiments.end_to_end_speedups)
-    emit_rows(benchmark, "Fig. 15 end-to-end normalized runtime", rows)
+    table = run_spec(benchmark, "fig15")
+    emit_table(benchmark, table)
+    rows = table.rows
     assert len(rows) == 5
     for row in rows:
         assert row["jetson_tx2"] > row["xeon"] > row["rtx2080ti"] > 1.0

@@ -1,15 +1,13 @@
 """Fig. 16: energy consumption and performance-per-watt comparison."""
 
-from _bench_utils import emit_rows, run_once
-
-from repro.evaluation import experiments
+from _bench_utils import emit_table, run_spec
 
 
 def test_fig16_energy_efficiency(benchmark):
     """CogSys consumes orders of magnitude less energy per reasoning task."""
-    rows = run_once(benchmark, experiments.energy_efficiency)
-    emit_rows(benchmark, "Fig. 16 energy efficiency", rows)
-    for row in rows:
+    table = run_spec(benchmark, "fig16")
+    emit_table(benchmark, table)
+    for row in table.rows:
         assert row["cogsys_energy_j"] < 0.5
         for device in ("jetson_tx2", "xavier_nx", "xeon", "rtx2080ti"):
             # Every baseline burns far more energy per task ...

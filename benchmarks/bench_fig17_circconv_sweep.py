@@ -1,15 +1,13 @@
 """Fig. 17: circular-convolution speedup sweep over dimension and batch size."""
 
-from _bench_utils import emit_rows, run_once
-
-from repro.evaluation import experiments
+from _bench_utils import emit_table, run_spec
 
 
 def test_fig17_circconv_speedup_sweep(benchmark):
     """Speedup grows with vector dimension and number of convolutions."""
-    rows = run_once(benchmark, experiments.circconv_speedup_sweep)
-    emit_rows(benchmark, "Fig. 17 circconv speedup sweep", rows)
-    by_key = {(r["vector_dim"], r["num_convs"]): r for r in rows}
+    table = run_spec(benchmark, "fig17")
+    emit_table(benchmark, table)
+    by_key = {(r["vector_dim"], r["num_convs"]): r for r in table.rows}
 
     # The largest corner shows the biggest gains (paper: up to 75.96x / 18.9x).
     largest = by_key[(2048, 10000)]

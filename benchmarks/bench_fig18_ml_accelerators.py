@@ -1,14 +1,13 @@
 """Fig. 18: comparison against TPU-like, MTIA-like and Gemmini-like accelerators."""
 
-from _bench_utils import emit_rows, run_once
-
-from repro.evaluation import experiments
+from _bench_utils import emit_table, run_spec
 
 
 def test_fig18_ml_accelerator_comparison(benchmark):
     """Neural performance is comparable; symbolic and end-to-end strongly favour CogSys."""
-    rows = run_once(benchmark, experiments.ml_accelerator_comparison)
-    emit_rows(benchmark, "Fig. 18 ML accelerator comparison", rows)
+    table = run_spec(benchmark, "fig18")
+    emit_table(benchmark, table)
+    rows = table.rows
     for row in rows:
         # Neural kernels run within a small factor of CogSys on every baseline.
         assert row["neural_vs_cogsys"] < 6.0

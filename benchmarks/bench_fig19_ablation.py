@@ -1,15 +1,13 @@
 """Fig. 19: ablation of the adaptive scheduler, scalable array and nsPE."""
 
-from _bench_utils import emit_rows, run_once
-
-from repro.evaluation import experiments
+from _bench_utils import emit_table, run_spec
 
 
 def test_fig19_hardware_ablation(benchmark):
     """Each hardware technique contributes a further runtime reduction."""
-    rows = run_once(benchmark, experiments.hardware_ablation, num_tasks=3)
-    emit_rows(benchmark, "Fig. 19 hardware ablation (normalized runtime)", rows)
-    for row in rows:
+    table = run_spec(benchmark, "fig19", num_tasks=3)
+    emit_table(benchmark, table)
+    for row in table.rows:
         # Progressive removal of techniques increases runtime monotonically.
         assert (
             row["cogsys"]

@@ -1,17 +1,15 @@
 """Tab. II: kernel-level hardware inefficiency of symbolic operations."""
 
-from _bench_utils import emit_rows, run_once
-
-from repro.evaluation import experiments
+from _bench_utils import emit_table, run_spec
 
 
 def test_tab02_kernel_profile(benchmark):
     """Symbolic kernels show low compute utilisation but high DRAM pressure."""
-    profile = run_once(benchmark, experiments.kernel_profile)
-    rows = [{"kernel": name, **metrics} for name, metrics in profile.items()]
-    emit_rows(benchmark, "Tab. II kernel profile", rows)
-    neural = [m for name, m in profile.items() if "neural" in name]
-    symbolic = [m for name, m in profile.items() if "symbolic" in name]
-    assert min(m["compute_throughput"] for m in neural) > 90
-    assert max(m["compute_throughput"] for m in symbolic) < 10
-    assert min(m["dram_bw_utilization"] for m in symbolic) > 70
+    table = run_spec(benchmark, "tab02")
+    emit_table(benchmark, table)
+    rows = table.rows
+    neural = [r for r in rows if "neural" in r["kernel"]]
+    symbolic = [r for r in rows if "symbolic" in r["kernel"]]
+    assert min(r["compute_throughput"] for r in neural) > 90
+    assert max(r["compute_throughput"] for r in symbolic) < 10
+    assert min(r["dram_bw_utilization"] for r in symbolic) > 70

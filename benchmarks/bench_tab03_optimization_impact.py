@@ -1,14 +1,13 @@
 """Tab. III: accuracy/latency/memory impact of the algorithm optimizations."""
 
-from _bench_utils import emit_rows, run_once
-
-from repro.evaluation import experiments
+from _bench_utils import emit_table, run_spec
 
 
 def test_tab03_optimization_impact(benchmark):
     """Stochasticity keeps accuracy and quantization keeps it within a few points."""
-    rows = run_once(benchmark, experiments.optimization_impact, num_tasks=6)
-    emit_rows(benchmark, "Tab. III optimization impact", rows)
+    table = run_spec(benchmark, "tab03", num_tasks=6)
+    emit_table(benchmark, table)
+    rows = table.rows
     baseline = rows[0]["accuracy"]
     stochastic = rows[1]["accuracy"]
     quantized = rows[2]["accuracy"]

@@ -1,14 +1,13 @@
 """Tab. IV: per-circular-convolution footprint and parallelism across accelerators."""
 
-from _bench_utils import emit_rows, run_once
-
-from repro.evaluation import experiments
+from _bench_utils import emit_table, run_spec
 
 
 def test_tab04_accelerator_comparison(benchmark):
     """CogSys needs O(d) storage per circular convolution, GEMV lowerings need O(d^2)."""
-    rows = run_once(benchmark, experiments.accelerator_comparison, vector_dim=1024)
-    emit_rows(benchmark, "Tab. IV accelerator comparison", rows)
+    table = run_spec(benchmark, "tab04", vector_dim=1024)
+    emit_table(benchmark, table)
+    rows = table.rows
     gemv = next(r for r in rows if "GEMV" in r["accelerator"])
     cogsys = next(r for r in rows if "CogSys" in r["accelerator"])
     assert gemv["footprint_bytes"] > 100 * cogsys["footprint_bytes"]

@@ -1,14 +1,13 @@
 """Tab. V: reconfigurable nsPE versus heterogeneous dedicated PE pools."""
 
-from _bench_utils import emit_rows, run_once
-
-from repro.evaluation import experiments
+from _bench_utils import emit_table, run_spec
 
 
 def test_tab05_pe_design_choice(benchmark):
     """Same-area heterogeneous PEs double latency; same-latency ones double area."""
-    rows = run_once(benchmark, experiments.pe_design_choice, num_tasks=2)
-    emit_rows(benchmark, "Tab. V PE design choice", rows)
+    table = run_spec(benchmark, "tab05", num_tasks=2)
+    emit_table(benchmark, table)
+    rows = table.rows
     reconfigurable = next(r for r in rows if r["configuration"].startswith("reconfigurable"))
     same_area = next(r for r in rows if "8+8" in r["configuration"])
     same_latency = next(r for r in rows if "16+16" in r["configuration"])

@@ -1,19 +1,15 @@
 """Tab. VII: factorization accuracy across RAVEN constellations and rules."""
 
-from _bench_utils import emit_rows, run_once
-
-from repro.evaluation import experiments
+from _bench_utils import emit_table, run_spec
 
 
 def test_tab07_accuracy_by_constellation(benchmark):
     """Attribute recovery stays high (paper: ~95 %) across all constellations."""
-    rows = run_once(
-        benchmark,
-        experiments.factorization_accuracy_by_constellation,
-        tasks_per_constellation=2,
-        vector_dim=1024,
+    table = run_spec(
+        benchmark, "tab07a", tasks_per_constellation=2, vector_dim=1024
     )
-    emit_rows(benchmark, "Tab. VII factorization accuracy (constellations)", rows)
+    emit_table(benchmark, table)
+    rows = table.rows
     assert len(rows) == 7
     average = sum(r["accuracy"] for r in rows) / len(rows)
     assert average > 0.85
@@ -22,12 +18,8 @@ def test_tab07_accuracy_by_constellation(benchmark):
 
 def test_tab07_accuracy_by_rule(benchmark):
     """Attribute recovery grouped by governing rule stays high (paper: ~93 %)."""
-    rows = run_once(
-        benchmark,
-        experiments.factorization_accuracy_by_rule,
-        tasks_per_rule=2,
-        vector_dim=1024,
-    )
-    emit_rows(benchmark, "Tab. VII factorization accuracy (rules)", rows)
+    table = run_spec(benchmark, "tab07b", tasks_per_rule=2, vector_dim=1024)
+    emit_table(benchmark, table)
+    rows = table.rows
     average = sum(r["accuracy"] for r in rows) / len(rows)
     assert average > 0.75

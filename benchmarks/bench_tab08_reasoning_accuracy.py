@@ -1,14 +1,13 @@
 """Tab. VIII: end-to-end reasoning accuracy with the CogSys optimizations."""
 
-from _bench_utils import emit_rows, run_once
-
-from repro.evaluation import experiments
+from _bench_utils import emit_table, run_spec
 
 
 def test_tab08_reasoning_accuracy(benchmark):
     """Factorization + stochasticity match the baseline; PGM is the hardest set."""
-    rows = run_once(benchmark, experiments.reasoning_accuracy, tasks_per_dataset=6)
-    emit_rows(benchmark, "Tab. VIII reasoning accuracy", rows)
+    table = run_spec(benchmark, "tab08", tasks_per_dataset=6)
+    emit_table(benchmark, table)
+    rows = table.rows
     by_dataset = {row["dataset"]: row for row in rows}
     for dataset in ("raven", "iraven"):
         assert by_dataset[dataset]["cogsys_factorization_accuracy"] >= 0.65

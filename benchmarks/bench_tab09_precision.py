@@ -1,16 +1,15 @@
 """Tab. IX / Fig. 14: precision scaling of area, power and accuracy."""
 
-from _bench_utils import emit_rows, run_once
+from _bench_utils import emit_rows, emit_table, run_once, run_spec
 
-from repro.evaluation import experiments
 from repro.hardware import CogSysAccelerator
 
 
 def test_tab09_precision_impact(benchmark):
     """FP8/INT8 slash area and power while keeping reasoning accuracy."""
-    rows = run_once(benchmark, experiments.precision_impact, num_tasks=5)
-    emit_rows(benchmark, "Tab. IX precision impact", rows)
-    by_precision = {row["precision"]: row for row in rows}
+    table = run_spec(benchmark, "tab09", num_tasks=5)
+    emit_table(benchmark, table)
+    by_precision = {row["precision"]: row for row in table.rows}
     assert by_precision["fp32"]["array_area_mm2"] > 2 * by_precision["fp8"]["array_area_mm2"]
     assert by_precision["fp8"]["array_area_mm2"] > by_precision["int8"]["array_area_mm2"]
     assert by_precision["fp32"]["array_power_mw"] > 3 * by_precision["int8"]["array_power_mw"]

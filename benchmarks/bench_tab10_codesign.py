@@ -1,14 +1,13 @@
 """Tab. X: necessity of the algorithm-hardware co-design."""
 
-from _bench_utils import emit_rows, run_once
-
-from repro.evaluation import experiments
+from _bench_utils import emit_table, run_spec
 
 
 def test_tab10_codesign_ablation(benchmark):
     """Algorithm-only helps modestly; algorithm + accelerator is transformative."""
-    rows = run_once(benchmark, experiments.codesign_ablation)
-    emit_rows(benchmark, "Tab. X co-design ablation (normalized runtime)", rows)
+    table = run_spec(benchmark, "tab10")
+    emit_table(benchmark, table)
+    rows = table.rows
     assert len(rows) == 5
     for row in rows:
         # The CogSys algorithm alone (on Xavier NX) already trims runtime

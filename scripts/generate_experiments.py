@@ -1,9 +1,9 @@
 """Regenerate EXPERIMENTS.md: paper-reported vs measured results.
 
-Run with ``python scripts/generate_experiments.py`` (takes a couple of
-minutes).  Every table/figure of the paper's evaluation is regenerated via
-``repro.evaluation.experiments`` and written next to the number the paper
-reports, so the document always reflects the current state of the models.
+Legacy wrapper kept for muscle memory — the document is now produced by the
+experiment registry through ``repro report`` (or ``python -m repro report``).
+Run with ``python scripts/generate_experiments.py``; results are served from
+the on-disk cache when the code has not changed, so repeated runs are fast.
 """
 
 from __future__ import annotations
@@ -11,109 +11,10 @@ from __future__ import annotations
 import sys
 from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_ROOT / "src"))
 
-from repro.evaluation import experiments as E  # noqa: E402
-from repro.evaluation.reporting import format_markdown_table  # noqa: E402
-
-
-def table(rows) -> str:
-    if isinstance(rows, dict):
-        rows = [rows]
-    headers = list(rows[0].keys())
-    return format_markdown_table(headers, [[row[h] for h in headers] for row in rows])
-
-
-def main() -> None:
-    sections: list[str] = []
-    sections.append(
-        "# EXPERIMENTS — paper vs. measured\n\n"
-        "Every table and figure of the CogSys evaluation, regenerated with this\n"
-        "repository's models (`python scripts/generate_experiments.py`).  Absolute\n"
-        "numbers are not expected to match silicon/GPU measurements — the\n"
-        "hardware side is an analytical/cycle-level model and the workloads are\n"
-        "synthetic (see DESIGN.md) — but the *shape* (who wins, by roughly what\n"
-        "factor, where crossovers fall) is the reproduction target and is asserted\n"
-        "by the harnesses under `benchmarks/`.\n"
-    )
-
-    sections.append("## Fig. 4a/b — runtime breakdown across devices\n"
-                    "Paper: symbolic stage dominates runtime (up to ~87 % for NVSA on GPU); "
-                    "no device reaches real-time.\n\n" + table(E.characterization_runtime()))
-    sections.append("## Fig. 4c — task-size scalability (NVSA)\n"
-                    "Paper: total runtime grows ~5x from 2x2 to 3x3 while the symbolic share stays stable "
-                    "(91.6 % -> 87.4 %). Measured growth is milder because the workload model scales with "
-                    "panel count only, but the share stays stable.\n\n" + table(E.characterization_scaling()))
-    sections.append("## Fig. 4d — memory footprint\n"
-                    "Paper: 10.8-48.2 MB per workload, dominated by weights plus symbolic codebooks.\n\n"
-                    + table(E.characterization_memory()))
-    sections.append("## Fig. 5 — roofline placement (RTX 2080Ti)\n"
-                    "Paper: neural kernels are compute-bound, symbolic kernels memory-bound.\n\n"
-                    + table(E.characterization_roofline()))
-    sections.append("## Fig. 6 — symbolic operation breakdown (NVSA)\n"
-                    "Paper: circular convolution + vector-vector multiplication account for ~80 % of "
-                    "symbolic runtime.\n\n" + table([E.symbolic_breakdown()]))
-    sections.append("## Tab. II — kernel-level inefficiency profile\n"
-                    "Published measurements (reproduced as reference data and used to calibrate the "
-                    "device models).\n\n"
-                    + table([{"kernel": k, **v} for k, v in E.kernel_profile().items()]))
-    sections.append("## Fig. 8 — factorization efficiency\n"
-                    "Paper: 13,560 KB -> 190 KB (71.4x) codebook memory, 11.7 s -> 2.88 s (4.1x) runtime.\n\n"
-                    + table([E.factorization_efficiency()]))
-    sections.append("## Tab. III — algorithm optimization impact\n"
-                    "Paper: factorization and stochasticity increase accuracy and reduce latency/memory; "
-                    "quantization trades a little accuracy for 4x memory.\n\n"
-                    + table(E.optimization_impact(num_tasks=8)))
-    sections.append("## Tab. IV — accelerator comparison (per circular convolution)\n"
-                    "Paper: CogSys is the only design with O(d) footprint and column-wise parallelism.\n\n"
-                    + table(E.accelerator_comparison()))
-    sections.append("## Tab. V — reconfigurable vs heterogeneous PEs\n"
-                    "Paper: heterogeneous PEs cost 1.96x area (same latency) or 2x latency (same area) "
-                    "and halve utilization.\n\n" + table(E.pe_design_choice()))
-    sections.append("## Fig. 11 — bubble-streaming dataflow\n"
-                    "Paper: 3 circular convolutions of d=3 finish in 8 cycles on CogSys vs 24 on a "
-                    "TPU-like cell; BS dataflow is compute-bound, GEMV lowering memory-bound.\n\n"
-                    + table([E.bs_dataflow_comparison()]) + "\n\n" + table(E.bs_roofline()))
-    sections.append("## Fig. 12 — spatial/temporal mapping\n"
-                    "Paper: temporal mapping chosen for NVSA (k=210) and LVRF (k=2575) at d=1024; spatial "
-                    "mapping reduces bandwidth by N/2.\n\n" + table(E.st_mapping_tradeoff()))
-    sections.append("## Tab. VII — factorization accuracy\n"
-                    "Paper: ~95.4 % average across constellations, ~93.5 % across rules.\n\n"
-                    + table(E.factorization_accuracy_by_constellation(tasks_per_constellation=3))
-                    + "\n\n" + table(E.factorization_accuracy_by_rule(tasks_per_rule=3)))
-    sections.append("## Tab. VIII — reasoning accuracy\n"
-                    "Paper: RAVEN 98.7 %, I-RAVEN 99.0 %, PGM 68.6 % with factorization+stochasticity; "
-                    "parameters 38 MB -> 32 MB -> 8 MB.\n\n" + table(E.reasoning_accuracy(tasks_per_dataset=10)))
-    sections.append("## Tab. IX / Fig. 14 — precision, area, power\n"
-                    "Paper: FP8 array 9.9 mm^2 / 1.24 W, INT8 3.8 mm^2 / 1.10 W, 4.8 % reconfigurability "
-                    "overhead at FP8; accelerator 4.0 mm^2, 1.48 W.\n\n" + table(E.precision_impact(num_tasks=8)))
-    sections.append("## Fig. 15 — end-to-end runtime vs CPU/GPU/edge SoCs\n"
-                    "Paper: ~90.8x / 56.8x / 15.9x / 4.6x over TX2 / NX / Xeon / RTX; CogSys <0.3 s per task.\n\n"
-                    + table(E.end_to_end_speedups()))
-    sections.append("## Fig. 16 — energy efficiency\n"
-                    "Paper: ~0.44 J per task on CogSys; two to three orders of magnitude better "
-                    "performance per watt than CPU/GPU.\n\n" + table(E.energy_efficiency()))
-    sections.append("## Fig. 17 — circular convolution speedup sweep\n"
-                    "Paper: up to 75.96x over a TPU-like array and 18.9x over the GPU, growing with "
-                    "vector dimension and batch size.\n\n" + table(E.circconv_speedup_sweep()))
-    sections.append("## Fig. 18 — comparison with ML accelerators\n"
-                    "Paper: comparable neural performance, 13.6-127.5x faster symbolic execution, "
-                    "1.7-3.7x end-to-end over TPU/MTIA/Gemmini-like designs (NVSA/LVRF/MIMONet).\n\n"
-                    + table(E.ml_accelerator_comparison()))
-    sections.append("## Fig. 19 — hardware technique ablation\n"
-                    "Paper: adSCH trims runtime by 28 %; with the scalable array and nsPE the reduction "
-                    "reaches 61 % and 71 % (normalized runtime ~0.29 for the full design).\n\n"
-                    + table(E.hardware_ablation()))
-    sections.append("## Tab. X — co-design ablation\n"
-                    "Paper: CogSys algorithm on Xavier NX keeps ~89.5 % of the NVSA runtime; algorithm + "
-                    "accelerator reduces it to ~1.76 %.\n\n" + table(E.codesign_ablation()))
-    sections.append("## Dataset accuracy overview (supports Fig. 15/16 claims)\n\n"
-                    + table(E.task_accuracy_overview(tasks_per_dataset=10)))
-
-    output = Path(__file__).resolve().parent.parent / "EXPERIMENTS.md"
-    output.write_text("\n\n".join(sections) + "\n")
-    print(f"wrote {output}")
-
+from repro.cli import main  # noqa: E402
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main(["report", "--output", str(_ROOT / "EXPERIMENTS.md")]))

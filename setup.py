@@ -1,10 +1,45 @@
-"""Setuptools shim so legacy editable installs work in offline environments.
+"""Packaging metadata for the CogSys reproduction.
 
-``pip install -e . --no-build-isolation --no-use-pep517`` (or
-``python setup.py develop``) works without network access or the ``wheel``
-package; the project metadata itself lives in ``pyproject.toml``.
+Installs the ``repro`` package from ``src/`` and the ``repro`` console
+script (the experiment CLI, also reachable as ``python -m repro``).
+``pip install -e . --no-build-isolation`` works without network access or
+the ``wheel`` package in offline environments.
 """
 
-from setuptools import setup
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+_VERSION = {}
+exec((Path(__file__).parent / "src" / "repro" / "_version.py").read_text(), _VERSION)
+
+setup(
+    name="cogsys-repro",
+    version=_VERSION["__version__"],
+    description=(
+        "Reproduction of CogSys: efficient and scalable neurosymbolic "
+        "cognition via algorithm-hardware co-design (HPCA 2025)"
+    ),
+    long_description=(Path(__file__).parent / "README.md").read_text()
+    if (Path(__file__).parent / "README.md").is_file()
+    else "",
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+    extras_require={
+        "test": ["pytest>=7", "pytest-benchmark>=4", "hypothesis>=6"],
+    },
+    entry_points={
+        "console_scripts": ["repro=repro.cli:main"],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "License :: OSI Approved :: MIT License",
+        "Topic :: Scientific/Engineering",
+        "Intended Audience :: Science/Research",
+    ],
+)

@@ -28,8 +28,17 @@ contribution:
     SRAM/DRAM, energy/area) and baseline devices (TPU/GPU/CPU/edge SoCs).
 ``repro.scheduler``
     Sequential and adaptive workload-aware (adSCH) schedulers.
-``repro.profiling`` and ``repro.evaluation``
-    Workload characterization and per-figure experiment drivers.
+``repro.profiling``
+    Workload characterization helpers (runtime/roofline/memory profiling).
+``repro.evaluation``
+    The evaluation platform: per-figure experiment drivers in focused
+    modules, the declarative ``repro.evaluation.registry`` of
+    ``ExperimentSpec`` entries, and the caching/parallel
+    ``repro.evaluation.engine`` that executes them.
+``repro.cli``
+    The ``repro`` command line (``repro list`` / ``run`` / ``report`` /
+    ``cache``, also ``python -m repro``) for running registered experiments
+    and regenerating ``EXPERIMENTS.md``.
 """
 
 from repro._version import __version__

@@ -1,0 +1,245 @@
+"""``repro`` — command-line front-end to the experiment registry/engine.
+
+Installed as a console script (see ``setup.py``) and runnable as
+``python -m repro``.  Subcommands:
+
+``repro list [--tag TAG] [--format md|json]``
+    Enumerate the registered experiments (id, anchor, tags, title).
+``repro run ID [ID ...] [--param k=v] [--workers N] [--no-cache]
+[--format md|csv|json] [--output FILE] [--smoke]``
+    Execute one or more experiments through the caching engine and print
+    (or write) the result tables.
+``repro report [--output EXPERIMENTS.md] [--workers N] [--no-cache]
+[--smoke]``
+    Regenerate the paper-vs-measured document from the registry.
+``repro cache info|clear``
+    Inspect or empty the on-disk result cache.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro._version import __version__
+from repro.errors import ReproError
+from repro.evaluation import engine, report
+from repro.evaluation.registry import all_specs, get_spec, specs_by_tag
+from repro.evaluation.reporting import format_markdown_table
+
+__all__ = ["main", "build_parser"]
+
+
+def _coerce_param(raw: str, type_label: str):
+    """Coerce a ``--param`` value string according to its schema label."""
+    if type_label == "int":
+        return int(raw)
+    if type_label == "float":
+        return float(raw)
+    if type_label == "str":
+        return raw
+    if type_label == "ints":
+        return tuple(int(part) for part in raw.split(",") if part)
+    if type_label == "strs":
+        return tuple(part for part in raw.split(",") if part)
+    if type_label == "int_pairs":
+        # e.g. "210:1024,1:2048" -> ((210, 1024), (1, 2048))
+        pairs = []
+        for chunk in raw.split(","):
+            if not chunk:
+                continue
+            left, _, right = chunk.partition(":")
+            pairs.append((int(left), int(right)))
+        return tuple(pairs)
+    raise ValueError(f"unknown param type '{type_label}'")
+
+
+def _parse_params(spec, assignments: list[str]) -> dict:
+    """Turn ``k=v`` strings into typed overrides for ``spec``."""
+    overrides = {}
+    for assignment in assignments:
+        key, separator, value = assignment.partition("=")
+        if not separator:
+            raise ReproError(f"--param expects key=value, got '{assignment}'")
+        if key not in spec.param_schema:
+            raise ReproError(
+                f"experiment '{spec.id}' has no parameter '{key}'; "
+                f"schema: {dict(spec.param_schema)}"
+            )
+        type_label = spec.param_schema[key]
+        try:
+            overrides[key] = _coerce_param(value, type_label)
+        except ValueError:
+            raise ReproError(
+                f"cannot parse --param {key}={value!r} as {type_label}"
+            ) from None
+    return overrides
+
+
+def _cmd_list(args) -> int:
+    specs = specs_by_tag(args.tag) if args.tag else all_specs()
+    if args.format == "json":
+        payload = [
+            {
+                "id": spec.id,
+                "anchor": spec.anchor,
+                "title": spec.title,
+                "tags": list(spec.tags),
+                "params": dict(spec.param_schema),
+            }
+            for spec in specs
+        ]
+        print(json.dumps(payload, indent=2))
+    else:
+        rows = [
+            [spec.id, spec.anchor, ",".join(spec.tags), spec.title] for spec in specs
+        ]
+        print(format_markdown_table(["id", "anchor", "tags", "title"], rows))
+        print(f"\n{len(specs)} experiments registered.")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    specs = [get_spec(experiment_id) for experiment_id in args.ids]
+    # A --param applies to every requested spec that declares the key, so
+    # shared parameters (e.g. `datasets` on fig15/fig16/tab10) fan out while
+    # mixed-schema multi-id runs still work; a key no spec declares errors.
+    for assignment in args.param:
+        key = assignment.partition("=")[0]
+        if not any(key in spec.param_schema for spec in specs):
+            raise ReproError(
+                f"no requested experiment has a parameter '{key}'; "
+                + "; ".join(f"{spec.id}: {sorted(spec.param_schema)}" for spec in specs)
+            )
+    overrides_by_id = {}
+    for spec in specs:
+        overrides = dict(spec.smoke_params) if args.smoke else {}
+        applicable = [
+            assignment for assignment in args.param
+            if assignment.partition("=")[0] in spec.param_schema
+        ]
+        overrides.update(_parse_params(spec, applicable))
+        overrides_by_id[spec.id] = overrides
+    tables = engine.run_many(
+        args.ids,
+        workers=args.workers,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        overrides_by_id=overrides_by_id,
+    )
+    for table in tables:
+        source = table.provenance.get("cache", "off")
+        print(
+            f"[{table.experiment_id}] {table.title} — {len(table)} rows "
+            f"(cache {source})",
+            file=sys.stderr,
+        )
+    if args.format == "json":
+        # One document per request: a single object for one id, a JSON array
+        # for several, so the output always parses as one JSON value.
+        documents = [json.loads(table.to_json()) for table in tables]
+        payload = documents[0] if len(documents) == 1 else documents
+        output = json.dumps(payload, indent=2) + "\n"
+    elif args.format == "csv":
+        output = "\n\n".join(table.to_csv() for table in tables)
+    else:
+        output = (
+            "\n\n".join(f"## {table.title}\n\n{table.to_markdown()}" for table in tables)
+            + "\n"
+        )
+    if args.output:
+        Path(args.output).write_text(output)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(output, end="")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    path = report.write_report(
+        args.output,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        workers=args.workers,
+        smoke=args.smoke,
+    )
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    if args.action == "clear":
+        removed = engine.clear_cache(args.cache_dir)
+        print(f"removed {removed} cached result(s)")
+    else:
+        info = engine.cache_info(args.cache_dir)
+        print(json.dumps(info, indent=2))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run the CogSys reproduction's registered experiments.",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="enumerate registered experiments")
+    list_parser.add_argument("--tag", help="only experiments carrying this tag")
+    list_parser.add_argument("--format", choices=("md", "json"), default="md")
+    list_parser.set_defaults(func=_cmd_list)
+
+    run_parser = subparsers.add_parser("run", help="execute experiments by id")
+    run_parser.add_argument("ids", nargs="+", metavar="ID", help="experiment id(s)")
+    run_parser.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="K=V",
+        help="driver parameter override (repeatable); lists are comma-separated",
+    )
+    run_parser.add_argument("--workers", type=int, default=None, metavar="N",
+                            help="run ids in N worker processes")
+    run_parser.add_argument("--no-cache", action="store_true",
+                            help="bypass the on-disk result cache")
+    run_parser.add_argument("--format", choices=("md", "csv", "json"), default="md")
+    run_parser.add_argument("--output", metavar="FILE", help="write tables to FILE")
+    run_parser.add_argument("--smoke", action="store_true",
+                            help="use each spec's smoke-scale parameters")
+    run_parser.add_argument("--cache-dir", default=None, help=argparse.SUPPRESS)
+    run_parser.set_defaults(func=_cmd_run)
+
+    report_parser = subparsers.add_parser(
+        "report", help="regenerate EXPERIMENTS.md from the registry"
+    )
+    report_parser.add_argument("--output", default="EXPERIMENTS.md", metavar="FILE")
+    report_parser.add_argument("--workers", type=int, default=None, metavar="N")
+    report_parser.add_argument("--no-cache", action="store_true")
+    report_parser.add_argument("--smoke", action="store_true",
+                               help="smoke-scale parameters (CI/tests)")
+    report_parser.add_argument("--cache-dir", default=None, help=argparse.SUPPRESS)
+    report_parser.set_defaults(func=_cmd_report)
+
+    cache_parser = subparsers.add_parser("cache", help="inspect or clear the result cache")
+    cache_parser.add_argument("action", choices=("info", "clear"))
+    cache_parser.add_argument("--cache-dir", default=None, help=argparse.SUPPRESS)
+    cache_parser.set_defaults(func=_cmd_cache)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,4 +1,14 @@
-"""Evaluation harness: cognitive solvers and per-figure experiment drivers."""
+"""Evaluation harness: solvers, experiment registry, engine and reporting.
+
+The cognitive solvers live in :mod:`repro.evaluation.solver`; the per-figure
+experiment drivers are spread over four focused modules (``characterization``,
+``accuracy_experiments``, ``hardware_experiments``, ``end_to_end``) and bound
+together by the declarative :mod:`repro.evaluation.registry`.  Use
+:mod:`repro.evaluation.engine` (or the ``repro`` CLI) to execute registered
+experiments with on-disk result caching and optional process-level
+parallelism; :mod:`repro.evaluation.experiments` remains as a
+backwards-compatible facade over the drivers.
+"""
 
 from repro.evaluation.solver import (
     CVRSolver,
@@ -6,8 +16,12 @@ from repro.evaluation.solver import (
     SolverConfig,
     SVRTSolver,
 )
-from repro.evaluation.reporting import format_markdown_table
+from repro.evaluation.reporting import format_csv, format_markdown_table
 from repro.evaluation import experiments
+from repro.evaluation import registry
+from repro.evaluation import engine
+from repro.evaluation.registry import ExperimentSpec, all_specs, get_spec
+from repro.evaluation.engine import ResultTable, run, run_many
 
 __all__ = [
     "NeuroSymbolicSolver",
@@ -15,5 +29,14 @@ __all__ = [
     "CVRSolver",
     "SVRTSolver",
     "format_markdown_table",
+    "format_csv",
     "experiments",
+    "registry",
+    "engine",
+    "ExperimentSpec",
+    "all_specs",
+    "get_spec",
+    "ResultTable",
+    "run",
+    "run_many",
 ]

@@ -1,0 +1,288 @@
+"""Algorithm-optimization and accuracy drivers (Fig. 8, Tab. III, VII-IX).
+
+These experiments measure what the paper's algorithmic contributions do to
+reasoning quality and to the memory/runtime budget: symbolic codebook
+factorization, stochasticity injection and low-precision quantization.
+Every driver returns plain Python data (lists of dicts) and is bound into
+:mod:`repro.evaluation.registry`; see the top-level ``README.md`` for the
+experiment index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import Precision
+from repro.core.footprint import compare_footprints
+from repro.hardware import make_device
+from repro.hardware.energy import PRECISION_SILICON
+from repro.evaluation.solver import CVRSolver, NeuroSymbolicSolver, SolverConfig, SVRTSolver
+from repro.tasks import CVRGenerator, IRavenGenerator, PGMGenerator, RavenGenerator, SVRTGenerator
+from repro.tasks.raven import RAVEN_CONFIGURATIONS
+from repro.workloads import build_workload
+from repro.workloads.nvsa import NVSA_FACTOR_SIZES
+
+__all__ = [
+    "factorization_efficiency",
+    "optimization_impact",
+    "factorization_accuracy_by_constellation",
+    "factorization_accuracy_by_rule",
+    "reasoning_accuracy",
+    "precision_impact",
+    "task_accuracy_overview",
+]
+
+
+def factorization_efficiency(device_name: str = "xavier_nx") -> dict:
+    """Fig. 8: codebook memory and runtime with and without factorization."""
+    report = compare_footprints(NVSA_FACTOR_SIZES, dim=1024)
+    device = make_device(device_name)
+    with_fact = device.workload_time(build_workload("nvsa", use_factorization=True))
+    without_fact = device.workload_time(build_workload("nvsa", use_factorization=False))
+    return {
+        "codebook_kib": report.product_codebook_kib,
+        "factorized_kib": report.factorized_kib,
+        "memory_reduction": report.reduction_factor,
+        "runtime_with_factorization_s": with_fact.total_seconds,
+        "runtime_without_factorization_s": without_fact.total_seconds,
+        "runtime_speedup": without_fact.total_seconds / with_fact.total_seconds,
+    }
+
+
+def optimization_impact(num_tasks: int = 12) -> list[dict]:
+    """Tab. III: directional impact of factorization, stochasticity, quantization."""
+    generator = RavenGenerator("center", seed=11)
+    batch = generator.generate(num_tasks)
+    baseline = NeuroSymbolicSolver(
+        SolverConfig(use_vsa_factorization=True, stochasticity=0.0, vector_dim=512)
+    )
+    stochastic = NeuroSymbolicSolver(
+        SolverConfig(use_vsa_factorization=True, stochasticity=0.05, vector_dim=512)
+    )
+    quantized = NeuroSymbolicSolver(
+        SolverConfig(
+            use_vsa_factorization=True,
+            stochasticity=0.05,
+            quantization=Precision.INT8,
+            vector_dim=512,
+        )
+    )
+    footprint = compare_footprints(NVSA_FACTOR_SIZES, dim=1024)
+    footprint_int8 = compare_footprints(NVSA_FACTOR_SIZES, dim=1024, precision=Precision.INT8)
+    return [
+        {
+            "optimization": "factorization",
+            "accuracy": baseline.accuracy(batch),
+            "memory_kib": footprint.factorized_kib,
+            "memory_direction": "reduce",
+            "latency_direction": "reduce",
+        },
+        {
+            "optimization": "factorization+stochasticity",
+            "accuracy": stochastic.accuracy(batch),
+            "memory_kib": footprint.factorized_kib,
+            "memory_direction": "no impact",
+            "latency_direction": "reduce",
+        },
+        {
+            "optimization": "factorization+stochasticity+int8",
+            "accuracy": quantized.accuracy(batch),
+            "memory_kib": footprint_int8.factorized_kib,
+            "memory_direction": "reduce",
+            "latency_direction": "reduce",
+        },
+    ]
+
+
+def factorization_accuracy_by_constellation(
+    tasks_per_constellation: int = 4, vector_dim: int = 1024
+) -> list[dict]:
+    """Tab. VII (top): attribute-recovery accuracy per RAVEN constellation.
+
+    As in NVSA, each visual component (e.g. the "left" and "right" shapes of
+    the left-right constellation) is described by its own product vector and
+    factorized independently; a panel counts as correct only when every
+    component's attributes are recovered.
+    """
+    from repro.core import ConstantGaussianNoise, Factorizer, FactorizerConfig
+    from repro.vsa import BipolarSpace, CodebookSet, SceneEncoder
+
+    rows = []
+    rng = np.random.default_rng(3)
+    for name, configuration in RAVEN_CONFIGURATIONS.items():
+        domains = configuration.attribute_domains()
+        space = BipolarSpace(vector_dim, seed=1)
+        per_component: dict[str, tuple[SceneEncoder, Factorizer]] = {}
+        for component in configuration.components:
+            component_domains = {
+                attribute: values
+                for attribute, values in domains.items()
+                if attribute.startswith(f"{component}.")
+            }
+            codebooks = CodebookSet.from_factors(component_domains, space)
+            per_component[component] = (
+                SceneEncoder(codebooks),
+                Factorizer(
+                    codebooks,
+                    FactorizerConfig(
+                        similarity_noise=ConstantGaussianNoise(0.05), seed=2
+                    ),
+                ),
+            )
+        generator = RavenGenerator(name, seed=int(rng.integers(0, 1_000_000)))
+        total = 0
+        correct = 0
+        for task in generator.generate(tasks_per_constellation):
+            for panel in task.context:
+                total += 1
+                panel_correct = True
+                for component, (encoder, factorizer) in per_component.items():
+                    component_truth = {
+                        attribute: value
+                        for attribute, value in panel.items()
+                        if attribute.startswith(f"{component}.")
+                    }
+                    query = encoder.encode_with_noise(
+                        [component_truth], noise_std=0.2, rng=rng
+                    )
+                    result = factorizer.factorize(query)
+                    panel_correct &= result.matches(component_truth)
+                correct += panel_correct
+        rows.append({"constellation": name, "accuracy": correct / total})
+    return rows
+
+
+def factorization_accuracy_by_rule(
+    tasks_per_rule: int = 4, vector_dim: int = 1024
+) -> list[dict]:
+    """Tab. VII (bottom): attribute-recovery accuracy grouped by governing rule."""
+    from repro.core import ConstantGaussianNoise, Factorizer, FactorizerConfig
+    from repro.vsa import BipolarSpace, CodebookSet, SceneEncoder
+
+    generator = PGMGenerator(seed=17)
+    domains = generator.attribute_domains
+    space = BipolarSpace(vector_dim, seed=1)
+    codebooks = CodebookSet.from_factors(domains, space)
+    encoder = SceneEncoder(codebooks)
+    factorizer = Factorizer(
+        codebooks,
+        FactorizerConfig(similarity_noise=ConstantGaussianNoise(0.05), seed=2),
+    )
+    rng = np.random.default_rng(5)
+    per_rule: dict[str, list[bool]] = {}
+    # Generate until every rule family has a reasonable sample.
+    for task in generator.generate(tasks_per_rule * 12):
+        for attribute, rule_name in task.rules.items():
+            family = rule_name.split("_")[0] if rule_name.startswith("logical") else rule_name
+            panel = dict(task.context[int(rng.integers(0, 8))])
+            query = encoder.encode_with_noise([panel], noise_std=0.2, rng=rng)
+            result = factorizer.factorize(query)
+            per_rule.setdefault(family, []).append(
+                result.labels[attribute] == panel[attribute]
+            )
+    return [
+        {"rule": rule, "accuracy": float(np.mean(outcomes)), "samples": len(outcomes)}
+        for rule, outcomes in sorted(per_rule.items())
+    ]
+
+
+def reasoning_accuracy(tasks_per_dataset: int = 12) -> list[dict]:
+    """Tab. VIII: end-to-end reasoning accuracy on RAVEN, I-RAVEN and PGM."""
+    datasets = {
+        "raven": (RavenGenerator("center", seed=21), 0.03),
+        "iraven": (IRavenGenerator("center", seed=22), 0.03),
+        "pgm": (PGMGenerator(seed=23), 0.22),
+    }
+    nvsa_params_mb = 38.0
+    factorized_params_mb = 32.0
+    quantized_params_mb = 8.0
+    rows = []
+    for dataset, (generator, error) in datasets.items():
+        batch = generator.generate(tasks_per_dataset)
+        baseline = NeuroSymbolicSolver(
+            SolverConfig(perception_error=error, use_vsa_factorization=False)
+        )
+        cogsys = NeuroSymbolicSolver(
+            SolverConfig(
+                perception_error=error,
+                use_vsa_factorization=True,
+                stochasticity=0.05,
+                vector_dim=512,
+            )
+        )
+        quantized = NeuroSymbolicSolver(
+            SolverConfig(
+                perception_error=error,
+                use_vsa_factorization=True,
+                stochasticity=0.05,
+                quantization=Precision.INT8,
+                vector_dim=512,
+            )
+        )
+        rows.append(
+            {
+                "dataset": dataset,
+                "nvsa_accuracy": baseline.accuracy(batch),
+                "cogsys_factorization_accuracy": cogsys.accuracy(batch),
+                "cogsys_quantized_accuracy": quantized.accuracy(batch),
+                "nvsa_params_mb": nvsa_params_mb,
+                "cogsys_params_mb": factorized_params_mb,
+                "cogsys_quantized_params_mb": quantized_params_mb,
+            }
+        )
+    return rows
+
+
+def precision_impact(num_tasks: int = 10) -> list[dict]:
+    """Tab. IX: area/power per precision plus reasoning accuracy impact."""
+    generator = RavenGenerator("center", seed=5)
+    batch = generator.generate(num_tasks)
+    rows = []
+    for precision in (Precision.FP32, Precision.FP8, Precision.INT8):
+        silicon = PRECISION_SILICON[precision]
+        solver = NeuroSymbolicSolver(
+            SolverConfig(
+                use_vsa_factorization=True,
+                stochasticity=0.05,
+                quantization=None if precision is Precision.FP32 else precision,
+                vector_dim=512,
+            )
+        )
+        rows.append(
+            {
+                "precision": precision.value,
+                "array_area_mm2": silicon.array_area_mm2,
+                "array_power_mw": silicon.array_power_mw,
+                "simd_area_mm2": silicon.simd_area_mm2,
+                "simd_power_mw": silicon.simd_power_mw,
+                "area_overhead_vs_systolic": silicon.reconfigurability_overhead,
+                "accuracy": solver.accuracy(batch),
+            }
+        )
+    return rows
+
+
+def task_accuracy_overview(tasks_per_dataset: int = 10) -> list[dict]:
+    """Accuracy of the full pipeline on all five datasets (supports Fig. 15's
+    claim that CogSys preserves reasoning capability while being faster)."""
+    rows = []
+    raven = NeuroSymbolicSolver(SolverConfig()).accuracy(
+        RavenGenerator("center", seed=31).generate(tasks_per_dataset)
+    )
+    iraven = NeuroSymbolicSolver(SolverConfig()).accuracy(
+        IRavenGenerator("center", seed=32).generate(tasks_per_dataset)
+    )
+    pgm = NeuroSymbolicSolver(SolverConfig(perception_error=0.22)).accuracy(
+        PGMGenerator(seed=33).generate(tasks_per_dataset)
+    )
+    cvr = CVRSolver().accuracy(CVRGenerator(seed=34).generate(tasks_per_dataset))
+    svrt = SVRTSolver().accuracy(SVRTGenerator(seed=35).generate(tasks_per_dataset))
+    for dataset, accuracy in (
+        ("raven", raven),
+        ("iraven", iraven),
+        ("pgm", pgm),
+        ("cvr", cvr),
+        ("svrt", svrt),
+    ):
+        rows.append({"dataset": dataset, "accuracy": accuracy})
+    return rows

@@ -1,0 +1,125 @@
+"""Section III characterization drivers (Fig. 4, Fig. 5, Fig. 6, Tab. II).
+
+These experiments profile the four neurosymbolic workloads on the baseline
+CPU/GPU/edge devices: runtime split between the neural and symbolic stages,
+task-size scalability, memory footprint, roofline placement and the
+kernel-level inefficiency profile.  Every driver returns plain Python data
+(lists of dicts) and is bound into :mod:`repro.evaluation.registry` so the
+engine, the benchmark harnesses and the ``repro`` CLI can all run it.  See
+the top-level ``README.md`` for the experiment index.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.hardware import make_device
+from repro.hardware.baselines import GenericDevice
+from repro.profiling import (
+    KERNEL_PROFILE,
+    memory_footprint,
+    roofline_points,
+    runtime_breakdown,
+    symbolic_operation_breakdown,
+    task_size_scaling,
+)
+from repro.workloads import build_workload
+from repro.workloads.nvsa import build_nvsa_workload
+
+__all__ = [
+    "PROFILED_WORKLOADS",
+    "characterization_runtime",
+    "characterization_scaling",
+    "characterization_memory",
+    "characterization_roofline",
+    "symbolic_breakdown",
+    "kernel_profile",
+]
+
+#: the four profiled workloads (Sec. III)
+PROFILED_WORKLOADS = ("nvsa", "mimonet", "lvrf", "prae")
+
+
+def characterization_runtime(devices: Sequence[str] = ("rtx2080ti", "jetson_tx2", "xavier_nx", "coral_tpu")) -> list[dict]:
+    """Fig. 4a/4b: runtime and neural/symbolic split per workload and device."""
+    rows = []
+    for workload_name in PROFILED_WORKLOADS:
+        workload = build_workload(workload_name)
+        for device_name in devices:
+            breakdown = runtime_breakdown(workload, make_device(device_name))
+            rows.append(
+                {
+                    "workload": workload_name,
+                    "device": device_name,
+                    "total_seconds": breakdown.total_seconds,
+                    "neural_fraction": breakdown.neural_fraction,
+                    "symbolic_fraction": breakdown.symbolic_fraction,
+                }
+            )
+    return rows
+
+
+def characterization_scaling(device_name: str = "rtx2080ti") -> list[dict]:
+    """Fig. 4c: task-size scalability of the NVSA workload."""
+    device = make_device(device_name)
+    rows = []
+    for breakdown, grid in zip(
+        task_size_scaling(build_nvsa_workload, device, grid_sizes=(2, 3)), (2, 3)
+    ):
+        rows.append(
+            {
+                "grid_size": f"{grid}x{grid}",
+                "total_seconds": breakdown.total_seconds,
+                "symbolic_fraction": breakdown.symbolic_fraction,
+            }
+        )
+    rows[-1]["slowdown_vs_smallest"] = rows[-1]["total_seconds"] / rows[0]["total_seconds"]
+    return rows
+
+
+def characterization_memory() -> list[dict]:
+    """Fig. 4d: weight vs codebook memory footprint per workload."""
+    rows = []
+    for workload_name in PROFILED_WORKLOADS:
+        workload = build_workload(workload_name)
+        footprint = memory_footprint(workload)
+        rows.append(
+            {
+                "workload": workload_name,
+                "weights_mb": footprint.weight_bytes / 1e6,
+                "codebook_mb": footprint.codebook_bytes / 1e6,
+                "total_mb": footprint.total_megabytes,
+            }
+        )
+    return rows
+
+
+def characterization_roofline(device_name: str = "rtx2080ti") -> list[dict]:
+    """Fig. 5: roofline placement of the neural and symbolic stages."""
+    device = make_device(device_name)
+    assert isinstance(device, GenericDevice)
+    rows = []
+    for workload_name in PROFILED_WORKLOADS:
+        workload = build_workload(workload_name)
+        for stage, point in roofline_points(workload, device).items():
+            rows.append(
+                {
+                    "workload": workload_name,
+                    "stage": stage,
+                    "arithmetic_intensity": point.arithmetic_intensity,
+                    "attainable_tflops": point.attainable_flops / 1e12,
+                    "bound": point.bound,
+                }
+            )
+    return rows
+
+
+def symbolic_breakdown(device_name: str = "rtx2080ti") -> dict[str, float]:
+    """Fig. 6: share of symbolic runtime per operation type (NVSA)."""
+    workload = build_workload("nvsa")
+    return symbolic_operation_breakdown(workload, make_device(device_name))
+
+
+def kernel_profile() -> dict[str, dict[str, float]]:
+    """Tab. II: measured kernel-level hardware inefficiency profile."""
+    return dict(KERNEL_PROFILE)

@@ -1,0 +1,163 @@
+"""Accelerator-level end-to-end drivers (Fig. 15, 16, 18, 19, Tab. X).
+
+These experiments run the full workload models through the CogSys
+accelerator simulator and the baseline devices: end-to-end speedups,
+energy efficiency, comparison with ML accelerators, and the hardware and
+co-design ablations.  Every driver returns plain Python data (lists of
+dicts) and is bound into :mod:`repro.evaluation.registry`; see the
+top-level ``README.md`` for the experiment index.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.hardware import CogSysAccelerator, make_device
+from repro.workloads import build_workload
+
+__all__ = [
+    "EVALUATED_DATASETS",
+    "EVALUATED_DEVICES",
+    "dataset_workload",
+    "end_to_end_speedups",
+    "energy_efficiency",
+    "ml_accelerator_comparison",
+    "hardware_ablation",
+    "codesign_ablation",
+]
+
+#: the five reasoning datasets of Fig. 15/16
+EVALUATED_DATASETS = ("raven", "iraven", "pgm", "cvr", "svrt")
+#: the CPU/GPU/edge devices of Fig. 15
+EVALUATED_DEVICES = ("jetson_tx2", "xavier_nx", "xeon", "rtx2080ti")
+
+
+def dataset_workload(dataset: str, num_tasks: int = 1):
+    """Workload variant used for each reasoning dataset in Fig. 15/16."""
+    if dataset in ("raven", "iraven"):
+        return build_workload("nvsa", grid_size=3, num_tasks=num_tasks)
+    if dataset == "pgm":
+        return build_workload("nvsa", grid_size=3, num_candidates=8, num_tasks=num_tasks,
+                              factorization_iterations=7)
+    if dataset == "cvr":
+        return build_workload("nvsa", grid_size=2, num_candidates=4, num_tasks=num_tasks)
+    if dataset == "svrt":
+        return build_workload("nvsa", grid_size=2, num_candidates=2, num_tasks=num_tasks)
+    raise ValueError(f"unknown dataset '{dataset}'")
+
+
+def end_to_end_speedups(datasets: Sequence[str] = EVALUATED_DATASETS) -> list[dict]:
+    """Fig. 15: normalized runtime of CPU/GPU/edge devices versus CogSys."""
+    cogsys = CogSysAccelerator()
+    rows = []
+    for dataset in datasets:
+        workload = dataset_workload(dataset)
+        cogsys_seconds = cogsys.simulate(workload, "adaptive").total_seconds
+        row = {"dataset": dataset, "cogsys_seconds": cogsys_seconds, "cogsys": 1.0}
+        for device_name in EVALUATED_DEVICES:
+            device_seconds = make_device(device_name).workload_time(workload).total_seconds
+            row[device_name] = device_seconds / cogsys_seconds
+        rows.append(row)
+    return rows
+
+
+def energy_efficiency(datasets: Sequence[str] = EVALUATED_DATASETS) -> list[dict]:
+    """Fig. 16: energy per task and performance-per-watt versus CogSys."""
+    cogsys = CogSysAccelerator()
+    rows = []
+    for dataset in datasets:
+        workload = dataset_workload(dataset)
+        report = cogsys.simulate(workload, "adaptive")
+        row = {
+            "dataset": dataset,
+            "cogsys_energy_j": report.energy_joules,
+            "cogsys_perf_per_watt": 1.0,
+        }
+        cogsys_perf_per_watt = 1.0 / report.energy_joules
+        for device_name in EVALUATED_DEVICES:
+            device_report = make_device(device_name).workload_time(workload)
+            row[f"{device_name}_energy_j"] = device_report.energy_joules
+            device_perf_per_watt = (
+                1.0 / device_report.energy_joules if device_report.energy_joules else 0.0
+            )
+            row[f"{device_name}_perf_per_watt_vs_cogsys"] = (
+                device_perf_per_watt / cogsys_perf_per_watt
+            )
+        rows.append(row)
+    return rows
+
+
+def ml_accelerator_comparison(
+    workloads: Sequence[str] = ("nvsa", "lvrf", "mimonet")
+) -> list[dict]:
+    """Fig. 18: neural-only, symbolic-only and end-to-end runtime comparison."""
+    cogsys = CogSysAccelerator()
+    rows = []
+    for workload_name in workloads:
+        workload = build_workload(workload_name)
+        cogsys_report = cogsys.simulate(workload, "adaptive")
+        for device_name in ("tpu_like", "mtia_like", "gemmini_like"):
+            device_report = make_device(device_name).workload_time(workload)
+            rows.append(
+                {
+                    "workload": workload_name,
+                    "device": device_name,
+                    "neural_vs_cogsys": device_report.neural_seconds
+                    / max(cogsys_report.neural_seconds, 1e-12),
+                    "symbolic_vs_cogsys": device_report.symbolic_seconds
+                    / max(cogsys_report.symbolic_seconds, 1e-12),
+                    "end_to_end_vs_cogsys": device_report.total_seconds
+                    / max(cogsys_report.total_seconds, 1e-12),
+                }
+            )
+    return rows
+
+
+def hardware_ablation(num_tasks: int = 4) -> list[dict]:
+    """Fig. 19: runtime without adSCH, scalable arrays and reconfigurable PEs."""
+    datasets = ("raven", "iraven", "pgm")
+    rows = []
+    for dataset in datasets:
+        workload = dataset_workload(dataset, num_tasks=num_tasks)
+        full = CogSysAccelerator().simulate(workload, "adaptive").total_seconds
+        no_adsch = CogSysAccelerator().simulate(workload, "sequential").total_seconds
+        no_scale = (
+            CogSysAccelerator(scale_out=False).simulate(workload, "sequential").total_seconds
+        )
+        no_nspe = (
+            CogSysAccelerator(scale_out=False, reconfigurable_symbolic=False)
+            .simulate(workload, "sequential")
+            .total_seconds
+        )
+        rows.append(
+            {
+                "dataset": dataset,
+                "cogsys": full / no_nspe,
+                "without_adsch": no_adsch / no_nspe,
+                "without_adsch_so": no_scale / no_nspe,
+                "without_adsch_so_nspe": 1.0,
+            }
+        )
+    return rows
+
+
+def codesign_ablation(datasets: Sequence[str] = EVALUATED_DATASETS) -> list[dict]:
+    """Tab. X: algorithm-only, hardware-only and full co-design runtimes."""
+    edge = make_device("xavier_nx")
+    cogsys = CogSysAccelerator()
+    rows = []
+    for dataset in datasets:
+        nvsa_on_edge = edge.workload_time(
+            build_workload("nvsa", use_factorization=False)
+        ).total_seconds
+        algo_on_edge = edge.workload_time(dataset_workload(dataset)).total_seconds
+        codesign = cogsys.simulate(dataset_workload(dataset), "adaptive").total_seconds
+        rows.append(
+            {
+                "dataset": dataset,
+                "nvsa_on_xavier_nx": 1.0,
+                "cogsys_algorithm_on_xavier_nx": algo_on_edge / nvsa_on_edge,
+                "cogsys_algorithm_on_cogsys_accelerator": codesign / nvsa_on_edge,
+            }
+        )
+    return rows

@@ -1,0 +1,322 @@
+"""Execution engine: cached, optionally parallel experiment runs.
+
+:func:`run` executes one registered experiment and returns a structured
+:class:`ResultTable` (rows + headers + provenance).  Results are memoized in
+an on-disk cache keyed by ``(experiment id, parameter hash, code version)``
+so repeated benchmark and documentation runs are near-instant; the code
+version fingerprints the whole ``repro`` package source, so editing any
+model code transparently invalidates stale cached results.  :func:`run_many` fans several
+experiments out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Rows are normalised through a JSON round-trip before they are returned or
+cached, so a cold run and a cache hit yield byte-identical tables.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import os
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro._version import __version__
+from repro.errors import ReproError
+from repro.evaluation.registry import ExperimentSpec, get_spec
+from repro.evaluation.reporting import format_csv, format_markdown_table
+
+__all__ = [
+    "ResultTable",
+    "UnknownParameterError",
+    "run",
+    "run_many",
+    "default_cache_dir",
+    "cache_info",
+    "clear_cache",
+]
+
+#: environment variable overriding the default on-disk cache location
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+class UnknownParameterError(ReproError):
+    """Raised when an override is not part of the experiment's param schema."""
+
+
+@dataclass
+class ResultTable:
+    """Structured result of one experiment run."""
+
+    experiment_id: str
+    title: str
+    anchor: str
+    headers: list[str]
+    rows: list[dict]
+    provenance: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def cells(self) -> list[list]:
+        """Row-major cell matrix in header order (missing keys render empty)."""
+        return [[row.get(header, "") for header in self.headers] for row in self.rows]
+
+    def to_markdown(self) -> str:
+        """Render as a GitHub-flavoured markdown table."""
+        return format_markdown_table(self.headers, self.cells())
+
+    def to_csv(self) -> str:
+        """Render as CSV with a header line."""
+        return format_csv(self.headers, self.cells())
+
+    def to_json(self) -> str:
+        """Render the full table (rows + provenance) as a JSON document."""
+        return json.dumps(
+            {
+                "experiment": self.experiment_id,
+                "title": self.title,
+                "anchor": self.anchor,
+                "headers": self.headers,
+                "rows": self.rows,
+                "provenance": self.provenance,
+            },
+            indent=2,
+        )
+
+    def render(self, fmt: str = "md") -> str:
+        """Render in one of the CLI formats: ``md``, ``csv`` or ``json``."""
+        if fmt == "md":
+            return self.to_markdown()
+        if fmt == "csv":
+            return self.to_csv()
+        if fmt == "json":
+            return self.to_json()
+        raise ValueError(f"unknown format '{fmt}' (expected md, csv or json)")
+
+
+def default_cache_dir() -> Path:
+    """Cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-experiments``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-experiments"
+
+
+def _json_fallback(value):
+    """Coerce numpy scalars (and other duck-typed numbers) for JSON."""
+    if hasattr(value, "item"):  # numpy scalars and 0-d arrays
+        return value.item()
+    raise TypeError(f"cannot serialise {type(value).__name__} in experiment rows")
+
+
+def _normalise_rows(raw: object, spec: ExperimentSpec) -> list[dict]:
+    """Turn a driver's return value into JSON-clean row dicts."""
+    if spec.row_builder is not None:
+        rows = spec.row_builder(raw)
+    elif isinstance(raw, dict):
+        rows = [raw]
+    else:
+        rows = list(raw)
+    return json.loads(json.dumps(rows, default=_json_fallback))
+
+
+def _headers(rows: list[dict]) -> list[str]:
+    """Ordered union of row keys (first-appearance order)."""
+    headers: dict[str, None] = {}
+    for row in rows:
+        for key in row:
+            headers.setdefault(key, None)
+    return list(headers)
+
+
+@functools.lru_cache(maxsize=1)
+def _package_fingerprint() -> str:
+    """Hash of every ``.py`` source file in the ``repro`` package."""
+    root = Path(__file__).resolve().parents[1]
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+def code_version(spec: ExperimentSpec) -> str:
+    """Version fingerprint of the code behind ``spec``'s driver.
+
+    Combines the package version with a hash of the whole ``repro`` source
+    tree: drivers pull in workload, hardware and solver models from across
+    the package, so an edit anywhere must invalidate cached results rather
+    than silently serve stale numbers.
+    """
+    return f"{__version__}+{_package_fingerprint()}"
+
+
+def resolve_params(spec: ExperimentSpec, overrides: dict) -> dict:
+    """Merge ``overrides`` over the spec defaults, validating names."""
+    unknown = set(overrides) - set(spec.param_schema)
+    if unknown:
+        raise UnknownParameterError(
+            f"experiment '{spec.id}' has no parameter(s) {sorted(unknown)}; "
+            f"schema: {dict(spec.param_schema)}"
+        )
+    return {**spec.default_params, **overrides}
+
+
+def _cache_key(spec: ExperimentSpec, params: dict, version: str) -> str:
+    payload = json.dumps(
+        {"experiment": spec.id, "params": params, "code_version": version},
+        sort_keys=True,
+        default=_json_fallback,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+def _cache_path(cache_dir: Path, spec: ExperimentSpec, key: str) -> Path:
+    return cache_dir / f"{spec.id}-{key}.json"
+
+
+def _write_atomic(path: Path, content: str) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle = tempfile.NamedTemporaryFile(
+        "w", dir=path.parent, prefix=path.name, suffix=".tmp", delete=False
+    )
+    try:
+        with handle:
+            handle.write(content)
+        os.replace(handle.name, path)
+    except BaseException:
+        os.unlink(handle.name)
+        raise
+
+
+def run(
+    spec_or_id: ExperimentSpec | str,
+    *,
+    use_cache: bool = True,
+    cache_dir: str | Path | None = None,
+    **overrides,
+) -> ResultTable:
+    """Execute one experiment (through the cache) and return its table.
+
+    ``spec_or_id`` is a registry id (``"tab09"``) or an
+    :class:`ExperimentSpec`; keyword ``overrides`` are driver parameters
+    validated against the spec's param schema.  With ``use_cache`` (the
+    default) the result is read from / written to the on-disk cache.
+    """
+    spec = get_spec(spec_or_id) if isinstance(spec_or_id, str) else spec_or_id
+    params = resolve_params(spec, overrides)
+    version = code_version(spec)
+    key = _cache_key(spec, params, version)
+    root = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    path = _cache_path(root, spec, key)
+
+    if use_cache and path.is_file():
+        payload = json.loads(path.read_text())
+        provenance = dict(payload["provenance"])
+        provenance["cache"] = "hit"
+        return ResultTable(
+            experiment_id=spec.id,
+            title=spec.title,
+            anchor=spec.anchor,
+            headers=payload["headers"],
+            rows=payload["rows"],
+            provenance=provenance,
+        )
+
+    started = time.perf_counter()
+    raw = spec.driver(**params)
+    elapsed = time.perf_counter() - started
+    rows = _normalise_rows(raw, spec)
+    headers = _headers(rows)
+    provenance = {
+        "experiment": spec.id,
+        "params": json.loads(json.dumps(params, default=_json_fallback)),
+        "code_version": version,
+        "cache_key": key,
+        "runtime_seconds": round(elapsed, 6),
+        "cache": "miss" if use_cache else "off",
+    }
+    if use_cache:
+        stored = dict(provenance)
+        stored["cache"] = "miss"
+        _write_atomic(
+            path,
+            json.dumps({"headers": headers, "rows": rows, "provenance": stored}),
+        )
+    return ResultTable(
+        experiment_id=spec.id,
+        title=spec.title,
+        anchor=spec.anchor,
+        headers=headers,
+        rows=rows,
+        provenance=provenance,
+    )
+
+
+def _run_one(job: tuple) -> ResultTable:
+    """Top-level pool worker (must stay picklable)."""
+    experiment_id, overrides, use_cache, cache_dir = job
+    return run(experiment_id, use_cache=use_cache, cache_dir=cache_dir, **overrides)
+
+
+def run_many(
+    ids,
+    *,
+    workers: int | None = None,
+    use_cache: bool = True,
+    cache_dir: str | Path | None = None,
+    overrides_by_id: dict[str, dict] | None = None,
+) -> list[ResultTable]:
+    """Execute several experiments, optionally across worker processes.
+
+    ``workers=None`` (or ``<= 1``) runs serially in-process; ``workers=N``
+    fans out over a :class:`ProcessPoolExecutor`.  Results come back in the
+    order of ``ids`` regardless of completion order, and every worker shares
+    the same on-disk cache.
+    """
+    overrides_by_id = overrides_by_id or {}
+    ids = list(ids)
+    stray = set(overrides_by_id) - set(ids)
+    if stray:
+        raise UnknownParameterError(
+            f"overrides_by_id names experiment(s) not being run: {sorted(stray)}"
+        )
+    cache_dir = str(cache_dir) if cache_dir is not None else None
+    jobs = [
+        (experiment_id, overrides_by_id.get(experiment_id, {}), use_cache, cache_dir)
+        for experiment_id in ids
+    ]
+    # Validate ids and overrides up front so a bad request fails fast instead
+    # of surfacing as a pickled exception from a worker process.
+    for experiment_id, overrides, _, _ in jobs:
+        resolve_params(get_spec(experiment_id), overrides)
+    if not workers or workers <= 1 or len(jobs) <= 1:
+        return [_run_one(job) for job in jobs]
+    with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
+        return list(pool.map(_run_one, jobs))
+
+
+def cache_info(cache_dir: str | Path | None = None) -> dict:
+    """Entry count and total size of the on-disk result cache."""
+    root = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    files = sorted(root.glob("*.json")) if root.is_dir() else []
+    return {
+        "path": str(root),
+        "entries": len(files),
+        "total_bytes": sum(f.stat().st_size for f in files),
+    }
+
+
+def clear_cache(cache_dir: str | Path | None = None) -> int:
+    """Delete every cached result; returns the number of entries removed."""
+    root = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    removed = 0
+    if root.is_dir():
+        for file in root.glob("*.json"):
+            file.unlink()
+            removed += 1
+    return removed

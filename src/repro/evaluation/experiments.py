@@ -1,39 +1,56 @@
-"""Experiment drivers, one per table/figure of the paper's evaluation.
+"""Backwards-compatible facade over the experiment driver modules.
 
-Every function returns plain Python data (lists of dicts) so the benchmark
-harnesses under ``benchmarks/`` and the documentation generator can print
-the same rows the paper reports.  See DESIGN.md for the experiment index and
-EXPERIMENTS.md for the paper-vs-measured comparison.
+The drivers themselves now live in four focused modules —
+:mod:`repro.evaluation.characterization` (Sec. III profiling),
+:mod:`repro.evaluation.accuracy_experiments` (algorithm optimizations),
+:mod:`repro.evaluation.hardware_experiments` (micro-benchmarks) and
+:mod:`repro.evaluation.end_to_end` (full-system evaluation) — and are bound
+together by :mod:`repro.evaluation.registry`.  Prefer resolving drivers
+through the registry (or the ``repro`` CLI / :mod:`repro.evaluation.engine`)
+in new code; this module only re-exports every driver under its historical
+name.  See the top-level ``README.md`` for the experiment index and
+``EXPERIMENTS.md`` for the paper-vs-measured comparison.
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
-
-import numpy as np
-
-from repro.core import Precision
-from repro.core.footprint import compare_footprints
-from repro.hardware import CogSysAccelerator, CogSysConfig, make_device
-from repro.hardware.baselines import GenericDevice, DEVICE_SPECS
-from repro.hardware.bubble_stream import BubbleStreamSimulator, bs_latency_cycles
-from repro.hardware.energy import PE_DESIGN_CHOICES, PRECISION_SILICON
-from repro.hardware.mapping import spatial_mapping, temporal_mapping
-from repro.hardware.roofline import Roofline
-from repro.hardware.systolic import SystolicArrayModel
-from repro.profiling import (
-    KERNEL_PROFILE,
-    memory_footprint,
-    roofline_points,
-    runtime_breakdown,
-    symbolic_operation_breakdown,
-    task_size_scaling,
+from repro.profiling import KERNEL_PROFILE
+from repro.evaluation.characterization import (
+    PROFILED_WORKLOADS,
+    characterization_memory,
+    characterization_roofline,
+    characterization_runtime,
+    characterization_scaling,
+    kernel_profile,
+    symbolic_breakdown,
 )
-from repro.evaluation.solver import CVRSolver, NeuroSymbolicSolver, SolverConfig, SVRTSolver
-from repro.tasks import CVRGenerator, IRavenGenerator, PGMGenerator, RavenGenerator, SVRTGenerator
-from repro.tasks.raven import RAVEN_CONFIGURATIONS
-from repro.workloads import build_workload
-from repro.workloads.nvsa import NVSA_FACTOR_SIZES, build_nvsa_workload
+from repro.evaluation.accuracy_experiments import (
+    factorization_accuracy_by_constellation,
+    factorization_accuracy_by_rule,
+    factorization_efficiency,
+    optimization_impact,
+    precision_impact,
+    reasoning_accuracy,
+    task_accuracy_overview,
+)
+from repro.evaluation.hardware_experiments import (
+    accelerator_comparison,
+    bs_dataflow_comparison,
+    bs_roofline,
+    circconv_speedup_sweep,
+    pe_design_choice,
+    st_mapping_tradeoff,
+)
+from repro.evaluation.end_to_end import (
+    EVALUATED_DATASETS,
+    EVALUATED_DEVICES,
+    codesign_ablation,
+    dataset_workload as _dataset_workload,
+    end_to_end_speedups,
+    energy_efficiency,
+    hardware_ablation,
+    ml_accelerator_comparison,
+)
 
 __all__ = [
     "characterization_runtime",
@@ -47,6 +64,7 @@ __all__ = [
     "accelerator_comparison",
     "pe_design_choice",
     "bs_dataflow_comparison",
+    "bs_roofline",
     "st_mapping_tradeoff",
     "factorization_accuracy_by_constellation",
     "factorization_accuracy_by_rule",
@@ -58,653 +76,5 @@ __all__ = [
     "ml_accelerator_comparison",
     "hardware_ablation",
     "codesign_ablation",
+    "task_accuracy_overview",
 ]
-
-#: the four profiled workloads (Sec. III)
-PROFILED_WORKLOADS = ("nvsa", "mimonet", "lvrf", "prae")
-#: the five reasoning datasets of Fig. 15/16
-EVALUATED_DATASETS = ("raven", "iraven", "pgm", "cvr", "svrt")
-#: the CPU/GPU/edge devices of Fig. 15
-EVALUATED_DEVICES = ("jetson_tx2", "xavier_nx", "xeon", "rtx2080ti")
-
-
-# ---------------------------------------------------------------------------
-# Section III characterization (Fig. 4, Fig. 5, Fig. 6, Tab. II)
-# ---------------------------------------------------------------------------
-def characterization_runtime(devices: Sequence[str] = ("rtx2080ti", "jetson_tx2", "xavier_nx", "coral_tpu")) -> list[dict]:
-    """Fig. 4a/4b: runtime and neural/symbolic split per workload and device."""
-    rows = []
-    for workload_name in PROFILED_WORKLOADS:
-        workload = build_workload(workload_name)
-        for device_name in devices:
-            breakdown = runtime_breakdown(workload, make_device(device_name))
-            rows.append(
-                {
-                    "workload": workload_name,
-                    "device": device_name,
-                    "total_seconds": breakdown.total_seconds,
-                    "neural_fraction": breakdown.neural_fraction,
-                    "symbolic_fraction": breakdown.symbolic_fraction,
-                }
-            )
-    return rows
-
-
-def characterization_scaling(device_name: str = "rtx2080ti") -> list[dict]:
-    """Fig. 4c: task-size scalability of the NVSA workload."""
-    device = make_device(device_name)
-    rows = []
-    for breakdown, grid in zip(
-        task_size_scaling(build_nvsa_workload, device, grid_sizes=(2, 3)), (2, 3)
-    ):
-        rows.append(
-            {
-                "grid_size": f"{grid}x{grid}",
-                "total_seconds": breakdown.total_seconds,
-                "symbolic_fraction": breakdown.symbolic_fraction,
-            }
-        )
-    rows[-1]["slowdown_vs_smallest"] = rows[-1]["total_seconds"] / rows[0]["total_seconds"]
-    return rows
-
-
-def characterization_memory() -> list[dict]:
-    """Fig. 4d: weight vs codebook memory footprint per workload."""
-    rows = []
-    for workload_name in PROFILED_WORKLOADS:
-        workload = build_workload(workload_name)
-        footprint = memory_footprint(workload)
-        rows.append(
-            {
-                "workload": workload_name,
-                "weights_mb": footprint.weight_bytes / 1e6,
-                "codebook_mb": footprint.codebook_bytes / 1e6,
-                "total_mb": footprint.total_megabytes,
-            }
-        )
-    return rows
-
-
-def characterization_roofline(device_name: str = "rtx2080ti") -> list[dict]:
-    """Fig. 5: roofline placement of the neural and symbolic stages."""
-    device = make_device(device_name)
-    assert isinstance(device, GenericDevice)
-    rows = []
-    for workload_name in PROFILED_WORKLOADS:
-        workload = build_workload(workload_name)
-        for stage, point in roofline_points(workload, device).items():
-            rows.append(
-                {
-                    "workload": workload_name,
-                    "stage": stage,
-                    "arithmetic_intensity": point.arithmetic_intensity,
-                    "attainable_tflops": point.attainable_flops / 1e12,
-                    "bound": point.bound,
-                }
-            )
-    return rows
-
-
-def symbolic_breakdown(device_name: str = "rtx2080ti") -> dict[str, float]:
-    """Fig. 6: share of symbolic runtime per operation type (NVSA)."""
-    workload = build_workload("nvsa")
-    return symbolic_operation_breakdown(workload, make_device(device_name))
-
-
-def kernel_profile() -> dict[str, dict[str, float]]:
-    """Tab. II: measured kernel-level hardware inefficiency profile."""
-    return dict(KERNEL_PROFILE)
-
-
-# ---------------------------------------------------------------------------
-# Algorithm optimizations (Fig. 8, Tab. III, Tab. VII, Tab. VIII, Tab. IX)
-# ---------------------------------------------------------------------------
-def factorization_efficiency(device_name: str = "xavier_nx") -> dict:
-    """Fig. 8: codebook memory and runtime with and without factorization."""
-    report = compare_footprints(NVSA_FACTOR_SIZES, dim=1024)
-    device = make_device(device_name)
-    with_fact = device.workload_time(build_workload("nvsa", use_factorization=True))
-    without_fact = device.workload_time(build_workload("nvsa", use_factorization=False))
-    return {
-        "codebook_kib": report.product_codebook_kib,
-        "factorized_kib": report.factorized_kib,
-        "memory_reduction": report.reduction_factor,
-        "runtime_with_factorization_s": with_fact.total_seconds,
-        "runtime_without_factorization_s": without_fact.total_seconds,
-        "runtime_speedup": without_fact.total_seconds / with_fact.total_seconds,
-    }
-
-
-def optimization_impact(num_tasks: int = 12) -> list[dict]:
-    """Tab. III: directional impact of factorization, stochasticity, quantization."""
-    generator = RavenGenerator("center", seed=11)
-    batch = generator.generate(num_tasks)
-    baseline = NeuroSymbolicSolver(
-        SolverConfig(use_vsa_factorization=True, stochasticity=0.0, vector_dim=512)
-    )
-    stochastic = NeuroSymbolicSolver(
-        SolverConfig(use_vsa_factorization=True, stochasticity=0.05, vector_dim=512)
-    )
-    quantized = NeuroSymbolicSolver(
-        SolverConfig(
-            use_vsa_factorization=True,
-            stochasticity=0.05,
-            quantization=Precision.INT8,
-            vector_dim=512,
-        )
-    )
-    footprint = compare_footprints(NVSA_FACTOR_SIZES, dim=1024)
-    footprint_int8 = compare_footprints(NVSA_FACTOR_SIZES, dim=1024, precision=Precision.INT8)
-    return [
-        {
-            "optimization": "factorization",
-            "accuracy": baseline.accuracy(batch),
-            "memory_kib": footprint.factorized_kib,
-            "memory_direction": "reduce",
-            "latency_direction": "reduce",
-        },
-        {
-            "optimization": "factorization+stochasticity",
-            "accuracy": stochastic.accuracy(batch),
-            "memory_kib": footprint.factorized_kib,
-            "memory_direction": "no impact",
-            "latency_direction": "reduce",
-        },
-        {
-            "optimization": "factorization+stochasticity+int8",
-            "accuracy": quantized.accuracy(batch),
-            "memory_kib": footprint_int8.factorized_kib,
-            "memory_direction": "reduce",
-            "latency_direction": "reduce",
-        },
-    ]
-
-
-def accelerator_comparison(vector_dim: int = 1024) -> list[dict]:
-    """Tab. IV: per-circular-convolution memory footprint and parallelism support."""
-    gemv_bytes = (vector_dim * vector_dim + 2 * vector_dim) * 4
-    bs_bytes = 3 * vector_dim * 4
-    return [
-        {
-            "accelerator": "TPU/MTIA/Gemmini-like (GEMV)",
-            "footprint_bytes": gemv_bytes,
-            "footprint_order": "O(d^2)",
-            "column_wise_parallelism": False,
-            "cell_wise_parallelism": True,
-            "neurosymbolic_support": False,
-        },
-        {
-            "accelerator": "CogSys (BS dataflow)",
-            "footprint_bytes": bs_bytes,
-            "footprint_order": "O(d)",
-            "column_wise_parallelism": True,
-            "cell_wise_parallelism": True,
-            "neurosymbolic_support": True,
-        },
-    ]
-
-
-def pe_design_choice(num_tasks: int = 2) -> list[dict]:
-    """Tab. V: reconfigurable nsPEs versus dedicated heterogeneous PE pools."""
-    workload = build_workload("nvsa", num_tasks=num_tasks)
-    full = CogSysAccelerator(CogSysConfig(num_cells=16))
-    half = CogSysAccelerator(CogSysConfig(num_cells=8))
-    full_latency = full.simulate(workload, "adaptive").total_seconds
-    # A same-area heterogeneous design dedicates half the cells to neural and
-    # half to symbolic kernels; each kernel can only use its own pool, which
-    # is approximated by running the whole workload on an 8-cell device.
-    half_latency = half.simulate(workload, "adaptive").total_seconds
-    rows = []
-    for name, reference in PE_DESIGN_CHOICES.items():
-        measured_latency = full_latency if "16+16" in name or name.startswith("reconfigurable") else half_latency
-        rows.append(
-            {
-                "configuration": name,
-                "area_factor": reference["area"],
-                "reported_latency_factor": reference["latency"],
-                "measured_latency_factor": measured_latency / full_latency,
-                "energy_factor": reference["energy"],
-                "utilization": reference["utilization"],
-            }
-        )
-    return rows
-
-
-def precision_impact(num_tasks: int = 10) -> list[dict]:
-    """Tab. IX: area/power per precision plus reasoning accuracy impact."""
-    generator = RavenGenerator("center", seed=5)
-    batch = generator.generate(num_tasks)
-    rows = []
-    for precision in (Precision.FP32, Precision.FP8, Precision.INT8):
-        silicon = PRECISION_SILICON[precision]
-        solver = NeuroSymbolicSolver(
-            SolverConfig(
-                use_vsa_factorization=True,
-                stochasticity=0.05,
-                quantization=None if precision is Precision.FP32 else precision,
-                vector_dim=512,
-            )
-        )
-        rows.append(
-            {
-                "precision": precision.value,
-                "array_area_mm2": silicon.array_area_mm2,
-                "array_power_mw": silicon.array_power_mw,
-                "simd_area_mm2": silicon.simd_area_mm2,
-                "simd_power_mw": silicon.simd_power_mw,
-                "area_overhead_vs_systolic": silicon.reconfigurability_overhead,
-                "accuracy": solver.accuracy(batch),
-            }
-        )
-    return rows
-
-
-# ---------------------------------------------------------------------------
-# Hardware micro-benchmarks (Fig. 11, Fig. 12, Fig. 17)
-# ---------------------------------------------------------------------------
-def bs_dataflow_comparison(vector_dim: int = 3, num_convs: int = 3) -> dict:
-    """Fig. 11a/b: BS dataflow versus GEMV lowering on a tiny example."""
-    simulator = BubbleStreamSimulator(vector_dim)
-    rng = np.random.default_rng(0)
-    run = simulator.run(rng.normal(size=vector_dim), rng.normal(size=vector_dim))
-    # On CogSys the ``num_convs`` convolutions run on different columns in
-    # parallel, so the batch finishes in one BS pass.
-    cogsys_cycles = run.cycles
-    cell = SystolicArrayModel(vector_dim, vector_dim)
-    tpu_cycles = cell.circconv_cycles_gemv(vector_dim, num_convs).cycles
-    return {
-        "vector_dim": vector_dim,
-        "num_convs": num_convs,
-        "cogsys_cycles": cogsys_cycles,
-        "tpu_like_cycles": tpu_cycles,
-        "speedup": tpu_cycles / cogsys_cycles,
-        "functional_check_cycles": run.cycles,
-    }
-
-
-def bs_roofline(vector_dim: int = 2048) -> list[dict]:
-    """Fig. 11c: arithmetic intensity of BS dataflow vs GEMV vs GPU."""
-    flops = 2 * vector_dim * vector_dim - vector_dim
-    rows = []
-    cogsys = Roofline("cogsys", peak_flops=2 * 16384 * 0.8e9, memory_bandwidth_bytes_per_s=15e12)
-    gpu = Roofline("rtx2080ti", peak_flops=13.4e12, memory_bandwidth_bytes_per_s=616e9)
-    rows.append(
-        {
-            "implementation": "CogSys BS dataflow",
-            "arithmetic_intensity": flops / (3 * vector_dim * 4),
-            "bound": cogsys.place("bs", flops, 3 * vector_dim * 4).bound,
-        }
-    )
-    gemv_bytes = (vector_dim * vector_dim + 2 * vector_dim) * 4
-    rows.append(
-        {
-            "implementation": "GPU/TPU GEMV lowering",
-            "arithmetic_intensity": flops / gemv_bytes,
-            "bound": gpu.place("gemv", flops, gemv_bytes).bound,
-        }
-    )
-    return rows
-
-
-def st_mapping_tradeoff(
-    num_arrays: int = 32,
-    array_length: int = 512,
-    cases: Sequence[tuple[int, int]] = ((210, 1024), (2575, 1024), (1, 2048), (1000, 64)),
-) -> list[dict]:
-    """Fig. 12: spatial vs temporal mapping latency and bandwidth."""
-    rows = []
-    for num_convs, vector_dim in cases:
-        spatial = spatial_mapping(num_arrays, array_length, num_convs, vector_dim)
-        temporal = temporal_mapping(num_arrays, array_length, num_convs, vector_dim)
-        chosen = "temporal" if temporal.cycles < spatial.cycles else "spatial"
-        rows.append(
-            {
-                "num_convs": num_convs,
-                "vector_dim": vector_dim,
-                "spatial_cycles": spatial.cycles,
-                "temporal_cycles": temporal.cycles,
-                "spatial_reads_per_pass": spatial.memory_reads_per_pass,
-                "temporal_reads_per_pass": temporal.memory_reads_per_pass,
-                "chosen": chosen,
-            }
-        )
-    return rows
-
-
-def circconv_speedup_sweep(
-    vector_dims: Sequence[int] = (128, 256, 512, 1024, 2048),
-    conv_counts: Sequence[int] = (1, 10, 100, 1000, 10000),
-) -> list[dict]:
-    """Fig. 17: circular-convolution speedup of CogSys over TPU-like and GPU."""
-    cogsys = CogSysAccelerator()
-    tpu = SystolicArrayModel(128, 128)
-    gpu = DEVICE_SPECS["rtx2080ti"]
-    rows = []
-    for vector_dim in vector_dims:
-        for count in conv_counts:
-            # The paper's Fig. 17 sweep keeps the (N = 32, M = 512) scale-up
-            # organisation fixed, so scale-out reconfiguration is disabled.
-            cogsys_cycles = cogsys.circconv_mapping(
-                vector_dim, count, allow_scale_out=False
-            ).cycles
-            cogsys_seconds = cogsys_cycles / cogsys.config.frequency_hz
-            tpu_seconds = tpu.circconv_cycles_gemv(vector_dim, count).cycles / 0.8e9
-            flops = count * (2 * vector_dim * vector_dim - vector_dim)
-            gemv_bytes = count * (vector_dim * vector_dim + 2 * vector_dim) * 4
-            gpu_seconds = max(
-                flops / (gpu.peak_flops * 0.05),
-                gemv_bytes / (gpu.memory_bandwidth_bytes_per_s * 0.85),
-            )
-            rows.append(
-                {
-                    "vector_dim": vector_dim,
-                    "num_convs": count,
-                    "speedup_vs_tpu": tpu_seconds / cogsys_seconds,
-                    "speedup_vs_gpu": gpu_seconds / cogsys_seconds,
-                }
-            )
-    return rows
-
-
-# ---------------------------------------------------------------------------
-# Accuracy experiments (Tab. VII, Tab. VIII)
-# ---------------------------------------------------------------------------
-def factorization_accuracy_by_constellation(
-    tasks_per_constellation: int = 4, vector_dim: int = 1024
-) -> list[dict]:
-    """Tab. VII (top): attribute-recovery accuracy per RAVEN constellation.
-
-    As in NVSA, each visual component (e.g. the "left" and "right" shapes of
-    the left-right constellation) is described by its own product vector and
-    factorized independently; a panel counts as correct only when every
-    component's attributes are recovered.
-    """
-    from repro.core import ConstantGaussianNoise, Factorizer, FactorizerConfig
-    from repro.vsa import BipolarSpace, CodebookSet, SceneEncoder
-
-    rows = []
-    rng = np.random.default_rng(3)
-    for name, configuration in RAVEN_CONFIGURATIONS.items():
-        domains = configuration.attribute_domains()
-        space = BipolarSpace(vector_dim, seed=1)
-        per_component: dict[str, tuple[SceneEncoder, Factorizer]] = {}
-        for component in configuration.components:
-            component_domains = {
-                attribute: values
-                for attribute, values in domains.items()
-                if attribute.startswith(f"{component}.")
-            }
-            codebooks = CodebookSet.from_factors(component_domains, space)
-            per_component[component] = (
-                SceneEncoder(codebooks),
-                Factorizer(
-                    codebooks,
-                    FactorizerConfig(
-                        similarity_noise=ConstantGaussianNoise(0.05), seed=2
-                    ),
-                ),
-            )
-        generator = RavenGenerator(name, seed=int(rng.integers(0, 1_000_000)))
-        total = 0
-        correct = 0
-        for task in generator.generate(tasks_per_constellation):
-            for panel in task.context:
-                total += 1
-                panel_correct = True
-                for component, (encoder, factorizer) in per_component.items():
-                    component_truth = {
-                        attribute: value
-                        for attribute, value in panel.items()
-                        if attribute.startswith(f"{component}.")
-                    }
-                    query = encoder.encode_with_noise(
-                        [component_truth], noise_std=0.2, rng=rng
-                    )
-                    result = factorizer.factorize(query)
-                    panel_correct &= result.matches(component_truth)
-                correct += panel_correct
-        rows.append({"constellation": name, "accuracy": correct / total})
-    return rows
-
-
-def factorization_accuracy_by_rule(
-    tasks_per_rule: int = 4, vector_dim: int = 1024
-) -> list[dict]:
-    """Tab. VII (bottom): attribute-recovery accuracy grouped by governing rule."""
-    from repro.core import ConstantGaussianNoise, Factorizer, FactorizerConfig
-    from repro.vsa import BipolarSpace, CodebookSet, SceneEncoder
-
-    generator = PGMGenerator(seed=17)
-    domains = generator.attribute_domains
-    space = BipolarSpace(vector_dim, seed=1)
-    codebooks = CodebookSet.from_factors(domains, space)
-    encoder = SceneEncoder(codebooks)
-    factorizer = Factorizer(
-        codebooks,
-        FactorizerConfig(similarity_noise=ConstantGaussianNoise(0.05), seed=2),
-    )
-    rng = np.random.default_rng(5)
-    per_rule: dict[str, list[bool]] = {}
-    # Generate until every rule family has a reasonable sample.
-    for task in generator.generate(tasks_per_rule * 12):
-        for attribute, rule_name in task.rules.items():
-            family = rule_name.split("_")[0] if rule_name.startswith("logical") else rule_name
-            panel = dict(task.context[int(rng.integers(0, 8))])
-            query = encoder.encode_with_noise([panel], noise_std=0.2, rng=rng)
-            result = factorizer.factorize(query)
-            per_rule.setdefault(family, []).append(
-                result.labels[attribute] == panel[attribute]
-            )
-    return [
-        {"rule": rule, "accuracy": float(np.mean(outcomes)), "samples": len(outcomes)}
-        for rule, outcomes in sorted(per_rule.items())
-    ]
-
-
-def reasoning_accuracy(tasks_per_dataset: int = 12) -> list[dict]:
-    """Tab. VIII: end-to-end reasoning accuracy on RAVEN, I-RAVEN and PGM."""
-    datasets = {
-        "raven": (RavenGenerator("center", seed=21), 0.03),
-        "iraven": (IRavenGenerator("center", seed=22), 0.03),
-        "pgm": (PGMGenerator(seed=23), 0.22),
-    }
-    nvsa_params_mb = 38.0
-    factorized_params_mb = 32.0
-    quantized_params_mb = 8.0
-    rows = []
-    for dataset, (generator, error) in datasets.items():
-        batch = generator.generate(tasks_per_dataset)
-        baseline = NeuroSymbolicSolver(
-            SolverConfig(perception_error=error, use_vsa_factorization=False)
-        )
-        cogsys = NeuroSymbolicSolver(
-            SolverConfig(
-                perception_error=error,
-                use_vsa_factorization=True,
-                stochasticity=0.05,
-                vector_dim=512,
-            )
-        )
-        quantized = NeuroSymbolicSolver(
-            SolverConfig(
-                perception_error=error,
-                use_vsa_factorization=True,
-                stochasticity=0.05,
-                quantization=Precision.INT8,
-                vector_dim=512,
-            )
-        )
-        rows.append(
-            {
-                "dataset": dataset,
-                "nvsa_accuracy": baseline.accuracy(batch),
-                "cogsys_factorization_accuracy": cogsys.accuracy(batch),
-                "cogsys_quantized_accuracy": quantized.accuracy(batch),
-                "nvsa_params_mb": nvsa_params_mb,
-                "cogsys_params_mb": factorized_params_mb,
-                "cogsys_quantized_params_mb": quantized_params_mb,
-            }
-        )
-    return rows
-
-
-# ---------------------------------------------------------------------------
-# Accelerator-level evaluation (Fig. 15, 16, 18, 19, Tab. X)
-# ---------------------------------------------------------------------------
-def _dataset_workload(dataset: str, num_tasks: int = 1):
-    """Workload variant used for each reasoning dataset in Fig. 15/16."""
-    if dataset in ("raven", "iraven"):
-        return build_workload("nvsa", grid_size=3, num_tasks=num_tasks)
-    if dataset == "pgm":
-        return build_workload("nvsa", grid_size=3, num_candidates=8, num_tasks=num_tasks,
-                              factorization_iterations=7)
-    if dataset == "cvr":
-        return build_workload("nvsa", grid_size=2, num_candidates=4, num_tasks=num_tasks)
-    if dataset == "svrt":
-        return build_workload("nvsa", grid_size=2, num_candidates=2, num_tasks=num_tasks)
-    raise ValueError(f"unknown dataset '{dataset}'")
-
-
-def end_to_end_speedups(datasets: Sequence[str] = EVALUATED_DATASETS) -> list[dict]:
-    """Fig. 15: normalized runtime of CPU/GPU/edge devices versus CogSys."""
-    cogsys = CogSysAccelerator()
-    rows = []
-    for dataset in datasets:
-        workload = _dataset_workload(dataset)
-        cogsys_seconds = cogsys.simulate(workload, "adaptive").total_seconds
-        row = {"dataset": dataset, "cogsys_seconds": cogsys_seconds, "cogsys": 1.0}
-        for device_name in EVALUATED_DEVICES:
-            device_seconds = make_device(device_name).workload_time(workload).total_seconds
-            row[device_name] = device_seconds / cogsys_seconds
-        rows.append(row)
-    return rows
-
-
-def energy_efficiency(datasets: Sequence[str] = EVALUATED_DATASETS) -> list[dict]:
-    """Fig. 16: energy per task and performance-per-watt versus CogSys."""
-    cogsys = CogSysAccelerator()
-    rows = []
-    for dataset in datasets:
-        workload = _dataset_workload(dataset)
-        report = cogsys.simulate(workload, "adaptive")
-        row = {
-            "dataset": dataset,
-            "cogsys_energy_j": report.energy_joules,
-            "cogsys_perf_per_watt": 1.0,
-        }
-        cogsys_perf_per_watt = 1.0 / report.energy_joules
-        for device_name in EVALUATED_DEVICES:
-            device_report = make_device(device_name).workload_time(workload)
-            row[f"{device_name}_energy_j"] = device_report.energy_joules
-            device_perf_per_watt = (
-                1.0 / device_report.energy_joules if device_report.energy_joules else 0.0
-            )
-            row[f"{device_name}_perf_per_watt_vs_cogsys"] = (
-                device_perf_per_watt / cogsys_perf_per_watt
-            )
-        rows.append(row)
-    return rows
-
-
-def ml_accelerator_comparison(
-    workloads: Sequence[str] = ("nvsa", "lvrf", "mimonet")
-) -> list[dict]:
-    """Fig. 18: neural-only, symbolic-only and end-to-end runtime comparison."""
-    from repro.workloads.base import Stage
-
-    cogsys = CogSysAccelerator()
-    rows = []
-    for workload_name in workloads:
-        workload = build_workload(workload_name)
-        cogsys_report = cogsys.simulate(workload, "adaptive")
-        for device_name in ("tpu_like", "mtia_like", "gemmini_like"):
-            device_report = make_device(device_name).workload_time(workload)
-            rows.append(
-                {
-                    "workload": workload_name,
-                    "device": device_name,
-                    "neural_vs_cogsys": device_report.neural_seconds
-                    / max(cogsys_report.neural_seconds, 1e-12),
-                    "symbolic_vs_cogsys": device_report.symbolic_seconds
-                    / max(cogsys_report.symbolic_seconds, 1e-12),
-                    "end_to_end_vs_cogsys": device_report.total_seconds
-                    / max(cogsys_report.total_seconds, 1e-12),
-                }
-            )
-    return rows
-
-
-def hardware_ablation(num_tasks: int = 4) -> list[dict]:
-    """Fig. 19: runtime without adSCH, scalable arrays and reconfigurable PEs."""
-    datasets = ("raven", "iraven", "pgm")
-    rows = []
-    for dataset in datasets:
-        workload = _dataset_workload(dataset, num_tasks=num_tasks)
-        full = CogSysAccelerator().simulate(workload, "adaptive").total_seconds
-        no_adsch = CogSysAccelerator().simulate(workload, "sequential").total_seconds
-        no_scale = (
-            CogSysAccelerator(scale_out=False).simulate(workload, "sequential").total_seconds
-        )
-        no_nspe = (
-            CogSysAccelerator(scale_out=False, reconfigurable_symbolic=False)
-            .simulate(workload, "sequential")
-            .total_seconds
-        )
-        rows.append(
-            {
-                "dataset": dataset,
-                "cogsys": full / no_nspe,
-                "without_adsch": no_adsch / no_nspe,
-                "without_adsch_so": no_scale / no_nspe,
-                "without_adsch_so_nspe": 1.0,
-            }
-        )
-    return rows
-
-
-def codesign_ablation(datasets: Sequence[str] = EVALUATED_DATASETS) -> list[dict]:
-    """Tab. X: algorithm-only, hardware-only and full co-design runtimes."""
-    edge = make_device("xavier_nx")
-    cogsys = CogSysAccelerator()
-    rows = []
-    for dataset in datasets:
-        nvsa_on_edge = edge.workload_time(
-            build_workload("nvsa", use_factorization=False)
-        ).total_seconds
-        algo_on_edge = edge.workload_time(_dataset_workload(dataset)).total_seconds
-        codesign = cogsys.simulate(_dataset_workload(dataset), "adaptive").total_seconds
-        rows.append(
-            {
-                "dataset": dataset,
-                "nvsa_on_xavier_nx": 1.0,
-                "cogsys_algorithm_on_xavier_nx": algo_on_edge / nvsa_on_edge,
-                "cogsys_algorithm_on_cogsys_accelerator": codesign / nvsa_on_edge,
-            }
-        )
-    return rows
-
-
-def task_accuracy_overview(tasks_per_dataset: int = 10) -> list[dict]:
-    """Accuracy of the full pipeline on all five datasets (supports Fig. 15's
-    claim that CogSys preserves reasoning capability while being faster)."""
-    rows = []
-    raven = NeuroSymbolicSolver(SolverConfig()).accuracy(
-        RavenGenerator("center", seed=31).generate(tasks_per_dataset)
-    )
-    iraven = NeuroSymbolicSolver(SolverConfig()).accuracy(
-        IRavenGenerator("center", seed=32).generate(tasks_per_dataset)
-    )
-    pgm = NeuroSymbolicSolver(SolverConfig(perception_error=0.22)).accuracy(
-        PGMGenerator(seed=33).generate(tasks_per_dataset)
-    )
-    cvr = CVRSolver().accuracy(CVRGenerator(seed=34).generate(tasks_per_dataset))
-    svrt = SVRTSolver().accuracy(SVRTGenerator(seed=35).generate(tasks_per_dataset))
-    for dataset, accuracy in (
-        ("raven", raven),
-        ("iraven", iraven),
-        ("pgm", pgm),
-        ("cvr", cvr),
-        ("svrt", svrt),
-    ):
-        rows.append({"dataset": dataset, "accuracy": accuracy})
-    return rows

@@ -1,0 +1,187 @@
+"""Hardware micro-benchmark drivers (Tab. IV, Tab. V, Fig. 11, 12, 17).
+
+These experiments exercise the accelerator models directly: the
+bubble-streaming dataflow versus the GEMV lowering, spatial/temporal
+mapping of circular convolutions, the reconfigurable-PE design choice and
+the circular-convolution speedup sweep.  Every driver returns plain Python
+data (lists of dicts) and is bound into :mod:`repro.evaluation.registry`;
+see the top-level ``README.md`` for the experiment index.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.hardware import CogSysAccelerator, CogSysConfig
+from repro.hardware.baselines import DEVICE_SPECS
+from repro.hardware.bubble_stream import BubbleStreamSimulator
+from repro.hardware.energy import PE_DESIGN_CHOICES
+from repro.hardware.mapping import spatial_mapping, temporal_mapping
+from repro.hardware.roofline import Roofline
+from repro.hardware.systolic import SystolicArrayModel
+from repro.workloads import build_workload
+
+__all__ = [
+    "accelerator_comparison",
+    "pe_design_choice",
+    "bs_dataflow_comparison",
+    "bs_roofline",
+    "st_mapping_tradeoff",
+    "circconv_speedup_sweep",
+]
+
+
+def accelerator_comparison(vector_dim: int = 1024) -> list[dict]:
+    """Tab. IV: per-circular-convolution memory footprint and parallelism support."""
+    gemv_bytes = (vector_dim * vector_dim + 2 * vector_dim) * 4
+    bs_bytes = 3 * vector_dim * 4
+    return [
+        {
+            "accelerator": "TPU/MTIA/Gemmini-like (GEMV)",
+            "footprint_bytes": gemv_bytes,
+            "footprint_order": "O(d^2)",
+            "column_wise_parallelism": False,
+            "cell_wise_parallelism": True,
+            "neurosymbolic_support": False,
+        },
+        {
+            "accelerator": "CogSys (BS dataflow)",
+            "footprint_bytes": bs_bytes,
+            "footprint_order": "O(d)",
+            "column_wise_parallelism": True,
+            "cell_wise_parallelism": True,
+            "neurosymbolic_support": True,
+        },
+    ]
+
+
+def pe_design_choice(num_tasks: int = 2) -> list[dict]:
+    """Tab. V: reconfigurable nsPEs versus dedicated heterogeneous PE pools."""
+    workload = build_workload("nvsa", num_tasks=num_tasks)
+    full = CogSysAccelerator(CogSysConfig(num_cells=16))
+    half = CogSysAccelerator(CogSysConfig(num_cells=8))
+    full_latency = full.simulate(workload, "adaptive").total_seconds
+    # A same-area heterogeneous design dedicates half the cells to neural and
+    # half to symbolic kernels; each kernel can only use its own pool, which
+    # is approximated by running the whole workload on an 8-cell device.
+    half_latency = half.simulate(workload, "adaptive").total_seconds
+    rows = []
+    for name, reference in PE_DESIGN_CHOICES.items():
+        measured_latency = full_latency if "16+16" in name or name.startswith("reconfigurable") else half_latency
+        rows.append(
+            {
+                "configuration": name,
+                "area_factor": reference["area"],
+                "reported_latency_factor": reference["latency"],
+                "measured_latency_factor": measured_latency / full_latency,
+                "energy_factor": reference["energy"],
+                "utilization": reference["utilization"],
+            }
+        )
+    return rows
+
+
+def bs_dataflow_comparison(vector_dim: int = 3, num_convs: int = 3) -> dict:
+    """Fig. 11a/b: BS dataflow versus GEMV lowering on a tiny example."""
+    simulator = BubbleStreamSimulator(vector_dim)
+    rng = np.random.default_rng(0)
+    run = simulator.run(rng.normal(size=vector_dim), rng.normal(size=vector_dim))
+    # On CogSys the ``num_convs`` convolutions run on different columns in
+    # parallel, so the batch finishes in one BS pass.
+    cogsys_cycles = run.cycles
+    cell = SystolicArrayModel(vector_dim, vector_dim)
+    tpu_cycles = cell.circconv_cycles_gemv(vector_dim, num_convs).cycles
+    return {
+        "vector_dim": vector_dim,
+        "num_convs": num_convs,
+        "cogsys_cycles": cogsys_cycles,
+        "tpu_like_cycles": tpu_cycles,
+        "speedup": tpu_cycles / cogsys_cycles,
+        "functional_check_cycles": run.cycles,
+    }
+
+
+def bs_roofline(vector_dim: int = 2048) -> list[dict]:
+    """Fig. 11c: arithmetic intensity of BS dataflow vs GEMV vs GPU."""
+    flops = 2 * vector_dim * vector_dim - vector_dim
+    rows = []
+    cogsys = Roofline("cogsys", peak_flops=2 * 16384 * 0.8e9, memory_bandwidth_bytes_per_s=15e12)
+    gpu = Roofline("rtx2080ti", peak_flops=13.4e12, memory_bandwidth_bytes_per_s=616e9)
+    rows.append(
+        {
+            "implementation": "CogSys BS dataflow",
+            "arithmetic_intensity": flops / (3 * vector_dim * 4),
+            "bound": cogsys.place("bs", flops, 3 * vector_dim * 4).bound,
+        }
+    )
+    gemv_bytes = (vector_dim * vector_dim + 2 * vector_dim) * 4
+    rows.append(
+        {
+            "implementation": "GPU/TPU GEMV lowering",
+            "arithmetic_intensity": flops / gemv_bytes,
+            "bound": gpu.place("gemv", flops, gemv_bytes).bound,
+        }
+    )
+    return rows
+
+
+def st_mapping_tradeoff(
+    num_arrays: int = 32,
+    array_length: int = 512,
+    cases: Sequence[tuple[int, int]] = ((210, 1024), (2575, 1024), (1, 2048), (1000, 64)),
+) -> list[dict]:
+    """Fig. 12: spatial vs temporal mapping latency and bandwidth."""
+    rows = []
+    for num_convs, vector_dim in cases:
+        spatial = spatial_mapping(num_arrays, array_length, num_convs, vector_dim)
+        temporal = temporal_mapping(num_arrays, array_length, num_convs, vector_dim)
+        chosen = "temporal" if temporal.cycles < spatial.cycles else "spatial"
+        rows.append(
+            {
+                "num_convs": num_convs,
+                "vector_dim": vector_dim,
+                "spatial_cycles": spatial.cycles,
+                "temporal_cycles": temporal.cycles,
+                "spatial_reads_per_pass": spatial.memory_reads_per_pass,
+                "temporal_reads_per_pass": temporal.memory_reads_per_pass,
+                "chosen": chosen,
+            }
+        )
+    return rows
+
+
+def circconv_speedup_sweep(
+    vector_dims: Sequence[int] = (128, 256, 512, 1024, 2048),
+    conv_counts: Sequence[int] = (1, 10, 100, 1000, 10000),
+) -> list[dict]:
+    """Fig. 17: circular-convolution speedup of CogSys over TPU-like and GPU."""
+    cogsys = CogSysAccelerator()
+    tpu = SystolicArrayModel(128, 128)
+    gpu = DEVICE_SPECS["rtx2080ti"]
+    rows = []
+    for vector_dim in vector_dims:
+        for count in conv_counts:
+            # The paper's Fig. 17 sweep keeps the (N = 32, M = 512) scale-up
+            # organisation fixed, so scale-out reconfiguration is disabled.
+            cogsys_cycles = cogsys.circconv_mapping(
+                vector_dim, count, allow_scale_out=False
+            ).cycles
+            cogsys_seconds = cogsys_cycles / cogsys.config.frequency_hz
+            tpu_seconds = tpu.circconv_cycles_gemv(vector_dim, count).cycles / 0.8e9
+            flops = count * (2 * vector_dim * vector_dim - vector_dim)
+            gemv_bytes = count * (vector_dim * vector_dim + 2 * vector_dim) * 4
+            gpu_seconds = max(
+                flops / (gpu.peak_flops * 0.05),
+                gemv_bytes / (gpu.memory_bandwidth_bytes_per_s * 0.85),
+            )
+            rows.append(
+                {
+                    "vector_dim": vector_dim,
+                    "num_convs": count,
+                    "speedup_vs_tpu": tpu_seconds / cogsys_seconds,
+                    "speedup_vs_gpu": gpu_seconds / cogsys_seconds,
+                }
+            )
+    return rows

@@ -1,0 +1,71 @@
+"""Builder for ``EXPERIMENTS.md`` — paper-reported versus measured results.
+
+The document is assembled straight from the experiment registry: one section
+per :class:`~repro.evaluation.registry.ExperimentSpec`, in registration
+(paper) order, each carrying the spec's paper note and the measured table
+rendered by :class:`~repro.evaluation.engine.ResultTable`.  ``repro report``
+(and the legacy ``scripts/generate_experiments.py`` wrapper) call
+:func:`write_report`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.evaluation import engine
+from repro.evaluation.registry import all_specs
+
+__all__ = ["build_report", "write_report"]
+
+_HEADER = """# EXPERIMENTS — paper vs. measured
+
+Every table and figure of the CogSys evaluation, regenerated from the
+experiment registry (`repro report`, or `python -m repro report`).  Absolute
+numbers are not expected to match silicon/GPU measurements — the hardware
+side is an analytical/cycle-level model and the workloads are synthetic (see
+the design notes in `README.md`) — but the *shape* (who wins, by roughly
+what factor, where crossovers fall) is the reproduction target and is
+asserted by the harnesses under `benchmarks/`.
+"""
+
+
+def build_report(
+    *,
+    use_cache: bool = True,
+    cache_dir: str | Path | None = None,
+    workers: int | None = None,
+    smoke: bool = False,
+) -> str:
+    """Render the full experiments document as a markdown string.
+
+    ``smoke=True`` substitutes each spec's smoke-scale parameters for its
+    report-scale ones — used by CI and tests to exercise the full pipeline
+    in seconds instead of minutes.
+    """
+    specs = all_specs()
+    overrides = {
+        spec.id: dict(spec.smoke_params if smoke else spec.report_params)
+        for spec in specs
+    }
+    tables = engine.run_many(
+        [spec.id for spec in specs],
+        workers=workers,
+        use_cache=use_cache,
+        cache_dir=cache_dir,
+        overrides_by_id=overrides,
+    )
+    sections = [_HEADER]
+    for spec, table in zip(specs, tables):
+        body = f"## {spec.title}\n"
+        if spec.paper_note:
+            body += f"{spec.paper_note}\n"
+        body += f"\n{table.to_markdown()}"
+        sections.append(body)
+    return "\n\n".join(sections) + "\n"
+
+
+def write_report(output: str | Path, **kwargs) -> Path:
+    """Write :func:`build_report` output to ``output`` and return the path."""
+    path = Path(output)
+    path.write_text(build_report(**kwargs))
+    return path

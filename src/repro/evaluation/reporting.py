@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import csv
+import io
 from collections.abc import Sequence
 
-__all__ = ["format_markdown_table", "format_value"]
+__all__ = ["format_markdown_table", "format_csv", "format_value"]
 
 
 def format_value(value) -> str:
@@ -26,3 +28,12 @@ def format_markdown_table(headers: Sequence[str], rows: Sequence[Sequence]) -> s
         "| " + " | ".join(format_value(cell) for cell in row) + " |" for row in rows
     ]
     return "\n".join([header_line, separator, *body])
+
+
+def format_csv(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render rows as CSV with a header line (raw, unrounded values)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(headers)
+    writer.writerows(rows)
+    return buffer.getvalue()

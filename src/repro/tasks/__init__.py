@@ -5,7 +5,8 @@ I-RAVEN, PGM, CVR and SVRT.  The original datasets are rendered images; this
 reproduction generates the *symbolic* task structure directly (panel
 attributes, governing rules, candidate answers), which is exactly the
 information the perception front-end extracts before the symbolic stages
-run.  See DESIGN.md for the substitution rationale.
+run.  See the "Design notes" section of the top-level ``README.md`` for the
+substitution rationale.
 """
 
 from repro.tasks.base import RPMTask, TaskBatch

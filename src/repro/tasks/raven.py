@@ -11,7 +11,8 @@ The generator below produces the same symbolic structure: ground-truth
 attribute values for the eight context panels, the correct answer and a set
 of distractor candidates.  Rendering to pixels is intentionally skipped —
 the perception simulator consumes these symbolic descriptions directly (see
-DESIGN.md for the substitution rationale).
+the "Design notes" section of the top-level ``README.md`` for the
+substitution rationale).
 """
 
 from __future__ import annotations

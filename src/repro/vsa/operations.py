@@ -71,11 +71,12 @@ def circular_convolve_direct(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     b = _as_1d(b, "b")
     _check_same_dim(a, b)
     dim = a.shape[0]
-    result = np.zeros(dim)
-    for n in range(dim):
-        shifted = b[(n - np.arange(dim)) % dim]
-        result[n] = float(np.dot(a, shifted))
-    return result
+    # One fancy-index builds the full circulant of b, so the O(d^2) sum is a
+    # single matrix-vector product instead of a Python-level loop:
+    # circulant[n, k] = b[(n - k) mod d], result = circulant @ a.
+    offsets = np.arange(dim)
+    circulant = b[(offsets[:, None] - offsets[None, :]) % dim]
+    return circulant @ a
 
 
 def circular_correlate(c: np.ndarray, a: np.ndarray) -> np.ndarray:
@@ -151,15 +152,16 @@ def random_unitary(dim: int, rng: np.random.Generator | None = None) -> np.ndarr
     """
     rng = rng or np.random.default_rng()
     half = dim // 2
+    # Drawing ``dim`` phases keeps the RNG stream identical to the historical
+    # full-spectrum implementation even though only the first half+1 bins are
+    # free; ``irfft`` supplies the conjugate-symmetric half implicitly.
     phases = rng.uniform(-np.pi, np.pi, size=dim)
-    spectrum = np.exp(1j * phases)
-    # Enforce conjugate symmetry so the inverse FFT is purely real.
+    spectrum = np.exp(1j * phases[: half + 1])
     spectrum[0] = 1.0
     if dim % 2 == 0:
+        # The Nyquist bin must be real for a real-valued inverse transform.
         spectrum[half] = np.sign(np.cos(phases[half])) or 1.0
-    for k in range(1, (dim + 1) // 2):
-        spectrum[dim - k] = np.conj(spectrum[k])
-    vector = np.real(np.fft.ifft(spectrum))
+    vector = np.fft.irfft(spectrum, n=dim)
     return vector * np.sqrt(dim)
 
 

@@ -1,0 +1,13 @@
+"""Shared fixtures for the evaluation-layer tests."""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def session_cache_dir(tmp_path_factory):
+    """One on-disk result cache shared by every evaluation test.
+
+    Smoke runs populate it, so later cache-behaviour tests get hits without
+    re-running heavy drivers.
+    """
+    return tmp_path_factory.mktemp("repro-result-cache")

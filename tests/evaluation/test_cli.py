@@ -1,0 +1,170 @@
+"""Tests for the ``repro`` command-line interface."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import _coerce_param, main
+from repro.evaluation import registry
+
+
+class TestList:
+    def test_markdown_listing(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "| tab09 |" in out
+        assert "experiments registered" in out
+        count = int(out.rsplit("\n", 2)[-2].split()[0])
+        assert count >= 20
+
+    def test_json_listing_with_tag(self, capsys):
+        assert main(["list", "--tag", "e2e", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {entry["id"] for entry in payload} >= {"fig15", "fig16", "tab10"}
+        assert all("e2e" in entry["tags"] for entry in payload)
+
+
+class TestRun:
+    def test_run_markdown_and_cache_hit(self, capsys, tmp_path):
+        args = ["run", "tab04", "--param", "vector_dim=256",
+                "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        first = capsys.readouterr()
+        assert "| accelerator |" in first.out
+        assert "cache miss" in first.err
+        assert main(args) == 0
+        assert "cache hit" in capsys.readouterr().err
+
+    def test_run_json_to_output_file(self, tmp_path, capsys):
+        output = tmp_path / "tab04.json"
+        assert main([
+            "run", "tab04", "--param", "vector_dim=128", "--format", "json",
+            "--no-cache", "--output", str(output),
+        ]) == 0
+        capsys.readouterr()
+        payload = json.loads(output.read_text())
+        assert payload["experiment"] == "tab04"
+        assert len(payload["rows"]) == 2
+
+    def test_run_multiple_ids_json_is_one_document(self, tmp_path, capsys):
+        output = tmp_path / "both.json"
+        assert main([
+            "run", "tab04", "fig11c", "--smoke", "--format", "json",
+            "--no-cache", "--output", str(output),
+        ]) == 0
+        capsys.readouterr()
+        payload = json.loads(output.read_text())  # must parse as ONE value
+        assert [entry["experiment"] for entry in payload] == ["tab04", "fig11c"]
+
+    def test_run_multiple_ids_shared_param_applies_to_all(self, capsys):
+        assert main([
+            "run", "fig15", "fig16", "--param", "datasets=raven", "--no-cache",
+            "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert all(len(entry["rows"]) == 1 for entry in payload)
+        assert all(
+            entry["provenance"]["params"] == {"datasets": ["raven"]}
+            for entry in payload
+        )
+
+    def test_run_multiple_ids_param_scopes_to_declaring_spec(self, capsys):
+        # vector_dim exists on tab04 but not fig12 — the run must succeed and
+        # apply the override only where the schema declares it.
+        assert main([
+            "run", "tab04", "fig12", "--smoke", "--param", "vector_dim=256",
+            "--no-cache", "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        by_id = {entry["experiment"]: entry for entry in payload}
+        assert by_id["tab04"]["provenance"]["params"]["vector_dim"] == 256
+        assert "vector_dim" not in by_id["fig12"]["provenance"]["params"]
+
+    def test_run_param_unknown_to_all_specs_is_a_clean_error(self, capsys):
+        assert main(["run", "tab04", "fig12", "--param", "bogus=1"]) == 2
+        assert "no requested experiment" in capsys.readouterr().err
+
+    def test_run_smoke_uses_spec_smoke_params(self, capsys):
+        assert main(["run", "fig04a", "--smoke", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        # Smoke scale restricts fig04a to the single GPU device.
+        assert "rtx2080ti" in out
+        assert "jetson_tx2" not in out
+
+    def test_unknown_id_is_a_clean_error(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_unknown_param_is_a_clean_error(self, capsys):
+        assert main(["run", "tab04", "--param", "bogus=1"]) == 2
+        assert "no requested experiment has a parameter" in capsys.readouterr().err
+
+    def test_unparsable_param_value_is_a_clean_error(self, capsys):
+        assert main(["run", "tab04", "--param", "vector_dim=abc"]) == 2
+        assert "cannot parse" in capsys.readouterr().err
+
+    def test_malformed_param_assignment_is_a_clean_error(self, capsys):
+        assert main(["run", "tab04", "--param", "vector_dim"]) == 2
+        assert "key=value" in capsys.readouterr().err
+
+
+class TestReport:
+    def test_report_smoke_subset(self, tmp_path, capsys, monkeypatch):
+        subset = {
+            experiment_id: registry.EXPERIMENTS[experiment_id]
+            for experiment_id in ("tab04", "fig12")
+        }
+        monkeypatch.setattr(registry, "EXPERIMENTS", subset)
+        output = tmp_path / "EXPERIMENTS.md"
+        assert main([
+            "report", "--smoke", "--no-cache", "--output", str(output),
+        ]) == 0
+        capsys.readouterr()
+        document = output.read_text()
+        assert document.startswith("# EXPERIMENTS")
+        assert "Tab. IV" in document and "Fig. 12" in document
+
+
+class TestCache:
+    def test_cache_info_and_clear(self, capsys, tmp_path):
+        main(["run", "tab04", "--param", "vector_dim=128",
+              "--cache-dir", str(tmp_path)])
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 1
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 1" in capsys.readouterr().out
+
+
+class TestParamCoercion:
+    @pytest.mark.parametrize(
+        ("raw", "label", "expected"),
+        [
+            ("3", "int", 3),
+            ("0.5", "float", 0.5),
+            ("xeon", "str", "xeon"),
+            ("1,2,3", "ints", (1, 2, 3)),
+            ("raven,pgm", "strs", ("raven", "pgm")),
+            ("210:1024,1:2048", "int_pairs", ((210, 1024), (1, 2048))),
+        ],
+    )
+    def test_coercions(self, raw, label, expected):
+        assert _coerce_param(raw, label) == expected
+
+
+def test_python_dash_m_entry_point():
+    """``python -m repro`` resolves to the CLI (console-script equivalent)."""
+    repo_root = Path(__file__).resolve().parents[2]
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "list"],
+        capture_output=True,
+        text=True,
+        cwd=repo_root,
+        env={"PYTHONPATH": str(repo_root / "src"), "PATH": "/usr/bin:/bin",
+             "HOME": "/tmp"},
+    )
+    assert result.returncode == 0
+    assert "experiments registered" in result.stdout

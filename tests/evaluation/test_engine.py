@@ -1,0 +1,148 @@
+"""Tests for the caching/parallel execution engine."""
+
+import json
+
+import pytest
+
+from repro.evaluation import engine
+from repro.evaluation.engine import (
+    ResultTable,
+    UnknownParameterError,
+    cache_info,
+    clear_cache,
+    run,
+    run_many,
+)
+from repro.evaluation.registry import UnknownExperimentError
+
+
+class TestCaching:
+    def test_cache_hit_returns_identical_rows(self, tmp_path):
+        cold = run("fig12", cache_dir=tmp_path, cases=((210, 1024), (1, 2048)))
+        warm = run("fig12", cache_dir=tmp_path, cases=((210, 1024), (1, 2048)))
+        assert cold.provenance["cache"] == "miss"
+        assert warm.provenance["cache"] == "hit"
+        assert warm.rows == cold.rows
+        assert warm.headers == cold.headers
+
+    def test_cache_key_distinguishes_params(self, tmp_path):
+        small = run("tab04", cache_dir=tmp_path, vector_dim=128)
+        large = run("tab04", cache_dir=tmp_path, vector_dim=256)
+        assert small.provenance["cache"] == large.provenance["cache"] == "miss"
+        assert small.rows != large.rows
+
+    def test_no_cache_bypasses_disk(self, tmp_path):
+        table = run("tab04", use_cache=False, cache_dir=tmp_path, vector_dim=128)
+        assert table.provenance["cache"] == "off"
+        assert not list(tmp_path.glob("*.json"))
+
+    def test_cache_info_and_clear(self, tmp_path):
+        run("tab04", cache_dir=tmp_path, vector_dim=128)
+        info = cache_info(tmp_path)
+        assert info["entries"] == 1 and info["total_bytes"] > 0
+        assert clear_cache(tmp_path) == 1
+        assert cache_info(tmp_path)["entries"] == 0
+
+
+class TestRunMany:
+    IDS = ["tab04", "fig12", "fig11c"]
+    OVERRIDES = {
+        "tab04": {"vector_dim": 128},
+        "fig12": {"cases": ((210, 1024), (1, 2048))},
+        "fig11c": {"vector_dim": 256},
+    }
+
+    def test_parallel_matches_serial(self, tmp_path):
+        serial = run_many(
+            self.IDS, use_cache=False, overrides_by_id=self.OVERRIDES
+        )
+        parallel = run_many(
+            self.IDS,
+            workers=2,
+            use_cache=False,
+            overrides_by_id=self.OVERRIDES,
+        )
+        assert [t.experiment_id for t in parallel] == self.IDS
+        for serial_table, parallel_table in zip(serial, parallel):
+            assert parallel_table.rows == serial_table.rows
+            assert parallel_table.headers == serial_table.headers
+
+    def test_workers_share_cache(self, tmp_path):
+        run_many(
+            self.IDS, workers=2, cache_dir=tmp_path, overrides_by_id=self.OVERRIDES
+        )
+        warm = run_many(
+            self.IDS, workers=2, cache_dir=tmp_path, overrides_by_id=self.OVERRIDES
+        )
+        assert all(table.provenance["cache"] == "hit" for table in warm)
+
+    def test_bad_override_fails_before_spawning_workers(self):
+        with pytest.raises(UnknownParameterError):
+            run_many(["tab04"], workers=2, overrides_by_id={"tab04": {"nope": 1}})
+
+    def test_overrides_for_unrequested_id_raise(self):
+        # A typo'd key would otherwise silently run (and cache) defaults.
+        with pytest.raises(UnknownParameterError, match="not being run"):
+            run_many(["tab04"], overrides_by_id={"tab4": {"vector_dim": 128}})
+
+
+class TestValidation:
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(UnknownExperimentError):
+            run("not_an_experiment")
+
+    def test_unknown_parameter_raises(self):
+        with pytest.raises(UnknownParameterError, match="no parameter"):
+            run("tab04", use_cache=False, grid_size=3)
+
+
+class TestResultTable:
+    @pytest.fixture
+    def table(self, tmp_path):
+        return run("tab04", cache_dir=tmp_path, vector_dim=128)
+
+    def test_markdown_render(self, table):
+        lines = table.to_markdown().splitlines()
+        assert lines[0].startswith("| accelerator |")
+        assert len(lines) == 2 + len(table)
+
+    def test_csv_render(self, table):
+        lines = table.to_csv().strip().splitlines()
+        assert lines[0].split(",")[0] == "accelerator"
+        assert len(lines) == 1 + len(table)
+
+    def test_json_render_roundtrips(self, table):
+        payload = json.loads(table.to_json())
+        assert payload["experiment"] == "tab04"
+        assert payload["rows"] == table.rows
+        assert payload["provenance"]["params"] == {"vector_dim": 128}
+
+    def test_render_dispatch(self, table):
+        assert table.render("md") == table.to_markdown()
+        assert table.render("csv") == table.to_csv()
+        assert table.render("json") == table.to_json()
+        with pytest.raises(ValueError):
+            table.render("xml")
+
+    def test_missing_keys_render_empty(self):
+        table = ResultTable(
+            experiment_id="x",
+            title="x",
+            anchor="fig01",
+            headers=["a", "b"],
+            rows=[{"a": 1}, {"a": 2, "b": 3}],
+        )
+        assert table.cells() == [[1, ""], [2, 3]]
+
+
+class TestCodeVersionInvalidation:
+    def test_code_version_feeds_cache_key(self, tmp_path, monkeypatch):
+        from repro.evaluation.registry import get_spec
+
+        spec = get_spec("tab04")
+        run(spec, cache_dir=tmp_path, vector_dim=128)
+        monkeypatch.setattr(engine, "code_version", lambda _spec: "0.0.0+deadbeef")
+        stale = run(spec, cache_dir=tmp_path, vector_dim=128)
+        # The old entry no longer matches, so the driver re-runs.
+        assert stale.provenance["cache"] == "miss"
+        assert cache_info(tmp_path)["entries"] == 2

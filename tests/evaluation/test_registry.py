@@ -1,0 +1,123 @@
+"""Tests for the declarative experiment registry."""
+
+import importlib
+import re
+
+import pytest
+
+from repro.evaluation import experiments
+from repro.evaluation.engine import run
+from repro.evaluation.registry import (
+    EXPERIMENTS,
+    ExperimentSpec,
+    UnknownExperimentError,
+    all_specs,
+    get_spec,
+    register,
+    registered_drivers,
+    specs_by_tag,
+)
+
+
+class TestRegistryCompleteness:
+    def test_covers_at_least_twenty_experiments(self):
+        assert len(all_specs()) >= 20
+
+    def test_every_exported_driver_registered_exactly_once(self):
+        drivers = registered_drivers()
+        for name in experiments.__all__:
+            driver = getattr(experiments, name)
+            occurrences = sum(1 for registered in drivers if registered is driver)
+            assert occurrences == 1, f"driver '{name}' registered {occurrences} times"
+        # ... and the registry holds nothing beyond the exported drivers.
+        assert len(drivers) == len(experiments.__all__)
+
+    def test_ids_and_anchors_are_well_formed(self):
+        ids = [spec.id for spec in all_specs()]
+        assert len(ids) == len(set(ids))
+        for spec in all_specs():
+            assert re.fullmatch(r"(fig|tab)\d{2}", spec.anchor), spec.anchor
+            assert spec.title
+            assert spec.tags
+
+    def test_every_driver_is_importable_by_path(self):
+        for spec in all_specs():
+            module = importlib.import_module(spec.driver.__module__)
+            assert getattr(module, spec.driver.__name__) is spec.driver
+
+    def test_specs_by_tag_partitions_registry(self):
+        tagged = {spec.id for tag in ("characterization", "accuracy", "hardware", "e2e")
+                  for spec in specs_by_tag(tag)}
+        assert tagged == set(EXPERIMENTS)
+
+    def test_get_spec_unknown_id_raises(self):
+        with pytest.raises(UnknownExperimentError):
+            get_spec("fig99")
+
+
+class TestRegistration:
+    def test_register_rejects_duplicate_id(self):
+        spec = get_spec("tab04")
+        with pytest.raises(ValueError, match="duplicate experiment id"):
+            register(
+                ExperimentSpec(
+                    id="tab04",
+                    title="dup",
+                    anchor="tab04",
+                    driver=lambda: [],
+                    tags=("hardware",),
+                )
+            )
+        assert get_spec("tab04") is spec
+
+    def test_register_rejects_duplicate_driver(self):
+        spec = get_spec("tab04")
+        with pytest.raises(ValueError, match="already registered"):
+            register(
+                ExperimentSpec(
+                    id="tab04_copy",
+                    title="dup",
+                    anchor="tab04",
+                    driver=spec.driver,
+                    tags=("hardware",),
+                )
+            )
+        assert "tab04_copy" not in EXPERIMENTS
+
+    def test_spec_rejects_unknown_tag(self):
+        with pytest.raises(ValueError, match="unknown tags"):
+            ExperimentSpec(
+                id="x", title="x", anchor="fig01", driver=lambda: [], tags=("nope",)
+            )
+
+    def test_spec_rejects_params_outside_schema(self):
+        with pytest.raises(ValueError, match="missing from its schema"):
+            ExperimentSpec(
+                id="x",
+                title="x",
+                anchor="fig01",
+                driver=lambda: [],
+                tags=("hardware",),
+                smoke_params={"num_tasks": 1},
+            )
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+def test_smoke_run_every_spec(experiment_id, session_cache_dir):
+    """Every registered spec executes at smoke scale and yields a real table."""
+    spec = get_spec(experiment_id)
+    table = run(
+        spec,
+        use_cache=True,
+        cache_dir=session_cache_dir,
+        **spec.smoke_params,
+    )
+    assert table.experiment_id == experiment_id
+    assert table.rows, f"'{experiment_id}' produced no rows"
+    assert table.headers
+    for row in table.rows:
+        assert isinstance(row, dict) and row
+    # Rows survived the engine's JSON normalisation: plain types only.
+    for row in table.rows:
+        for value in row.values():
+            assert isinstance(value, (str, int, float, bool, type(None), list))

@@ -161,3 +161,62 @@ class TestHelpers:
         assert ops.circconv_bytes_gemv(dim) > ops.circconv_bytes_streaming(dim) * 100
         # Streaming footprint is linear in d.
         assert ops.circconv_bytes_streaming(dim) == 4 * 3 * dim
+
+
+def _loop_circular_convolve_direct(a, b):
+    """Historical pure-Python O(d^2) loop, kept as the equivalence reference."""
+    dim = a.shape[0]
+    result = np.zeros(dim)
+    for n in range(dim):
+        shifted = b[(n - np.arange(dim)) % dim]
+        result[n] = float(np.dot(a, shifted))
+    return result
+
+
+def _loop_random_unitary(dim, rng):
+    """Historical loop-based conjugate-symmetry construction."""
+    half = dim // 2
+    phases = rng.uniform(-np.pi, np.pi, size=dim)
+    spectrum = np.exp(1j * phases)
+    spectrum[0] = 1.0
+    if dim % 2 == 0:
+        spectrum[half] = np.sign(np.cos(phases[half])) or 1.0
+    for k in range(1, (dim + 1) // 2):
+        spectrum[dim - k] = np.conj(spectrum[k])
+    return np.real(np.fft.ifft(spectrum)) * np.sqrt(dim)
+
+
+class TestVectorizedEquivalence:
+    """The vectorized kernels must reproduce the old loop implementations.
+
+    These assertions are value-based (``allclose``), never timing-based, so
+    they stay meaningful on any machine.
+    """
+
+    @pytest.mark.parametrize("dim", [1, 2, 3, 8, 17, 64])
+    def test_circular_convolve_direct_matches_loop(self, rng, dim):
+        a = rng.normal(size=dim)
+        b = rng.normal(size=dim)
+        np.testing.assert_allclose(
+            ops.circular_convolve_direct(a, b),
+            _loop_circular_convolve_direct(a, b),
+            atol=1e-9,
+        )
+
+    @pytest.mark.parametrize("dim", [1, 2, 3, 16, 33, 128])
+    def test_random_unitary_matches_loop(self, dim):
+        # Identical seeds must give (numerically) identical vectors: the
+        # vectorized version draws the same ``dim`` phases so the RNG stream
+        # is preserved exactly.
+        seed = 1234 + dim
+        vectorized = ops.random_unitary(dim, rng=np.random.default_rng(seed))
+        reference = _loop_random_unitary(dim, np.random.default_rng(seed))
+        np.testing.assert_allclose(vectorized, reference, atol=1e-9)
+
+    def test_random_unitary_stream_position_preserved(self):
+        # Downstream code relies on how many draws the constructor consumes;
+        # both implementations must leave the generator at the same point.
+        rng_new, rng_old = np.random.default_rng(7), np.random.default_rng(7)
+        ops.random_unitary(32, rng=rng_new)
+        _loop_random_unitary(32, rng_old)
+        assert rng_new.integers(1 << 30) == rng_old.integers(1 << 30)
