@@ -1,0 +1,49 @@
+"""Serving: latency-vs-load sweep and batching-policy shape assertions.
+
+Unlike the paper-anchored harnesses, this benchmark guards the qualitative
+shape of the request-level serving layer: queueing theory says the tail
+must stay flat below the knee and blow up past saturation, batching must
+beat no batching under over-capacity traffic, and the memoized service
+model must keep the whole sweep cheap.
+"""
+
+from _bench_utils import emit_table, run_spec
+
+from repro.serving.metrics import saturation_summary
+
+
+def test_serving_latency_load_sweep(benchmark):
+    """p99 grows with offered load and saturates past the capacity knee."""
+    table = run_spec(benchmark, "serve_load", requests_per_point=150)
+    emit_table(benchmark, table)
+    by_key = {(row["workload"], row["load"]): row for row in table.rows}
+    workloads = sorted({row["workload"] for row in table.rows})
+    loads = sorted({row["load"] for row in table.rows})
+    assert len(workloads) == 4 and len(loads) == 5
+
+    for workload in workloads:
+        series = [by_key[(workload, load)] for load in loads]
+        # The tail is monotone-ish in load: the saturated end is far above
+        # the light-load end, and utilization grows with offered load.
+        assert series[-1]["p99_ms"] > 2 * series[0]["p99_ms"]
+        assert series[-1]["utilization"] > series[0]["utilization"]
+        # Below half capacity the system meets a 5 ms SLO outright.
+        assert series[0]["slo_attainment"] == 1.0
+        # Past unbatched capacity, amortization kicks in: batches form.
+        assert series[-1]["mean_batch"] > series[0]["mean_batch"]
+        knee = saturation_summary(
+            [{"load": row["load"], "p99_ms": row["p99_ms"]} for row in series],
+            knee_factor=2.0,
+        )
+        assert knee["knee_load"] is not None and knee["knee_load"] >= 0.5
+
+
+def test_serving_batching_policies(benchmark):
+    """Batched serving beats the no-batch baseline under heavy traffic."""
+    table = run_spec(benchmark, "serve_batch", requests=400)
+    emit_table(benchmark, table)
+    by_policy = {row["policy"]: row for row in table.rows}
+    none, continuous = by_policy["none"], by_policy["continuous"]
+    assert continuous["mean_batch"] > none["mean_batch"]
+    assert continuous["p99_ms"] < none["p99_ms"]
+    assert continuous["goodput_rps"] >= none["goodput_rps"]

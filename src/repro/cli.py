@@ -12,8 +12,14 @@ Installed as a console script (see ``setup.py``) and runnable as
 ``repro report [--output EXPERIMENTS.md] [--workers N] [--no-cache]
 [--smoke]``
     Regenerate the paper-vs-measured document from the registry.
-``repro cache info|clear``
-    Inspect or empty the on-disk result cache.
+``repro serve SCENARIO [--seed N] [--chips N] [--router R] [--policy P]
+[--load-scale X] [--duration-scale X]`` / ``repro serve --list`` /
+``repro serve --smoke``
+    Run a serving scenario preset (or every serving experiment at smoke
+    scale) through the request-level simulator.
+``repro cache [info|stats|clear] [--stats]``
+    Inspect (optionally with a per-experiment breakdown) or empty the
+    on-disk result cache.
 """
 
 from __future__ import annotations
@@ -42,6 +48,8 @@ def _coerce_param(raw: str, type_label: str):
         return raw
     if type_label == "ints":
         return tuple(int(part) for part in raw.split(",") if part)
+    if type_label == "floats":
+        return tuple(float(part) for part in raw.split(",") if part)
     if type_label == "strs":
         return tuple(part for part in raw.split(",") if part)
     if type_label == "int_pairs":
@@ -173,9 +181,114 @@ def _cmd_cache(args) -> int:
     if args.action == "clear":
         removed = engine.clear_cache(args.cache_dir)
         print(f"removed {removed} cached result(s)")
+    elif args.stats or args.action == "stats":
+        print(json.dumps(engine.cache_stats(args.cache_dir), indent=2))
     else:
         info = engine.cache_info(args.cache_dir)
         print(json.dumps(info, indent=2))
+    return 0
+
+
+def _emit(args, output: str) -> None:
+    """Print ``output`` or write it to ``--output FILE``."""
+    if args.output:
+        Path(args.output).write_text(output)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(output, end="")
+
+
+def _cmd_serve(args) -> int:
+    from repro.serving import metrics, scenarios
+
+    if args.list:
+        presets = list(scenarios.SCENARIOS.values())
+        if args.format == "json":
+            payload = [
+                {
+                    "scenario": s.name,
+                    "num_chips": s.num_chips,
+                    "router": s.router,
+                    "policy": s.policy,
+                    "slo_ms": s.slo_s * 1e3,
+                    "description": s.description,
+                }
+                for s in presets
+            ]
+            _emit(args, json.dumps(payload, indent=2) + "\n")
+        else:
+            rows = [
+                [s.name, s.num_chips, s.router, s.policy,
+                 f"{s.slo_s * 1e3:g}", s.description]
+                for s in presets
+            ]
+            table = format_markdown_table(
+                ["scenario", "chips", "router", "policy", "slo (ms)", "description"],
+                rows,
+            )
+            _emit(args, table + "\n")
+        return 0
+    if args.smoke:
+        serving_specs = specs_by_tag("serving")
+        tables = engine.run_many(
+            [spec.id for spec in serving_specs],
+            use_cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+            overrides_by_id={
+                spec.id: dict(spec.smoke_params) for spec in serving_specs
+            },
+        )
+        if args.format == "json":
+            documents = [json.loads(table.to_json()) for table in tables]
+            _emit(args, json.dumps(documents, indent=2) + "\n")
+        else:
+            _emit(
+                args,
+                "".join(
+                    f"## {table.title}\n\n{table.to_markdown()}\n\n"
+                    for table in tables
+                ),
+            )
+        return 0
+    if not args.scenario:
+        raise ReproError(
+            "repro serve needs a scenario name (see --list), --smoke or --list"
+        )
+    scenario, result = scenarios.run_scenario(
+        args.scenario,
+        seed=args.seed,
+        load_scale=args.load_scale,
+        duration_scale=args.duration_scale,
+        num_chips=args.chips,
+        router=args.router,
+        policy=args.policy,
+    )
+    summary = metrics.summarize_result(result, scenario.slo_s)
+    breakdown = metrics.per_workload_summary(result, scenario.slo_s)
+    if args.format == "json":
+        payload = {
+            "scenario": scenario.name,
+            "provenance": result.provenance,
+            "summary": summary,
+            "per_workload": breakdown,
+        }
+        output = json.dumps(payload, indent=2) + "\n"
+    else:
+        lines = [f"## Scenario '{scenario.name}' — {scenario.description}", ""]
+        lines.append(
+            format_markdown_table(
+                ["metric", "value"], [[key, value] for key, value in summary.items()]
+            )
+        )
+        lines.append("")
+        headers = list(breakdown[0])
+        lines.append(
+            format_markdown_table(
+                headers, [[row[h] for h in headers] for row in breakdown]
+            )
+        )
+        output = "\n".join(lines) + "\n"
+    _emit(args, output)
     return 0
 
 
@@ -224,9 +337,43 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.set_defaults(func=_cmd_report)
 
     cache_parser = subparsers.add_parser("cache", help="inspect or clear the result cache")
-    cache_parser.add_argument("action", choices=("info", "clear"))
+    cache_parser.add_argument("action", nargs="?", default="info",
+                              choices=("info", "stats", "clear"))
+    cache_parser.add_argument("--stats", action="store_true",
+                              help="per-experiment entry/byte breakdown")
     cache_parser.add_argument("--cache-dir", default=None, help=argparse.SUPPRESS)
     cache_parser.set_defaults(func=_cmd_cache)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the request-level serving simulator"
+    )
+    serve_parser.add_argument("scenario", nargs="?", metavar="SCENARIO",
+                              help="scenario preset name (see --list)")
+    serve_parser.add_argument("--list", action="store_true",
+                              help="enumerate the scenario presets")
+    serve_parser.add_argument("--smoke", action="store_true",
+                              help="run every serving experiment at smoke scale")
+    serve_parser.add_argument("--seed", type=int, default=0,
+                              help="traffic seed (default 0)")
+    serve_parser.add_argument("--load-scale", type=float, default=1.0,
+                              metavar="X", help="scale every arrival rate by X")
+    serve_parser.add_argument("--duration-scale", type=float, default=1.0,
+                              metavar="X", help="scale the scenario duration by X")
+    serve_parser.add_argument("--chips", type=int, default=None, metavar="N",
+                              help="override the scenario's fleet size")
+    serve_parser.add_argument("--router", default=None,
+                              choices=("round_robin", "jsq", "affinity"),
+                              help="override the scenario's routing policy")
+    serve_parser.add_argument("--policy", default=None,
+                              choices=("none", "fixed", "continuous"),
+                              help="override the scenario's batching policy")
+    serve_parser.add_argument("--format", choices=("md", "json"), default="md")
+    serve_parser.add_argument("--output", metavar="FILE",
+                              help="write the summary to FILE")
+    serve_parser.add_argument("--no-cache", action="store_true",
+                              help="bypass the result cache (--smoke only)")
+    serve_parser.add_argument("--cache-dir", default=None, help=argparse.SUPPRESS)
+    serve_parser.set_defaults(func=_cmd_serve)
     return parser
 
 

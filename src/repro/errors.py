@@ -39,3 +39,7 @@ class SchedulingError(ReproError):
 
 class TaskGenerationError(ReproError):
     """Raised when a cognitive task generator receives invalid parameters."""
+
+
+class ServingError(ReproError):
+    """Raised for invalid serving-simulator configurations or requests."""

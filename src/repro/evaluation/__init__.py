@@ -1,9 +1,10 @@
 """Evaluation harness: solvers, experiment registry, engine and reporting.
 
 The cognitive solvers live in :mod:`repro.evaluation.solver`; the per-figure
-experiment drivers are spread over four focused modules (``characterization``,
-``accuracy_experiments``, ``hardware_experiments``, ``end_to_end``) and bound
-together by the declarative :mod:`repro.evaluation.registry`.  Use
+experiment drivers are spread over five focused modules (``characterization``,
+``accuracy_experiments``, ``hardware_experiments``, ``end_to_end``,
+``serving_experiments``) and bound together by the declarative
+:mod:`repro.evaluation.registry`.  Use
 :mod:`repro.evaluation.engine` (or the ``repro`` CLI) to execute registered
 experiments with on-disk result caching and optional process-level
 parallelism; :mod:`repro.evaluation.experiments` remains as a

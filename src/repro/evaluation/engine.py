@@ -36,6 +36,7 @@ __all__ = [
     "run_many",
     "default_cache_dir",
     "cache_info",
+    "cache_stats",
     "clear_cache",
 ]
 
@@ -285,6 +286,10 @@ def run_many(
         raise UnknownParameterError(
             f"overrides_by_id names experiment(s) not being run: {sorted(stray)}"
         )
+    if not ids:
+        # An empty request is a valid no-op; return early so it can never
+        # reach ProcessPoolExecutor(max_workers=0), which raises ValueError.
+        return []
     cache_dir = str(cache_dir) if cache_dir is not None else None
     jobs = [
         (experiment_id, overrides_by_id.get(experiment_id, {}), use_cache, cache_dir)
@@ -308,6 +313,30 @@ def cache_info(cache_dir: str | Path | None = None) -> dict:
         "path": str(root),
         "entries": len(files),
         "total_bytes": sum(f.stat().st_size for f in files),
+    }
+
+
+def cache_stats(cache_dir: str | Path | None = None) -> dict:
+    """:func:`cache_info` plus a per-experiment entry/byte breakdown.
+
+    Entry filenames are ``<experiment id>-<key>.json`` (see
+    :func:`_cache_path`), so the experiment id is recovered by stripping the
+    trailing cache-key component.  Use this to see what ``repro cache clear``
+    would discard before pruning.
+    """
+    root = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    files = sorted(root.glob("*.json")) if root.is_dir() else []
+    experiments: dict[str, dict[str, int]] = {}
+    for file in files:
+        experiment_id = file.stem.rsplit("-", 1)[0]
+        entry = experiments.setdefault(experiment_id, {"entries": 0, "bytes": 0})
+        entry["entries"] += 1
+        entry["bytes"] += file.stat().st_size
+    return {
+        "path": str(root),
+        "entries": len(files),
+        "total_bytes": sum(f.stat().st_size for f in files),
+        "experiments": dict(sorted(experiments.items())),
     }
 
 

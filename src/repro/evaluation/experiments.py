@@ -1,10 +1,11 @@
 """Backwards-compatible facade over the experiment driver modules.
 
-The drivers themselves now live in four focused modules —
+The drivers themselves now live in five focused modules —
 :mod:`repro.evaluation.characterization` (Sec. III profiling),
 :mod:`repro.evaluation.accuracy_experiments` (algorithm optimizations),
-:mod:`repro.evaluation.hardware_experiments` (micro-benchmarks) and
-:mod:`repro.evaluation.end_to_end` (full-system evaluation) — and are bound
+:mod:`repro.evaluation.hardware_experiments` (micro-benchmarks),
+:mod:`repro.evaluation.end_to_end` (full-system evaluation) and
+:mod:`repro.evaluation.serving_experiments` (request-level serving) — and are bound
 together by :mod:`repro.evaluation.registry`.  Prefer resolving drivers
 through the registry (or the ``repro`` CLI / :mod:`repro.evaluation.engine`)
 in new code; this module only re-exports every driver under its historical
@@ -51,6 +52,12 @@ from repro.evaluation.end_to_end import (
     hardware_ablation,
     ml_accelerator_comparison,
 )
+from repro.evaluation.serving_experiments import (
+    batching_policy_comparison,
+    fleet_scaling,
+    latency_load_sweep,
+    scenario_slo_matrix,
+)
 
 __all__ = [
     "characterization_runtime",
@@ -76,5 +83,9 @@ __all__ = [
     "ml_accelerator_comparison",
     "hardware_ablation",
     "codesign_ablation",
+    "latency_load_sweep",
+    "batching_policy_comparison",
+    "fleet_scaling",
+    "scenario_slo_matrix",
     "task_accuracy_overview",
 ]

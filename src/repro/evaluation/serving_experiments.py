@@ -1,0 +1,224 @@
+"""Serving-scale experiment drivers: traffic, batching and fleet scale-out.
+
+These drivers extend the paper's single-query evaluation to the request
+level: every row comes from a deterministic discrete-event simulation
+(:mod:`repro.serving`) whose per-batch service times are CogSys accelerator
+reports, memoized per ``(workload, batch size)`` so full sweeps finish in
+seconds.  Four experiment families are registered:
+
+* ``serve_load`` — per-workload latency versus offered load,
+* ``serve_batch`` — batching-policy comparison under heavy mixed traffic,
+* ``serve_fleet`` — fleet scaling efficiency across routing policies,
+* ``serve_scenarios`` — SLO matrix over the named scenario presets.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ServingError
+from repro.serving.batching import build_policy
+from repro.serving.fleet import AcceleratorServiceModel, Fleet
+from repro.serving.metrics import summarize_result
+from repro.serving.scenarios import run_scenario
+from repro.serving.simulator import ServingSimulator
+from repro.serving.traffic import PoissonArrivals, WorkloadMix
+from repro.workloads.registry import WORKLOAD_BUILDERS
+
+__all__ = [
+    "latency_load_sweep",
+    "batching_policy_comparison",
+    "fleet_scaling",
+    "scenario_slo_matrix",
+]
+
+#: every registered workload, in stable (alphabetical) order
+SERVING_WORKLOADS = tuple(sorted(WORKLOAD_BUILDERS))
+
+
+def _poisson_requests(rate_rps: float, count: int, mix: WorkloadMix, seed: int):
+    """~``count`` Poisson arrivals at ``rate_rps`` (duration = count / rate)."""
+    if count < 1:
+        raise ServingError(f"request count must be positive, got {count}")
+    return PoissonArrivals(rate_rps, mix).generate(count / rate_rps, seed=seed)
+
+
+def _mean_unbatched_service_s(model: AcceleratorServiceModel, mix: WorkloadMix):
+    """Mix-weighted batch-1 service time — the load=1.0 calibration point."""
+    return sum(
+        probability * model.service_seconds(name, 1)
+        for name, probability in zip(mix.names, mix.probabilities)
+    )
+
+
+def latency_load_sweep(
+    workloads: tuple[str, ...] = SERVING_WORKLOADS,
+    loads: tuple[float, ...] = (0.2, 0.5, 0.8, 1.1, 1.5),
+    requests_per_point: int = 200,
+    max_batch_size: int = 8,
+    num_chips: int = 1,
+    slo_ms: float = 5.0,
+    seed: int = 0,
+) -> list[dict]:
+    """Latency versus offered load, per workload.
+
+    ``load`` is offered traffic relative to the chip's *unbatched* capacity
+    (``num_chips / batch-1 service time``), so loads above 1.0 are only
+    sustainable through batching amortization — the sweep shows where each
+    workload saturates and how hard the tail blows up past the knee.
+    """
+    model = AcceleratorServiceModel()
+    rows = []
+    for workload in workloads:
+        service_1 = model.service_seconds(workload, 1)
+        for load in loads:
+            if load <= 0:
+                raise ServingError(f"loads must be positive, got {load}")
+            rate = load * num_chips / service_1
+            requests = _poisson_requests(
+                rate, requests_per_point, WorkloadMix({workload: 1.0}), seed
+            )
+            simulator = ServingSimulator(
+                service_model=model,
+                fleet=Fleet(num_chips=num_chips, router="jsq"),
+                batching_policy=build_policy(
+                    "continuous", max_batch_size=max_batch_size, slo_s=slo_ms * 1e-3
+                ),
+            )
+            result = simulator.run(requests)
+            rows.append(
+                {
+                    "workload": workload,
+                    "load": load,
+                    **summarize_result(result, slo_ms * 1e-3, offered_rps=rate),
+                }
+            )
+    return rows
+
+
+def batching_policy_comparison(
+    policies: tuple[str, ...] = ("none", "fixed", "continuous"),
+    load: float = 1.1,
+    requests: int = 600,
+    num_chips: int = 2,
+    batch_size: int = 8,
+    slo_ms: float = 5.0,
+    seed: int = 0,
+) -> list[dict]:
+    """No-batch versus fixed-size versus continuous batching, same traffic.
+
+    All policies face the identical (seeded) mixed request stream at a load
+    past the unbatched capacity, so the no-batch baseline saturates while
+    batched policies amortize kernel dispatch and survive — the serving
+    analogue of the paper's kernel-launch-overhead observation.
+    """
+    model = AcceleratorServiceModel()
+    mix = WorkloadMix.uniform(SERVING_WORKLOADS)
+    slo_s = slo_ms * 1e-3
+    rate = load * num_chips / _mean_unbatched_service_s(model, mix)
+    stream = _poisson_requests(rate, requests, mix, seed)
+    policy_kwargs = {
+        "none": {},
+        "fixed": {"batch_size": batch_size, "max_wait_s": slo_s / 4},
+        "continuous": {"max_batch_size": batch_size, "slo_s": slo_s},
+    }
+    rows = []
+    for name in policies:
+        simulator = ServingSimulator(
+            service_model=model,
+            fleet=Fleet(num_chips=num_chips, router="jsq"),
+            batching_policy=build_policy(name, **policy_kwargs.get(name, {})),
+        )
+        result = simulator.run(stream)
+        rows.append(
+            {
+                "policy": name,
+                **summarize_result(result, slo_s, offered_rps=rate),
+            }
+        )
+    return rows
+
+
+def fleet_scaling(
+    chip_counts: tuple[int, ...] = (1, 2, 4, 8),
+    routers: tuple[str, ...] = ("round_robin", "jsq", "affinity"),
+    load_per_chip: float = 0.8,
+    requests_per_chip: int = 250,
+    max_batch_size: int = 8,
+    slo_ms: float = 5.0,
+    seed: int = 0,
+) -> list[dict]:
+    """Scale-out efficiency: offered load grows proportionally with chips.
+
+    ``efficiency`` is goodput per chip normalized to the smallest fleet of
+    the same router — 1.0 means perfect linear scaling.  Load-aware routing
+    (JSQ) should hold efficiency near 1.0 while round-robin leaks tail
+    latency to unlucky queues and affinity trades balance for homogeneous
+    per-chip batches.
+    """
+    model = AcceleratorServiceModel()
+    mix = WorkloadMix.uniform(SERVING_WORKLOADS)
+    slo_s = slo_ms * 1e-3
+    service = _mean_unbatched_service_s(model, mix)
+    rows = []
+    for router in routers:
+        base_goodput_per_chip = None
+        for num_chips in sorted(chip_counts):
+            rate = load_per_chip * num_chips / service
+            stream = _poisson_requests(
+                rate, requests_per_chip * num_chips, mix, seed
+            )
+            simulator = ServingSimulator(
+                service_model=model,
+                fleet=Fleet(num_chips=num_chips, router=router),
+                batching_policy=build_policy(
+                    "continuous", max_batch_size=max_batch_size, slo_s=slo_s
+                ),
+            )
+            result = simulator.run(stream)
+            summary = summarize_result(result, slo_s, offered_rps=rate)
+            goodput_per_chip = summary["goodput_rps"] / num_chips
+            if base_goodput_per_chip is None:
+                base_goodput_per_chip = goodput_per_chip
+            efficiency = (
+                round(goodput_per_chip / base_goodput_per_chip, 4)
+                if base_goodput_per_chip
+                else 0.0
+            )
+            rows.append({"router": router, "efficiency": efficiency, **summary})
+    return rows
+
+
+def scenario_slo_matrix(
+    scenarios: tuple[str, ...] = (
+        "steady",
+        "diurnal",
+        "flash_crowd",
+        "mixed_workload",
+    ),
+    seed: int = 0,
+    load_scale: float = 1.0,
+    duration_scale: float = 1.0,
+) -> list[dict]:
+    """Goodput/SLO matrix over the named scenario presets.
+
+    One accelerator model is shared across scenarios, so the memoized
+    reports make the whole matrix a single pass of cheap event loops.
+    """
+    model = AcceleratorServiceModel()
+    rows = []
+    for name in scenarios:
+        scenario, result = run_scenario(
+            name,
+            seed=seed,
+            load_scale=load_scale,
+            duration_scale=duration_scale,
+            service_model=model,
+        )
+        rows.append(
+            {
+                "scenario": scenario.name,
+                "router": scenario.router,
+                "policy": scenario.policy,
+                **summarize_result(result, scenario.slo_s),
+            }
+        )
+    return rows

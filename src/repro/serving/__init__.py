@@ -1,0 +1,101 @@
+"""Request-level serving simulator on top of the CogSys cycle model.
+
+The paper evaluates single-query latency on one accelerator; this package
+asks the production question — what happens under *traffic*.  It layers a
+deterministic discrete-event simulator over the cycle-level
+:class:`~repro.hardware.accelerator.CogSysAccelerator` model:
+
+* :mod:`~repro.serving.traffic` — seeded arrival processes (Poisson,
+  bursty MMPP, trace replay) over the four registered workloads,
+* :mod:`~repro.serving.batching` — batching policies that amortize
+  per-kernel dispatch across same-workload requests,
+* :mod:`~repro.serving.fleet` — multi-chip fleets with routing policies
+  and memoized per-``(workload, batch)`` accelerator reports,
+* :mod:`~repro.serving.simulator` — the heapq event loop producing
+  per-request latency traces, utilization and energy,
+* :mod:`~repro.serving.metrics` — tail latency, goodput under SLO and
+  saturation summaries,
+* :mod:`~repro.serving.scenarios` — named presets (steady, diurnal,
+  flash-crowd, mixed-workload) runnable via ``repro serve``.
+"""
+
+from repro.serving.batching import (
+    BATCHING_POLICIES,
+    Batch,
+    BatchDecision,
+    BatchingPolicy,
+    ContinuousBatching,
+    FixedSizeBatching,
+    NoBatching,
+    build_policy,
+)
+from repro.serving.fleet import (
+    ROUTERS,
+    AcceleratorServiceModel,
+    Fleet,
+    JoinShortestQueueRouter,
+    RoundRobinRouter,
+    Router,
+    WorkloadAffinityRouter,
+    build_router,
+)
+from repro.serving.metrics import (
+    goodput,
+    latency_summary,
+    per_workload_summary,
+    percentile,
+    queueing_summary,
+    saturation_summary,
+    summarize_result,
+)
+from repro.serving.scenarios import SCENARIOS, Scenario, get_scenario, run_scenario
+from repro.serving.simulator import RequestRecord, ServingResult, ServingSimulator
+from repro.serving.traffic import (
+    ArrivalProcess,
+    MMPPArrivals,
+    PoissonArrivals,
+    Request,
+    TraceArrivals,
+    WorkloadMix,
+    concatenate_segments,
+)
+
+__all__ = [
+    "Request",
+    "WorkloadMix",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "MMPPArrivals",
+    "TraceArrivals",
+    "concatenate_segments",
+    "Batch",
+    "BatchDecision",
+    "BatchingPolicy",
+    "NoBatching",
+    "FixedSizeBatching",
+    "ContinuousBatching",
+    "BATCHING_POLICIES",
+    "build_policy",
+    "AcceleratorServiceModel",
+    "Router",
+    "RoundRobinRouter",
+    "JoinShortestQueueRouter",
+    "WorkloadAffinityRouter",
+    "ROUTERS",
+    "build_router",
+    "Fleet",
+    "RequestRecord",
+    "ServingResult",
+    "ServingSimulator",
+    "percentile",
+    "latency_summary",
+    "queueing_summary",
+    "goodput",
+    "summarize_result",
+    "per_workload_summary",
+    "saturation_summary",
+    "Scenario",
+    "SCENARIOS",
+    "get_scenario",
+    "run_scenario",
+]

@@ -1,0 +1,205 @@
+"""Pluggable batching policies for the serving simulator.
+
+A batching policy decides, whenever a chip is free to accept work, which
+queued requests to launch as one batch.  Batches are always same-workload:
+a batch of ``b`` requests for workload ``w`` executes as the ``num_tasks=b``
+variant of ``w``'s kernel graph, which is exactly what the adaptive
+scheduler amortizes (shared weights, interleaved neural/symbolic kernels,
+one dispatch per kernel instead of ``b``).
+
+The policy interface is a single method::
+
+    select(queue, now_s) -> BatchDecision(batch, wake_s)
+
+``batch`` is the list of requests to dispatch now (``None`` to wait), and
+``wake_s`` is an optional future time at which the simulator should consult
+the policy again even if no new request arrives (used by timeout-based
+policies to cap the wait of a partially filled batch).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.errors import ServingError
+from repro.serving.traffic import Request
+
+__all__ = [
+    "Batch",
+    "BatchDecision",
+    "BatchingPolicy",
+    "NoBatching",
+    "FixedSizeBatching",
+    "ContinuousBatching",
+    "BATCHING_POLICIES",
+    "build_policy",
+]
+
+
+@dataclass(frozen=True)
+class Batch:
+    """A same-workload group of requests dispatched together."""
+
+    workload: str
+    requests: tuple[Request, ...]
+    formed_s: float
+
+    def __post_init__(self) -> None:
+        if not self.requests:
+            raise ServingError("a batch must contain at least one request")
+        if any(request.workload != self.workload for request in self.requests):
+            raise ServingError("all requests of a batch must share one workload")
+
+    @property
+    def size(self) -> int:
+        """Number of requests in the batch."""
+        return len(self.requests)
+
+
+@dataclass(frozen=True)
+class BatchDecision:
+    """Outcome of consulting a batching policy."""
+
+    batch: list[Request] | None
+    wake_s: float | None = None
+
+
+def _groups(queue: Sequence[Request]) -> dict[str, list[Request]]:
+    """Queued requests grouped by workload, preserving queue (FIFO) order."""
+    groups: dict[str, list[Request]] = {}
+    for request in queue:
+        groups.setdefault(request.workload, []).append(request)
+    return groups
+
+
+class BatchingPolicy:
+    """Base class for batching policies."""
+
+    name = "base"
+
+    def select(self, queue: Sequence[Request], now_s: float) -> BatchDecision:
+        """Pick the batch to dispatch at ``now_s`` (or when to re-check)."""
+        raise NotImplementedError
+
+
+class NoBatching(BatchingPolicy):
+    """Dispatch the oldest queued request alone — the no-amortization baseline."""
+
+    name = "none"
+
+    def select(self, queue, now_s):
+        if not queue:
+            return BatchDecision(batch=None)
+        return BatchDecision(batch=[queue[0]])
+
+
+class FixedSizeBatching(BatchingPolicy):
+    """Wait for ``batch_size`` same-workload requests, capped by a timeout.
+
+    A full group dispatches immediately.  Otherwise the policy waits, but
+    never longer than ``max_wait_s`` past the oldest queued request's
+    arrival — when the timeout expires the partial group ships as-is, so a
+    trickle of traffic cannot strand requests forever.
+    """
+
+    name = "fixed"
+
+    def __init__(self, batch_size: int = 8, max_wait_s: float = 2e-3) -> None:
+        if batch_size < 1:
+            raise ServingError(f"batch_size must be positive, got {batch_size}")
+        if max_wait_s < 0:
+            raise ServingError(f"max_wait_s must be non-negative, got {max_wait_s}")
+        self.batch_size = batch_size
+        self.max_wait_s = max_wait_s
+
+    def select(self, queue, now_s):
+        if not queue:
+            return BatchDecision(batch=None)
+        groups = _groups(queue)
+        full = [
+            group for group in groups.values() if len(group) >= self.batch_size
+        ]
+        if full:
+            # Oldest head first, so full groups drain in arrival order.
+            chosen = min(full, key=lambda group: group[0].arrival_s)
+            return BatchDecision(batch=chosen[: self.batch_size])
+        oldest = min(groups.values(), key=lambda group: group[0].arrival_s)
+        deadline = oldest[0].arrival_s + self.max_wait_s
+        if now_s >= deadline:
+            return BatchDecision(batch=oldest[: self.batch_size])
+        return BatchDecision(batch=None, wake_s=deadline)
+
+
+class ContinuousBatching(BatchingPolicy):
+    """Deadline-aware continuous batching.
+
+    Whenever a chip frees up, everything queued for one workload (up to
+    ``max_batch_size``) ships immediately — the continuous-batching idea of
+    never idling a chip while work is queued.  Among workload groups, the
+    one whose head-of-line request is closest to violating its SLO deadline
+    goes first (earliest-deadline-first), so latency-critical stragglers are
+    not starved by a deep queue of newer requests.  ``slo_s`` is either one
+    deadline for every workload (EDF then degenerates to oldest-head-first)
+    or a per-workload mapping, which lets a tight-SLO workload pre-empt an
+    older but slacker group.
+    """
+
+    name = "continuous"
+
+    #: deadline assumed for workloads absent from a per-workload SLO mapping
+    DEFAULT_SLO_S = 5e-3
+
+    def __init__(
+        self, max_batch_size: int = 8, slo_s: float | Mapping[str, float] = 5e-3
+    ) -> None:
+        if max_batch_size < 1:
+            raise ServingError(
+                f"max_batch_size must be positive, got {max_batch_size}"
+            )
+        if isinstance(slo_s, Mapping):
+            self.slo_by_workload = dict(slo_s)
+            self.default_slo_s = self.DEFAULT_SLO_S
+            slo_values = tuple(self.slo_by_workload.values())
+        else:
+            self.slo_by_workload = {}
+            self.default_slo_s = float(slo_s)
+            slo_values = (slo_s,)
+        if any(value <= 0 for value in slo_values):
+            raise ServingError(f"slo_s must be positive, got {slo_s}")
+        self.max_batch_size = max_batch_size
+
+    def _deadline(self, request: Request) -> float:
+        slo = self.slo_by_workload.get(request.workload, self.default_slo_s)
+        return request.arrival_s + slo
+
+    def select(self, queue, now_s):
+        if not queue:
+            return BatchDecision(batch=None)
+        groups = _groups(queue)
+        # Earliest head deadline first; workload name breaks exact ties so
+        # the choice is independent of queue insertion history.
+        urgent = min(
+            groups.items(),
+            key=lambda item: (self._deadline(item[1][0]), item[0]),
+        )[1]
+        return BatchDecision(batch=urgent[: self.max_batch_size])
+
+
+#: policy name -> factory, the registry the CLI and experiment drivers use
+BATCHING_POLICIES: dict[str, type[BatchingPolicy]] = {
+    NoBatching.name: NoBatching,
+    FixedSizeBatching.name: FixedSizeBatching,
+    ContinuousBatching.name: ContinuousBatching,
+}
+
+
+def build_policy(name: str, **kwargs) -> BatchingPolicy:
+    """Instantiate a batching policy by registry name."""
+    try:
+        factory = BATCHING_POLICIES[name]
+    except KeyError:
+        raise ServingError(
+            f"unknown batching policy '{name}'; known: {sorted(BATCHING_POLICIES)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,212 @@
+"""Multi-chip fleet model: per-chip service times and routing policies.
+
+Each chip in the fleet is one CogSys accelerator; its service time for a
+batch of ``b`` same-workload requests is the end-to-end latency the
+cycle-level :class:`~repro.hardware.accelerator.CogSysAccelerator` model
+reports for the ``num_tasks=b`` variant of that workload.  Reports are
+memoized per ``(workload, batch size)`` — the expensive part is building
+the kernel graph and scheduling it once; afterwards the discrete-event loop
+only does dictionary lookups, which is what keeps full load sweeps fast.
+
+Routing policies place an arriving request on a chip:
+
+* :class:`RoundRobinRouter` — cyclic assignment, oblivious to load.
+* :class:`JoinShortestQueueRouter` — least pending work (queued plus
+  in-flight requests), the classic latency-optimal heuristic.
+* :class:`WorkloadAffinityRouter` — workloads are sharded across chips and
+  a request only goes to chips owning its workload (least-loaded among
+  them).  Affinity keeps per-chip batches homogeneous, which is what the
+  same-workload batching amortization needs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.errors import ServingError
+from repro.hardware.accelerator import CogSysAccelerator, CogSysReport
+from repro.serving.traffic import Request
+from repro.workloads.registry import build_workload
+
+__all__ = [
+    "AcceleratorServiceModel",
+    "ChipView",
+    "Router",
+    "RoundRobinRouter",
+    "JoinShortestQueueRouter",
+    "WorkloadAffinityRouter",
+    "ROUTERS",
+    "build_router",
+    "Fleet",
+]
+
+
+class AcceleratorServiceModel:
+    """Memoized ``(workload, batch size) -> CogSysReport`` service-time oracle."""
+
+    def __init__(
+        self,
+        accelerator: CogSysAccelerator | None = None,
+        scheduler: str = "adaptive",
+        workload_params: Mapping[str, Mapping[str, object]] | None = None,
+    ) -> None:
+        self.accelerator = accelerator or CogSysAccelerator()
+        self.scheduler = scheduler
+        self.workload_params = {
+            name: dict(params) for name, params in (workload_params or {}).items()
+        }
+        self._reports: dict[tuple[str, int], CogSysReport] = {}
+
+    def report(self, workload: str, batch_size: int) -> CogSysReport:
+        """The accelerator report for a batch, computed once and memoized."""
+        if batch_size < 1:
+            raise ServingError(f"batch_size must be positive, got {batch_size}")
+        key = (workload, batch_size)
+        if key not in self._reports:
+            graph = build_workload(
+                workload,
+                num_tasks=batch_size,
+                **self.workload_params.get(workload, {}),
+            )
+            self._reports[key] = self.accelerator.simulate(
+                graph, scheduler=self.scheduler
+            )
+        return self._reports[key]
+
+    def service_seconds(self, workload: str, batch_size: int) -> float:
+        """Chip-occupancy seconds for one batch."""
+        return self.report(workload, batch_size).total_seconds
+
+    def energy_joules(self, workload: str, batch_size: int) -> float:
+        """Energy one batch costs on the chip."""
+        return self.report(workload, batch_size).energy_joules
+
+    @property
+    def cached_reports(self) -> int:
+        """Number of distinct ``(workload, batch)`` simulations performed."""
+        return len(self._reports)
+
+
+class ChipView(Protocol):
+    """The chip state a router is allowed to observe."""
+
+    chip_id: int
+    busy: bool
+    inflight: int
+
+    @property
+    def queue_depth(self) -> int: ...
+
+
+def _pending(chip: ChipView) -> int:
+    """Requests a chip still owes: queued plus currently executing."""
+    return chip.queue_depth + chip.inflight
+
+
+class Router:
+    """Base class for request-routing policies."""
+
+    name = "base"
+
+    def route(self, request: Request, chips: Sequence[ChipView]) -> int:
+        """Index of the chip that should enqueue ``request``."""
+        raise NotImplementedError
+
+
+class RoundRobinRouter(Router):
+    """Cycle through the chips regardless of their load."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def route(self, request, chips):
+        chosen = self._next % len(chips)
+        self._next += 1
+        return chosen
+
+
+class JoinShortestQueueRouter(Router):
+    """Send the request to the chip with the fewest pending requests."""
+
+    name = "jsq"
+
+    def route(self, request, chips):
+        return min(chips, key=lambda chip: (_pending(chip), chip.chip_id)).chip_id
+
+
+class WorkloadAffinityRouter(Router):
+    """Shard workloads across chips; least-loaded owner wins.
+
+    Chips are dealt to workloads round-robin (chip ``i`` serves workload
+    ``i mod W`` of the sorted workload list), so every workload owns
+    ``num_chips / W`` chips when the fleet is large and falls back to a
+    single shared chip when it is smaller than the workload set.
+    """
+
+    name = "affinity"
+
+    def __init__(self, num_chips: int, workloads: Sequence[str]) -> None:
+        if num_chips < 1:
+            raise ServingError(f"num_chips must be positive, got {num_chips}")
+        if not workloads:
+            raise ServingError("affinity router needs at least one workload")
+        names = sorted(set(workloads))
+        self.owners: dict[str, tuple[int, ...]] = {}
+        for index, name in enumerate(names):
+            owned = tuple(
+                chip for chip in range(num_chips) if chip % len(names) == index
+            )
+            self.owners[name] = owned or (index % num_chips,)
+
+    def route(self, request, chips):
+        try:
+            owners = self.owners[request.workload]
+        except KeyError:
+            raise ServingError(
+                f"affinity router has no shard for workload '{request.workload}'"
+            ) from None
+        candidates = [chips[chip_id] for chip_id in owners]
+        return min(candidates, key=lambda chip: (_pending(chip), chip.chip_id)).chip_id
+
+
+#: names accepted by :func:`build_router`
+ROUTERS: frozenset[str] = frozenset(
+    {RoundRobinRouter.name, JoinShortestQueueRouter.name, WorkloadAffinityRouter.name}
+)
+
+
+def build_router(name: str, num_chips: int, workloads: Sequence[str]) -> Router:
+    """Instantiate a routing policy by registry name."""
+    if name == RoundRobinRouter.name:
+        return RoundRobinRouter()
+    if name == JoinShortestQueueRouter.name:
+        return JoinShortestQueueRouter()
+    if name == WorkloadAffinityRouter.name:
+        return WorkloadAffinityRouter(num_chips, workloads)
+    raise ServingError(f"unknown router '{name}'; known: {sorted(ROUTERS)}")
+
+
+@dataclass(frozen=True)
+class Fleet:
+    """Static description of a serving fleet."""
+
+    num_chips: int = 1
+    router: str = RoundRobinRouter.name
+    workloads: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.num_chips < 1:
+            raise ServingError(f"num_chips must be positive, got {self.num_chips}")
+        if self.router not in ROUTERS:
+            raise ServingError(
+                f"unknown router '{self.router}'; known: {sorted(ROUTERS)}"
+            )
+
+    def make_router(self, workloads: Sequence[str]) -> Router:
+        """Build this fleet's router over the workload set actually served."""
+        names = tuple(self.workloads) or tuple(workloads)
+        return build_router(self.router, self.num_chips, names)

@@ -1,0 +1,157 @@
+"""Serving metrics: tail latency, goodput under SLO, saturation summaries.
+
+All functions consume the plain :class:`~repro.serving.simulator.ServingResult`
+/ :class:`~repro.serving.simulator.RequestRecord` structures and return JSON
+-clean dictionaries, so experiment drivers can hand them straight to the
+result engine and the ``repro serve`` CLI can print them unmodified.
+Latencies are reported in milliseconds (the natural scale of the modelled
+chip), rates in requests per second.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ServingError
+from repro.serving.simulator import RequestRecord, ServingResult
+
+__all__ = [
+    "percentile",
+    "latency_summary",
+    "queueing_summary",
+    "goodput",
+    "summarize_result",
+    "per_workload_summary",
+    "saturation_summary",
+]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (linear interpolation) of ``values``."""
+    if not 0 <= q <= 100:
+        raise ServingError(f"percentile must be in [0, 100], got {q}")
+    if len(values) == 0:
+        raise ServingError("cannot take a percentile of no values")
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+def _ms(seconds: float) -> float:
+    return seconds * 1e3
+
+
+def latency_summary(records: Sequence[RequestRecord]) -> dict:
+    """p50/p95/p99/mean/max end-to-end latency of ``records`` (ms)."""
+    if not records:
+        raise ServingError("latency_summary needs at least one record")
+    latencies = [record.latency_s for record in records]
+    return {
+        "count": len(records),
+        "p50_ms": round(_ms(percentile(latencies, 50)), 4),
+        "p95_ms": round(_ms(percentile(latencies, 95)), 4),
+        "p99_ms": round(_ms(percentile(latencies, 99)), 4),
+        "mean_ms": round(_ms(float(np.mean(latencies))), 4),
+        "max_ms": round(_ms(max(latencies)), 4),
+    }
+
+
+def queueing_summary(records: Sequence[RequestRecord]) -> dict:
+    """Mean and tail queueing delay of ``records`` (ms)."""
+    if not records:
+        raise ServingError("queueing_summary needs at least one record")
+    delays = [record.queue_delay_s for record in records]
+    return {
+        "mean_queue_ms": round(_ms(float(np.mean(delays))), 4),
+        "p99_queue_ms": round(_ms(percentile(delays, 99)), 4),
+    }
+
+
+def goodput(
+    records: Sequence[RequestRecord], slo_s: float, span_s: float
+) -> dict:
+    """SLO attainment and goodput (SLO-met requests per second)."""
+    if slo_s <= 0:
+        raise ServingError(f"slo_s must be positive, got {slo_s}")
+    if not records:
+        raise ServingError("goodput needs at least one record")
+    met = sum(1 for record in records if record.latency_s <= slo_s)
+    return {
+        "slo_ms": round(_ms(slo_s), 4),
+        "slo_attainment": round(met / len(records), 4),
+        "goodput_rps": round(met / span_s, 2) if span_s > 0 else 0.0,
+    }
+
+
+def summarize_result(
+    result: ServingResult,
+    slo_s: float,
+    offered_rps: float | None = None,
+) -> dict:
+    """One flat row summarising a serving run (the drivers' row format)."""
+    row = {
+        "requests": result.num_requests,
+        "num_chips": result.num_chips,
+        "throughput_rps": round(result.throughput_rps, 2),
+        **latency_summary(result.records),
+        **queueing_summary(result.records),
+        **goodput(result.records, slo_s, result.span_s),
+        "mean_batch": round(result.mean_batch_size, 3),
+        "utilization": round(result.utilization, 4),
+        "energy_mj_per_request": round(
+            result.energy_joules / result.num_requests * 1e3, 4
+        ),
+    }
+    row.pop("count")
+    if offered_rps is not None:
+        row["offered_rps"] = round(offered_rps, 2)
+    return row
+
+
+def per_workload_summary(result: ServingResult, slo_s: float) -> list[dict]:
+    """Latency/goodput rows broken down by workload."""
+    rows = []
+    by_workload: dict[str, list[RequestRecord]] = {}
+    for record in result.records:
+        by_workload.setdefault(record.workload, []).append(record)
+    for workload in sorted(by_workload):
+        records = by_workload[workload]
+        rows.append(
+            {
+                "workload": workload,
+                **latency_summary(records),
+                **goodput(records, slo_s, result.span_s),
+            }
+        )
+    return rows
+
+
+def saturation_summary(
+    rows: Sequence[dict],
+    load_key: str = "load",
+    latency_key: str = "p99_ms",
+    knee_factor: float = 3.0,
+) -> dict:
+    """Find the saturation knee in a latency-vs-load sweep.
+
+    Given per-load-point rows sorted by ``load_key``, the knee is the first
+    load whose tail latency exceeds ``knee_factor`` times the lightest
+    point's — the operating region a capacity planner must stay below.
+    """
+    if not rows:
+        raise ServingError("saturation_summary needs at least one sweep row")
+    ordered = sorted(rows, key=lambda row: row[load_key])
+    base = ordered[0][latency_key]
+    knee = None
+    for row in ordered:
+        if row[latency_key] > knee_factor * base:
+            knee = row[load_key]
+            break
+    return {
+        "base_load": ordered[0][load_key],
+        "base_latency_ms": base,
+        "peak_load": ordered[-1][load_key],
+        "peak_latency_ms": ordered[-1][latency_key],
+        "knee_load": knee,
+        "knee_factor": knee_factor,
+    }

@@ -1,0 +1,277 @@
+"""Discrete-event core of the request-level serving simulator.
+
+The simulator advances a heap of timestamped events — request arrivals,
+chip completions and batching wake-ups — over a fleet of CogSys chips.
+Three pluggable pieces define a run:
+
+* the request stream (:mod:`repro.serving.traffic`),
+* the batching policy (:mod:`repro.serving.batching`),
+* the fleet: chip count, routing policy and the memoized accelerator
+  service-time model (:mod:`repro.serving.fleet`).
+
+Determinism: the event heap is ordered by ``(time, kind, sequence)`` with a
+monotone sequence counter, routing and batching policies are deterministic
+functions of observable state, and all randomness lives in the seeded
+traffic generators — so the same seed and scenario always reproduce the
+identical per-request latency trace.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import ServingError
+from repro.serving.batching import Batch, BatchingPolicy, NoBatching
+from repro.serving.fleet import AcceleratorServiceModel, Fleet
+from repro.serving.traffic import Request
+
+__all__ = ["RequestRecord", "ServingResult", "ServingSimulator"]
+
+# Event kinds, in tie-breaking order: arrivals first so load-aware routers
+# and batch formation see every request that lands at an instant, then chip
+# completions, then batching wake-ups.
+_ARRIVAL, _FREE, _WAKE = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Lifecycle of one request through the serving system."""
+
+    request_id: int
+    workload: str
+    chip: int
+    arrival_s: float
+    dispatch_s: float
+    finish_s: float
+    batch_size: int
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end latency: arrival to completion."""
+        return self.finish_s - self.arrival_s
+
+    @property
+    def queue_delay_s(self) -> float:
+        """Time spent queued before the batch launched."""
+        return self.dispatch_s - self.arrival_s
+
+    @property
+    def service_s(self) -> float:
+        """Chip-occupancy time of the batch the request rode in."""
+        return self.finish_s - self.dispatch_s
+
+
+@dataclass(frozen=True)
+class ServingResult:
+    """Everything a serving run produced, ready for the metrics layer."""
+
+    records: tuple[RequestRecord, ...]
+    num_chips: int
+    chip_busy_s: tuple[float, ...]
+    chip_requests: tuple[int, ...]
+    energy_joules: float
+    num_batches: int
+    horizon_s: float
+    first_arrival_s: float = 0.0
+    provenance: dict = field(default_factory=dict)
+
+    @property
+    def num_requests(self) -> int:
+        """Requests served."""
+        return len(self.records)
+
+    @property
+    def span_s(self) -> float:
+        """Active span of the run: first arrival to last completion."""
+        return max(self.horizon_s - self.first_arrival_s, 0.0)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per second over the active span."""
+        return self.num_requests / self.span_s if self.span_s > 0 else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average requests per dispatched batch."""
+        return self.num_requests / self.num_batches if self.num_batches else 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Mean busy fraction across the fleet over the active span."""
+        if self.span_s <= 0 or self.num_chips == 0:
+            return 0.0
+        return min(1.0, sum(self.chip_busy_s) / (self.span_s * self.num_chips))
+
+    def latencies_s(self) -> list[float]:
+        """Per-request end-to-end latencies, in request-id order."""
+        return [record.latency_s for record in self.records]
+
+
+class _Chip:
+    """Mutable per-chip simulation state (router-visible via ChipView)."""
+
+    def __init__(self, chip_id: int) -> None:
+        self.chip_id = chip_id
+        self.busy = False
+        self.inflight = 0
+        self.queue: list[Request] = []
+        self.busy_s = 0.0
+        self.served = 0
+        # Earliest batching wake-up already in the event heap, if any —
+        # lets dispatch() skip pushing duplicates for an unchanged deadline.
+        self.pending_wake_s: float | None = None
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.queue)
+
+
+class ServingSimulator:
+    """Run request streams against a fleet of CogSys chips."""
+
+    def __init__(
+        self,
+        service_model: AcceleratorServiceModel | None = None,
+        fleet: Fleet | None = None,
+        batching_policy: BatchingPolicy | None = None,
+    ) -> None:
+        self.service_model = service_model or AcceleratorServiceModel()
+        self.fleet = fleet or Fleet()
+        self.batching_policy = batching_policy or NoBatching()
+
+    def run(self, requests: Sequence[Request]) -> ServingResult:
+        """Simulate ``requests`` to completion and return the full trace."""
+        if not requests:
+            raise ServingError("cannot simulate an empty request stream")
+        stream = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+        ids = [request.request_id for request in stream]
+        if len(set(ids)) != len(ids):
+            raise ServingError("request stream contains duplicate request ids")
+
+        workloads = tuple(sorted({request.workload for request in stream}))
+        router = self.fleet.make_router(workloads)
+        chips = [_Chip(chip_id) for chip_id in range(self.fleet.num_chips)]
+        records: list[RequestRecord] = []
+        energy = 0.0
+        batches = 0
+
+        sequence = itertools.count()
+        # (time, kind, seq, chip_id, request) — request only for arrivals.
+        events: list[tuple[float, int, int, int, Request | None]] = []
+        for request in stream:
+            heapq.heappush(
+                events, (request.arrival_s, _ARRIVAL, next(sequence), -1, request)
+            )
+
+        def dispatch(chip: _Chip, now: float) -> None:
+            nonlocal energy, batches
+            if chip.busy or not chip.queue:
+                return
+            decision = self.batching_policy.select(tuple(chip.queue), now)
+            if decision.batch is None:
+                if (
+                    decision.wake_s is not None
+                    and decision.wake_s > now
+                    and (
+                        chip.pending_wake_s is None
+                        or decision.wake_s < chip.pending_wake_s
+                    )
+                ):
+                    heapq.heappush(
+                        events,
+                        (decision.wake_s, _WAKE, next(sequence), chip.chip_id, None),
+                    )
+                    chip.pending_wake_s = decision.wake_s
+                return
+            # Batch construction enforces the same-workload invariant even
+            # for third-party policies.
+            batch = Batch(
+                workload=decision.batch[0].workload,
+                requests=tuple(decision.batch),
+                formed_s=now,
+            )
+            chosen = set(id(request) for request in batch.requests)
+            chip.queue = [r for r in chip.queue if id(r) not in chosen]
+            workload = batch.workload
+            service = self.service_model.service_seconds(workload, batch.size)
+            finish = now + service
+            energy += self.service_model.energy_joules(workload, batch.size)
+            batches += 1
+            chip.busy = True
+            chip.inflight = batch.size
+            chip.busy_s += service
+            chip.served += batch.size
+            for request in batch.requests:
+                records.append(
+                    RequestRecord(
+                        request_id=request.request_id,
+                        workload=request.workload,
+                        chip=chip.chip_id,
+                        arrival_s=request.arrival_s,
+                        dispatch_s=now,
+                        finish_s=finish,
+                        batch_size=batch.size,
+                    )
+                )
+            heapq.heappush(events, (finish, _FREE, next(sequence), chip.chip_id, None))
+
+        # Horizon advances on completions only: a stale batching wake-up
+        # scheduled past the last finish must not stretch the active span
+        # (which would deflate throughput/utilization for timeout policies).
+        horizon = stream[0].arrival_s
+        while events:
+            now, kind, _, chip_id, request = heapq.heappop(events)
+            if kind == _FREE:
+                horizon = max(horizon, now)
+            if kind == _ARRIVAL:
+                # Drain every arrival landing at this instant before
+                # dispatching, so a simultaneous burst can form one batch
+                # instead of the first request stealing the idle chip alone.
+                touched = set()
+                target = chips[router.route(request, chips)]
+                target.queue.append(request)
+                touched.add(target.chip_id)
+                while events and events[0][0] == now and events[0][1] == _ARRIVAL:
+                    _, _, _, _, peer = heapq.heappop(events)
+                    target = chips[router.route(peer, chips)]
+                    target.queue.append(peer)
+                    touched.add(target.chip_id)
+                for touched_id in sorted(touched):
+                    dispatch(chips[touched_id], now)
+            elif kind == _FREE:
+                chip = chips[chip_id]
+                chip.busy = False
+                chip.inflight = 0
+                dispatch(chip, now)
+            else:  # _WAKE — re-check a timed-out partial batch.
+                chip = chips[chip_id]
+                if chip.pending_wake_s is not None and chip.pending_wake_s <= now:
+                    chip.pending_wake_s = None
+                dispatch(chip, now)
+
+        if len(records) != len(stream):
+            raise ServingError(
+                f"simulation lost requests: {len(records)} served of {len(stream)}"
+            )
+        records.sort(key=lambda record: record.request_id)
+        return ServingResult(
+            records=tuple(records),
+            num_chips=self.fleet.num_chips,
+            chip_busy_s=tuple(chip.busy_s for chip in chips),
+            chip_requests=tuple(chip.served for chip in chips),
+            energy_joules=energy,
+            num_batches=batches,
+            horizon_s=horizon,
+            first_arrival_s=stream[0].arrival_s,
+            provenance={
+                "num_requests": len(stream),
+                "num_chips": self.fleet.num_chips,
+                "router": self.fleet.router,
+                "batching_policy": self.batching_policy.name,
+                "scheduler": self.service_model.scheduler,
+                "cached_reports": self.service_model.cached_reports,
+            },
+        )

@@ -1,0 +1,244 @@
+"""Seeded arrival-process generators for the serving simulator.
+
+Traffic is a stream of :class:`Request` objects — (id, workload, arrival
+time) — produced by one of three generators:
+
+* :class:`PoissonArrivals` — homogeneous Poisson process with exponential
+  inter-arrival gaps, the classic open-loop serving assumption.
+* :class:`MMPPArrivals` — a two-state Markov-modulated Poisson process
+  (normal/burst) producing the bursty traffic real request logs show.
+* :class:`TraceArrivals` — replay of an explicit ``(arrival_s, workload)``
+  trace, for reproducing recorded load shapes (e.g. diurnal curves).
+
+Every generator is deterministic given a seed: the same ``(generator
+configuration, seed)`` pair always yields the identical request stream,
+which is what makes whole serving simulations replayable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ServingError
+from repro.workloads.registry import WORKLOAD_BUILDERS
+
+__all__ = [
+    "Request",
+    "WorkloadMix",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "MMPPArrivals",
+    "TraceArrivals",
+    "concatenate_segments",
+]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request entering the serving system."""
+
+    request_id: int
+    workload: str
+    arrival_s: float
+
+    def __post_init__(self) -> None:
+        if self.arrival_s < 0:
+            raise ServingError(
+                f"request {self.request_id} has negative arrival time {self.arrival_s}"
+            )
+
+
+class WorkloadMix:
+    """A normalised distribution over workload names.
+
+    Names must be registered workload builders so every sampled request can
+    actually be served; weights are normalised to probabilities.
+    """
+
+    def __init__(self, weights: Mapping[str, float]) -> None:
+        if not weights:
+            raise ServingError("workload mix must name at least one workload")
+        unknown = set(weights) - set(WORKLOAD_BUILDERS)
+        if unknown:
+            raise ServingError(
+                f"workload mix names unknown workloads {sorted(unknown)}; "
+                f"known: {sorted(WORKLOAD_BUILDERS)}"
+            )
+        if any(weight < 0 for weight in weights.values()):
+            raise ServingError("workload mix weights must be non-negative")
+        total = float(sum(weights.values()))
+        if total <= 0:
+            raise ServingError("workload mix weights must sum to a positive value")
+        # Sorted name order makes sampling independent of dict insertion order.
+        self.names: tuple[str, ...] = tuple(sorted(weights))
+        self.probabilities: tuple[float, ...] = tuple(
+            weights[name] / total for name in self.names
+        )
+
+    @classmethod
+    def uniform(cls, names: Iterable[str] | None = None) -> "WorkloadMix":
+        """Equal-probability mix over ``names`` (default: every workload)."""
+        names = tuple(names) if names is not None else tuple(sorted(WORKLOAD_BUILDERS))
+        return cls({name: 1.0 for name in names})
+
+    def sample(self, rng: np.random.Generator) -> str:
+        """Draw one workload name."""
+        index = rng.choice(len(self.names), p=self.probabilities)
+        return self.names[int(index)]
+
+
+class ArrivalProcess:
+    """Base class for request-stream generators."""
+
+    def generate(
+        self,
+        duration_s: float,
+        seed: int = 0,
+        start_s: float = 0.0,
+        start_id: int = 0,
+    ) -> list[Request]:
+        """Produce the arrival stream for ``[start_s, start_s + duration_s)``."""
+        if duration_s <= 0:
+            raise ServingError(f"duration must be positive, got {duration_s}")
+        rng = np.random.default_rng(seed)
+        requests = self._generate(duration_s, rng, start_s, start_id)
+        return sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+
+    def _generate(
+        self,
+        duration_s: float,
+        rng: np.random.Generator,
+        start_s: float,
+        start_id: int,
+    ) -> list[Request]:
+        raise NotImplementedError
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Homogeneous Poisson arrivals at ``rate_rps`` requests per second."""
+
+    def __init__(self, rate_rps: float, mix: WorkloadMix) -> None:
+        if rate_rps <= 0:
+            raise ServingError(f"arrival rate must be positive, got {rate_rps}")
+        self.rate_rps = rate_rps
+        self.mix = mix
+
+    def _generate(self, duration_s, rng, start_s, start_id):
+        requests = []
+        clock = start_s
+        horizon = start_s + duration_s
+        while True:
+            clock += rng.exponential(1.0 / self.rate_rps)
+            if clock >= horizon:
+                return requests
+            requests.append(
+                Request(start_id + len(requests), self.mix.sample(rng), clock)
+            )
+
+
+class MMPPArrivals(ArrivalProcess):
+    """Two-state Markov-modulated Poisson process (normal/burst).
+
+    The process alternates between a *normal* state and a *burst* state;
+    dwell times in each state are exponential with the configured means, and
+    within a state arrivals are Poisson at that state's rate.  This is the
+    standard minimal model of bursty request traffic.
+    """
+
+    def __init__(
+        self,
+        normal_rate_rps: float,
+        burst_rate_rps: float,
+        mix: WorkloadMix,
+        mean_normal_s: float = 1.0,
+        mean_burst_s: float = 0.2,
+    ) -> None:
+        if normal_rate_rps <= 0 or burst_rate_rps <= 0:
+            raise ServingError("MMPP state rates must be positive")
+        if mean_normal_s <= 0 or mean_burst_s <= 0:
+            raise ServingError("MMPP mean dwell times must be positive")
+        self.normal_rate_rps = normal_rate_rps
+        self.burst_rate_rps = burst_rate_rps
+        self.mean_normal_s = mean_normal_s
+        self.mean_burst_s = mean_burst_s
+        self.mix = mix
+
+    def _generate(self, duration_s, rng, start_s, start_id):
+        requests = []
+        clock = start_s
+        horizon = start_s + duration_s
+        in_burst = False
+        while clock < horizon:
+            mean_dwell = self.mean_burst_s if in_burst else self.mean_normal_s
+            rate = self.burst_rate_rps if in_burst else self.normal_rate_rps
+            dwell_end = min(horizon, clock + rng.exponential(mean_dwell))
+            arrival = clock
+            while True:
+                arrival += rng.exponential(1.0 / rate)
+                if arrival >= dwell_end:
+                    break
+                requests.append(
+                    Request(start_id + len(requests), self.mix.sample(rng), arrival)
+                )
+            clock = dwell_end
+            in_burst = not in_burst
+        return requests
+
+
+class TraceArrivals(ArrivalProcess):
+    """Replay an explicit ``(arrival_s, workload)`` trace.
+
+    Entries outside the generation window are dropped; the seed is unused
+    (replay is deterministic by construction).
+    """
+
+    def __init__(self, trace: Sequence[tuple[float, str]]) -> None:
+        if not trace:
+            raise ServingError("trace must contain at least one entry")
+        unknown = {workload for _, workload in trace} - set(WORKLOAD_BUILDERS)
+        if unknown:
+            raise ServingError(
+                f"trace names unknown workloads {sorted(unknown)}; "
+                f"known: {sorted(WORKLOAD_BUILDERS)}"
+            )
+        self.trace = tuple(
+            sorted(((float(t), workload) for t, workload in trace))
+        )
+
+    def _generate(self, duration_s, rng, start_s, start_id):
+        horizon = start_s + duration_s
+        return [
+            Request(start_id + index, workload, arrival)
+            for index, (arrival, workload) in enumerate(
+                (t, w) for t, w in self.trace if start_s <= t < horizon
+            )
+        ]
+
+
+def concatenate_segments(
+    segments: Sequence[tuple[ArrivalProcess, float]], seed: int = 0
+) -> list[Request]:
+    """Chain arrival processes back to back (e.g. a diurnal low/high/low day).
+
+    Each segment is ``(process, duration_s)``; segment ``i`` starts where
+    segment ``i - 1`` ended and gets its own sub-seed so streams stay
+    deterministic yet uncorrelated.
+    """
+    if not segments:
+        raise ServingError("concatenate_segments needs at least one segment")
+    requests: list[Request] = []
+    offset = 0.0
+    for index, (process, duration_s) in enumerate(segments):
+        requests.extend(
+            process.generate(
+                duration_s,
+                seed=seed * 10_007 + index,
+                start_s=offset,
+                start_id=len(requests),
+            )
+        )
+        offset += duration_s
+    return requests

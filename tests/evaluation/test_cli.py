@@ -138,6 +138,84 @@ class TestCache:
         assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
         assert "removed 1" in capsys.readouterr().out
 
+    def test_cache_action_defaults_to_info(self, capsys, tmp_path):
+        assert main(["cache", "--cache-dir", str(tmp_path)]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 0
+
+    def test_cache_stats_flag_prints_per_experiment_breakdown(self, capsys, tmp_path):
+        main(["run", "tab04", "--param", "vector_dim=128",
+              "--cache-dir", str(tmp_path)])
+        main(["run", "fig12", "--smoke", "--cache-dir", str(tmp_path)])
+        capsys.readouterr()
+        assert main(["cache", "--stats", "--cache-dir", str(tmp_path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 2
+        assert set(payload["experiments"]) == {"tab04", "fig12"}
+        # The spelled-out action is equivalent to the flag.
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        assert json.loads(capsys.readouterr().out) == payload
+
+
+class TestServe:
+    def test_list_enumerates_the_presets(self, capsys):
+        assert main(["serve", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("steady", "diurnal", "flash_crowd", "mixed_workload"):
+            assert name in out
+
+    def test_scenario_run_prints_summary_and_breakdown(self, capsys):
+        assert main(["serve", "steady", "--duration-scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "Scenario 'steady'" in out
+        assert "| p99_ms |" in out
+        assert "| workload |" in out
+
+    def test_scenario_run_json_output(self, capsys):
+        assert main([
+            "serve", "flash_crowd", "--duration-scale", "0.05",
+            "--chips", "1", "--policy", "none", "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "flash_crowd"
+        assert payload["provenance"]["num_chips"] == 1
+        assert payload["provenance"]["batching_policy"] == "none"
+        assert payload["summary"]["requests"] > 0
+
+    def test_missing_scenario_is_a_clean_error(self, capsys):
+        assert main(["serve"]) == 2
+        assert "needs a scenario name" in capsys.readouterr().err
+
+    def test_unknown_scenario_is_a_clean_error(self, capsys):
+        assert main(["serve", "bogus"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_list_honours_json_format_and_output_file(self, capsys, tmp_path):
+        output = tmp_path / "scenarios.json"
+        assert main([
+            "serve", "--list", "--format", "json", "--output", str(output),
+        ]) == 0
+        capsys.readouterr()
+        payload = json.loads(output.read_text())
+        assert {entry["scenario"] for entry in payload} == {
+            "steady", "diurnal", "flash_crowd", "mixed_workload",
+        }
+
+    def test_smoke_runs_every_serving_spec(self, capsys, tmp_path):
+        assert main(["serve", "--smoke", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        for title_fragment in ("latency vs offered load", "batching policy",
+                               "fleet scaling", "scenario SLO"):
+            assert title_fragment in out
+
+    def test_smoke_json_parses_as_one_document(self, capsys, tmp_path):
+        assert main([
+            "serve", "--smoke", "--cache-dir", str(tmp_path), "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [entry["experiment"] for entry in payload] == [
+            "serve_load", "serve_batch", "serve_fleet", "serve_scenarios",
+        ]
+
 
 class TestParamCoercion:
     @pytest.mark.parametrize(
@@ -147,6 +225,7 @@ class TestParamCoercion:
             ("0.5", "float", 0.5),
             ("xeon", "str", "xeon"),
             ("1,2,3", "ints", (1, 2, 3)),
+            ("0.2,0.8,1.1", "floats", (0.2, 0.8, 1.1)),
             ("raven,pgm", "strs", ("raven", "pgm")),
             ("210:1024,1:2048", "int_pairs", ((210, 1024), (1, 2048))),
         ],

@@ -9,6 +9,7 @@ from repro.evaluation.engine import (
     ResultTable,
     UnknownParameterError,
     cache_info,
+    cache_stats,
     clear_cache,
     run,
     run_many,
@@ -43,6 +44,26 @@ class TestCaching:
         assert clear_cache(tmp_path) == 1
         assert cache_info(tmp_path)["entries"] == 0
 
+    def test_cache_stats_breaks_entries_down_by_experiment(self, tmp_path):
+        run("tab04", cache_dir=tmp_path, vector_dim=128)
+        run("tab04", cache_dir=tmp_path, vector_dim=256)
+        run("fig12", cache_dir=tmp_path, cases=((210, 1024),))
+        stats = cache_stats(tmp_path)
+        assert stats["entries"] == 3
+        assert stats["total_bytes"] > 0
+        assert set(stats["experiments"]) == {"tab04", "fig12"}
+        assert stats["experiments"]["tab04"]["entries"] == 2
+        assert stats["experiments"]["fig12"]["entries"] == 1
+        per_experiment_bytes = sum(
+            entry["bytes"] for entry in stats["experiments"].values()
+        )
+        assert per_experiment_bytes == stats["total_bytes"]
+
+    def test_cache_stats_on_missing_directory_is_empty(self, tmp_path):
+        stats = cache_stats(tmp_path / "nope")
+        assert stats["entries"] == 0
+        assert stats["experiments"] == {}
+
 
 class TestRunMany:
     IDS = ["tab04", "fig12", "fig11c"]
@@ -75,6 +96,16 @@ class TestRunMany:
             self.IDS, workers=2, cache_dir=tmp_path, overrides_by_id=self.OVERRIDES
         )
         assert all(table.provenance["cache"] == "hit" for table in warm)
+
+    def test_empty_ids_return_an_empty_list(self):
+        # Regression: an empty job list used to be able to reach
+        # ProcessPoolExecutor(max_workers=0), which raises ValueError.
+        assert run_many([]) == []
+        assert run_many([], workers=4) == []
+
+    def test_empty_ids_with_overrides_raise(self):
+        with pytest.raises(UnknownParameterError, match="not being run"):
+            run_many([], workers=4, overrides_by_id={"tab04": {"vector_dim": 128}})
 
     def test_bad_override_fails_before_spawning_workers(self):
         with pytest.raises(UnknownParameterError):

@@ -36,7 +36,9 @@ class TestRegistryCompleteness:
         ids = [spec.id for spec in all_specs()]
         assert len(ids) == len(set(ids))
         for spec in all_specs():
-            assert re.fullmatch(r"(fig|tab)\d{2}", spec.anchor), spec.anchor
+            # Paper anchors (fig/tab + number) plus the beyond-the-paper
+            # serving experiment family.
+            assert re.fullmatch(r"(fig|tab)\d{2}|serving", spec.anchor), spec.anchor
             assert spec.title
             assert spec.tags
 
@@ -46,7 +48,9 @@ class TestRegistryCompleteness:
             assert getattr(module, spec.driver.__name__) is spec.driver
 
     def test_specs_by_tag_partitions_registry(self):
-        tagged = {spec.id for tag in ("characterization", "accuracy", "hardware", "e2e")
+        tagged = {spec.id
+                  for tag in ("characterization", "accuracy", "hardware", "e2e",
+                              "serving")
                   for spec in specs_by_tag(tag)}
         assert tagged == set(EXPERIMENTS)
 

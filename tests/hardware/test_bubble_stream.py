@@ -25,6 +25,47 @@ class TestLatencyFormula:
             bs_latency_cycles(8, 0)
 
 
+class TestCompletionMatchesClosedForm:
+    """The simulated schedule must land exactly on the analytical latency."""
+
+    @pytest.mark.parametrize("dim", [1, 2, 3, 4, 5, 8, 12, 16, 32, 64])
+    def test_last_completion_is_the_closed_form_latency(self, rng, dim):
+        # Completion cycles are 0-indexed: the last output completes at the
+        # end of cycle index ``4d - 2``, i.e. after exactly ``4d - 1`` cycles
+        # — the closed form.  An exact match (not just <=) pins the schedule
+        # to the formula for every dimension.
+        result = BubbleStreamSimulator(dim).run(*rng.normal(size=(2, dim)))
+        last_completion = max(result.output_completion_cycles)
+        assert last_completion + 1 == bs_latency_cycles(dim)
+        assert result.cycles == bs_latency_cycles(dim)
+
+    @pytest.mark.parametrize(
+        ("vector_dim", "array_length"),
+        [(1024, 512), (1024, 256), (512, 1024), (2048, 32), (7, 3), (3, 7)],
+    )
+    def test_mismatched_array_uses_the_3m_plus_d_branch(self, vector_dim, array_length):
+        # When the array length M differs from the vector dimension d the
+        # latency is 3M + d - 1 per fold (load M, stream d to the last PE,
+        # drain), not the matched-array 4d - 1 closed form.
+        mismatched = bs_latency_cycles(vector_dim, array_length)
+        assert mismatched == 3 * array_length + vector_dim - 1
+        # Independent cross-checks of the branch (not a formula restatement):
+        # relative to a matched array of M PEs, streaming d instead of M
+        # elements costs exactly d - M extra cycles...
+        assert mismatched - bs_latency_cycles(array_length) == (
+            vector_dim - array_length
+        )
+        # ...and each extra PE adds exactly 3 cycles (deeper load, one more
+        # 2-cycle bubble hop, one more partial-sum hop) at fixed d.
+        assert (
+            bs_latency_cycles(vector_dim, array_length + 1) - mismatched == 3
+        )
+
+    @pytest.mark.parametrize("dim", [1, 4, 33, 1000])
+    def test_explicit_matched_length_equals_default(self, dim):
+        assert bs_latency_cycles(dim, dim) == bs_latency_cycles(dim) == 4 * dim - 1
+
+
 class TestBubbleStreamSimulator:
     def test_output_matches_fft_reference(self, rng):
         dim = 32

@@ -1,0 +1,141 @@
+"""Tests for the serving metrics layer."""
+
+import pytest
+
+from repro.errors import ServingError
+from repro.serving.metrics import (
+    goodput,
+    latency_summary,
+    per_workload_summary,
+    percentile,
+    queueing_summary,
+    saturation_summary,
+    summarize_result,
+)
+from repro.serving.simulator import RequestRecord, ServingResult
+
+
+def _record(request_id=0, workload="nvsa", chip=0, arrival=0.0, dispatch=0.0,
+            finish=1.0, batch_size=1):
+    return RequestRecord(
+        request_id=request_id,
+        workload=workload,
+        chip=chip,
+        arrival_s=arrival,
+        dispatch_s=dispatch,
+        finish_s=finish,
+        batch_size=batch_size,
+    )
+
+
+def _result(records, num_chips=1, busy=None, energy=1.0, batches=None):
+    return ServingResult(
+        records=tuple(records),
+        num_chips=num_chips,
+        chip_busy_s=tuple(busy or [1.0] * num_chips),
+        chip_requests=(len(records),) + (0,) * (num_chips - 1),
+        energy_joules=energy,
+        num_batches=batches if batches is not None else len(records),
+        horizon_s=max(record.finish_s for record in records),
+        first_arrival_s=min(record.arrival_s for record in records),
+    )
+
+
+class TestPercentile:
+    def test_interpolated_median(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+
+    def test_bounds_and_empty_rejected(self):
+        with pytest.raises(ServingError):
+            percentile([1.0], 101)
+        with pytest.raises(ServingError):
+            percentile([], 50)
+
+
+class TestSummaries:
+    def test_latency_summary_values(self):
+        records = [
+            _record(request_id=i, arrival=0.0, dispatch=0.0, finish=(i + 1) / 1000)
+            for i in range(4)
+        ]
+        summary = latency_summary(records)
+        assert summary["count"] == 4
+        assert summary["p50_ms"] == pytest.approx(2.5)
+        assert summary["max_ms"] == pytest.approx(4.0)
+        assert summary["mean_ms"] == pytest.approx(2.5)
+
+    def test_queueing_summary_values(self):
+        records = [
+            _record(request_id=0, dispatch=0.002, finish=0.003),
+            _record(request_id=1, dispatch=0.004, finish=0.005),
+        ]
+        assert queueing_summary(records)["mean_queue_ms"] == pytest.approx(3.0)
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(ServingError):
+            latency_summary([])
+        with pytest.raises(ServingError):
+            queueing_summary([])
+
+
+class TestGoodput:
+    def test_counts_only_slo_met_requests(self):
+        records = [
+            _record(request_id=0, finish=0.001),
+            _record(request_id=1, finish=0.010),
+        ]
+        result = goodput(records, slo_s=0.005, span_s=2.0)
+        assert result["slo_attainment"] == pytest.approx(0.5)
+        assert result["goodput_rps"] == pytest.approx(0.5)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ServingError):
+            goodput([_record()], slo_s=0.0, span_s=1.0)
+        with pytest.raises(ServingError):
+            goodput([], slo_s=0.005, span_s=1.0)
+
+
+class TestSummarizeResult:
+    def test_flat_row_has_the_dashboard_fields(self):
+        result = _result([_record(finish=0.001)])
+        row = summarize_result(result, slo_s=0.005, offered_rps=100.0)
+        for key in (
+            "requests", "num_chips", "throughput_rps", "p50_ms", "p99_ms",
+            "mean_queue_ms", "slo_attainment", "goodput_rps", "mean_batch",
+            "utilization", "energy_mj_per_request", "offered_rps",
+        ):
+            assert key in row
+        assert "count" not in row
+
+    def test_per_workload_breakdown_groups_and_sorts(self):
+        records = [
+            _record(request_id=0, workload="prae", finish=0.001),
+            _record(request_id=1, workload="lvrf", finish=0.002),
+            _record(request_id=2, workload="prae", finish=0.003),
+        ]
+        rows = per_workload_summary(_result(records), slo_s=0.005)
+        assert [row["workload"] for row in rows] == ["lvrf", "prae"]
+        assert rows[1]["count"] == 2
+
+
+class TestSaturationSummary:
+    ROWS = [
+        {"load": 0.2, "p99_ms": 1.0},
+        {"load": 0.5, "p99_ms": 1.2},
+        {"load": 0.8, "p99_ms": 2.0},
+        {"load": 1.1, "p99_ms": 9.0},
+    ]
+
+    def test_finds_the_knee(self):
+        summary = saturation_summary(self.ROWS)
+        assert summary["knee_load"] == 1.1
+        assert summary["base_latency_ms"] == 1.0
+        assert summary["peak_load"] == 1.1
+
+    def test_no_knee_when_latency_stays_flat(self):
+        flat = [{"load": load, "p99_ms": 1.0} for load in (0.2, 0.5)]
+        assert saturation_summary(flat)["knee_load"] is None
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ServingError):
+            saturation_summary([])

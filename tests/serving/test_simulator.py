@@ -1,0 +1,178 @@
+"""Tests for the discrete-event serving simulator core."""
+
+import pytest
+
+from repro.errors import ServingError
+from repro.serving.batching import ContinuousBatching, FixedSizeBatching, NoBatching
+from repro.serving.fleet import Fleet
+from repro.serving.simulator import ServingSimulator
+from repro.serving.traffic import PoissonArrivals, Request, WorkloadMix
+
+
+def _simulator(fake_model, num_chips=1, router="round_robin", policy=None):
+    return ServingSimulator(
+        service_model=fake_model,
+        fleet=Fleet(num_chips=num_chips, router=router),
+        batching_policy=policy or NoBatching(),
+    )
+
+
+class TestValidation:
+    def test_empty_stream_rejected(self, fake_model):
+        with pytest.raises(ServingError, match="empty request stream"):
+            _simulator(fake_model).run([])
+
+    def test_duplicate_request_ids_rejected(self, fake_model):
+        requests = [
+            Request(request_id=1, workload="nvsa", arrival_s=0.0),
+            Request(request_id=1, workload="nvsa", arrival_s=0.1),
+        ]
+        with pytest.raises(ServingError, match="duplicate request ids"):
+            _simulator(fake_model).run(requests)
+
+
+class TestSingleChipNoBatching:
+    def test_fifo_queueing_matches_hand_trace(self, fake_model, make_requests):
+        # Three nvsa requests at t=0 on one chip, 1 s service each
+        # (fake model: 1.0 * (0.5 + 0.5)) -> finishes at 1, 2, 3 s.
+        requests = make_requests([("nvsa", 0.0), ("nvsa", 0.0), ("nvsa", 0.0)])
+        result = _simulator(fake_model).run(requests)
+        assert [record.finish_s for record in result.records] == [1.0, 2.0, 3.0]
+        assert [record.queue_delay_s for record in result.records] == [0.0, 1.0, 2.0]
+        assert result.num_batches == 3
+        assert result.mean_batch_size == 1.0
+
+    def test_idle_gaps_do_not_count_as_busy(self, fake_model, make_requests):
+        requests = make_requests([("nvsa", 0.0), ("nvsa", 10.0)])
+        result = _simulator(fake_model).run(requests)
+        assert sum(result.chip_busy_s) == pytest.approx(2.0)
+        assert result.horizon_s == pytest.approx(11.0)
+        assert result.utilization == pytest.approx(2.0 / 11.0)
+
+    def test_every_request_served_exactly_once(self, fake_model):
+        requests = PoissonArrivals(50.0, WorkloadMix.uniform()).generate(1.0, seed=3)
+        result = _simulator(fake_model, num_chips=4, router="jsq").run(requests)
+        assert result.num_requests == len(requests)
+        assert [record.request_id for record in result.records] == [
+            request.request_id for request in sorted(requests, key=lambda r: r.request_id)
+        ]
+        for record in result.records:
+            assert record.arrival_s <= record.dispatch_s <= record.finish_s
+
+
+class TestBatching:
+    def test_burst_is_served_as_one_batch(self, fake_model, make_requests):
+        requests = make_requests([("nvsa", 0.0)] * 4)
+        result = _simulator(
+            fake_model, policy=ContinuousBatching(max_batch_size=8)
+        ).run(requests)
+        assert result.num_batches == 1
+        assert result.mean_batch_size == 4.0
+        # Fake model: 1.0 * (0.5 + 0.5 * 4) = 2.5 s for the whole batch,
+        # versus 4 s if served one by one.
+        assert all(record.finish_s == pytest.approx(2.5) for record in result.records)
+
+    def test_fixed_size_timeout_flushes_partial_batch(self, fake_model, make_requests):
+        requests = make_requests([("nvsa", 0.0), ("nvsa", 0.1)])
+        policy = FixedSizeBatching(batch_size=8, max_wait_s=0.5)
+        result = _simulator(fake_model, policy=policy).run(requests)
+        assert result.num_batches == 1
+        # The wake-up fires at arrival + max_wait, then the batch runs 1.5 s.
+        assert all(
+            record.dispatch_s == pytest.approx(0.5) for record in result.records
+        )
+
+    def test_stale_wake_event_does_not_stretch_the_horizon(
+        self, fake_model, make_requests
+    ):
+        # The partial group at t=0 schedules a wake at t=5; the second
+        # arrival fills the batch at t=0.1 (service 1.5 s -> finish 1.6 s).
+        # The stale wake then fires into an empty system and must not move
+        # the horizon, or throughput/utilization would be silently deflated.
+        requests = make_requests([("nvsa", 0.0), ("nvsa", 0.1)])
+        policy = FixedSizeBatching(batch_size=2, max_wait_s=5.0)
+        result = _simulator(fake_model, policy=policy).run(requests)
+        assert result.num_batches == 1
+        assert result.horizon_s == pytest.approx(1.6)
+        assert result.throughput_rps == pytest.approx(2 / 1.6)
+
+    def test_mixed_workload_batch_from_a_policy_is_rejected(self, fake_model):
+        class BrokenPolicy(NoBatching):
+            def select(self, queue, now_s):
+                from repro.serving.batching import BatchDecision
+
+                return BatchDecision(batch=list(queue)) if queue else BatchDecision(None)
+
+        requests = [
+            Request(request_id=0, workload="nvsa", arrival_s=0.0),
+            Request(request_id=1, workload="prae", arrival_s=0.0),
+        ]
+        with pytest.raises(ServingError, match="share one workload"):
+            _simulator(fake_model, policy=BrokenPolicy()).run(requests)
+
+    def test_batches_never_mix_workloads(self, fake_model):
+        requests = PoissonArrivals(100.0, WorkloadMix.uniform()).generate(0.5, seed=8)
+        result = _simulator(
+            fake_model, policy=ContinuousBatching(max_batch_size=8)
+        ).run(requests)
+        by_batch = {}
+        for record in result.records:
+            by_batch.setdefault((record.chip, record.dispatch_s), set()).add(
+                record.workload
+            )
+        assert all(len(workloads) == 1 for workloads in by_batch.values())
+
+
+class TestFleetBehaviour:
+    def test_round_robin_spreads_requests(self, fake_model, make_requests):
+        requests = make_requests([("nvsa", t / 100.0) for t in range(8)])
+        result = _simulator(fake_model, num_chips=4).run(requests)
+        assert result.chip_requests == (2, 2, 2, 2)
+
+    def test_jsq_avoids_the_backed_up_chip(self, fake_model, make_requests):
+        # Two chips; a slow 1 s nvsa burst lands first, then quick requests.
+        requests = make_requests(
+            [("nvsa", 0.0), ("mimonet", 0.01), ("mimonet", 0.02), ("mimonet", 0.03)]
+        )
+        result = _simulator(fake_model, num_chips=2, router="jsq").run(requests)
+        nvsa_chip = result.records[0].chip
+        quick = [record for record in result.records if record.workload == "mimonet"]
+        assert sum(1 for record in quick if record.chip != nvsa_chip) >= 2
+
+    def test_more_chips_reduce_latency_under_load(self, fake_model):
+        requests = PoissonArrivals(
+            3.0, WorkloadMix({"nvsa": 1.0})
+        ).generate(3.0, seed=5)
+        single = _simulator(fake_model, num_chips=1).run(requests)
+        quad = _simulator(fake_model, num_chips=4, router="jsq").run(requests)
+        assert max(quad.latencies_s()) < max(single.latencies_s())
+
+    def test_energy_accumulates_per_batch(self, fake_model, make_requests):
+        requests = make_requests([("nvsa", 0.0), ("nvsa", 5.0)])
+        result = _simulator(fake_model).run(requests)
+        # Fake model: 1 W chip, two 1 s batches.
+        assert result.energy_joules == pytest.approx(2.0)
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self, fake_model):
+        requests = PoissonArrivals(200.0, WorkloadMix.uniform()).generate(1.0, seed=13)
+        first = _simulator(
+            fake_model, num_chips=3, router="jsq", policy=ContinuousBatching(8)
+        ).run(requests)
+        second = _simulator(
+            fake_model, num_chips=3, router="jsq", policy=ContinuousBatching(8)
+        ).run(requests)
+        assert first.latencies_s() == second.latencies_s()
+        assert first.chip_requests == second.chip_requests
+        assert first.energy_joules == second.energy_joules
+
+
+class TestProvenance:
+    def test_result_carries_run_configuration(self, fake_model, make_requests):
+        result = _simulator(fake_model, num_chips=2, router="jsq").run(
+            make_requests([("nvsa", 0.0)])
+        )
+        assert result.provenance["num_chips"] == 2
+        assert result.provenance["router"] == "jsq"
+        assert result.provenance["batching_policy"] == "none"

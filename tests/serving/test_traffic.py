@@ -1,0 +1,166 @@
+"""Tests for the seeded arrival-process generators."""
+
+import pytest
+
+from repro.errors import ServingError
+from repro.serving.traffic import (
+    MMPPArrivals,
+    PoissonArrivals,
+    Request,
+    TraceArrivals,
+    WorkloadMix,
+    concatenate_segments,
+)
+
+
+class TestRequest:
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ServingError):
+            Request(request_id=0, workload="nvsa", arrival_s=-1.0)
+
+
+class TestWorkloadMix:
+    def test_uniform_covers_all_registered_workloads(self):
+        mix = WorkloadMix.uniform()
+        assert mix.names == ("lvrf", "mimonet", "nvsa", "prae")
+        assert sum(mix.probabilities) == pytest.approx(1.0)
+
+    def test_weights_are_normalised(self):
+        mix = WorkloadMix({"nvsa": 3.0, "mimonet": 1.0})
+        assert dict(zip(mix.names, mix.probabilities)) == {
+            "mimonet": 0.25,
+            "nvsa": 0.75,
+        }
+
+    @pytest.mark.parametrize(
+        "weights",
+        [{}, {"bogus": 1.0}, {"nvsa": -1.0}, {"nvsa": 0.0}],
+    )
+    def test_invalid_mixes_rejected(self, weights):
+        with pytest.raises(ServingError):
+            WorkloadMix(weights)
+
+
+class TestPoissonArrivals:
+    def test_same_seed_is_identical(self):
+        process = PoissonArrivals(500.0, WorkloadMix.uniform())
+        first = process.generate(1.0, seed=7)
+        second = process.generate(1.0, seed=7)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        process = PoissonArrivals(500.0, WorkloadMix.uniform())
+        assert process.generate(1.0, seed=1) != process.generate(1.0, seed=2)
+
+    def test_stream_is_sorted_with_sequential_ids(self):
+        requests = PoissonArrivals(300.0, WorkloadMix.uniform()).generate(
+            1.0, seed=3, start_s=2.0, start_id=10
+        )
+        arrivals = [request.arrival_s for request in requests]
+        assert arrivals == sorted(arrivals)
+        assert all(2.0 <= arrival < 3.0 for arrival in arrivals)
+        assert [request.request_id for request in requests] == list(
+            range(10, 10 + len(requests))
+        )
+
+    def test_rate_is_approximately_honoured(self):
+        requests = PoissonArrivals(1000.0, WorkloadMix.uniform()).generate(
+            2.0, seed=11
+        )
+        assert 1800 <= len(requests) <= 2200
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ServingError):
+            PoissonArrivals(0.0, WorkloadMix.uniform())
+        with pytest.raises(ServingError):
+            PoissonArrivals(100.0, WorkloadMix.uniform()).generate(0.0)
+
+
+class TestMMPPArrivals:
+    def _process(self, **overrides):
+        kwargs = dict(
+            normal_rate_rps=100.0,
+            burst_rate_rps=2000.0,
+            mix=WorkloadMix.uniform(),
+            mean_normal_s=0.4,
+            mean_burst_s=0.2,
+        )
+        kwargs.update(overrides)
+        return MMPPArrivals(**kwargs)
+
+    def test_same_seed_is_identical(self):
+        process = self._process()
+        assert process.generate(2.0, seed=5) == process.generate(2.0, seed=5)
+
+    def test_bursts_add_traffic_over_the_base_rate(self):
+        bursty = self._process().generate(4.0, seed=9)
+        plain = PoissonArrivals(100.0, WorkloadMix.uniform()).generate(4.0, seed=9)
+        assert len(bursty) > len(plain) * 1.5
+
+    def test_arrivals_stay_inside_the_window(self):
+        requests = self._process().generate(1.5, seed=2, start_s=1.0)
+        assert all(1.0 <= request.arrival_s < 2.5 for request in requests)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"normal_rate_rps": 0.0},
+            {"burst_rate_rps": -1.0},
+            {"mean_normal_s": 0.0},
+            {"mean_burst_s": -0.5},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, overrides):
+        with pytest.raises(ServingError):
+            self._process(**overrides)
+
+
+class TestTraceArrivals:
+    def test_replay_preserves_trace_order_and_clips_to_window(self):
+        trace = [(0.5, "nvsa"), (0.1, "mimonet"), (2.5, "lvrf")]
+        requests = TraceArrivals(trace).generate(2.0, seed=0)
+        assert [(r.arrival_s, r.workload) for r in requests] == [
+            (0.1, "mimonet"),
+            (0.5, "nvsa"),
+        ]
+        assert [r.request_id for r in requests] == [0, 1]
+
+    def test_seed_does_not_matter_for_replay(self):
+        trace = [(0.1, "nvsa"), (0.2, "prae")]
+        process = TraceArrivals(trace)
+        assert process.generate(1.0, seed=1) == process.generate(1.0, seed=99)
+
+    def test_invalid_traces_rejected(self):
+        with pytest.raises(ServingError):
+            TraceArrivals([])
+        with pytest.raises(ServingError):
+            TraceArrivals([(0.1, "bogus")])
+
+
+class TestConcatenateSegments:
+    def test_segments_are_offset_back_to_back(self):
+        mix = WorkloadMix.uniform()
+        segments = [
+            (PoissonArrivals(200.0, mix), 1.0),
+            (PoissonArrivals(200.0, mix), 1.0),
+        ]
+        requests = concatenate_segments(segments, seed=4)
+        arrivals = [request.arrival_s for request in requests]
+        assert arrivals == sorted(arrivals)
+        assert any(arrival >= 1.0 for arrival in arrivals)
+        assert all(arrival < 2.0 for arrival in arrivals)
+        assert [r.request_id for r in requests] == list(range(len(requests)))
+
+    def test_deterministic_and_seed_sensitive(self):
+        mix = WorkloadMix.uniform()
+        segments = [(PoissonArrivals(300.0, mix), 0.5)]
+        assert concatenate_segments(segments, seed=1) == concatenate_segments(
+            segments, seed=1
+        )
+        assert concatenate_segments(segments, seed=1) != concatenate_segments(
+            segments, seed=2
+        )
+
+    def test_empty_segment_list_rejected(self):
+        with pytest.raises(ServingError):
+            concatenate_segments([])
