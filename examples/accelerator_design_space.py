@@ -8,8 +8,9 @@ ML-accelerator baselines — a condensed version of Figs. 15-19.
 
 from __future__ import annotations
 
+from repro.backends import CustomSpec, get_backend
 from repro.core import Precision
-from repro.hardware import CogSysAccelerator, CogSysConfig, make_device
+from repro.hardware import CogSysConfig
 from repro.workloads import build_workload
 
 
@@ -18,7 +19,7 @@ def main() -> None:
 
     print("=== Baseline devices (NVSA, batch of 2 reasoning tasks) ===")
     for device_name in ("jetson_tx2", "xavier_nx", "xeon", "rtx2080ti", "tpu_like", "mtia_like"):
-        report = make_device(device_name).workload_time(workload)
+        report = get_backend(device_name).execute(workload)
         print(
             f"{device_name:12s}  latency {report.total_seconds*1e3:9.2f} ms   "
             f"symbolic share {report.symbolic_fraction:5.1%}   "
@@ -27,14 +28,26 @@ def main() -> None:
 
     print("\n=== CogSys configurations ===")
     configurations = {
-        "cogsys (INT8, 16 cells)": CogSysAccelerator(CogSysConfig(precision=Precision.INT8)),
-        "cogsys (FP8, 16 cells)": CogSysAccelerator(CogSysConfig(precision=Precision.FP8)),
-        "cogsys (INT8, 8 cells)": CogSysAccelerator(CogSysConfig(num_cells=8)),
-        "cogsys w/o nsPE mode": CogSysAccelerator(reconfigurable_symbolic=False),
-        "cogsys w/o scale-out": CogSysAccelerator(scale_out=False),
+        "cogsys (INT8, 16 cells)": CustomSpec(
+            name="cogsys_int8", cogsys_config=CogSysConfig(precision=Precision.INT8)
+        ),
+        "cogsys (FP8, 16 cells)": CustomSpec(
+            name="cogsys_fp8", cogsys_config=CogSysConfig(precision=Precision.FP8)
+        ),
+        "cogsys (INT8, 8 cells)": CustomSpec(
+            name="cogsys_8cell", cogsys_config=CogSysConfig(num_cells=8)
+        ),
+        # Single-factor nsPE ablation (scale-out stays on), unlike the
+        # registry's cumulative cogsys_no_nspe preset.
+        "cogsys w/o nsPE mode": CustomSpec(
+            name="cogsys_no_nspe_only", reconfigurable_symbolic=False
+        ),
+        "cogsys w/o scale-out": "cogsys_no_scaleout",
     }
-    for name, accelerator in configurations.items():
-        report = accelerator.simulate(workload, scheduler="adaptive")
+    for name, spec in configurations.items():
+        backend = get_backend(spec)
+        report = backend.execute(workload, scheduler="adaptive")
+        accelerator = backend.accelerator
         print(
             f"{name:26s}  latency {report.total_seconds*1e3:7.3f} ms   "
             f"occupancy {report.array_occupancy:5.1%}   "
@@ -43,7 +56,7 @@ def main() -> None:
         )
 
     print("\n=== Circular-convolution mapping decisions ===")
-    accelerator = CogSysAccelerator()
+    accelerator = get_backend("cogsys").accelerator
     for count, dim in ((1, 2048), (210, 1024), (2575, 1024), (1000, 64)):
         decision = accelerator.circconv_mapping(dim, count)
         print(

@@ -1,0 +1,320 @@
+"""String-keyed backend registry and the ``CustomSpec`` escape hatch.
+
+Every simulated execution target is resolvable by name::
+
+    from repro.backends import get_backend
+
+    get_backend("cogsys").execute(workload)          # cycle model, adSCH
+    get_backend("a100").execute(workload)            # roofline GPU model
+    get_backend("tpu_like").batched("nvsa", (1, 4))  # systolic baseline
+
+Built-ins cover the paper's full comparison matrix: the CogSys accelerator
+(plus its Fig. 19 ablations), the CPU/GPU/edge devices of Tab. I and the
+TPU/MTIA/Gemmini-like systolic baselines of Tab. VI.  One-off targets that
+should not pollute the global namespace go through :class:`CustomSpec`,
+which ``get_backend`` accepts in place of a name.
+
+Unknown names raise :class:`repro.errors.BackendError` (never ``KeyError``)
+and the listing order is deterministic (sorted by name).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.backends.base import Backend
+from repro.errors import BackendError
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.hardware.baselines import AcceleratorSpec, DeviceSpec
+    from repro.hardware.config import CogSysConfig
+
+__all__ = [
+    "BackendInfo",
+    "CustomSpec",
+    "register_backend",
+    "get_backend",
+    "backend_names",
+    "backend_info",
+    "describe_backend",
+    "describe_backends",
+    "is_symbolic_friendly",
+]
+
+
+@dataclass(frozen=True)
+class BackendInfo:
+    """Registry metadata of one backend (resolvable without building it).
+
+    The presentation fields (``power_watts``, ``schedulers``) are captured
+    from one probe instance at registration so listings never need to
+    construct backends.
+    """
+
+    name: str
+    family: str
+    description: str
+    symbolic_friendly: bool
+    factory: Callable[[], Backend]
+    power_watts: float = 0.0
+    schedulers: tuple[str, ...] = ("sequential",)
+
+
+#: backend name -> metadata + factory; populated lazily so importing this
+#: module never races the (partially initialized) hardware package.
+_REGISTRY: dict[str, BackendInfo] | None = None
+
+
+def _probe_info(
+    name: str,
+    factory: Callable[[], Backend],
+    description: str,
+    symbolic_friendly: bool | None = None,
+    family: str | None = None,
+) -> BackendInfo:
+    """Build one probe instance and capture its metadata for the registry."""
+    probe = factory()
+    return BackendInfo(
+        name=name,
+        family=family if family is not None else probe.family,
+        description=description,
+        symbolic_friendly=(
+            probe.symbolic_friendly
+            if symbolic_friendly is None
+            else symbolic_friendly
+        ),
+        factory=factory,
+        power_watts=probe.power_watts,
+        schedulers=probe.schedulers,
+    )
+
+
+def _builtin_backends() -> dict[str, BackendInfo]:
+    from repro.backends.cogsys import CogSysBackend
+    from repro.backends.devices import DeviceBackend
+    from repro.hardware.accelerator import CogSysAccelerator
+    from repro.hardware.baselines import (
+        ACCELERATOR_SPECS,
+        DEVICE_SPECS,
+        GenericDevice,
+        SystolicAcceleratorDevice,
+    )
+
+    registry: dict[str, BackendInfo] = {}
+
+    def device_factory(spec):
+        return lambda: DeviceBackend(GenericDevice(spec))
+
+    def accelerator_factory(spec):
+        return lambda: DeviceBackend(SystolicAcceleratorDevice(spec))
+
+    for spec in DEVICE_SPECS.values():
+        registry[spec.name] = _probe_info(
+            spec.name,
+            device_factory(spec),
+            description=(
+                f"roofline CPU/GPU/edge model ({spec.peak_flops / 1e12:.2g} "
+                f"TFLOPS peak, {spec.power_watts:g} W)"
+            ),
+        )
+    for spec in ACCELERATOR_SPECS.values():
+        registry[spec.name] = _probe_info(
+            spec.name,
+            accelerator_factory(spec),
+            description=(
+                f"systolic ML accelerator ({spec.num_cells}x "
+                f"{spec.cell_rows}x{spec.cell_cols} cells, GEMV-lowered "
+                "circular convolution)"
+            ),
+        )
+    registry["cogsys"] = _probe_info(
+        "cogsys",
+        lambda: CogSysBackend(),
+        description="full CogSys accelerator (nsPE + scale-out + adSCH)",
+    )
+    registry["cogsys_no_scaleout"] = _probe_info(
+        "cogsys_no_scaleout",
+        lambda: CogSysBackend(
+            CogSysAccelerator(scale_out=False), name="cogsys_no_scaleout"
+        ),
+        description="Fig. 19 ablation: cells fused into one monolithic array",
+    )
+    registry["cogsys_no_nspe"] = _probe_info(
+        "cogsys_no_nspe",
+        lambda: CogSysBackend(
+            CogSysAccelerator(scale_out=False, reconfigurable_symbolic=False),
+            name="cogsys_no_nspe",
+        ),
+        description=(
+            "Fig. 19 ablation: no reconfigurable symbolic mode (GEMV "
+            "lowering on a monolithic array)"
+        ),
+    )
+    return registry
+
+
+def _registry() -> dict[str, BackendInfo]:
+    global _REGISTRY
+    if _REGISTRY is None:
+        _REGISTRY = _builtin_backends()
+    return _REGISTRY
+
+
+@dataclass(frozen=True)
+class CustomSpec:
+    """Escape hatch: a backend built from raw spec objects, no registration.
+
+    Exactly one hardware description may be supplied:
+
+    * ``device_spec`` — a :class:`~repro.hardware.baselines.DeviceSpec`
+      (roofline CPU/GPU/edge model),
+    * ``accelerator_spec`` — an
+      :class:`~repro.hardware.baselines.AcceleratorSpec` (systolic baseline),
+    * ``cogsys_config`` — a :class:`~repro.hardware.config.CogSysConfig`
+      (CogSys cycle model; also the default when nothing is supplied, with
+      ``reconfigurable_symbolic``/``scale_out`` selecting the ablations).
+    """
+
+    name: str
+    device_spec: "DeviceSpec | None" = None
+    accelerator_spec: "AcceleratorSpec | None" = None
+    cogsys_config: "CogSysConfig | None" = None
+    reconfigurable_symbolic: bool = True
+    scale_out: bool = True
+
+    def build(self) -> Backend:
+        """Instantiate the described backend."""
+        from repro.backends.cogsys import CogSysBackend
+        from repro.backends.devices import DeviceBackend
+        from repro.hardware.accelerator import CogSysAccelerator
+        from repro.hardware.baselines import GenericDevice, SystolicAcceleratorDevice
+
+        if not self.name:
+            raise BackendError("CustomSpec needs a non-empty name")
+        supplied = [
+            spec
+            for spec in (self.device_spec, self.accelerator_spec, self.cogsys_config)
+            if spec is not None
+        ]
+        if len(supplied) > 1:
+            raise BackendError(
+                f"CustomSpec '{self.name}' must supply at most one of "
+                "device_spec, accelerator_spec or cogsys_config"
+            )
+        if (self.device_spec is not None or self.accelerator_spec is not None) and not (
+            self.reconfigurable_symbolic and self.scale_out
+        ):
+            raise BackendError(
+                f"CustomSpec '{self.name}': reconfigurable_symbolic/scale_out "
+                "are CogSys ablation switches and do not apply to device or "
+                "accelerator specs"
+            )
+        if self.device_spec is not None:
+            backend = DeviceBackend(GenericDevice(self.device_spec))
+        elif self.accelerator_spec is not None:
+            backend = DeviceBackend(SystolicAcceleratorDevice(self.accelerator_spec))
+        else:
+            accelerator = CogSysAccelerator(
+                config=self.cogsys_config,
+                reconfigurable_symbolic=self.reconfigurable_symbolic,
+                scale_out=self.scale_out,
+            )
+            backend = CogSysBackend(accelerator)
+        backend.name = self.name
+        return backend
+
+
+def register_backend(
+    name: str,
+    factory: Callable[[], Backend],
+    *,
+    family: str | None = None,
+    description: str = "",
+    symbolic_friendly: bool | None = None,
+    replace: bool = False,
+) -> BackendInfo:
+    """Add a backend factory to the registry under ``name``.
+
+    ``symbolic_friendly`` is the registry's source of truth — affinity
+    routing and the CLI listing both read it.  When omitted it is taken
+    from a probe instance built by ``factory`` (which also captures the
+    listing metadata) so the registry cannot disagree with the backend's
+    own properties.
+    """
+    if not name:
+        raise BackendError("backend name must be non-empty")
+    registry = _registry()
+    if name in registry and not replace:
+        raise BackendError(f"backend '{name}' is already registered")
+    info = _probe_info(
+        name,
+        factory,
+        description=description,
+        symbolic_friendly=symbolic_friendly,
+        family=family,
+    )
+    registry[name] = info
+    return info
+
+
+def backend_info(name: str) -> BackendInfo:
+    """Registry metadata for ``name`` or a typed error listing known names."""
+    registry = _registry()
+    try:
+        return registry[name]
+    except KeyError:
+        raise BackendError(
+            f"unknown backend '{name}'; known backends: {list(backend_names())}"
+        ) from None
+
+
+def get_backend(name: str | CustomSpec) -> Backend:
+    """Resolve a backend by registry name (or build a :class:`CustomSpec`).
+
+    The backend a registered factory returns is handed back as built —
+    its name is the factory's responsibility (every built-in names itself
+    after its registry key).
+    """
+    if isinstance(name, CustomSpec):
+        return name.build()
+    if not isinstance(name, str):
+        raise BackendError(
+            f"get_backend expects a name or CustomSpec, got {type(name).__name__}"
+        )
+    return backend_info(name).factory()
+
+
+def backend_names() -> tuple[str, ...]:
+    """Every registered backend name, sorted (deterministic listing order)."""
+    return tuple(sorted(_registry()))
+
+
+def is_symbolic_friendly(name: str) -> bool:
+    """Whether ``name`` has native symbolic support (no backend is built)."""
+    return backend_info(name).symbolic_friendly
+
+
+def describe_backend(name: str) -> dict:
+    """JSON-clean description of one registered backend.
+
+    Served from the registry metadata captured at registration time (each
+    factory is probe-built exactly once, when it enters the registry), so
+    repeated listings construct nothing and ``symbolic_friendly`` is
+    exactly the answer affinity routing will act on.
+    """
+    info = backend_info(name)
+    return {
+        "name": info.name,
+        "family": info.family,
+        "symbolic_friendly": info.symbolic_friendly,
+        "power_watts": round(info.power_watts, 3),
+        "schedulers": list(info.schedulers),
+        "description": info.description,
+    }
+
+
+def describe_backends() -> list[dict]:
+    """JSON-clean rows describing every registered backend, sorted by name."""
+    return [describe_backend(name) for name in backend_names()]

@@ -13,10 +13,13 @@ Installed as a console script (see ``setup.py``) and runnable as
 [--smoke]``
     Regenerate the paper-vs-measured document from the registry.
 ``repro serve SCENARIO [--seed N] [--chips N] [--router R] [--policy P]
-[--load-scale X] [--duration-scale X]`` / ``repro serve --list`` /
-``repro serve --smoke``
+[--backend B[,B...]] [--load-scale X] [--duration-scale X]`` /
+``repro serve --list`` / ``repro serve --smoke``
     Run a serving scenario preset (or every serving experiment at smoke
-    scale) through the request-level simulator.
+    scale) through the request-level simulator; ``--backend`` builds a
+    (possibly heterogeneous) fleet from registry backend names.
+``repro backends [NAME] [--format md|json]``
+    List every registered backend, or describe one by name.
 ``repro cache [info|stats|clear] [--stats]``
     Inspect (optionally with a per-experiment breakdown) or empty the
     on-disk result cache.
@@ -198,9 +201,63 @@ def _emit(args, output: str) -> None:
         print(output, end="")
 
 
+def _cmd_backends(args) -> int:
+    from repro.backends import describe_backend, describe_backends
+
+    if args.name:
+        description = describe_backend(args.name)
+        if args.format == "json":
+            _emit(args, json.dumps(description, indent=2) + "\n")
+        else:
+            rows = [
+                [key, ",".join(value) if isinstance(value, list) else value]
+                for key, value in description.items()
+            ]
+            _emit(args, format_markdown_table(["field", "value"], rows) + "\n")
+        return 0
+    rows = describe_backends()
+    if args.format == "json":
+        _emit(args, json.dumps(rows, indent=2) + "\n")
+    else:
+        headers = ["name", "family", "symbolic", "power (W)", "schedulers",
+                   "description"]
+        table = format_markdown_table(
+            headers,
+            [
+                [
+                    row["name"],
+                    row["family"],
+                    "yes" if row["symbolic_friendly"] else "no",
+                    row["power_watts"],
+                    ",".join(row["schedulers"]),
+                    row["description"],
+                ]
+                for row in rows
+            ],
+        )
+        _emit(args, table + f"\n\n{len(rows)} backends registered.\n")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from repro.serving import metrics, scenarios
 
+    backends = tuple(
+        name.strip()
+        for chunk in args.backend
+        for name in chunk.split(",")
+        if name.strip()
+    )
+    if args.backend and not backends:
+        raise ReproError(
+            "--backend was given but named no backends; see `repro backends` "
+            "for the registry listing"
+        )
+    if backends and (args.list or args.smoke):
+        raise ReproError(
+            "--backend only applies to scenario runs; drop it from "
+            "--list/--smoke invocations"
+        )
     if args.list:
         presets = list(scenarios.SCENARIOS.values())
         if args.format == "json":
@@ -262,15 +319,18 @@ def _cmd_serve(args) -> int:
         num_chips=args.chips,
         router=args.router,
         policy=args.policy,
+        backends=backends or None,
     )
     summary = metrics.summarize_result(result, scenario.slo_s)
     breakdown = metrics.per_workload_summary(result, scenario.slo_s)
+    by_backend = metrics.per_backend_summary(result, scenario.slo_s)
     if args.format == "json":
         payload = {
             "scenario": scenario.name,
             "provenance": result.provenance,
             "summary": summary,
             "per_workload": breakdown,
+            "per_backend": by_backend,
         }
         output = json.dumps(payload, indent=2) + "\n"
     else:
@@ -287,6 +347,14 @@ def _cmd_serve(args) -> int:
                 headers, [[row[h] for h in headers] for row in breakdown]
             )
         )
+        if len(by_backend) > 1:
+            lines.append("")
+            headers = list(by_backend[0])
+            lines.append(
+                format_markdown_table(
+                    headers, [[row[h] for h in headers] for row in by_backend]
+                )
+            )
         output = "\n".join(lines) + "\n"
     _emit(args, output)
     return 0
@@ -362,8 +430,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--chips", type=int, default=None, metavar="N",
                               help="override the scenario's fleet size")
     serve_parser.add_argument("--router", default=None,
-                              choices=("round_robin", "jsq", "affinity"),
+                              choices=("round_robin", "jsq", "affinity",
+                                       "symbolic_affinity"),
                               help="override the scenario's routing policy")
+    serve_parser.add_argument("--backend", action="append", default=[],
+                              metavar="NAME[,NAME...]",
+                              help="per-chip backend names (repeatable or "
+                                   "comma-separated; cycled across the fleet)")
     serve_parser.add_argument("--policy", default=None,
                               choices=("none", "fixed", "continuous"),
                               help="override the scenario's batching policy")
@@ -374,6 +447,16 @@ def build_parser() -> argparse.ArgumentParser:
                               help="bypass the result cache (--smoke only)")
     serve_parser.add_argument("--cache-dir", default=None, help=argparse.SUPPRESS)
     serve_parser.set_defaults(func=_cmd_serve)
+
+    backends_parser = subparsers.add_parser(
+        "backends", help="list or describe the registered hardware backends"
+    )
+    backends_parser.add_argument("name", nargs="?", metavar="NAME",
+                                 help="describe one backend instead of listing")
+    backends_parser.add_argument("--format", choices=("md", "json"), default="md")
+    backends_parser.add_argument("--output", metavar="FILE",
+                                 help="write the listing to FILE")
+    backends_parser.set_defaults(func=_cmd_backends)
     return parser
 
 

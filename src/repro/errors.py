@@ -29,6 +29,14 @@ class HardwareConfigError(ReproError):
     """Raised for invalid hardware configurations (array sizes, memories)."""
 
 
+class BackendError(HardwareConfigError):
+    """Raised for unknown backend names or invalid backend specifications.
+
+    Subclasses :class:`HardwareConfigError` so callers of the deprecated
+    device-factory shim keep catching the exception type they always did.
+    """
+
+
 class MappingError(ReproError):
     """Raised when an operation cannot be mapped onto the requested array."""
 

@@ -12,9 +12,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backends import get_backend
 from repro.core import Precision
 from repro.core.footprint import compare_footprints
-from repro.hardware import make_device
 from repro.hardware.energy import PRECISION_SILICON
 from repro.evaluation.solver import CVRSolver, NeuroSymbolicSolver, SolverConfig, SVRTSolver
 from repro.tasks import CVRGenerator, IRavenGenerator, PGMGenerator, RavenGenerator, SVRTGenerator
@@ -36,9 +36,9 @@ __all__ = [
 def factorization_efficiency(device_name: str = "xavier_nx") -> dict:
     """Fig. 8: codebook memory and runtime with and without factorization."""
     report = compare_footprints(NVSA_FACTOR_SIZES, dim=1024)
-    device = make_device(device_name)
-    with_fact = device.workload_time(build_workload("nvsa", use_factorization=True))
-    without_fact = device.workload_time(build_workload("nvsa", use_factorization=False))
+    device = get_backend(device_name)
+    with_fact = device.execute(build_workload("nvsa", use_factorization=True))
+    without_fact = device.execute(build_workload("nvsa", use_factorization=False))
     return {
         "codebook_kib": report.product_codebook_kib,
         "factorized_kib": report.factorized_kib,

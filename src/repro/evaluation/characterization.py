@@ -13,8 +13,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.hardware import make_device
-from repro.hardware.baselines import GenericDevice
+from repro.backends import get_backend
 from repro.profiling import (
     KERNEL_PROFILE,
     memory_footprint,
@@ -46,7 +45,7 @@ def characterization_runtime(devices: Sequence[str] = ("rtx2080ti", "jetson_tx2"
     for workload_name in PROFILED_WORKLOADS:
         workload = build_workload(workload_name)
         for device_name in devices:
-            breakdown = runtime_breakdown(workload, make_device(device_name))
+            breakdown = runtime_breakdown(workload, get_backend(device_name))
             rows.append(
                 {
                     "workload": workload_name,
@@ -61,7 +60,7 @@ def characterization_runtime(devices: Sequence[str] = ("rtx2080ti", "jetson_tx2"
 
 def characterization_scaling(device_name: str = "rtx2080ti") -> list[dict]:
     """Fig. 4c: task-size scalability of the NVSA workload."""
-    device = make_device(device_name)
+    device = get_backend(device_name)
     rows = []
     for breakdown, grid in zip(
         task_size_scaling(build_nvsa_workload, device, grid_sizes=(2, 3)), (2, 3)
@@ -96,8 +95,7 @@ def characterization_memory() -> list[dict]:
 
 def characterization_roofline(device_name: str = "rtx2080ti") -> list[dict]:
     """Fig. 5: roofline placement of the neural and symbolic stages."""
-    device = make_device(device_name)
-    assert isinstance(device, GenericDevice)
+    device = get_backend(device_name)
     rows = []
     for workload_name in PROFILED_WORKLOADS:
         workload = build_workload(workload_name)
@@ -117,7 +115,7 @@ def characterization_roofline(device_name: str = "rtx2080ti") -> list[dict]:
 def symbolic_breakdown(device_name: str = "rtx2080ti") -> dict[str, float]:
     """Fig. 6: share of symbolic runtime per operation type (NVSA)."""
     workload = build_workload("nvsa")
-    return symbolic_operation_breakdown(workload, make_device(device_name))
+    return symbolic_operation_breakdown(workload, get_backend(device_name))
 
 
 def kernel_profile() -> dict[str, dict[str, float]]:

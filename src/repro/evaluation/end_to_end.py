@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.hardware import CogSysAccelerator, make_device
+from repro.backends import get_backend
 from repro.workloads import build_workload
 
 __all__ = [
@@ -48,14 +48,14 @@ def dataset_workload(dataset: str, num_tasks: int = 1):
 
 def end_to_end_speedups(datasets: Sequence[str] = EVALUATED_DATASETS) -> list[dict]:
     """Fig. 15: normalized runtime of CPU/GPU/edge devices versus CogSys."""
-    cogsys = CogSysAccelerator()
+    cogsys = get_backend("cogsys")
     rows = []
     for dataset in datasets:
         workload = dataset_workload(dataset)
-        cogsys_seconds = cogsys.simulate(workload, "adaptive").total_seconds
+        cogsys_seconds = cogsys.execute(workload, scheduler="adaptive").total_seconds
         row = {"dataset": dataset, "cogsys_seconds": cogsys_seconds, "cogsys": 1.0}
         for device_name in EVALUATED_DEVICES:
-            device_seconds = make_device(device_name).workload_time(workload).total_seconds
+            device_seconds = get_backend(device_name).execute(workload).total_seconds
             row[device_name] = device_seconds / cogsys_seconds
         rows.append(row)
     return rows
@@ -63,11 +63,11 @@ def end_to_end_speedups(datasets: Sequence[str] = EVALUATED_DATASETS) -> list[di
 
 def energy_efficiency(datasets: Sequence[str] = EVALUATED_DATASETS) -> list[dict]:
     """Fig. 16: energy per task and performance-per-watt versus CogSys."""
-    cogsys = CogSysAccelerator()
+    cogsys = get_backend("cogsys")
     rows = []
     for dataset in datasets:
         workload = dataset_workload(dataset)
-        report = cogsys.simulate(workload, "adaptive")
+        report = cogsys.execute(workload, scheduler="adaptive")
         row = {
             "dataset": dataset,
             "cogsys_energy_j": report.energy_joules,
@@ -75,7 +75,7 @@ def energy_efficiency(datasets: Sequence[str] = EVALUATED_DATASETS) -> list[dict
         }
         cogsys_perf_per_watt = 1.0 / report.energy_joules
         for device_name in EVALUATED_DEVICES:
-            device_report = make_device(device_name).workload_time(workload)
+            device_report = get_backend(device_name).execute(workload)
             row[f"{device_name}_energy_j"] = device_report.energy_joules
             device_perf_per_watt = (
                 1.0 / device_report.energy_joules if device_report.energy_joules else 0.0
@@ -91,13 +91,13 @@ def ml_accelerator_comparison(
     workloads: Sequence[str] = ("nvsa", "lvrf", "mimonet")
 ) -> list[dict]:
     """Fig. 18: neural-only, symbolic-only and end-to-end runtime comparison."""
-    cogsys = CogSysAccelerator()
+    cogsys = get_backend("cogsys")
     rows = []
     for workload_name in workloads:
         workload = build_workload(workload_name)
-        cogsys_report = cogsys.simulate(workload, "adaptive")
+        cogsys_report = cogsys.execute(workload, scheduler="adaptive")
         for device_name in ("tpu_like", "mtia_like", "gemmini_like"):
-            device_report = make_device(device_name).workload_time(workload)
+            device_report = get_backend(device_name).execute(workload)
             rows.append(
                 {
                     "workload": workload_name,
@@ -114,21 +114,23 @@ def ml_accelerator_comparison(
 
 
 def hardware_ablation(num_tasks: int = 4) -> list[dict]:
-    """Fig. 19: runtime without adSCH, scalable arrays and reconfigurable PEs."""
+    """Fig. 19: runtime without adSCH, scalable arrays and reconfigurable PEs.
+
+    The ablated designs are first-class registry backends
+    (``cogsys_no_scaleout``, ``cogsys_no_nspe``); removing adSCH is a
+    scheduler choice at execute time.
+    """
     datasets = ("raven", "iraven", "pgm")
+    cogsys = get_backend("cogsys")
+    no_scaleout = get_backend("cogsys_no_scaleout")
+    without_nspe = get_backend("cogsys_no_nspe")
     rows = []
     for dataset in datasets:
         workload = dataset_workload(dataset, num_tasks=num_tasks)
-        full = CogSysAccelerator().simulate(workload, "adaptive").total_seconds
-        no_adsch = CogSysAccelerator().simulate(workload, "sequential").total_seconds
-        no_scale = (
-            CogSysAccelerator(scale_out=False).simulate(workload, "sequential").total_seconds
-        )
-        no_nspe = (
-            CogSysAccelerator(scale_out=False, reconfigurable_symbolic=False)
-            .simulate(workload, "sequential")
-            .total_seconds
-        )
+        full = cogsys.execute(workload, scheduler="adaptive").total_seconds
+        no_adsch = cogsys.execute(workload, scheduler="sequential").total_seconds
+        no_scale = no_scaleout.execute(workload, scheduler="sequential").total_seconds
+        no_nspe = without_nspe.execute(workload, scheduler="sequential").total_seconds
         rows.append(
             {
                 "dataset": dataset,
@@ -143,15 +145,17 @@ def hardware_ablation(num_tasks: int = 4) -> list[dict]:
 
 def codesign_ablation(datasets: Sequence[str] = EVALUATED_DATASETS) -> list[dict]:
     """Tab. X: algorithm-only, hardware-only and full co-design runtimes."""
-    edge = make_device("xavier_nx")
-    cogsys = CogSysAccelerator()
+    edge = get_backend("xavier_nx")
+    cogsys = get_backend("cogsys")
+    nvsa_on_edge = edge.execute(
+        build_workload("nvsa", use_factorization=False)
+    ).total_seconds
     rows = []
     for dataset in datasets:
-        nvsa_on_edge = edge.workload_time(
-            build_workload("nvsa", use_factorization=False)
+        algo_on_edge = edge.execute(dataset_workload(dataset)).total_seconds
+        codesign = cogsys.execute(
+            dataset_workload(dataset), scheduler="adaptive"
         ).total_seconds
-        algo_on_edge = edge.workload_time(dataset_workload(dataset)).total_seconds
-        codesign = cogsys.simulate(dataset_workload(dataset), "adaptive").total_seconds
         rows.append(
             {
                 "dataset": dataset,

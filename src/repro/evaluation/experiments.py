@@ -55,6 +55,7 @@ from repro.evaluation.end_to_end import (
 from repro.evaluation.serving_experiments import (
     batching_policy_comparison,
     fleet_scaling,
+    heterogeneous_fleet,
     latency_load_sweep,
     scenario_slo_matrix,
 )
@@ -87,5 +88,6 @@ __all__ = [
     "batching_policy_comparison",
     "fleet_scaling",
     "scenario_slo_matrix",
+    "heterogeneous_fleet",
     "task_accuracy_overview",
 ]

@@ -14,7 +14,8 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.hardware import CogSysAccelerator, CogSysConfig
+from repro.backends import CustomSpec, get_backend
+from repro.hardware import CogSysConfig
 from repro.hardware.baselines import DEVICE_SPECS
 from repro.hardware.bubble_stream import BubbleStreamSimulator
 from repro.hardware.energy import PE_DESIGN_CHOICES
@@ -60,13 +61,17 @@ def accelerator_comparison(vector_dim: int = 1024) -> list[dict]:
 def pe_design_choice(num_tasks: int = 2) -> list[dict]:
     """Tab. V: reconfigurable nsPEs versus dedicated heterogeneous PE pools."""
     workload = build_workload("nvsa", num_tasks=num_tasks)
-    full = CogSysAccelerator(CogSysConfig(num_cells=16))
-    half = CogSysAccelerator(CogSysConfig(num_cells=8))
-    full_latency = full.simulate(workload, "adaptive").total_seconds
+    full = get_backend(
+        CustomSpec(name="cogsys_16cell", cogsys_config=CogSysConfig(num_cells=16))
+    )
+    half = get_backend(
+        CustomSpec(name="cogsys_8cell", cogsys_config=CogSysConfig(num_cells=8))
+    )
+    full_latency = full.execute(workload, scheduler="adaptive").total_seconds
     # A same-area heterogeneous design dedicates half the cells to neural and
     # half to symbolic kernels; each kernel can only use its own pool, which
     # is approximated by running the whole workload on an 8-cell device.
-    half_latency = half.simulate(workload, "adaptive").total_seconds
+    half_latency = half.execute(workload, scheduler="adaptive").total_seconds
     rows = []
     for name, reference in PE_DESIGN_CHOICES.items():
         measured_latency = full_latency if "16+16" in name or name.startswith("reconfigurable") else half_latency
@@ -157,7 +162,7 @@ def circconv_speedup_sweep(
     conv_counts: Sequence[int] = (1, 10, 100, 1000, 10000),
 ) -> list[dict]:
     """Fig. 17: circular-convolution speedup of CogSys over TPU-like and GPU."""
-    cogsys = CogSysAccelerator()
+    cogsys = get_backend("cogsys").accelerator
     tpu = SystolicArrayModel(128, 128)
     gpu = DEVICE_SPECS["rtx2080ti"]
     rows = []

@@ -612,6 +612,35 @@ register(
 
 register(
     ExperimentSpec(
+        id="serve_hetero",
+        title="Serving — heterogeneous CogSys+GPU/edge fleet (mixed workload)",
+        anchor="serving",
+        driver=serving_experiments.heterogeneous_fleet,
+        tags=("serving",),
+        param_schema={
+            "backends": "strs",
+            "scenario": "str",
+            "router": "str",
+            "seed": "int",
+            "load_scale": "float",
+            "duration_scale": "float",
+            "slo_ms": "float",
+        },
+        smoke_params={"duration_scale": 0.2},
+        report_params={"duration_scale": 1.0},
+        paper_note=(
+            "Beyond the paper: one registry-resolved backend per chip "
+            "(CogSys x2 + A100 + Xavier NX by default) serving the "
+            "mixed-workload scenario.  Symbolic-affinity routing keeps "
+            "symbolic-heavy workloads on the CogSys chips and sends the "
+            "neural-heavy remainder to the GPU/edge pool; rows report "
+            "per-backend utilization, latency and goodput."
+        ),
+    )
+)
+
+register(
+    ExperimentSpec(
         id="accuracy_overview",
         title="Dataset accuracy overview (supports Fig. 15/16 claims)",
         anchor="fig15",

@@ -2,22 +2,25 @@
 
 These drivers extend the paper's single-query evaluation to the request
 level: every row comes from a deterministic discrete-event simulation
-(:mod:`repro.serving`) whose per-batch service times are CogSys accelerator
+(:mod:`repro.serving`) whose per-batch service times are backend execution
 reports, memoized per ``(workload, batch size)`` so full sweeps finish in
-seconds.  Four experiment families are registered:
+seconds.  Five experiment families are registered:
 
 * ``serve_load`` — per-workload latency versus offered load,
 * ``serve_batch`` — batching-policy comparison under heavy mixed traffic,
 * ``serve_fleet`` — fleet scaling efficiency across routing policies,
-* ``serve_scenarios`` — SLO matrix over the named scenario presets.
+* ``serve_scenarios`` — SLO matrix over the named scenario presets,
+* ``serve_hetero`` — mixed CogSys + GPU/edge fleet with symbolic-affinity
+  routing and per-backend utilization.
 """
 
 from __future__ import annotations
 
+from repro.backends import ExecutionCache
 from repro.errors import ServingError
 from repro.serving.batching import build_policy
-from repro.serving.fleet import AcceleratorServiceModel, Fleet
-from repro.serving.metrics import summarize_result
+from repro.serving.fleet import Fleet
+from repro.serving.metrics import per_backend_summary, summarize_result
 from repro.serving.scenarios import run_scenario
 from repro.serving.simulator import ServingSimulator
 from repro.serving.traffic import PoissonArrivals, WorkloadMix
@@ -28,6 +31,7 @@ __all__ = [
     "batching_policy_comparison",
     "fleet_scaling",
     "scenario_slo_matrix",
+    "heterogeneous_fleet",
 ]
 
 #: every registered workload, in stable (alphabetical) order
@@ -41,7 +45,7 @@ def _poisson_requests(rate_rps: float, count: int, mix: WorkloadMix, seed: int):
     return PoissonArrivals(rate_rps, mix).generate(count / rate_rps, seed=seed)
 
 
-def _mean_unbatched_service_s(model: AcceleratorServiceModel, mix: WorkloadMix):
+def _mean_unbatched_service_s(model: ExecutionCache, mix: WorkloadMix):
     """Mix-weighted batch-1 service time — the load=1.0 calibration point."""
     return sum(
         probability * model.service_seconds(name, 1)
@@ -65,7 +69,7 @@ def latency_load_sweep(
     sustainable through batching amortization — the sweep shows where each
     workload saturates and how hard the tail blows up past the knee.
     """
-    model = AcceleratorServiceModel()
+    model = ExecutionCache()
     rows = []
     for workload in workloads:
         service_1 = model.service_seconds(workload, 1)
@@ -110,7 +114,7 @@ def batching_policy_comparison(
     batched policies amortize kernel dispatch and survive — the serving
     analogue of the paper's kernel-launch-overhead observation.
     """
-    model = AcceleratorServiceModel()
+    model = ExecutionCache()
     mix = WorkloadMix.uniform(SERVING_WORKLOADS)
     slo_s = slo_ms * 1e-3
     rate = load * num_chips / _mean_unbatched_service_s(model, mix)
@@ -154,7 +158,7 @@ def fleet_scaling(
     latency to unlucky queues and affinity trades balance for homogeneous
     per-chip batches.
     """
-    model = AcceleratorServiceModel()
+    model = ExecutionCache()
     mix = WorkloadMix.uniform(SERVING_WORKLOADS)
     slo_s = slo_ms * 1e-3
     service = _mean_unbatched_service_s(model, mix)
@@ -203,7 +207,7 @@ def scenario_slo_matrix(
     One accelerator model is shared across scenarios, so the memoized
     reports make the whole matrix a single pass of cheap event loops.
     """
-    model = AcceleratorServiceModel()
+    model = ExecutionCache()
     rows = []
     for name in scenarios:
         scenario, result = run_scenario(
@@ -222,3 +226,51 @@ def scenario_slo_matrix(
             }
         )
     return rows
+
+
+def heterogeneous_fleet(
+    backends: tuple[str, ...] = ("cogsys", "cogsys", "a100", "xavier_nx"),
+    scenario: str = "mixed_workload",
+    router: str = "symbolic_affinity",
+    seed: int = 0,
+    load_scale: float = 1.0,
+    duration_scale: float = 1.0,
+    slo_ms: float | None = None,
+) -> list[dict]:
+    """Mixed-backend fleet under a scenario preset, with per-backend rows.
+
+    One chip per ``backends`` entry serves the scenario's traffic; the
+    symbolic-affinity router sends symbolic-heavy workloads to the CogSys
+    chips and neural-heavy ones to the GPU/edge chips.  The first row
+    (``backend="(fleet)"``) aggregates the whole fleet, the rest break
+    utilization, latency and goodput down per backend — idle pools show up
+    as zero-utilization rows instead of disappearing.
+    """
+    if not backends:
+        raise ServingError("heterogeneous_fleet needs at least one backend")
+    preset, result = run_scenario(
+        scenario,
+        seed=seed,
+        load_scale=load_scale,
+        duration_scale=duration_scale,
+        router=router,
+        backends=tuple(backends),
+    )
+    slo_s = preset.slo_s if slo_ms is None else slo_ms * 1e-3
+    overall = summarize_result(result, slo_s)
+    by_backend = per_backend_summary(result, slo_s)
+    # Derive the fleet row's metric columns from the per-backend schema so
+    # the two row shapes cannot drift apart.
+    metric_keys = [
+        key
+        for key in by_backend[0]
+        if key not in ("backend", "chips", "requests", "request_share")
+    ]
+    fleet_row = {
+        "backend": "(fleet)",
+        "chips": result.num_chips,
+        "requests": overall["requests"],
+        "request_share": 1.0,
+        **{key: overall[key] for key in metric_keys},
+    }
+    return [fleet_row, *by_backend]

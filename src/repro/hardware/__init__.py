@@ -23,6 +23,11 @@ stack in Python:
   (TPU/MTIA/Gemmini-like) device models.
 * :mod:`repro.hardware.accelerator` — the CogSys accelerator model that ties
   everything together.
+
+All of these execute workloads through the unified backend protocol: resolve
+any model by name via :func:`repro.backends.get_backend` and call
+``execute``; the entry points kept here are compatibility shims over that
+layer.
 """
 
 from repro.hardware.config import CogSysConfig

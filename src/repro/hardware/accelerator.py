@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.backends.base import SymbolicFractionMixin
 from repro.errors import HardwareConfigError
 from repro.hardware.config import CogSysConfig
 from repro.hardware.energy import AreaPowerModel
@@ -26,15 +27,21 @@ from repro.hardware.mapping import MappingDecision, choose_mapping
 from repro.hardware.memory import MemorySystem
 from repro.hardware.simd import SIMDUnit
 from repro.hardware.systolic import SystolicArrayModel
-from repro.scheduler import AdaptiveScheduler, ScheduleResult, SequentialScheduler
-from repro.workloads.base import KernelKind, KernelOp, Stage, Workload
+from repro.scheduler import ScheduleResult
+from repro.workloads.base import KernelKind, KernelOp, Workload
 
 __all__ = ["CogSysAccelerator", "CogSysReport"]
 
 
 @dataclass(frozen=True)
-class CogSysReport:
-    """End-to-end simulation summary for one workload on CogSys."""
+class CogSysReport(SymbolicFractionMixin):
+    """End-to-end simulation summary for one workload on CogSys.
+
+    Deprecated shim over :class:`repro.backends.base.ExecutionReport`;
+    ``symbolic_fraction`` comes from the shared stage-summed mixin (the
+    adaptive scheduler overlaps stages, so the end-to-end total can be
+    smaller than the stage sum).
+    """
 
     workload: str
     scheduler: str
@@ -46,12 +53,6 @@ class CogSysReport:
     array_occupancy: float
     kernel_seconds: dict[str, float] = field(default_factory=dict)
     schedule: ScheduleResult | None = None
-
-    @property
-    def symbolic_fraction(self) -> float:
-        """Fraction of (stage-summed) runtime spent in symbolic kernels."""
-        stage_total = self.neural_seconds + self.symbolic_seconds
-        return self.symbolic_seconds / stage_total if stage_total else 0.0
 
 
 class CogSysAccelerator:
@@ -180,36 +181,27 @@ class CogSysAccelerator:
 
     # -- end-to-end simulation ----------------------------------------------------------
     def simulate(self, workload: Workload, scheduler: str = "adaptive") -> CogSysReport:
-        """Simulate a workload end to end under the chosen scheduler."""
-        if scheduler == "adaptive":
-            engine = AdaptiveScheduler(self.kernel_cycles, self.config.num_cells)
-        elif scheduler == "sequential":
-            engine = SequentialScheduler(self.kernel_cycles, self.config.num_cells)
-        else:
-            raise HardwareConfigError(
-                f"unknown scheduler '{scheduler}'; expected 'adaptive' or 'sequential'"
-            )
-        schedule = engine.schedule(workload)
-        total_seconds = self.config.cycles_to_seconds(schedule.total_cycles)
-        neural_seconds = self.config.cycles_to_seconds(schedule.stage_cycles(Stage.NEURAL))
-        symbolic_seconds = self.config.cycles_to_seconds(
-            schedule.stage_cycles(Stage.SYMBOLIC)
-        )
-        kernel_seconds = {
-            entry.name: self.config.cycles_to_seconds(entry.duration)
-            for entry in schedule.entries
-        }
+        """Simulate a workload end to end under the chosen scheduler.
+
+        Deprecated shim: the schedule-and-summarize logic lives in
+        :class:`repro.backends.cogsys.CogSysBackend`; this method only
+        repackages its :class:`~repro.backends.base.ExecutionReport` into
+        the legacy :class:`CogSysReport` shape.
+        """
+        from repro.backends.cogsys import CogSysBackend
+
+        report = CogSysBackend(self).execute(workload, scheduler=scheduler)
         return CogSysReport(
-            workload=workload.name,
-            scheduler=scheduler,
-            total_cycles=schedule.total_cycles,
-            total_seconds=total_seconds,
-            neural_seconds=neural_seconds,
-            symbolic_seconds=symbolic_seconds,
-            energy_joules=self.power_watts * total_seconds,
-            array_occupancy=schedule.array_occupancy,
-            kernel_seconds=kernel_seconds,
-            schedule=schedule,
+            workload=report.workload,
+            scheduler=report.scheduler,
+            total_cycles=report.total_cycles,
+            total_seconds=report.total_seconds,
+            neural_seconds=report.neural_seconds,
+            symbolic_seconds=report.symbolic_seconds,
+            energy_joules=report.energy_joules,
+            array_occupancy=report.array_occupancy,
+            kernel_seconds=dict(report.kernel_seconds),
+            schedule=report.schedule,
         )
 
     def workload_time(self, workload: Workload, scheduler: str = "adaptive") -> CogSysReport:

@@ -19,16 +19,19 @@ Two families of baseline are modelled, matching the paper's comparisons:
 from __future__ import annotations
 
 import abc
+import warnings
 from dataclasses import dataclass, field
 
-from repro.errors import HardwareConfigError
+from repro.backends.base import SymbolicFractionMixin
+from repro.errors import BackendError
 from repro.hardware.systolic import SystolicArrayModel
-from repro.workloads.base import KernelKind, KernelOp, Stage, Workload
+from repro.workloads.base import KernelKind, KernelOp, Workload
 
 __all__ = [
     "DeviceReport",
     "DeviceModel",
     "DeviceSpec",
+    "AcceleratorSpec",
     "GenericDevice",
     "SystolicAcceleratorDevice",
     "DEVICE_SPECS",
@@ -40,8 +43,14 @@ ELEMENT_BYTES = 4
 
 
 @dataclass(frozen=True)
-class DeviceReport:
-    """Per-workload timing summary for one device."""
+class DeviceReport(SymbolicFractionMixin):
+    """Per-workload timing summary for one device.
+
+    Deprecated shim over :class:`repro.backends.base.ExecutionReport` —
+    sequential device models never overlap stages, so the shared
+    stage-summed ``symbolic_fraction`` equals the historical
+    ``symbolic_seconds / total_seconds`` definition exactly.
+    """
 
     device: str
     workload: str
@@ -50,11 +59,6 @@ class DeviceReport:
     symbolic_seconds: float
     kernel_seconds: dict[str, float] = field(default_factory=dict)
     energy_joules: float = 0.0
-
-    @property
-    def symbolic_fraction(self) -> float:
-        """Fraction of runtime spent in symbolic kernels."""
-        return self.symbolic_seconds / self.total_seconds if self.total_seconds else 0.0
 
 
 class DeviceModel(abc.ABC):
@@ -68,26 +72,24 @@ class DeviceModel(abc.ABC):
         """Execution time of one kernel in seconds."""
 
     def workload_time(self, workload: Workload) -> DeviceReport:
-        """Execute the workload's kernels sequentially (no overlap)."""
-        kernel_seconds: dict[str, float] = {}
-        neural = 0.0
-        symbolic = 0.0
-        for kernel in workload.topological_order():
-            seconds = self.kernel_time(kernel)
-            kernel_seconds[kernel.name] = seconds
-            if kernel.stage is Stage.NEURAL:
-                neural += seconds
-            else:
-                symbolic += seconds
-        total = neural + symbolic
+        """Execute the workload's kernels sequentially (no overlap).
+
+        Deprecated shim: the sequential sweep lives in
+        :class:`repro.backends.devices.DeviceBackend`; this method only
+        repackages its :class:`~repro.backends.base.ExecutionReport` into
+        the legacy :class:`DeviceReport` shape.
+        """
+        from repro.backends.devices import DeviceBackend
+
+        report = DeviceBackend(self).execute(workload)
         return DeviceReport(
             device=self.name,
-            workload=workload.name,
-            total_seconds=total,
-            neural_seconds=neural,
-            symbolic_seconds=symbolic,
-            kernel_seconds=kernel_seconds,
-            energy_joules=total * self.power_watts,
+            workload=report.workload,
+            total_seconds=report.total_seconds,
+            neural_seconds=report.neural_seconds,
+            symbolic_seconds=report.symbolic_seconds,
+            kernel_seconds=dict(report.kernel_seconds),
+            energy_joules=report.energy_joules,
         )
 
 
@@ -350,10 +352,29 @@ class SystolicAcceleratorDevice(DeviceModel):
 
 
 def make_device(name: str) -> DeviceModel:
-    """Instantiate a baseline device model by name."""
-    if name in DEVICE_SPECS:
-        return GenericDevice(DEVICE_SPECS[name])
-    if name in ACCELERATOR_SPECS:
-        return SystolicAcceleratorDevice(ACCELERATOR_SPECS[name])
-    known = sorted(DEVICE_SPECS) + sorted(ACCELERATOR_SPECS)
-    raise HardwareConfigError(f"unknown device '{name}'; known devices: {known}")
+    """Deprecated: instantiate a baseline device model by name.
+
+    Thin shim over the backend registry — resolve names with
+    :func:`repro.backends.get_backend` instead, which also covers the
+    CogSys backends behind the same protocol.  Unknown names raise the
+    registry's typed :class:`~repro.errors.BackendError` (a
+    ``HardwareConfigError`` subclass, so legacy ``except`` clauses still
+    catch it).
+    """
+    warnings.warn(
+        "make_device() is deprecated; resolve backends by name via "
+        "repro.backends.get_backend() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.backends.devices import DeviceBackend
+    from repro.backends.registry import get_backend
+
+    backend = get_backend(name)
+    if not isinstance(backend, DeviceBackend):
+        raise BackendError(
+            f"backend '{name}' is not a baseline device model; use "
+            "repro.backends.get_backend() to drive it through the unified "
+            "protocol"
+        )
+    return backend.model

@@ -5,7 +5,9 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
-from repro.hardware.baselines import DeviceModel, GenericDevice
+from repro.backends.base import Backend
+from repro.errors import BackendError
+from repro.hardware.baselines import GenericDevice
 from repro.hardware.roofline import Roofline, RooflinePoint
 from repro.workloads.base import KernelKind, Stage, Workload
 
@@ -107,9 +109,23 @@ class MemoryFootprint:
         return self.codebook_bytes / self.total_bytes if self.total_bytes else 0.0
 
 
-def runtime_breakdown(workload: Workload, device: DeviceModel) -> RuntimeBreakdown:
-    """Fig. 4a/4b: neural vs symbolic runtime of a workload on a device."""
-    report = device.workload_time(workload)
+def _as_backend(device) -> Backend:
+    """Accept a Backend or (legacy call shape) a bare device model."""
+    if isinstance(device, Backend):
+        return device
+    from repro.backends.devices import DeviceBackend
+    from repro.hardware.baselines import DeviceModel
+
+    if isinstance(device, DeviceModel):
+        return DeviceBackend(device)
+    raise BackendError(
+        f"expected a backend or baseline device model, got {type(device).__name__}"
+    )
+
+
+def runtime_breakdown(workload: Workload, device: Backend) -> RuntimeBreakdown:
+    """Fig. 4a/4b: neural vs symbolic runtime of a workload on a backend."""
+    report = _as_backend(device).execute(workload)
     return RuntimeBreakdown(
         workload=workload.name,
         device=device.name,
@@ -121,7 +137,7 @@ def runtime_breakdown(workload: Workload, device: DeviceModel) -> RuntimeBreakdo
 
 def task_size_scaling(
     builder: Callable[..., Workload],
-    device: DeviceModel,
+    device: Backend,
     grid_sizes: Sequence[int] = (2, 3),
     **builder_kwargs,
 ) -> list[RuntimeBreakdown]:
@@ -149,8 +165,24 @@ def _stage_traffic_on_device(workload: Workload, device: GenericDevice, stage: S
     )
 
 
-def roofline_points(workload: Workload, device: GenericDevice) -> dict[str, RooflinePoint]:
-    """Fig. 5: place the neural and symbolic stages on the device's roofline."""
+def roofline_points(workload: Workload, device: Backend) -> dict[str, RooflinePoint]:
+    """Fig. 5: place the neural and symbolic stages on the device's roofline.
+
+    Only meaningful for roofline-style :class:`GenericDevice` models (peak
+    FLOPs and DRAM bandwidth are spec fields there), passed either bare or
+    wrapped in a backend; cycle-model backends have no single roofline.
+    """
+    model = (
+        device
+        if isinstance(device, GenericDevice)
+        else getattr(device, "model", None)
+    )
+    if not isinstance(model, GenericDevice):
+        raise BackendError(
+            f"roofline placement needs a roofline device backend, got "
+            f"'{getattr(device, 'name', device)}'"
+        )
+    device = model
     roofline = Roofline(
         name=device.name,
         peak_flops=device.spec.peak_flops,
@@ -167,14 +199,14 @@ def roofline_points(workload: Workload, device: GenericDevice) -> dict[str, Roof
 
 
 def symbolic_operation_breakdown(
-    workload: Workload, device: DeviceModel
+    workload: Workload, device: Backend
 ) -> dict[str, float]:
     """Fig. 6: share of symbolic runtime per kernel kind.
 
     The paper reports that vector-symbolic circular convolution plus
     vector-vector multiplication dominate (~80 %) the symbolic stage.
     """
-    report = device.workload_time(workload)
+    report = _as_backend(device).execute(workload)
     totals: dict[str, float] = {kind.value: 0.0 for kind in KernelKind}
     symbolic_total = 0.0
     for kernel in workload.by_stage(Stage.SYMBOLIC):

@@ -9,8 +9,9 @@ deterministic discrete-event simulator over the cycle-level
   bursty MMPP, trace replay) over the four registered workloads,
 * :mod:`~repro.serving.batching` — batching policies that amortize
   per-kernel dispatch across same-workload requests,
-* :mod:`~repro.serving.fleet` — multi-chip fleets with routing policies
-  and memoized per-``(workload, batch)`` accelerator reports,
+* :mod:`~repro.serving.fleet` — multi-chip (optionally heterogeneous)
+  fleets with routing policies and shared per-``(workload, batch)``
+  backend report caches,
 * :mod:`~repro.serving.simulator` — the heapq event loop producing
   per-request latency traces, utilization and energy,
 * :mod:`~repro.serving.metrics` — tail latency, goodput under SLO and
@@ -33,15 +34,18 @@ from repro.serving.fleet import (
     ROUTERS,
     AcceleratorServiceModel,
     Fleet,
+    FleetServiceModel,
     JoinShortestQueueRouter,
     RoundRobinRouter,
     Router,
+    SymbolicAffinityRouter,
     WorkloadAffinityRouter,
     build_router,
 )
 from repro.serving.metrics import (
     goodput,
     latency_summary,
+    per_backend_summary,
     per_workload_summary,
     percentile,
     queueing_summary,
@@ -77,10 +81,12 @@ __all__ = [
     "BATCHING_POLICIES",
     "build_policy",
     "AcceleratorServiceModel",
+    "FleetServiceModel",
     "Router",
     "RoundRobinRouter",
     "JoinShortestQueueRouter",
     "WorkloadAffinityRouter",
+    "SymbolicAffinityRouter",
     "ROUTERS",
     "build_router",
     "Fleet",
@@ -93,6 +99,7 @@ __all__ = [
     "goodput",
     "summarize_result",
     "per_workload_summary",
+    "per_backend_summary",
     "saturation_summary",
     "Scenario",
     "SCENARIOS",

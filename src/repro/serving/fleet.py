@@ -1,12 +1,14 @@
-"""Multi-chip fleet model: per-chip service times and routing policies.
+"""Multi-chip fleet model: per-chip backends, service times and routing.
 
-Each chip in the fleet is one CogSys accelerator; its service time for a
-batch of ``b`` same-workload requests is the end-to-end latency the
-cycle-level :class:`~repro.hardware.accelerator.CogSysAccelerator` model
-reports for the ``num_tasks=b`` variant of that workload.  Reports are
-memoized per ``(workload, batch size)`` — the expensive part is building
-the kernel graph and scheduling it once; afterwards the discrete-event loop
-only does dictionary lookups, which is what keeps full load sweeps fast.
+Each chip in the fleet is one *backend* — a CogSys accelerator by default,
+but any registry name (``"a100"``, ``"tpu_like"``, an ablated CogSys
+variant) works, and a fleet may mix them.  A chip's service time for a
+batch of ``b`` same-workload requests is the end-to-end latency its
+backend reports for the ``num_tasks=b`` variant of that workload; reports
+are memoized per ``(workload, batch size)`` in a shared
+:class:`~repro.backends.cache.ExecutionCache` per distinct backend — the
+expensive part is building the kernel graph and scheduling it once, so the
+discrete-event loop only does dictionary lookups.
 
 Routing policies place an arriving request on a chip:
 
@@ -17,76 +19,82 @@ Routing policies place an arriving request on a chip:
   a request only goes to chips owning its workload (least-loaded among
   them).  Affinity keeps per-chip batches homogeneous, which is what the
   same-workload batching amortization needs.
+* :class:`SymbolicAffinityRouter` — heterogeneous-fleet affinity: requests
+  for symbolic-heavy workloads go to chips whose backend has native
+  symbolic support (the CogSys family), neural-heavy workloads to the
+  rest, least-loaded within each pool.
 """
 
 from __future__ import annotations
 
-from collections.abc import Mapping, Sequence
+import warnings
+from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field
 from typing import Protocol
 
-from repro.errors import ServingError
-from repro.hardware.accelerator import CogSysAccelerator, CogSysReport
+from repro.backends.cache import ExecutionCache
+from repro.backends.cogsys import CogSysBackend
+from repro.backends.registry import backend_names, get_backend, is_symbolic_friendly
+from repro.errors import BackendError, ServingError
 from repro.serving.traffic import Request
-from repro.workloads.registry import build_workload
 
 __all__ = [
     "AcceleratorServiceModel",
+    "FleetServiceModel",
     "ChipView",
     "Router",
     "RoundRobinRouter",
     "JoinShortestQueueRouter",
     "WorkloadAffinityRouter",
+    "SymbolicAffinityRouter",
     "ROUTERS",
     "build_router",
     "Fleet",
 ]
 
+#: backend every chip runs when a fleet does not say otherwise
+DEFAULT_BACKEND = "cogsys"
 
-class AcceleratorServiceModel:
-    """Memoized ``(workload, batch size) -> CogSysReport`` service-time oracle."""
+
+class AcceleratorServiceModel(ExecutionCache):
+    """Deprecated: memoized CogSys-only service model.
+
+    Thin shim over :class:`~repro.backends.cache.ExecutionCache` pinned to
+    the CogSys backend; new code should build an ``ExecutionCache`` (any
+    backend) or a :class:`FleetServiceModel` (per-chip backends) directly.
+    """
 
     def __init__(
         self,
-        accelerator: CogSysAccelerator | None = None,
+        accelerator=None,
         scheduler: str = "adaptive",
         workload_params: Mapping[str, Mapping[str, object]] | None = None,
     ) -> None:
-        self.accelerator = accelerator or CogSysAccelerator()
-        self.scheduler = scheduler
-        self.workload_params = {
-            name: dict(params) for name, params in (workload_params or {}).items()
-        }
-        self._reports: dict[tuple[str, int], CogSysReport] = {}
-
-    def report(self, workload: str, batch_size: int) -> CogSysReport:
-        """The accelerator report for a batch, computed once and memoized."""
-        if batch_size < 1:
-            raise ServingError(f"batch_size must be positive, got {batch_size}")
-        key = (workload, batch_size)
-        if key not in self._reports:
-            graph = build_workload(
-                workload,
-                num_tasks=batch_size,
-                **self.workload_params.get(workload, {}),
-            )
-            self._reports[key] = self.accelerator.simulate(
-                graph, scheduler=self.scheduler
-            )
-        return self._reports[key]
-
-    def service_seconds(self, workload: str, batch_size: int) -> float:
-        """Chip-occupancy seconds for one batch."""
-        return self.report(workload, batch_size).total_seconds
-
-    def energy_joules(self, workload: str, batch_size: int) -> float:
-        """Energy one batch costs on the chip."""
-        return self.report(workload, batch_size).energy_joules
+        warnings.warn(
+            "AcceleratorServiceModel is deprecated; use "
+            "repro.backends.ExecutionCache (single backend) or "
+            "repro.serving.fleet.FleetServiceModel (per-chip backends)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        backend = (
+            CogSysBackend(accelerator) if accelerator is not None else DEFAULT_BACKEND
+        )
+        super().__init__(
+            backend=backend, scheduler=scheduler, workload_params=workload_params
+        )
 
     @property
-    def cached_reports(self) -> int:
-        """Number of distinct ``(workload, batch)`` simulations performed."""
-        return len(self._reports)
+    def accelerator(self):
+        """The wrapped cycle model (legacy attribute)."""
+        return self.backend.accelerator
+
+    def report(self, workload, batch_size):
+        """Legacy error contract: invalid requests raise ServingError."""
+        try:
+            return super().report(workload, batch_size)
+        except BackendError as error:
+            raise ServingError(str(error)) from None
 
 
 class ChipView(Protocol):
@@ -173,13 +181,81 @@ class WorkloadAffinityRouter(Router):
         return min(candidates, key=lambda chip: (_pending(chip), chip.chip_id)).chip_id
 
 
+class SymbolicAffinityRouter(Router):
+    """Heterogeneous-fleet affinity keyed on native symbolic support.
+
+    Chips whose backend exposes the reconfigurable symbolic mode (the
+    CogSys family) form the *symbolic pool*; every other chip the *neural
+    pool*.  A workload whose batch-1 report spends at least ``threshold``
+    of its stage-summed runtime in symbolic kernels owns the symbolic
+    pool, the rest own the neural pool; an empty pool falls back to the
+    whole fleet, so homogeneous fleets degrade to join-shortest-queue.
+    """
+
+    name = "symbolic_affinity"
+
+    def __init__(
+        self,
+        chip_backends: Sequence[str],
+        workloads: Sequence[str],
+        symbolic_fraction_of: Callable[[str], float],
+        threshold: float = 0.5,
+    ) -> None:
+        if not chip_backends:
+            raise ServingError("symbolic-affinity router needs at least one chip")
+        if not workloads:
+            raise ServingError("symbolic-affinity router needs at least one workload")
+        if not 0.0 <= threshold <= 1.0:
+            raise ServingError(f"threshold must be in [0, 1], got {threshold}")
+        every_chip = tuple(range(len(chip_backends)))
+        symbolic_pool = tuple(
+            chip
+            for chip, backend in enumerate(chip_backends)
+            if is_symbolic_friendly(backend)
+        )
+        neural_pool = tuple(
+            chip for chip in every_chip if chip not in symbolic_pool
+        )
+        self.symbolic_pool = symbolic_pool or every_chip
+        self.neural_pool = neural_pool or every_chip
+        self.owners: dict[str, tuple[int, ...]] = {}
+        self.workload_symbolic_fraction: dict[str, float] = {}
+        for name in sorted(set(workloads)):
+            fraction = symbolic_fraction_of(name)
+            self.workload_symbolic_fraction[name] = fraction
+            self.owners[name] = (
+                self.symbolic_pool if fraction >= threshold else self.neural_pool
+            )
+
+    def route(self, request, chips):
+        owners = self.owners.get(request.workload)
+        if owners is None:
+            raise ServingError(
+                "symbolic-affinity router has no pool for workload "
+                f"'{request.workload}'"
+            )
+        candidates = [chips[chip_id] for chip_id in owners]
+        return min(candidates, key=lambda chip: (_pending(chip), chip.chip_id)).chip_id
+
+
 #: names accepted by :func:`build_router`
 ROUTERS: frozenset[str] = frozenset(
-    {RoundRobinRouter.name, JoinShortestQueueRouter.name, WorkloadAffinityRouter.name}
+    {
+        RoundRobinRouter.name,
+        JoinShortestQueueRouter.name,
+        WorkloadAffinityRouter.name,
+        SymbolicAffinityRouter.name,
+    }
 )
 
 
-def build_router(name: str, num_chips: int, workloads: Sequence[str]) -> Router:
+def build_router(
+    name: str,
+    num_chips: int,
+    workloads: Sequence[str],
+    chip_backends: Sequence[str] | None = None,
+    symbolic_fraction_of: Callable[[str], float] | None = None,
+) -> Router:
     """Instantiate a routing policy by registry name."""
     if name == RoundRobinRouter.name:
         return RoundRobinRouter()
@@ -187,16 +263,30 @@ def build_router(name: str, num_chips: int, workloads: Sequence[str]) -> Router:
         return JoinShortestQueueRouter()
     if name == WorkloadAffinityRouter.name:
         return WorkloadAffinityRouter(num_chips, workloads)
+    if name == SymbolicAffinityRouter.name:
+        if chip_backends is None or symbolic_fraction_of is None:
+            raise ServingError(
+                "symbolic_affinity routing needs per-chip backends and a "
+                "symbolic-fraction oracle (run it through ServingSimulator)"
+            )
+        return SymbolicAffinityRouter(chip_backends, workloads, symbolic_fraction_of)
     raise ServingError(f"unknown router '{name}'; known: {sorted(ROUTERS)}")
 
 
 @dataclass(frozen=True)
 class Fleet:
-    """Static description of a serving fleet."""
+    """Static description of a serving fleet.
+
+    ``backends`` names the backend of each chip: empty means every chip is
+    a CogSys accelerator; fewer names than chips are cycled round-robin
+    (``("cogsys", "a100")`` on four chips alternates them); more names than
+    chips are rejected rather than silently truncated.
+    """
 
     num_chips: int = 1
     router: str = RoundRobinRouter.name
     workloads: tuple[str, ...] = field(default_factory=tuple)
+    backends: tuple[str, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
         if self.num_chips < 1:
@@ -205,8 +295,137 @@ class Fleet:
             raise ServingError(
                 f"unknown router '{self.router}'; known: {sorted(ROUTERS)}"
             )
+        if len(self.backends) > self.num_chips:
+            raise ServingError(
+                f"{len(self.backends)} backends for {self.num_chips} chip(s); "
+                "backend names must not outnumber the fleet"
+            )
+        if self.backends:
+            # Registry lookup only when backends are actually named, so the
+            # default homogeneous fleet never pays for registry init.
+            known = backend_names()
+            for backend in self.backends:
+                if backend not in known:
+                    raise BackendError(
+                        f"unknown backend '{backend}' in fleet; known "
+                        f"backends: {list(known)}"
+                    )
 
-    def make_router(self, workloads: Sequence[str]) -> Router:
+    @property
+    def chip_backends(self) -> tuple[str, ...]:
+        """Backend name of every chip (cycled when fewer names are given)."""
+        if not self.backends:
+            return (DEFAULT_BACKEND,) * self.num_chips
+        return tuple(
+            self.backends[chip % len(self.backends)] for chip in range(self.num_chips)
+        )
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        """Whether the fleet mixes more than one backend."""
+        return len(set(self.chip_backends)) > 1
+
+    @property
+    def reference_chip(self) -> int:
+        """Chip whose backend measures per-workload symbolic *demand*.
+
+        Symbolic demand is only visible on a baseline backend — the CogSys
+        family accelerates symbolic kernels so much that their share of
+        runtime collapses — so the first chip *without* native symbolic
+        support is the reference, falling back to chip 0 on all-CogSys
+        fleets (where affinity pools degenerate to the whole fleet anyway).
+        """
+        for chip, backend in enumerate(self.chip_backends):
+            if not is_symbolic_friendly(backend):
+                return chip
+        return 0
+
+    def make_router(
+        self,
+        workloads: Sequence[str],
+        symbolic_fraction_of: Callable[[str], float] | None = None,
+    ) -> Router:
         """Build this fleet's router over the workload set actually served."""
         names = tuple(self.workloads) or tuple(workloads)
-        return build_router(self.router, self.num_chips, names)
+        return build_router(
+            self.router,
+            self.num_chips,
+            names,
+            chip_backends=self.chip_backends,
+            symbolic_fraction_of=symbolic_fraction_of,
+        )
+
+
+class FleetServiceModel:
+    """Per-chip service-time oracle for (possibly heterogeneous) fleets.
+
+    Chips sharing a backend share one
+    :class:`~repro.backends.cache.ExecutionCache`, so a fleet of eight
+    CogSys chips still simulates each ``(workload, batch)`` point exactly
+    once.  ``scheduler`` is applied per backend where supported (e.g.
+    ``"sequential"`` pins the CogSys chips while the device chips — which
+    only know sequential execution — are unaffected); backends that do not
+    know it keep their default, and a scheduler no fleet backend supports
+    is rejected at construction.
+    """
+
+    def __init__(
+        self,
+        fleet: Fleet | None = None,
+        scheduler: str | None = None,
+        workload_params: Mapping[str, Mapping[str, object]] | None = None,
+    ) -> None:
+        self.fleet = fleet or Fleet()
+        self.chip_backends = self.fleet.chip_backends
+        self._caches: dict[str, ExecutionCache] = {}
+        for name in self.chip_backends:
+            if name not in self._caches:
+                backend = get_backend(name)
+                supported = scheduler is not None and backend.supports_scheduler(
+                    scheduler
+                )
+                self._caches[name] = ExecutionCache(
+                    backend=backend,
+                    scheduler=scheduler if supported else None,
+                    workload_params=workload_params,
+                )
+        if scheduler is not None and all(
+            cache.scheduler != scheduler for cache in self._caches.values()
+        ):
+            raise BackendError(
+                f"no backend in the fleet supports scheduler '{scheduler}'; "
+                f"fleet backends: {sorted(self._caches)}"
+            )
+
+    @property
+    def num_chips(self) -> int:
+        """Chips this model answers for."""
+        return len(self.chip_backends)
+
+    def for_chip(self, chip_id: int) -> ExecutionCache:
+        """The execution cache serving ``chip_id``."""
+        if not 0 <= chip_id < self.num_chips:
+            raise ServingError(
+                f"chip {chip_id} outside the {self.num_chips}-chip fleet"
+            )
+        return self._caches[self.chip_backends[chip_id]]
+
+    def service_seconds(self, workload: str, batch_size: int, chip_id: int = 0) -> float:
+        """Chip-occupancy seconds for one batch on ``chip_id``."""
+        return self.for_chip(chip_id).service_seconds(workload, batch_size)
+
+    def energy_joules(self, workload: str, batch_size: int, chip_id: int = 0) -> float:
+        """Energy one batch costs on ``chip_id``."""
+        return self.for_chip(chip_id).energy_joules(workload, batch_size)
+
+    @property
+    def scheduler(self) -> str:
+        """Resolved scheduler(s), ``+``-joined when backends differ."""
+        return "+".join(
+            sorted({cache.scheduler for cache in self._caches.values()})
+        )
+
+    @property
+    def cached_reports(self) -> int:
+        """Distinct ``(workload, batch)`` executions across all backends."""
+        return sum(cache.cached_reports for cache in self._caches.values())

@@ -15,6 +15,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.errors import ServingError
+from repro.serving.fleet import DEFAULT_BACKEND
 from repro.serving.simulator import RequestRecord, ServingResult
 
 __all__ = [
@@ -24,6 +25,7 @@ __all__ = [
     "goodput",
     "summarize_result",
     "per_workload_summary",
+    "per_backend_summary",
     "saturation_summary",
 ]
 
@@ -124,6 +126,79 @@ def per_workload_summary(result: ServingResult, slo_s: float) -> list[dict]:
             }
         )
     return rows
+
+
+def per_backend_summary(result: ServingResult, slo_s: float) -> list[dict]:
+    """Utilization/latency/goodput rows broken down by chip backend.
+
+    The key observability surface of heterogeneous fleets: one row per
+    distinct backend (sorted by name), aggregating its chips.  Backends
+    whose chips served nothing still get a row — an idle pool is exactly
+    what affinity-routing debugging needs to see — with zeroed latency
+    fields.
+    """
+    backends = result.chip_backends or (DEFAULT_BACKEND,) * result.num_chips
+    chips_by_backend: dict[str, list[int]] = {}
+    for chip, backend in enumerate(backends):
+        chips_by_backend.setdefault(backend, []).append(chip)
+    records_by_chip: dict[int, list[RequestRecord]] = {}
+    for record in result.records:
+        records_by_chip.setdefault(record.chip, []).append(record)
+    rows = []
+    for backend in sorted(chips_by_backend):
+        chips = chips_by_backend[backend]
+        records = [
+            record for chip in chips for record in records_by_chip.get(chip, [])
+        ]
+        busy_s = sum(result.chip_busy_s[chip] for chip in chips)
+        utilization = (
+            min(1.0, busy_s / (result.span_s * len(chips)))
+            if result.span_s > 0
+            else 0.0
+        )
+        row = {
+            "backend": backend,
+            "chips": len(chips),
+            "requests": len(records),
+            "request_share": round(len(records) / result.num_requests, 4)
+            if result.num_requests
+            else 0.0,
+            "utilization": round(utilization, 4),
+        }
+        if records:
+            latency = latency_summary(records)
+            latency.pop("count")
+            row.update(latency)
+            row.update(goodput(records, slo_s, result.span_s))
+        else:
+            row.update(_zeroed_latency_goodput(slo_s))
+        rows.append(row)
+    return rows
+
+
+def _zeroed_latency_goodput(slo_s: float) -> dict:
+    """Zero-valued latency/goodput fields for a backend that served nothing.
+
+    Built by running the real summary functions on a synthetic record so
+    the key set can never drift from the served-backend rows.
+    """
+    placeholder = RequestRecord(
+        request_id=-1,
+        workload="",
+        chip=-1,
+        arrival_s=0.0,
+        dispatch_s=0.0,
+        finish_s=0.0,
+        batch_size=0,
+    )
+    template = {
+        **latency_summary([placeholder]),
+        **goodput([placeholder], slo_s, 0.0),
+    }
+    template.pop("count")
+    zeroed = {key: 0.0 for key in template}
+    zeroed["slo_ms"] = template["slo_ms"]
+    return zeroed
 
 
 def saturation_summary(

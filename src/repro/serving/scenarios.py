@@ -21,12 +21,12 @@ at ``load_scale=1.0``.
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
 from repro.errors import ServingError
 from repro.serving.batching import build_policy
-from repro.serving.fleet import AcceleratorServiceModel, Fleet
+from repro.serving.fleet import Fleet
 from repro.serving.simulator import ServingResult, ServingSimulator
 from repro.serving.traffic import (
     MMPPArrivals,
@@ -158,25 +158,42 @@ def run_scenario(
     num_chips: int | None = None,
     router: str | None = None,
     policy: str | None = None,
-    service_model: AcceleratorServiceModel | None = None,
+    service_model=None,
+    backends: Sequence[str] | None = None,
 ) -> tuple[Scenario, ServingResult]:
-    """Execute one scenario preset (with optional overrides) end to end."""
+    """Execute one scenario preset (with optional overrides) end to end.
+
+    ``backends`` names the per-chip backends (cycled across the fleet);
+    when given without ``num_chips`` the fleet grows to one chip per name.
+    A caller-supplied ``service_model`` must match the resulting fleet —
+    heterogeneous fleets build their own per-chip model when it is None.
+    """
     if load_scale <= 0 or duration_scale <= 0:
         raise ServingError("load_scale and duration_scale must be positive")
     scenario = get_scenario(name)
+    # Validate the fleet and policy overrides before paying for traffic
+    # generation, so bad --backend/--router input fails fast.
+    backend_tuple = tuple(backends or ())
+    if num_chips is not None:
+        chips = num_chips
+    elif backend_tuple:
+        chips = len(backend_tuple)
+    else:
+        chips = scenario.num_chips
+    fleet = Fleet(
+        num_chips=chips,
+        router=router if router is not None else scenario.router,
+        backends=backend_tuple,
+    )
+    batching = build_policy(policy if policy is not None else scenario.policy)
     requests = scenario.traffic(seed, load_scale, duration_scale)
     if not requests:
         raise ServingError(
             f"scenario '{name}' generated no requests "
             f"(seed={seed}, load_scale={load_scale}, duration_scale={duration_scale})"
         )
-    fleet = Fleet(
-        num_chips=num_chips if num_chips is not None else scenario.num_chips,
-        router=router if router is not None else scenario.router,
-    )
-    batching = build_policy(policy if policy is not None else scenario.policy)
     simulator = ServingSimulator(
-        service_model=service_model or AcceleratorServiceModel(),
+        service_model=service_model,
         fleet=fleet,
         batching_policy=batching,
     )

@@ -1,12 +1,13 @@
 """Discrete-event core of the request-level serving simulator.
 
 The simulator advances a heap of timestamped events — request arrivals,
-chip completions and batching wake-ups — over a fleet of CogSys chips.
-Three pluggable pieces define a run:
+chip completions and batching wake-ups — over a fleet of backend chips
+(all CogSys by default, or any mix of registry backends).  Three pluggable
+pieces define a run:
 
 * the request stream (:mod:`repro.serving.traffic`),
 * the batching policy (:mod:`repro.serving.batching`),
-* the fleet: chip count, routing policy and the memoized accelerator
+* the fleet: per-chip backends, routing policy and the memoized
   service-time model (:mod:`repro.serving.fleet`).
 
 Determinism: the event heap is ordered by ``(time, kind, sequence)`` with a
@@ -25,7 +26,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import ServingError
 from repro.serving.batching import Batch, BatchingPolicy, NoBatching
-from repro.serving.fleet import AcceleratorServiceModel, Fleet
+from repro.serving.fleet import Fleet, FleetServiceModel
 from repro.serving.traffic import Request
 
 __all__ = ["RequestRecord", "ServingResult", "ServingSimulator"]
@@ -76,6 +77,8 @@ class ServingResult:
     num_batches: int
     horizon_s: float
     first_arrival_s: float = 0.0
+    #: backend name of every chip (empty for legacy constructions)
+    chip_backends: tuple[str, ...] = ()
     provenance: dict = field(default_factory=dict)
 
     @property
@@ -130,17 +133,42 @@ class _Chip:
 
 
 class ServingSimulator:
-    """Run request streams against a fleet of CogSys chips."""
+    """Run request streams against a fleet of backend chips."""
 
     def __init__(
         self,
-        service_model: AcceleratorServiceModel | None = None,
+        service_model=None,
         fleet: Fleet | None = None,
         batching_policy: BatchingPolicy | None = None,
     ) -> None:
-        self.service_model = service_model or AcceleratorServiceModel()
         self.fleet = fleet or Fleet()
+        self.service_model = service_model or FleetServiceModel(fleet=self.fleet)
         self.batching_policy = batching_policy or NoBatching()
+
+    def _chip_models(self) -> list:
+        """Per-chip service oracles, validated against the fleet shape."""
+        model = self.service_model
+        if isinstance(model, FleetServiceModel):
+            if model.chip_backends != self.fleet.chip_backends:
+                raise ServingError(
+                    "service model backends "
+                    f"{list(model.chip_backends)} do not match the fleet's "
+                    f"{list(self.fleet.chip_backends)}"
+                )
+            return [model.for_chip(chip) for chip in range(self.fleet.num_chips)]
+        if self.fleet.is_heterogeneous:
+            raise ServingError(
+                "a heterogeneous fleet needs a FleetServiceModel (or pass "
+                "service_model=None to build one from the fleet)"
+            )
+        model_backend = getattr(model, "backend_name", None)
+        fleet_backend = self.fleet.chip_backends[0]
+        if model_backend is not None and model_backend != fleet_backend:
+            raise ServingError(
+                f"service model answers for backend '{model_backend}' but the "
+                f"fleet's chips are '{fleet_backend}'"
+            )
+        return [model] * self.fleet.num_chips
 
     def run(self, requests: Sequence[Request]) -> ServingResult:
         """Simulate ``requests`` to completion and return the full trace."""
@@ -151,8 +179,28 @@ class ServingSimulator:
         if len(set(ids)) != len(ids):
             raise ServingError("request stream contains duplicate request ids")
 
+        chip_models = self._chip_models()
         workloads = tuple(sorted({request.workload for request in stream}))
-        router = self.fleet.make_router(workloads)
+
+        def symbolic_fraction_of(workload: str) -> float:
+            """Batch-1 symbolic share on the fleet's reference (baseline) backend.
+
+            Resolved lazily: only symbolic-affinity routing calls this, so
+            other routers never touch the backend registry.
+            """
+            reference_model = chip_models[self.fleet.reference_chip]
+            report = getattr(reference_model, "report", None)
+            if report is None:
+                raise ServingError(
+                    "symbolic_affinity routing needs a service model that "
+                    "exposes report() (ExecutionCache or FleetServiceModel), "
+                    f"got {type(reference_model).__name__}"
+                )
+            return report(workload, 1).symbolic_fraction
+
+        router = self.fleet.make_router(
+            workloads, symbolic_fraction_of=symbolic_fraction_of
+        )
         chips = [_Chip(chip_id) for chip_id in range(self.fleet.num_chips)]
         records: list[RequestRecord] = []
         energy = 0.0
@@ -196,9 +244,10 @@ class ServingSimulator:
             chosen = set(id(request) for request in batch.requests)
             chip.queue = [r for r in chip.queue if id(r) not in chosen]
             workload = batch.workload
-            service = self.service_model.service_seconds(workload, batch.size)
+            model = chip_models[chip.chip_id]
+            service = model.service_seconds(workload, batch.size)
             finish = now + service
-            energy += self.service_model.energy_joules(workload, batch.size)
+            energy += model.energy_joules(workload, batch.size)
             batches += 1
             chip.busy = True
             chip.inflight = batch.size
@@ -257,6 +306,7 @@ class ServingSimulator:
                 f"simulation lost requests: {len(records)} served of {len(stream)}"
             )
         records.sort(key=lambda record: record.request_id)
+        chip_backends = self.fleet.chip_backends
         return ServingResult(
             records=tuple(records),
             num_chips=self.fleet.num_chips,
@@ -266,10 +316,12 @@ class ServingSimulator:
             num_batches=batches,
             horizon_s=horizon,
             first_arrival_s=stream[0].arrival_s,
+            chip_backends=chip_backends,
             provenance={
                 "num_requests": len(stream),
                 "num_chips": self.fleet.num_chips,
                 "router": self.fleet.router,
+                "backends": list(dict.fromkeys(chip_backends)),
                 "batching_policy": self.batching_policy.name,
                 "scheduler": self.service_model.scheduler,
                 "cached_reports": self.service_model.cached_reports,

@@ -204,8 +204,36 @@ class TestServe:
         assert main(["serve", "--smoke", "--cache-dir", str(tmp_path)]) == 0
         out = capsys.readouterr().out
         for title_fragment in ("latency vs offered load", "batching policy",
-                               "fleet scaling", "scenario SLO"):
+                               "fleet scaling", "scenario SLO",
+                               "heterogeneous CogSys"):
             assert title_fragment in out
+
+    def test_heterogeneous_backend_override(self, capsys):
+        assert main([
+            "serve", "mixed_workload", "--duration-scale", "0.05",
+            "--backend", "cogsys, cogsys", "--backend", " a100",
+            "--router", "symbolic_affinity", "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["provenance"]["num_chips"] == 3
+        assert payload["provenance"]["backends"] == ["cogsys", "a100"]
+        assert {row["backend"] for row in payload["per_backend"]} == {
+            "cogsys", "a100",
+        }
+
+    def test_unknown_backend_is_a_clean_error(self, capsys):
+        assert main(["serve", "steady", "--backend", "warp_drive"]) == 2
+        assert "unknown backend" in capsys.readouterr().err
+
+    def test_backend_flag_naming_nothing_is_a_clean_error(self, capsys):
+        assert main(["serve", "steady", "--backend", " , "]) == 2
+        assert "named no backends" in capsys.readouterr().err
+
+    def test_backend_flag_rejected_with_smoke_and_list(self, capsys):
+        assert main(["serve", "--smoke", "--backend", "a100"]) == 2
+        assert "--backend only applies" in capsys.readouterr().err
+        assert main(["serve", "--list", "--backend", "a100"]) == 2
+        assert "--backend only applies" in capsys.readouterr().err
 
     def test_smoke_json_parses_as_one_document(self, capsys, tmp_path):
         assert main([
@@ -214,7 +242,45 @@ class TestServe:
         payload = json.loads(capsys.readouterr().out)
         assert [entry["experiment"] for entry in payload] == [
             "serve_load", "serve_batch", "serve_fleet", "serve_scenarios",
+            "serve_hetero",
         ]
+
+
+class TestBackends:
+    def test_markdown_listing_is_sorted_and_complete(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("cogsys", "cogsys_no_nspe", "a100", "tpu_like", "xavier_nx"):
+            assert f"| {name} |" in out
+        assert "backends registered" in out
+        names = [line.split("|")[1].strip() for line in out.splitlines()
+                 if line.startswith("| ") and "---" not in line][1:]
+        assert names == sorted(names)
+
+    def test_json_listing(self, capsys):
+        assert main(["backends", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        by_name = {entry["name"]: entry for entry in payload}
+        assert by_name["cogsys"]["symbolic_friendly"] is True
+        assert by_name["a100"]["family"] == "device"
+        assert by_name["tpu_like"]["family"] == "ml_accelerator"
+
+    def test_describe_single_backend(self, capsys):
+        assert main(["backends", "cogsys", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "cogsys"
+        assert payload["schedulers"] == ["adaptive", "sequential"]
+        assert payload["description"]
+
+    def test_describe_markdown_joins_list_fields(self, capsys):
+        assert main(["backends", "cogsys"]) == 0
+        out = capsys.readouterr().out
+        assert "| schedulers | adaptive,sequential |" in out
+        assert "[" not in out
+
+    def test_unknown_backend_is_a_clean_error(self, capsys):
+        assert main(["backends", "warp_drive"]) == 2
+        assert "unknown backend" in capsys.readouterr().err
 
 
 class TestParamCoercion:

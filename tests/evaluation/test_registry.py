@@ -59,6 +59,29 @@ class TestRegistryCompleteness:
             get_spec("fig99")
 
 
+class TestServeHeteroSpec:
+    def test_registered_under_the_serving_tag_with_scaled_params(self):
+        spec = get_spec("serve_hetero")
+        assert "serving" in spec.tags
+        assert spec.anchor == "serving"
+        assert spec.smoke_params.get("duration_scale") == 0.2
+        assert spec.report_params.get("duration_scale") == 1.0
+        assert {"backends", "scenario", "router"} <= set(spec.param_schema)
+
+    def test_rows_carry_per_backend_utilization(self, session_cache_dir):
+        table = run(
+            get_spec("serve_hetero"),
+            use_cache=True,
+            cache_dir=session_cache_dir,
+            duration_scale=0.1,
+        )
+        backends = [row["backend"] for row in table.rows]
+        assert backends[0] == "(fleet)"
+        assert backends[1:] == sorted(backends[1:])
+        assert {"cogsys", "a100", "xavier_nx"} <= set(backends[1:])
+        assert all("utilization" in row for row in table.rows)
+
+
 class TestRegistration:
     def test_register_rejects_duplicate_id(self):
         spec = get_spec("tab04")

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.hardware import make_device
+from repro.backends import get_backend
 from repro.profiling import (
     KERNEL_PROFILE,
     memory_footprint,
@@ -22,7 +22,7 @@ def nvsa():
 
 @pytest.fixture(scope="module")
 def gpu():
-    return make_device("rtx2080ti")
+    return get_backend("rtx2080ti")
 
 
 class TestRuntimeBreakdown:
@@ -34,6 +34,15 @@ class TestRuntimeBreakdown:
     def test_task_size_scaling_grows_runtime(self, gpu):
         breakdowns = task_size_scaling(nvsa_builder, gpu, grid_sizes=(2, 3))
         assert breakdowns[1].total_seconds > breakdowns[0].total_seconds
+
+    def test_legacy_bare_device_model_still_accepted(self, nvsa, gpu):
+        # Pre-backend-layer call shape: a DeviceModel instead of a Backend.
+        legacy = runtime_breakdown(nvsa, gpu.model)
+        wrapped = runtime_breakdown(nvsa, gpu)
+        assert legacy == wrapped
+        assert symbolic_operation_breakdown(nvsa, gpu.model) == (
+            symbolic_operation_breakdown(nvsa, gpu)
+        )
 
 
 class TestMemoryFootprint:
@@ -49,6 +58,18 @@ class TestRoofline:
         points = roofline_points(nvsa, gpu)
         assert points["symbolic"].memory_bound
         assert points["neural"].arithmetic_intensity > points["symbolic"].arithmetic_intensity
+
+    def test_accepts_bare_generic_device_and_rejects_cycle_models(self, nvsa, gpu):
+        from repro.backends import get_backend
+        from repro.errors import BackendError
+
+        wrapped = roofline_points(nvsa, gpu)
+        bare = roofline_points(nvsa, gpu.model)  # legacy call shape
+        assert bare["symbolic"].arithmetic_intensity == wrapped[
+            "symbolic"
+        ].arithmetic_intensity
+        with pytest.raises(BackendError, match="roofline"):
+            roofline_points(nvsa, get_backend("cogsys"))
 
 
 class TestSymbolicBreakdown:

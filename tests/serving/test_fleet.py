@@ -4,8 +4,8 @@ from dataclasses import dataclass
 
 import pytest
 
+from repro.backends import cache as cache_module
 from repro.errors import ServingError
-from repro.serving import fleet as fleet_module
 from repro.serving.fleet import (
     AcceleratorServiceModel,
     Fleet,
@@ -32,9 +32,9 @@ def _request(workload="nvsa"):
 class TestAcceleratorServiceModel:
     def test_reports_are_memoized(self, monkeypatch):
         calls = []
-        real_build = fleet_module.build_workload
+        real_build = cache_module.build_workload
         monkeypatch.setattr(
-            fleet_module,
+            cache_module,
             "build_workload",
             lambda name, **kwargs: calls.append(name) or real_build(name, **kwargs),
         )
@@ -58,6 +58,8 @@ class TestAcceleratorServiceModel:
         assert model.energy_joules("mimonet", 2) > model.energy_joules("mimonet", 1)
 
     def test_invalid_batch_size_rejected(self):
+        # The memo cache moved into the backend layer, but the deprecated
+        # shim keeps its historical ServingError contract.
         with pytest.raises(ServingError):
             AcceleratorServiceModel().service_seconds("mimonet", 0)
 

@@ -1,0 +1,236 @@
+"""Tests for heterogeneous serving fleets and symbolic-affinity routing."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import BackendError, ServingError
+from repro.serving.batching import build_policy
+from repro.serving.fleet import (
+    Fleet,
+    FleetServiceModel,
+    SymbolicAffinityRouter,
+)
+from repro.serving.metrics import per_backend_summary
+from repro.serving.scenarios import run_scenario
+from repro.serving.simulator import ServingSimulator
+from repro.serving.traffic import PoissonArrivals, Request, WorkloadMix
+
+HETERO = ("cogsys", "cogsys", "a100", "xavier_nx")
+
+
+@dataclass
+class StubChip:
+    chip_id: int
+    busy: bool = False
+    inflight: int = 0
+    queue_depth: int = 0
+
+
+class TestFleetBackends:
+    def test_default_fleet_is_all_cogsys(self):
+        fleet = Fleet(num_chips=3)
+        assert fleet.chip_backends == ("cogsys",) * 3
+        assert not fleet.is_heterogeneous
+
+    def test_backends_cycle_across_chips(self):
+        fleet = Fleet(num_chips=4, backends=("cogsys", "a100"))
+        assert fleet.chip_backends == ("cogsys", "a100", "cogsys", "a100")
+        assert fleet.is_heterogeneous
+
+    def test_unknown_backend_rejected_with_typed_error(self):
+        with pytest.raises(BackendError, match="unknown backend"):
+            Fleet(num_chips=2, backends=("cogsys", "warp_drive"))
+
+    def test_more_backends_than_chips_rejected(self):
+        with pytest.raises(ServingError, match="must not outnumber"):
+            Fleet(num_chips=2, backends=("cogsys", "a100", "xavier_nx"))
+
+    def test_reference_chip_prefers_baseline_backends(self):
+        # Symbolic demand is only visible where symbolic is NOT accelerated.
+        assert Fleet(num_chips=4, backends=HETERO).reference_chip == 2
+        assert Fleet(num_chips=2, backends=("cogsys",)).reference_chip == 0
+
+
+class TestFleetServiceModel:
+    def test_chips_share_one_cache_per_backend(self):
+        model = FleetServiceModel(Fleet(num_chips=4, backends=HETERO))
+        assert model.for_chip(0) is model.for_chip(1)  # both cogsys
+        assert model.for_chip(2) is not model.for_chip(0)
+        assert model.for_chip(2).backend_name == "a100"
+
+    def test_chip_out_of_range_rejected(self):
+        model = FleetServiceModel(Fleet(num_chips=2))
+        with pytest.raises(ServingError, match="outside"):
+            model.for_chip(5)
+        with pytest.raises(ServingError, match="outside"):
+            model.for_chip(-1)
+
+    def test_scheduler_string_joins_distinct_backends(self):
+        assert FleetServiceModel(Fleet(num_chips=2)).scheduler == "adaptive"
+        hetero = FleetServiceModel(Fleet(num_chips=4, backends=HETERO))
+        assert hetero.scheduler == "adaptive+sequential"
+
+
+class TestSymbolicAffinityRouter:
+    FRACTIONS = {"nvsa": 0.8, "mimonet": 0.2}
+
+    def _router(self, backends=HETERO, threshold=0.5):
+        return SymbolicAffinityRouter(
+            backends, ("nvsa", "mimonet"), self.FRACTIONS.__getitem__, threshold
+        )
+
+    def test_pools_split_by_native_symbolic_support(self):
+        router = self._router()
+        assert router.symbolic_pool == (0, 1)
+        assert router.neural_pool == (2, 3)
+        assert router.owners["nvsa"] == (0, 1)
+        assert router.owners["mimonet"] == (2, 3)
+
+    def test_least_loaded_owner_wins(self):
+        router = self._router()
+        chips = [StubChip(i) for i in range(4)]
+        chips[0].queue_depth = 3
+        assert router.route(Request(0, "nvsa", 0.0), chips) == 1
+        chips[2].busy = True
+        chips[2].inflight = 2
+        assert router.route(Request(1, "mimonet", 0.0), chips) == 3
+
+    def test_homogeneous_fleet_degrades_to_whole_fleet_pools(self):
+        router = self._router(backends=("cogsys", "cogsys"))
+        assert router.symbolic_pool == (0, 1)
+        assert router.neural_pool == (0, 1)
+
+    def test_unknown_workload_rejected(self):
+        router = self._router()
+        with pytest.raises(ServingError, match="no pool"):
+            router.route(Request(0, "prae", 0.0), [StubChip(i) for i in range(4)])
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ServingError, match="threshold"):
+            self._router(threshold=1.5)
+
+
+class TestHeterogeneousSimulation:
+    def _run(self, seed=0):
+        fleet = Fleet(num_chips=4, router="symbolic_affinity", backends=HETERO)
+        simulator = ServingSimulator(
+            fleet=fleet,
+            batching_policy=build_policy("continuous", max_batch_size=8, slo_s=5e-3),
+        )
+        mix = WorkloadMix({"nvsa": 0.6, "mimonet": 0.4})
+        requests = PoissonArrivals(800.0, mix).generate(0.25, seed=seed)
+        return simulator.run(requests)
+
+    def test_run_is_deterministic(self):
+        first = self._run()
+        second = self._run()
+        assert first.records == second.records
+        assert first.chip_busy_s == second.chip_busy_s
+        assert first.chip_backends == HETERO
+
+    def test_per_backend_utilization_in_metrics(self):
+        result = self._run()
+        rows = per_backend_summary(result, 5e-3)
+        assert [row["backend"] for row in rows] == ["a100", "cogsys", "xavier_nx"]
+        assert all("utilization" in row for row in rows)
+        by_backend = {row["backend"]: row for row in rows}
+        # Symbolic-heavy nvsa lands on the CogSys pool, mimonet on the
+        # neural pool — both pools must actually serve traffic.
+        assert by_backend["cogsys"]["requests"] > 0
+        assert by_backend["cogsys"]["utilization"] > 0
+        assert (
+            by_backend["a100"]["requests"] + by_backend["xavier_nx"]["requests"] > 0
+        )
+        assert sum(row["requests"] for row in rows) == result.num_requests
+
+    def test_provenance_names_the_backends(self):
+        result = self._run()
+        assert result.provenance["backends"] == ["cogsys", "a100", "xavier_nx"]
+        assert result.provenance["router"] == "symbolic_affinity"
+
+    def test_chip_oblivious_model_rejected_on_hetero_fleet(self, fake_model):
+        fleet = Fleet(num_chips=4, backends=HETERO)
+        simulator = ServingSimulator(service_model=fake_model, fleet=fleet)
+        with pytest.raises(ServingError, match="FleetServiceModel"):
+            simulator.run([Request(0, "nvsa", 0.0)])
+
+    def test_reportless_model_with_symbolic_affinity_is_a_typed_error(self, fake_model):
+        # Duck-typed models without report() cannot answer the affinity
+        # oracle — must fail with ServingError, not AttributeError.
+        simulator = ServingSimulator(
+            service_model=fake_model,
+            fleet=Fleet(num_chips=2, router="symbolic_affinity"),
+        )
+        with pytest.raises(ServingError, match="report"):
+            simulator.run([Request(0, "nvsa", 0.0)])
+
+    def test_mismatched_fleet_service_model_rejected(self):
+        model = FleetServiceModel(Fleet(num_chips=2))
+        simulator = ServingSimulator(
+            service_model=model, fleet=Fleet(num_chips=4, backends=HETERO)
+        )
+        with pytest.raises(ServingError, match="do not match"):
+            simulator.run([Request(0, "nvsa", 0.0)])
+
+    def test_wrong_backend_cache_rejected_on_homogeneous_fleet(self):
+        from repro.backends import ExecutionCache
+
+        simulator = ServingSimulator(
+            service_model=ExecutionCache("cogsys"),
+            fleet=Fleet(num_chips=2, backends=("a100",)),
+        )
+        with pytest.raises(ServingError, match="answers for backend 'cogsys'"):
+            simulator.run([Request(0, "nvsa", 0.0)])
+
+    def test_scheduler_override_applies_per_backend(self):
+        # "sequential" is valid everywhere; "adaptive" only pins the CogSys
+        # chips while the device chips keep their sequential default.
+        fleet = Fleet(num_chips=4, backends=HETERO)
+        pinned = FleetServiceModel(fleet, scheduler="sequential")
+        assert pinned.scheduler == "sequential"
+        mixed = FleetServiceModel(fleet, scheduler="adaptive")
+        assert mixed.for_chip(0).scheduler == "adaptive"
+        assert mixed.for_chip(2).scheduler == "sequential"
+
+    def test_scheduler_unsupported_by_every_backend_fails_fast(self):
+        with pytest.raises(BackendError, match="no backend in the fleet"):
+            FleetServiceModel(
+                Fleet(num_chips=4, backends=HETERO), scheduler="warp_speed"
+            )
+        with pytest.raises(BackendError, match="no backend in the fleet"):
+            FleetServiceModel(
+                Fleet(num_chips=2, backends=("a100",)), scheduler="adaptive"
+            )
+
+
+class TestHeterogeneousScenario:
+    def test_run_scenario_with_backends_override(self):
+        scenario, result = run_scenario(
+            "mixed_workload",
+            duration_scale=0.05,
+            backends=HETERO,
+            router="symbolic_affinity",
+        )
+        assert result.num_chips == len(HETERO)
+        assert result.chip_backends == HETERO
+        rows = per_backend_summary(result, scenario.slo_s)
+        assert {row["backend"] for row in rows} == set(HETERO)
+
+    def test_backends_without_num_chips_sizes_the_fleet(self):
+        _, result = run_scenario(
+            "steady", duration_scale=0.02, backends=("cogsys", "a100")
+        )
+        assert result.num_chips == 2
+
+    def test_legacy_positional_service_model_slot_is_preserved(self):
+        # The pre-PR signature ended (..., num_chips, router, policy,
+        # service_model); the new backends parameter must come after it.
+        from repro.backends import ExecutionCache
+
+        model = ExecutionCache("cogsys")
+        _, result = run_scenario(
+            "steady", 0, 1.0, 0.02, 1, "jsq", "none", model
+        )
+        assert result.num_chips == 1
+        assert model.cached_reports > 0
