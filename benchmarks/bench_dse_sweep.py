@@ -1,0 +1,91 @@
+"""DSE: design-space sweep, frontier and capacity-plan shape assertions.
+
+Guards the qualitative shape of the design-space explorer: the taped-out
+CogSys configuration must sit on the Pareto frontier of its own design
+space (the paper's implicit claim), area must grow monotonically with the
+PE budget, frontiers must be non-dominated, and the capacity planner must
+recommend the cheapest fleet that meets its tail-latency target.
+"""
+
+from _bench_utils import emit_table, run_spec
+
+from repro.dse import Objective, dominates
+
+#: the sweep objectives the dse specs default to
+_OBJECTIVES = (
+    Objective("latency_ms", "min"),
+    Objective("energy_mj_per_task", "min"),
+    Objective("area_mm2", "min"),
+)
+
+
+def test_dse_pe_array_sweep(benchmark):
+    """The taped-out 16-cell/512-PE design is on its space's frontier."""
+    table = run_spec(benchmark, "dse_sweep", space="pe_array", batch_sizes=(1, 8))
+    emit_table(benchmark, table)
+    rows = table.rows
+    assert len(rows) == 12 * 2  # 4 cell counts x 3 SIMD widths x 2 batches
+
+    taped_out = [row for row in rows if row["design"] == "cells16-simd512"]
+    assert len(taped_out) == 2 and all(row["pareto"] for row in taped_out)
+
+    # Area is a monotone function of the PE budget at fixed SIMD width.
+    by_cells = sorted(
+        (row for row in rows if row["simd"] == 512 and row["batch"] == 1),
+        key=lambda row: row["cells"],
+    )
+    areas = [row["area_mm2"] for row in by_cells]
+    assert areas == sorted(areas) and areas[0] < areas[-1]
+
+    # More parallel hardware does not slow the batched workload down.
+    assert by_cells[-1]["latency_ms"] <= by_cells[0]["latency_ms"]
+
+    # Every pareto row is genuinely non-dominated within its group.
+    for group_batch in (1, 8):
+        group = [row for row in rows if row["batch"] == group_batch]
+        for row in group:
+            if row["pareto"]:
+                assert not any(
+                    dominates(other, row, _OBJECTIVES) for other in group
+                )
+
+
+def test_dse_frontier_is_nondominated(benchmark):
+    """The combined-grid frontier only contains non-dominated designs."""
+    table = run_spec(benchmark, "dse_frontier", workloads=("nvsa",))
+    emit_table(benchmark, table)
+    rows = table.rows
+    assert 0 < len(rows) < 24  # strictly smaller than the 24-point grid
+    for row in rows:
+        assert not any(
+            dominates(other, row, _OBJECTIVES)
+            for other in rows
+            if other is not row
+        )
+
+
+def test_dse_capacity_plan(benchmark):
+    """The planner recommends the cheapest configuration meeting the target."""
+    table = run_spec(benchmark, "dse_capacity", requests=300)
+    emit_table(benchmark, table)
+    rows = table.rows
+    assert len(rows) == 4 * 2 * 2  # chips x routers x policies
+
+    meeting = [row for row in rows if row["meets_target"]]
+    recommended = [row for row in rows if row["recommended"]]
+    assert meeting, "default plan must contain at least one passing config"
+    assert len(recommended) == 1
+    assert recommended[0]["fleet_power_w"] == min(
+        row["fleet_power_w"] for row in meeting
+    )
+
+    # Scaling out under load-aware routing never hurts the tail.
+    jsq = sorted(
+        (
+            row
+            for row in rows
+            if row["router"] == "jsq" and row["policy"] == "continuous"
+        ),
+        key=lambda row: row["chips"],
+    )
+    assert jsq[-1]["p99_ms"] <= jsq[0]["p99_ms"]

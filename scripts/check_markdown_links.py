@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation (stdlib only).
+
+Validates every ``[text](target)`` link in the given markdown files:
+
+* relative file targets must exist (checked from the linking file's
+  directory, with any ``#fragment`` stripped),
+* in-document anchors (``#section``) must match a heading of the linked
+  file (GitHub-style slugs: lowercased, punctuation dropped, spaces to
+  hyphens),
+* ``http(s)``/``mailto`` targets are skipped — CI must not depend on
+  network reachability.
+
+Only inline ``[text](target)`` links are checked; reference-style
+(``[text][ref]``) links are not used in this repo's docs and are ignored.
+
+Usage: ``python scripts/check_markdown_links.py README.md ARCHITECTURE.md``
+Exits non-zero listing every broken link.  Used by the CI ``docs`` job.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: [text](target) — ignores images' leading '!' (the target rule is the same)
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+#: fenced code blocks, removed before link extraction
+_FENCE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading (sufficient for ASCII docs)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set[str]:
+    """Every heading anchor a markdown file exposes.
+
+    Replicates GitHub's duplicate handling: repeated headings get ``-1``,
+    ``-2``, ... suffixes in document order, so anchors to any occurrence
+    validate.
+    """
+    content = _FENCE.sub("", path.read_text(encoding="utf-8"))
+    slugs: set[str] = set()
+    seen: dict[str, int] = {}
+    for match in _HEADING.finditer(content):
+        slug = github_slug(match.group(1))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        slugs.add(slug if count == 0 else f"{slug}-{count}")
+    return slugs
+
+
+def check_file(path: Path) -> list[str]:
+    """All broken-link messages of one markdown file."""
+    errors = []
+    content = _FENCE.sub("", path.read_text(encoding="utf-8"))
+    for match in _LINK.finditer(content):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part, _, fragment = target.partition("#")
+        linked = (path.parent / file_part).resolve() if file_part else path
+        if file_part and not linked.exists():
+            errors.append(f"{path}: broken link target '{target}'")
+            continue
+        if fragment:
+            if linked.suffix.lower() not in (".md", ""):
+                continue
+            if linked.is_file() and fragment not in heading_slugs(linked):
+                errors.append(f"{path}: missing anchor '#{fragment}' in {linked.name}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    """Check every file given on the command line; report all failures."""
+    if not argv:
+        print("usage: check_markdown_links.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    errors = []
+    for name in argv:
+        path = Path(name)
+        if not path.is_file():
+            errors.append(f"{path}: file not found")
+            continue
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(argv)} file(s): all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -35,6 +35,7 @@ class CogSysBackend(Backend):
         return self.accelerator.reconfigurable_symbolic
 
     def kernel_time(self, kernel: KernelOp) -> float:
+        """Seconds one kernel takes on the cycle model."""
         return self.accelerator.kernel_time(kernel)
 
     def execute(

@@ -33,6 +33,7 @@ class DeviceBackend(Backend):
         )
 
     def kernel_time(self, kernel: KernelOp) -> float:
+        """Seconds one kernel takes on the wrapped device model."""
         return self.model.kernel_time(kernel)
 
     def execute(

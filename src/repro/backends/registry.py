@@ -92,6 +92,7 @@ def _probe_info(
 
 
 def _builtin_backends() -> dict[str, BackendInfo]:
+    """Build the registry rows of the 13 built-in backends."""
     from repro.backends.cogsys import CogSysBackend
     from repro.backends.devices import DeviceBackend
     from repro.hardware.accelerator import CogSysAccelerator
@@ -156,6 +157,7 @@ def _builtin_backends() -> dict[str, BackendInfo]:
 
 
 def _registry() -> dict[str, BackendInfo]:
+    """The lazily initialized backend registry (built on first access)."""
     global _REGISTRY
     if _REGISTRY is None:
         _REGISTRY = _builtin_backends()

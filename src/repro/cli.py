@@ -360,6 +360,155 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _coerce_option(flag: str, raw: object, type_label: str):
+    """Coerce one CLI option value, mapping parse failures to typed errors."""
+    try:
+        return _coerce_param(str(raw), type_label)
+    except ValueError:
+        raise ReproError(f"cannot parse {flag} {raw!r} as {type_label}") from None
+
+
+def _dse_overrides(args, spec) -> dict:
+    """Typed engine overrides from the ``repro dse`` option set."""
+    overrides = dict(spec.smoke_params) if args.smoke else {}
+    if getattr(args, "space", None):
+        overrides["space"] = args.space
+    for key, flag, raw in (
+        ("workloads", "--workloads", getattr(args, "workloads", None)),
+        ("batch_sizes", "--batch-sizes", getattr(args, "batch_sizes", None)),
+        ("objectives", "--objectives", getattr(args, "objectives", None)),
+    ):
+        if raw is not None and key in spec.param_schema:
+            overrides[key] = _coerce_option(flag, raw, spec.param_schema[key])
+    return overrides
+
+
+def _dse_table(args, table, extra_sections=()) -> None:
+    """Emit one dse result table (plus optional extra markdown sections)."""
+    if args.format == "json":
+        _emit(args, table.to_json() + "\n")
+        return
+    lines = [f"## {table.title}", "", table.to_markdown()]
+    for section_title, section_body in extra_sections:
+        lines.extend(["", f"### {section_title}", "", section_body])
+    _emit(args, "\n".join(lines) + "\n")
+
+
+#: repro dse options only meaningful for sweep actions (run/frontier) and
+#: only for the capacity planner, used to reject silently-ignored flags.
+_DSE_SWEEP_ONLY = ("workloads", "batch_sizes", "objectives")
+_DSE_PLAN_ONLY = (
+    "offered_rps", "target_p99", "chips", "routers", "policies", "requests"
+)
+
+
+def _reject_stray_dse_options(args) -> None:
+    """Fail fast when an option cannot apply to the requested dse action.
+
+    Silently dropping a flag (e.g. ``repro dse plan pe_array`` or
+    ``repro dse run --requests 100``) would hand the user default results
+    for a configuration that was never applied.
+    """
+    stray = []
+    if args.action in ("list", "plan") and args.space:
+        stray.append(f"positional SPACE ({args.space!r})")
+    if args.action in ("list", "plan"):
+        stray.extend(
+            f"--{name.replace('_', '-')}"
+            for name in _DSE_SWEEP_ONLY
+            if getattr(args, name) is not None
+        )
+    if args.action in ("list", "run", "frontier"):
+        stray.extend(
+            f"--{name.replace('_', '-')}"
+            for name in _DSE_PLAN_ONLY
+            if getattr(args, name) is not None
+        )
+    if args.action == "list" and args.smoke:
+        stray.append("--smoke")
+    if stray:
+        raise ReproError(
+            f"`repro dse {args.action}` does not accept: {', '.join(stray)}"
+        )
+
+
+def _cmd_dse(args) -> int:
+    from repro.dse import describe_design_spaces
+
+    _reject_stray_dse_options(args)
+    if args.action == "list":
+        rows = describe_design_spaces()
+        if args.format == "json":
+            _emit(args, json.dumps(rows, indent=2) + "\n")
+        else:
+            headers = ["space", "axes", "points", "smoke_points", "description"]
+            table = format_markdown_table(
+                headers, [[row[h] for h in headers] for row in rows]
+            )
+            _emit(args, table + f"\n\n{len(rows)} design spaces registered.\n")
+        return 0
+    if args.action == "plan":
+        spec = get_spec("dse_capacity")
+        overrides = dict(spec.smoke_params) if args.smoke else {}
+        for key, flag, raw in (
+            ("offered_rps", "--offered-rps", args.offered_rps),
+            ("target_p99_ms", "--target-p99", args.target_p99),
+            ("chip_counts", "--chips", args.chips),
+            ("routers", "--routers", args.routers),
+            ("policies", "--policies", args.policies),
+            ("requests", "--requests", args.requests),
+        ):
+            if raw is not None:
+                overrides[key] = _coerce_option(flag, raw, spec.param_schema[key])
+        table = engine.run(
+            "dse_capacity",
+            use_cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+            **overrides,
+        )
+        recommended = [row for row in table.rows if row.get("recommended")]
+        note = (
+            "recommended: "
+            + ", ".join(
+                f"{row['chips']} chip(s), {row['router']} routing, "
+                f"{row['policy']} batching ({row['fleet_power_w']} W fleet)"
+                for row in recommended
+            )
+            if recommended
+            else "no configuration meets the target; widen the search grid"
+        )
+        _dse_table(args, table, extra_sections=[("Recommendation", note)])
+        return 0
+    # run / frontier share the sweep option set; `run` prints the full
+    # annotated sweep plus its frontier subset, `frontier` only the latter.
+    spec_id = "dse_sweep" if args.action == "run" else "dse_frontier"
+    spec = get_spec(spec_id)
+    table = engine.run(
+        spec_id,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        **_dse_overrides(args, spec),
+    )
+    if args.action == "frontier":
+        _dse_table(args, table)
+        return 0
+    frontier_rows = [row for row in table.rows if row.get("pareto")]
+    frontier_md = format_markdown_table(
+        table.headers, [[row.get(h, "") for h in table.headers] for row in frontier_rows]
+    )
+    _dse_table(
+        args,
+        table,
+        extra_sections=[
+            (
+                f"Pareto frontier ({len(frontier_rows)} of {len(table)} designs)",
+                frontier_md,
+            )
+        ],
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -447,6 +596,46 @@ def build_parser() -> argparse.ArgumentParser:
                               help="bypass the result cache (--smoke only)")
     serve_parser.add_argument("--cache-dir", default=None, help=argparse.SUPPRESS)
     serve_parser.set_defaults(func=_cmd_serve)
+
+    dse_parser = subparsers.add_parser(
+        "dse", help="explore accelerator design spaces (sweeps + Pareto frontiers)"
+    )
+    dse_parser.add_argument(
+        "action",
+        nargs="?",
+        default="run",
+        choices=("list", "run", "frontier", "plan"),
+        help="list design spaces, run a sweep, print its frontier, or plan capacity",
+    )
+    dse_parser.add_argument("space", nargs="?", metavar="SPACE",
+                            help="design-space name (see `repro dse list`)")
+    dse_parser.add_argument("--smoke", action="store_true",
+                            help="smoke-scale grid and parameters (CI/tests)")
+    dse_parser.add_argument("--workloads", metavar="W[,W...]",
+                            help="workloads to execute on every design point")
+    dse_parser.add_argument("--batch-sizes", metavar="N[,N...]",
+                            help="batch sizes to execute on every design point")
+    dse_parser.add_argument("--objectives", metavar="KEY:SENSE[,...]",
+                            help="pareto objectives, e.g. latency_ms:min,area_mm2:min")
+    dse_parser.add_argument("--offered-rps", type=float, default=None,
+                            metavar="X", help="plan: offered load (requests/s)")
+    dse_parser.add_argument("--target-p99", type=float, default=None, metavar="MS",
+                            help="plan: tail-latency target in milliseconds")
+    dse_parser.add_argument("--chips", default=None, metavar="N[,N...]",
+                            help="plan: fleet sizes to search")
+    dse_parser.add_argument("--routers", default=None, metavar="R[,R...]",
+                            help="plan: routing policies to search")
+    dse_parser.add_argument("--policies", default=None, metavar="P[,P...]",
+                            help="plan: batching policies to search")
+    dse_parser.add_argument("--requests", type=int, default=None, metavar="N",
+                            help="plan: request-stream length")
+    dse_parser.add_argument("--format", choices=("md", "json"), default="md")
+    dse_parser.add_argument("--output", metavar="FILE",
+                            help="write the table(s) to FILE")
+    dse_parser.add_argument("--no-cache", action="store_true",
+                            help="bypass the on-disk result cache")
+    dse_parser.add_argument("--cache-dir", default=None, help=argparse.SUPPRESS)
+    dse_parser.set_defaults(func=_cmd_dse)
 
     backends_parser = subparsers.add_parser(
         "backends", help="list or describe the registered hardware backends"

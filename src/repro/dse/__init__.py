@@ -1,0 +1,67 @@
+"""Design-space exploration: grids, Pareto frontiers, capacity planning.
+
+The paper's headline results are design-space arguments — ablations, PE
+design choices and scale-out sweeps that justify the taped-out accelerator
+configuration.  This package turns those point arguments into a systematic
+subsystem:
+
+* :mod:`repro.dse.grid` — named Cartesian grids over
+  :class:`~repro.hardware.config.CogSysConfig` axes, expanded to
+  :class:`~repro.backends.registry.CustomSpec` backends,
+* :mod:`repro.dse.sweep` — execution of every grid point through the
+  unified backend protocol with per-point memoized reports,
+* :mod:`repro.dse.frontier` — Pareto-dominance reduction over result rows,
+* :mod:`repro.dse.planner` — serving capacity planning (fleet size x
+  routing x batching against a p99 target).
+
+The ``dse_*`` experiment specs in :mod:`repro.evaluation.registry` and the
+``repro dse`` CLI are thin layers over these functions.
+"""
+
+from repro.dse.frontier import (
+    Objective,
+    annotate_pareto,
+    dominates,
+    format_objectives,
+    pareto_frontier,
+    parse_objectives,
+)
+from repro.dse.grid import (
+    DESIGN_SPACES,
+    Axis,
+    DesignPoint,
+    DesignSpace,
+    axis_label,
+    describe_design_spaces,
+    design_space_names,
+    expand_grid,
+    format_axis_value,
+    get_design_space,
+)
+from repro.dse.planner import PLANNER_OBJECTIVES, plan_capacity, recommend
+from repro.dse.sweep import DEFAULT_OBJECTIVES, DesignSpaceSweeper, sweep
+
+__all__ = [
+    "Axis",
+    "DesignPoint",
+    "DesignSpace",
+    "DESIGN_SPACES",
+    "DEFAULT_OBJECTIVES",
+    "DesignSpaceSweeper",
+    "Objective",
+    "PLANNER_OBJECTIVES",
+    "annotate_pareto",
+    "axis_label",
+    "describe_design_spaces",
+    "design_space_names",
+    "dominates",
+    "expand_grid",
+    "format_axis_value",
+    "format_objectives",
+    "get_design_space",
+    "pareto_frontier",
+    "parse_objectives",
+    "plan_capacity",
+    "recommend",
+    "sweep",
+]

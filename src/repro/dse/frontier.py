@@ -1,0 +1,141 @@
+"""Pareto-dominance reduction over experiment result rows.
+
+The design-space explorer reduces sweeps to *Pareto frontiers*: the subset
+of candidate designs for which no other candidate is at least as good on
+every objective and strictly better on one.  Objectives are ``(key, sense)``
+pairs over plain row dictionaries, so the same machinery reduces hardware
+sweeps (minimize latency/energy/area) and serving capacity plans (minimize
+fleet power, maximize goodput) without knowing what the rows mean.
+
+All functions are pure and order-preserving: rows come back in their input
+order, which keeps tables deterministic and lets the engine's JSON
+round-trip produce byte-identical cached results.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.errors import DesignSpaceError
+
+__all__ = [
+    "Objective",
+    "parse_objectives",
+    "format_objectives",
+    "dominates",
+    "pareto_frontier",
+    "annotate_pareto",
+]
+
+#: accepted objective senses
+_SENSES = ("min", "max")
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One optimization objective: a row key and a sense (``min``/``max``)."""
+
+    key: str
+    sense: str = "min"
+
+    def __post_init__(self) -> None:
+        if self.sense not in _SENSES:
+            raise DesignSpaceError(
+                f"objective '{self.key}' has unknown sense '{self.sense}' "
+                f"(expected one of {list(_SENSES)})"
+            )
+
+    def value(self, row: Mapping[str, object]) -> float:
+        """The objective value of ``row``, as a float, or a typed error."""
+        try:
+            raw = row[self.key]
+        except KeyError:
+            raise DesignSpaceError(
+                f"row is missing objective key '{self.key}'; "
+                f"row keys: {sorted(row)}"
+            ) from None
+        try:
+            return float(raw)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            raise DesignSpaceError(
+                f"objective '{self.key}' is not numeric in row: {raw!r}"
+            ) from None
+
+
+def parse_objectives(text: str) -> tuple[Objective, ...]:
+    """Parse ``"latency_ms:min,goodput_rps:max"`` into objective tuples.
+
+    The sense defaults to ``min`` when omitted (``"latency_ms,energy_mj"``).
+    """
+    objectives = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        key, separator, sense = chunk.partition(":")
+        if not key:
+            raise DesignSpaceError(f"objective '{chunk}' has no key")
+        objectives.append(Objective(key, sense if separator else "min"))
+    if not objectives:
+        raise DesignSpaceError(f"no objectives found in {text!r}")
+    keys = [objective.key for objective in objectives]
+    if len(set(keys)) != len(keys):
+        raise DesignSpaceError(f"duplicate objective keys in {text!r}")
+    return tuple(objectives)
+
+
+def format_objectives(objectives: Sequence[Objective]) -> str:
+    """Inverse of :func:`parse_objectives` (used for provenance columns)."""
+    return ",".join(f"{objective.key}:{objective.sense}" for objective in objectives)
+
+
+def dominates(
+    winner: Mapping[str, object],
+    loser: Mapping[str, object],
+    objectives: Sequence[Objective],
+) -> bool:
+    """Whether ``winner`` Pareto-dominates ``loser``.
+
+    Dominance requires ``winner`` to be at least as good on *every*
+    objective and strictly better on at least one — identical rows therefore
+    do not dominate each other, so exact ties survive on the frontier.
+    """
+    if not objectives:
+        raise DesignSpaceError("dominance needs at least one objective")
+    strictly_better = False
+    for objective in objectives:
+        a = objective.value(winner)
+        b = objective.value(loser)
+        if objective.sense == "max":
+            a, b = -a, -b
+        if a > b:
+            return False
+        if a < b:
+            strictly_better = True
+    return strictly_better
+
+
+def pareto_frontier(
+    rows: Sequence[Mapping[str, object]], objectives: Sequence[Objective]
+) -> list:
+    """The non-dominated subset of ``rows``, preserving input order."""
+    return [
+        row
+        for index, row in enumerate(rows)
+        if not any(
+            dominates(other, row, objectives)
+            for other_index, other in enumerate(rows)
+            if other_index != index
+        )
+    ]
+
+
+def annotate_pareto(
+    rows: Sequence[Mapping[str, object]],
+    objectives: Sequence[Objective],
+    flag: str = "pareto",
+) -> list[dict]:
+    """Copy ``rows`` with a boolean ``flag`` column marking frontier members."""
+    frontier = {id(row) for row in pareto_frontier(rows, objectives)}
+    return [{**row, flag: id(row) in frontier} for row in rows]

@@ -1,0 +1,319 @@
+"""Parameterized design-space grids over CogSys accelerator configurations.
+
+A *design space* is a named Cartesian grid of :class:`CogSysConfig` axes
+(PE-array shape, SIMD width, DRAM bandwidth, frequency) plus the two
+architectural switches (``scale_out``, ``reconfigurable_symbolic``).  Each
+grid point expands to one :class:`~repro.backends.registry.CustomSpec`, so
+every point is an ordinary backend behind the unified execution protocol —
+the sweep layer (:mod:`repro.dse.sweep`) never special-cases how a candidate
+design executes a workload.
+
+Built-in spaces cover the paper's headline design arguments (scale-out cell
+count, PE-array sizing, memory bandwidth, frequency/voltage corners) and a
+combined coarse grid for cross-axis frontiers.  Every space carries a
+*smoke* grid — a 2-4 point subset used by tests and ``repro dse run
+--smoke`` so CI exercises the full pipeline in seconds.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, fields
+from itertools import product
+
+from repro.backends.registry import CustomSpec
+from repro.errors import DesignSpaceError
+from repro.hardware.config import CogSysConfig
+
+__all__ = [
+    "Axis",
+    "DesignPoint",
+    "DesignSpace",
+    "DESIGN_SPACES",
+    "axis_label",
+    "expand_grid",
+    "format_axis_value",
+    "get_design_space",
+    "design_space_names",
+    "describe_design_spaces",
+]
+
+#: axis names that are architectural switches rather than config fields
+_SWITCH_AXES = frozenset({"scale_out", "reconfigurable_symbolic"})
+
+#: CogSysConfig constructor fields a grid may sweep
+_CONFIG_AXES = frozenset(field.name for field in fields(CogSysConfig))
+
+#: compact per-axis labels used to build deterministic point names
+_AXIS_LABELS = {
+    "num_cells": "cells",
+    "cell_rows": "rows",
+    "cell_cols": "cols",
+    "simd_pes": "simd",
+    "frequency_hz": "f",
+    "dram_bandwidth_bytes_per_s": "bw",
+    "sram_a_bytes": "srama",
+    "sram_b_bytes": "sramb",
+    "sram_c_bytes": "sramc",
+    "scale_out": "so",
+    "reconfigurable_symbolic": "nspe",
+    "precision": "prec",
+    "dispatch_overhead_cycles": "disp",
+}
+
+
+def axis_label(name: str) -> str:
+    """Compact column label of one axis (``dram_bandwidth_bytes_per_s -> bw``)."""
+    return _AXIS_LABELS.get(name, name)
+
+
+def format_axis_value(value: object) -> str:
+    """Render one axis value compactly and deterministically (``700e9 -> 700G``)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float):
+        # The 1e8 cut keeps sub-GHz clock corners in G units (0.4e9 -> 0.4G)
+        # while SRAM-scale byte counts stay in M units.
+        if value >= 1e8:
+            return f"{value / 1e9:g}G"
+        if value >= 1e6:
+            return f"{value / 1e6:g}M"
+        return f"{value:g}"
+    return str(value)
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One swept dimension of a design space: a name and its candidate values.
+
+    ``name`` must be a :class:`CogSysConfig` constructor field (for example
+    ``num_cells`` or ``dram_bandwidth_bytes_per_s``) or one of the
+    architectural switches ``scale_out`` / ``reconfigurable_symbolic``.
+    """
+
+    name: str
+    values: tuple
+
+    def __post_init__(self) -> None:
+        if self.name not in _CONFIG_AXES | _SWITCH_AXES:
+            raise DesignSpaceError(
+                f"unknown design axis '{self.name}'; known axes: "
+                f"{sorted(_CONFIG_AXES | _SWITCH_AXES)}"
+            )
+        if not self.values:
+            raise DesignSpaceError(f"axis '{self.name}' has no values")
+        if len(set(self.values)) != len(self.values):
+            raise DesignSpaceError(f"axis '{self.name}' repeats values")
+
+    @property
+    def label(self) -> str:
+        """Compact label of this axis used in design-point names."""
+        return axis_label(self.name)
+
+
+def expand_grid(axes: Sequence[Axis]) -> list[dict[str, object]]:
+    """Cartesian product of ``axes`` as ordered parameter dictionaries.
+
+    Expansion order is deterministic: the last axis varies fastest, exactly
+    like nested for-loops over ``axes`` in order.
+    """
+    if not axes:
+        raise DesignSpaceError("cannot expand an empty axis list")
+    names = [axis.name for axis in axes]
+    if len(set(names)) != len(names):
+        raise DesignSpaceError(f"duplicate axes in grid: {names}")
+    return [
+        dict(zip(names, values))
+        for values in product(*(axis.values for axis in axes))
+    ]
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One candidate design: a named bundle of swept parameter values."""
+
+    space: str
+    params: tuple[tuple[str, object], ...]
+
+    @classmethod
+    def from_params(cls, space: str, params: Mapping[str, object]) -> "DesignPoint":
+        """Build a point from a parameter mapping (preserving its order)."""
+        return cls(space=space, params=tuple(params.items()))
+
+    @property
+    def name(self) -> str:
+        """Deterministic compact label, e.g. ``cells16-simd512-so1``."""
+        parts = [
+            f"{axis_label(key)}{format_axis_value(value)}" for key, value in self.params
+        ]
+        return "-".join(parts)
+
+    def as_dict(self) -> dict[str, object]:
+        """The swept parameters as a plain dictionary."""
+        return dict(self.params)
+
+    def spec(self) -> CustomSpec:
+        """Expand this point to a buildable :class:`CustomSpec` backend."""
+        params = self.as_dict()
+        switches = {
+            key: bool(params.pop(key)) for key in tuple(params) if key in _SWITCH_AXES
+        }
+        try:
+            config = CogSysConfig(**params)
+        except TypeError as error:  # pragma: no cover - guarded by Axis
+            raise DesignSpaceError(str(error)) from None
+        return CustomSpec(
+            name=f"{self.space}:{self.name}",
+            cogsys_config=config,
+            scale_out=switches.get("scale_out", True),
+            reconfigurable_symbolic=switches.get("reconfigurable_symbolic", True),
+        )
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """A named grid of design axes with a report-scale and a smoke-scale grid."""
+
+    name: str
+    description: str
+    axes: tuple[Axis, ...]
+    smoke_axes: tuple[Axis, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DesignSpaceError("design space needs a non-empty name")
+        full = {axis.name for axis in self.axes}
+        smoke = {axis.name for axis in self.smoke_axes}
+        if not smoke <= full:
+            raise DesignSpaceError(
+                f"design space '{self.name}' smoke axes {sorted(smoke - full)} "
+                "are not part of the full grid"
+            )
+
+    def grid(self, smoke: bool = False) -> tuple[Axis, ...]:
+        """The axis tuple of the requested scale."""
+        return self.smoke_axes if smoke else self.axes
+
+    def points(self, smoke: bool = False) -> tuple[DesignPoint, ...]:
+        """Every grid point of this space, in deterministic expansion order."""
+        return tuple(
+            DesignPoint.from_params(self.name, params)
+            for params in expand_grid(self.grid(smoke))
+        )
+
+    def num_points(self, smoke: bool = False) -> int:
+        """Grid cardinality without materializing the points."""
+        total = 1
+        for axis in self.grid(smoke):
+            total *= len(axis.values)
+        return total
+
+
+def _space(
+    name: str,
+    description: str,
+    axes: Iterable[tuple[str, tuple]],
+    smoke_axes: Iterable[tuple[str, tuple]],
+) -> DesignSpace:
+    """Shorthand constructor used by the built-in space table below."""
+    return DesignSpace(
+        name=name,
+        description=description,
+        axes=tuple(Axis(axis_name, values) for axis_name, values in axes),
+        smoke_axes=tuple(Axis(axis_name, values) for axis_name, values in smoke_axes),
+    )
+
+
+#: design-space name -> grid, in presentation order
+DESIGN_SPACES: dict[str, DesignSpace] = {
+    space.name: space
+    for space in (
+        _space(
+            "pe_array",
+            "PE provisioning: scale-out cell count x SIMD width",
+            axes=(
+                ("num_cells", (4, 8, 16, 32)),
+                ("simd_pes", (256, 512, 1024)),
+            ),
+            smoke_axes=(
+                ("num_cells", (8, 16)),
+                ("simd_pes", (512,)),
+            ),
+        ),
+        _space(
+            "memory",
+            "DRAM interface bandwidth sweep at the taped-out core",
+            axes=(
+                (
+                    "dram_bandwidth_bytes_per_s",
+                    (100e9, 200e9, 400e9, 700e9, 1400e9),
+                ),
+            ),
+            smoke_axes=(("dram_bandwidth_bytes_per_s", (200e9, 700e9)),),
+        ),
+        _space(
+            "frequency",
+            "clock-frequency corners at the taped-out array shape",
+            axes=(("frequency_hz", (0.4e9, 0.8e9, 1.2e9, 1.6e9)),),
+            smoke_axes=(("frequency_hz", (0.4e9, 0.8e9)),),
+        ),
+        _space(
+            "scaleout",
+            "scale-out degree x monolithic-vs-scalable array (Fig. 19 axis)",
+            axes=(
+                ("num_cells", (4, 8, 16, 32)),
+                ("scale_out", (True, False)),
+            ),
+            smoke_axes=(
+                ("num_cells", (8, 16)),
+                ("scale_out", (True, False)),
+            ),
+        ),
+        _space(
+            "cogsys",
+            "combined coarse grid across PE, SIMD, bandwidth and scale-out",
+            axes=(
+                ("num_cells", (8, 16, 32)),
+                ("simd_pes", (256, 512)),
+                ("dram_bandwidth_bytes_per_s", (400e9, 700e9)),
+                ("scale_out", (True, False)),
+            ),
+            smoke_axes=(
+                ("num_cells", (8, 16)),
+                ("dram_bandwidth_bytes_per_s", (400e9, 700e9)),
+                ("scale_out", (True, False)),
+            ),
+        ),
+    )
+}
+
+
+def get_design_space(name: str) -> DesignSpace:
+    """Look up a design space by name or raise a typed error."""
+    try:
+        return DESIGN_SPACES[name]
+    except KeyError:
+        raise DesignSpaceError(
+            f"unknown design space '{name}'; known: {', '.join(DESIGN_SPACES)}"
+        ) from None
+
+
+def design_space_names() -> tuple[str, ...]:
+    """Every built-in design-space name, in presentation order."""
+    return tuple(DESIGN_SPACES)
+
+
+def describe_design_spaces() -> list[dict]:
+    """JSON-clean rows describing every built-in design space."""
+    return [
+        {
+            "space": space.name,
+            "axes": " x ".join(
+                f"{axis.name}[{len(axis.values)}]" for axis in space.axes
+            ),
+            "points": space.num_points(),
+            "smoke_points": space.num_points(smoke=True),
+            "description": space.description,
+        }
+        for space in DESIGN_SPACES.values()
+    ]

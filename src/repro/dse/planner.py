@@ -1,0 +1,163 @@
+"""Serving capacity planner: fleet size x routing x batching for a p99 target.
+
+The hardware sweep answers "which chip should we build"; this module
+answers the deployment question — *how many* of them, behind which router
+and batching policy, to serve an offered load within a tail-latency target.
+:func:`plan_capacity` replays one seeded request stream against every
+``(fleet size, router, policy)`` configuration through the request-level
+simulator, scores each against the p99/SLO-attainment target, and
+pareto-annotates the rows over (minimize fleet power, maximize goodput).
+:func:`recommend` then picks the cheapest configuration that meets the
+target.
+
+Every configuration shares one memoized service model per backend, so the
+whole plan costs a handful of kernel-graph simulations plus cheap event
+loops — the same economics that make the serving sweeps fast.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.backends.cache import ExecutionCache
+from repro.backends.registry import backend_info
+from repro.dse.frontier import Objective, annotate_pareto
+from repro.errors import DesignSpaceError
+from repro.serving.batching import build_policy
+from repro.serving.fleet import Fleet
+from repro.serving.metrics import summarize_result
+from repro.serving.simulator import ServingSimulator
+from repro.serving.traffic import PoissonArrivals, WorkloadMix
+from repro.workloads.registry import WORKLOAD_BUILDERS
+
+__all__ = ["PLANNER_OBJECTIVES", "plan_capacity", "recommend"]
+
+#: capacity-plan objectives: cheapest fleet that still moves the most traffic
+PLANNER_OBJECTIVES: tuple[Objective, ...] = (
+    Objective("fleet_power_w", "min"),
+    Objective("goodput_rps", "max"),
+)
+
+def _policy_kwargs(policy: str, batch_size: int, slo_s: float) -> dict:
+    """Per-policy constructor arguments (mirrors the serving experiments)."""
+    if policy == "fixed":
+        return {"batch_size": batch_size, "max_wait_s": slo_s / 4}
+    if policy == "continuous":
+        return {"max_batch_size": batch_size, "slo_s": slo_s}
+    return {}
+
+
+def plan_capacity(
+    offered_rps: float = 2000.0,
+    target_p99_ms: float = 5.0,
+    target_attainment: float = 0.99,
+    chip_counts: Sequence[int] = (1, 2, 4, 8),
+    routers: Sequence[str] = ("round_robin", "jsq"),
+    policies: Sequence[str] = ("none", "continuous"),
+    backend: str = "cogsys",
+    workload_mix: Mapping[str, float] | None = None,
+    requests: int = 400,
+    max_batch_size: int = 8,
+    seed: int = 0,
+) -> list[dict]:
+    """Score every fleet configuration against a tail-latency target.
+
+    One seeded Poisson stream of ~``requests`` arrivals (the mean of the
+    random draw) at ``offered_rps``, drawn from ``workload_mix`` (uniform
+    over every registered workload by default), is served by each
+    ``(chips, router, policy)`` combination on ``backend`` chips.  A row ``meets_target`` when its p99 stays within
+    ``target_p99_ms`` *and* its SLO attainment (against the same target)
+    reaches ``target_attainment``; ``fleet_power_w`` is the fleet's total
+    chip power — the planner's cost axis.
+    """
+    if offered_rps <= 0:
+        raise DesignSpaceError(f"offered_rps must be positive, got {offered_rps}")
+    if target_p99_ms <= 0:
+        raise DesignSpaceError(f"target_p99_ms must be positive, got {target_p99_ms}")
+    if not 0 < target_attainment <= 1:
+        raise DesignSpaceError(
+            f"target_attainment must be in (0, 1], got {target_attainment}"
+        )
+    if requests < 1:
+        raise DesignSpaceError(f"requests must be positive, got {requests}")
+    if not chip_counts or not routers or not policies:
+        raise DesignSpaceError(
+            "plan_capacity needs at least one chip count, router and policy"
+        )
+    for count in chip_counts:
+        if count < 1:
+            raise DesignSpaceError(f"chip counts must be positive, got {count}")
+
+    mix = (
+        WorkloadMix(dict(workload_mix))
+        if workload_mix
+        else WorkloadMix.uniform(tuple(sorted(WORKLOAD_BUILDERS)))
+    )
+    slo_s = target_p99_ms * 1e-3
+    chip_power_w = backend_info(backend).power_watts
+    stream = PoissonArrivals(offered_rps, mix).generate(
+        requests / offered_rps, seed=seed
+    )
+    if not stream:
+        # The Poisson draw is random: P(no arrivals) = e^-requests, so tiny
+        # request budgets can produce an empty stream for unlucky seeds.
+        raise DesignSpaceError(
+            f"the seeded traffic draw produced no requests (requests="
+            f"{requests}, offered_rps={offered_rps}, seed={seed}); "
+            "increase requests or change the seed"
+        )
+    model = ExecutionCache(backend=backend)
+
+    rows = []
+    for num_chips in chip_counts:
+        for router in routers:
+            for policy in policies:
+                simulator = ServingSimulator(
+                    service_model=model,
+                    fleet=Fleet(num_chips=num_chips, router=router),
+                    batching_policy=build_policy(
+                        policy, **_policy_kwargs(policy, max_batch_size, slo_s)
+                    ),
+                )
+                summary = summarize_result(
+                    simulator.run(stream), slo_s, offered_rps=offered_rps
+                )
+                meets = (
+                    summary["p99_ms"] <= target_p99_ms
+                    and summary["slo_attainment"] >= target_attainment
+                )
+                rows.append(
+                    {
+                        "chips": num_chips,
+                        "router": router,
+                        "policy": policy,
+                        "fleet_power_w": round(chip_power_w * num_chips, 3),
+                        "p99_ms": summary["p99_ms"],
+                        "slo_attainment": summary["slo_attainment"],
+                        "goodput_rps": summary["goodput_rps"],
+                        "utilization": summary["utilization"],
+                        "mean_batch": summary["mean_batch"],
+                        "energy_mj_per_request": summary["energy_mj_per_request"],
+                        "meets_target": meets,
+                    }
+                )
+    return annotate_pareto(rows, PLANNER_OBJECTIVES)
+
+
+def recommend(rows: Sequence[Mapping[str, object]]) -> dict | None:
+    """The cheapest plan row meeting its target, or ``None`` if none does.
+
+    Ties on fleet power break toward higher goodput, then fewer chips, then
+    row order — fully deterministic for a deterministic plan.
+    """
+    candidates = [dict(row) for row in rows if row.get("meets_target")]
+    if not candidates:
+        return None
+    return min(
+        candidates,
+        key=lambda row: (
+            row["fleet_power_w"],
+            -float(row["goodput_rps"]),
+            row.get("chips", 0),
+        ),
+    )

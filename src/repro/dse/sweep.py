@@ -1,0 +1,191 @@
+"""Design-space sweeps: every grid point through the backend protocol.
+
+:func:`sweep` expands a :class:`~repro.dse.grid.DesignSpace` into
+:class:`~repro.backends.registry.CustomSpec` backends, executes the
+requested workloads/batch sizes on each through a per-point
+:class:`~repro.backends.cache.ExecutionCache`, and returns JSON-clean rows
+(latency, throughput, energy per task, power, area, occupancy) annotated
+with a ``pareto`` column per ``(workload, batch)`` group.
+
+A :class:`DesignSpaceSweeper` owns the caches: repeated :func:`sweep` calls
+*within one process* that share a sweeper (growing a grid, adding batch
+sizes, sweeping several spaces over the same points) never re-simulate a
+``(design, workload, batch)`` point.  Across processes — e.g. consecutive
+``repro dse`` invocations — reuse comes from the engine's on-disk result
+cache instead.  Sweeps are fully deterministic: the models contain no
+randomness and rows come back in grid-expansion order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.backends.cache import ExecutionCache
+from repro.dse.frontier import Objective, pareto_frontier, parse_objectives
+from repro.dse.grid import (
+    DesignPoint,
+    DesignSpace,
+    axis_label,
+    format_axis_value,
+    get_design_space,
+)
+from repro.errors import DesignSpaceError
+from repro.workloads.registry import WORKLOAD_BUILDERS
+
+__all__ = ["DEFAULT_OBJECTIVES", "DesignSpaceSweeper", "sweep"]
+
+#: default hardware-sweep objectives: fast, efficient, small
+DEFAULT_OBJECTIVES: tuple[Objective, ...] = (
+    Objective("latency_ms", "min"),
+    Objective("energy_mj_per_task", "min"),
+    Objective("area_mm2", "min"),
+)
+
+
+def _resolve_space(space: DesignSpace | str) -> DesignSpace:
+    """Accept a design space or its registry name."""
+    if isinstance(space, DesignSpace):
+        return space
+    return get_design_space(space)
+
+
+def _resolve_objectives(
+    objectives: Sequence[Objective] | str | None,
+) -> tuple[Objective, ...]:
+    """Accept objective tuples or the CLI's ``key:sense,...`` string form."""
+    if objectives is None:
+        return DEFAULT_OBJECTIVES
+    if isinstance(objectives, str):
+        return parse_objectives(objectives)
+    return tuple(objectives)
+
+
+class DesignSpaceSweeper:
+    """Execution caches shared across sweep calls, one per design point.
+
+    Distinct design points are distinct backends, so they cannot share a
+    single :class:`ExecutionCache`; what *is* shared is the cache of each
+    point across workloads, batch sizes and repeated :func:`sweep` calls.
+    ``cached_reports`` counts distinct simulations actually performed —
+    tests use it to prove cache reuse.
+    """
+
+    def __init__(self, scheduler: str | None = None) -> None:
+        self.scheduler = scheduler
+        self._caches: dict[DesignPoint, ExecutionCache] = {}
+
+    def cache_for(self, point: DesignPoint) -> ExecutionCache:
+        """The (memoized) execution cache of one design point."""
+        if point not in self._caches:
+            self._caches[point] = ExecutionCache(
+                backend=point.spec(), scheduler=self.scheduler
+            )
+        return self._caches[point]
+
+    @property
+    def cached_reports(self) -> int:
+        """Distinct ``(design, workload, batch)`` simulations performed."""
+        return sum(cache.cached_reports for cache in self._caches.values())
+
+
+def _point_rows(
+    point: DesignPoint,
+    cache: ExecutionCache,
+    workloads: Sequence[str],
+    batch_sizes: Sequence[int],
+) -> list[dict]:
+    """Metric rows of one design point across workloads and batch sizes."""
+    backend = cache.backend
+    accelerator = backend.accelerator
+    area_mm2 = round(accelerator.area_mm2(), 3)
+    power_w = round(backend.power_watts, 3)
+    rows = []
+    for workload in workloads:
+        for batch in batch_sizes:
+            report = cache.report(workload, batch)
+            rows.append(
+                {
+                    "design": point.name,
+                    **{
+                        axis_label(key): _format(value)
+                        for key, value in point.params
+                    },
+                    "workload": workload,
+                    "batch": batch,
+                    "latency_ms": round(report.total_seconds * 1e3, 4),
+                    "throughput_tps": round(batch / report.total_seconds, 1),
+                    "energy_mj_per_task": round(
+                        report.energy_joules / batch * 1e3, 4
+                    ),
+                    "power_w": power_w,
+                    "area_mm2": area_mm2,
+                    "occupancy": round(report.array_occupancy or 0.0, 4),
+                }
+            )
+    return rows
+
+
+def _format(value: object) -> object:
+    """Axis values as table cells: booleans as ints, big floats G-scaled."""
+    if isinstance(value, (bool, float)):
+        return format_axis_value(value)
+    return value
+
+
+def sweep(
+    space: DesignSpace | str,
+    workloads: Sequence[str] = ("nvsa",),
+    batch_sizes: Sequence[int] = (1,),
+    scheduler: str | None = None,
+    smoke: bool = False,
+    objectives: Sequence[Objective] | str | None = None,
+    sweeper: DesignSpaceSweeper | None = None,
+) -> list[dict]:
+    """Sweep ``space`` and return pareto-annotated metric rows.
+
+    Every grid point executes every ``(workload, batch size)`` combination;
+    the ``pareto`` column marks designs that are non-dominated *within
+    their own (workload, batch) group* — comparing latencies across
+    different workloads would be meaningless.  Pass a shared ``sweeper`` to
+    reuse simulations across calls.
+    """
+    resolved_space = _resolve_space(space)
+    resolved_objectives = _resolve_objectives(objectives)
+    if not workloads:
+        raise DesignSpaceError("sweep needs at least one workload")
+    if len(set(workloads)) != len(tuple(workloads)):
+        raise DesignSpaceError(f"duplicate workloads in sweep: {list(workloads)}")
+    unknown = sorted(set(workloads) - set(WORKLOAD_BUILDERS))
+    if unknown:
+        raise DesignSpaceError(
+            f"unknown workload(s) {unknown}; known: {sorted(WORKLOAD_BUILDERS)}"
+        )
+    sizes = tuple(batch_sizes)
+    if not sizes:
+        raise DesignSpaceError("sweep needs at least one batch size")
+    if len(set(sizes)) != len(sizes):
+        raise DesignSpaceError(f"duplicate batch sizes in sweep: {list(sizes)}")
+    for size in sizes:
+        if size < 1:
+            raise DesignSpaceError(f"batch sizes must be positive, got {size}")
+    sweeper = sweeper or DesignSpaceSweeper(scheduler=scheduler)
+
+    rows: list[dict] = []
+    for point in resolved_space.points(smoke=smoke):
+        rows.extend(
+            _point_rows(point, sweeper.cache_for(point), workloads, sizes)
+        )
+    # Frontier membership is computed per (workload, batch) group, then the
+    # flag is attached in one pass so rows keep grid-expansion order.
+    frontier_ids: set[int] = set()
+    for workload in workloads:
+        for batch in sizes:
+            group = [
+                row
+                for row in rows
+                if row["workload"] == workload and row["batch"] == batch
+            ]
+            frontier_ids.update(
+                id(row) for row in pareto_frontier(group, resolved_objectives)
+            )
+    return [{**row, "pareto": id(row) in frontier_ids} for row in rows]

@@ -51,3 +51,7 @@ class TaskGenerationError(ReproError):
 
 class ServingError(ReproError):
     """Raised for invalid serving-simulator configurations or requests."""
+
+
+class DesignSpaceError(ReproError):
+    """Raised for invalid design-space grids, objectives or sweep requests."""

@@ -1,0 +1,128 @@
+"""Design-space exploration drivers: sweeps, frontiers, capacity plans.
+
+Three experiment families expose :mod:`repro.dse` through the registry and
+engine (so results are disk-cached, parallelizable and land in
+``EXPERIMENTS.md`` like every other experiment):
+
+* ``dse_sweep`` — one named design space, every grid point executed on the
+  requested workloads/batch sizes, rows pareto-annotated,
+* ``dse_frontier`` — the non-dominated subset only (the capacity argument
+  the paper makes with Fig. 19, generalized to a grid),
+* ``dse_capacity`` — the serving capacity planner: fleet size x router x
+  batching policy against a tail-latency target, with the recommended
+  (cheapest passing) configuration marked.
+
+Objectives are passed in the CLI string form (``"latency_ms:min,..."``) so
+the specs stay declaratively parameterized.
+"""
+
+from __future__ import annotations
+
+from repro.dse.frontier import format_objectives, parse_objectives
+from repro.dse.planner import plan_capacity, recommend
+from repro.dse.sweep import DEFAULT_OBJECTIVES, sweep
+from repro.errors import DesignSpaceError
+
+__all__ = [
+    "SWEEP_OBJECTIVES",
+    "design_space_sweep",
+    "design_frontier",
+    "capacity_plan",
+]
+
+#: default sweep objectives in their declarative (string) form
+SWEEP_OBJECTIVES = format_objectives(DEFAULT_OBJECTIVES)
+
+
+def _resolve_grid(grid: str) -> bool:
+    """Map the ``grid`` parameter (``full``/``smoke``) to the smoke flag."""
+    if grid not in ("full", "smoke"):
+        raise DesignSpaceError(f"grid must be 'full' or 'smoke', got '{grid}'")
+    return grid == "smoke"
+
+
+def design_space_sweep(
+    space: str = "pe_array",
+    workloads: tuple[str, ...] = ("nvsa",),
+    batch_sizes: tuple[int, ...] = (1, 8),
+    grid: str = "full",
+    objectives: str = SWEEP_OBJECTIVES,
+) -> list[dict]:
+    """Every grid point of ``space``, pareto-annotated per (workload, batch)."""
+    return sweep(
+        space,
+        workloads=workloads,
+        batch_sizes=batch_sizes,
+        smoke=_resolve_grid(grid),
+        objectives=objectives,
+    )
+
+
+def design_frontier(
+    space: str = "cogsys",
+    workloads: tuple[str, ...] = ("nvsa", "lvrf"),
+    batch_sizes: tuple[int, ...] = (1,),
+    grid: str = "full",
+    objectives: str = SWEEP_OBJECTIVES,
+) -> list[dict]:
+    """Only the non-dominated designs of ``space``, per (workload, batch).
+
+    The ``pareto`` column (always ``True`` here) is dropped in favour of an
+    ``objectives`` provenance column so the table records what the frontier
+    was computed over.
+    """
+    rows = sweep(
+        space,
+        workloads=workloads,
+        batch_sizes=batch_sizes,
+        smoke=_resolve_grid(grid),
+        objectives=objectives,
+    )
+    label = format_objectives(parse_objectives(objectives))
+    frontier = [
+        {**row, "objectives": label} for row in rows if row.pop("pareto")
+    ]
+    return frontier
+
+
+def capacity_plan(
+    offered_rps: float = 2000.0,
+    target_p99_ms: float = 5.0,
+    target_attainment: float = 0.99,
+    chip_counts: tuple[int, ...] = (1, 2, 4, 8),
+    routers: tuple[str, ...] = ("round_robin", "jsq"),
+    policies: tuple[str, ...] = ("none", "continuous"),
+    backend: str = "cogsys",
+    requests: int = 400,
+    max_batch_size: int = 8,
+    seed: int = 0,
+) -> list[dict]:
+    """Fleet capacity plan with the recommended configuration marked.
+
+    Rows come pareto-annotated over ``(fleet_power_w: min, goodput_rps:
+    max)`` — see :data:`repro.dse.planner.PLANNER_OBJECTIVES` — and carry a
+    ``recommended`` column marking the cheapest target-meeting row.
+    """
+    rows = plan_capacity(
+        offered_rps=offered_rps,
+        target_p99_ms=target_p99_ms,
+        target_attainment=target_attainment,
+        chip_counts=chip_counts,
+        routers=routers,
+        policies=policies,
+        backend=backend,
+        requests=requests,
+        max_batch_size=max_batch_size,
+        seed=seed,
+    )
+    best = recommend(rows)
+    chosen = (
+        (best["chips"], best["router"], best["policy"]) if best is not None else None
+    )
+    return [
+        {
+            **row,
+            "recommended": (row["chips"], row["router"], row["policy"]) == chosen,
+        }
+        for row in rows
+    ]

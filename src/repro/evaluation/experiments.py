@@ -4,9 +4,10 @@ The drivers themselves now live in five focused modules —
 :mod:`repro.evaluation.characterization` (Sec. III profiling),
 :mod:`repro.evaluation.accuracy_experiments` (algorithm optimizations),
 :mod:`repro.evaluation.hardware_experiments` (micro-benchmarks),
-:mod:`repro.evaluation.end_to_end` (full-system evaluation) and
-:mod:`repro.evaluation.serving_experiments` (request-level serving) — and are bound
-together by :mod:`repro.evaluation.registry`.  Prefer resolving drivers
+:mod:`repro.evaluation.end_to_end` (full-system evaluation),
+:mod:`repro.evaluation.serving_experiments` (request-level serving) and
+:mod:`repro.evaluation.dse_experiments` (design-space exploration) — and
+are bound together by :mod:`repro.evaluation.registry`.  Prefer resolving drivers
 through the registry (or the ``repro`` CLI / :mod:`repro.evaluation.engine`)
 in new code; this module only re-exports every driver under its historical
 name.  See the top-level ``README.md`` for the experiment index and
@@ -59,6 +60,11 @@ from repro.evaluation.serving_experiments import (
     latency_load_sweep,
     scenario_slo_matrix,
 )
+from repro.evaluation.dse_experiments import (
+    capacity_plan,
+    design_frontier,
+    design_space_sweep,
+)
 
 __all__ = [
     "characterization_runtime",
@@ -89,5 +95,8 @@ __all__ = [
     "fleet_scaling",
     "scenario_slo_matrix",
     "heterogeneous_fleet",
+    "design_space_sweep",
+    "design_frontier",
+    "capacity_plan",
     "task_accuracy_overview",
 ]

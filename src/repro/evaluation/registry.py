@@ -23,6 +23,7 @@ from repro.errors import ReproError
 from repro.evaluation import (
     accuracy_experiments,
     characterization,
+    dse_experiments,
     end_to_end,
     hardware_experiments,
     serving_experiments,
@@ -40,7 +41,9 @@ __all__ = [
 ]
 
 #: allowed values for :attr:`ExperimentSpec.tags`
-KNOWN_TAGS = frozenset({"characterization", "accuracy", "hardware", "e2e", "serving"})
+KNOWN_TAGS = frozenset(
+    {"characterization", "accuracy", "hardware", "e2e", "serving", "dse"}
+)
 
 #: allowed values in :attr:`ExperimentSpec.param_schema` — the labels the CLI
 #: uses to coerce ``--param key=value`` strings (see ``repro.cli``).
@@ -635,6 +638,93 @@ register(
             "symbolic-heavy workloads on the CogSys chips and sends the "
             "neural-heavy remainder to the GPU/edge pool; rows report "
             "per-backend utilization, latency and goodput."
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# Design-space exploration (beyond the paper: grids + Pareto frontiers)
+# ---------------------------------------------------------------------------
+register(
+    ExperimentSpec(
+        id="dse_sweep",
+        title="DSE — design-space sweep with Pareto annotation",
+        anchor="dse",
+        driver=dse_experiments.design_space_sweep,
+        tags=("dse", "hardware"),
+        param_schema={
+            "space": "str",
+            "workloads": "strs",
+            "batch_sizes": "ints",
+            "grid": "str",
+            "objectives": "str",
+        },
+        smoke_params={"grid": "smoke", "batch_sizes": (1,)},
+        paper_note=(
+            "Beyond the paper: every point of a named CogSysConfig grid "
+            "(see `repro dse list`) executed through the backend protocol; "
+            "`pareto` marks designs non-dominated on latency/energy/area "
+            "within their (workload, batch) group.  The taped-out 16-cell "
+            "512-PE configuration sits on the frontier, supporting the "
+            "paper's design choice."
+        ),
+    )
+)
+register(
+    ExperimentSpec(
+        id="dse_frontier",
+        title="DSE — Pareto frontier of the combined CogSys grid",
+        anchor="dse",
+        driver=dse_experiments.design_frontier,
+        tags=("dse", "hardware"),
+        param_schema={
+            "space": "str",
+            "workloads": "strs",
+            "batch_sizes": "ints",
+            "grid": "str",
+            "objectives": "str",
+        },
+        smoke_params={"grid": "smoke", "workloads": ("nvsa",)},
+        paper_note=(
+            "Beyond the paper: only the non-dominated designs of the "
+            "combined cells x SIMD x bandwidth x scale-out grid survive — "
+            "the menu a deployment picks from once dominated configurations "
+            "are discarded."
+        ),
+    )
+)
+register(
+    ExperimentSpec(
+        id="dse_capacity",
+        title="DSE — serving capacity plan (fleet size x router x batching)",
+        anchor="dse",
+        driver=dse_experiments.capacity_plan,
+        tags=("dse", "serving"),
+        param_schema={
+            "offered_rps": "float",
+            "target_p99_ms": "float",
+            "target_attainment": "float",
+            "chip_counts": "ints",
+            "routers": "strs",
+            "policies": "strs",
+            "backend": "str",
+            "requests": "int",
+            "max_batch_size": "int",
+            "seed": "int",
+        },
+        smoke_params={
+            "chip_counts": (1, 2),
+            "routers": ("jsq",),
+            "policies": ("continuous",),
+            "requests": 120,
+        },
+        report_params={"requests": 400},
+        paper_note=(
+            "Beyond the paper: one seeded request stream scored against "
+            "every fleet configuration; `meets_target` gates on the p99 "
+            "target and SLO attainment, `pareto` is computed over (fleet "
+            "power: min, goodput: max), and `recommended` marks the "
+            "cheapest passing plan."
         ),
     )
 )

@@ -4,8 +4,8 @@ The document is assembled straight from the experiment registry: one section
 per :class:`~repro.evaluation.registry.ExperimentSpec`, in registration
 (paper) order, each carrying the spec's paper note and the measured table
 rendered by :class:`~repro.evaluation.engine.ResultTable`.  ``repro report``
-(and the legacy ``scripts/generate_experiments.py`` wrapper) call
-:func:`write_report`.
+calls :func:`write_report`; CI regenerates the document and fails if it is
+not byte-identical to the checked-in copy.
 """
 
 from __future__ import annotations

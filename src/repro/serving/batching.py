@@ -89,6 +89,7 @@ class NoBatching(BatchingPolicy):
     name = "none"
 
     def select(self, queue, now_s):
+        """Ship the oldest queued request as a batch of one."""
         if not queue:
             return BatchDecision(batch=None)
         return BatchDecision(batch=[queue[0]])
@@ -114,6 +115,7 @@ class FixedSizeBatching(BatchingPolicy):
         self.max_wait_s = max_wait_s
 
     def select(self, queue, now_s):
+        """Dispatch the oldest full group, or a timed-out partial one."""
         if not queue:
             return BatchDecision(batch=None)
         groups = _groups(queue)
@@ -170,10 +172,12 @@ class ContinuousBatching(BatchingPolicy):
         self.max_batch_size = max_batch_size
 
     def _deadline(self, request: Request) -> float:
+        """Latest dispatch time that can still meet the request's SLO."""
         slo = self.slo_by_workload.get(request.workload, self.default_slo_s)
         return request.arrival_s + slo
 
     def select(self, queue, now_s):
+        """Dispatch the most deadline-urgent workload group, SLO permitting."""
         if not queue:
             return BatchDecision(batch=None)
         groups = _groups(queue)

@@ -105,7 +105,9 @@ class ChipView(Protocol):
     inflight: int
 
     @property
-    def queue_depth(self) -> int: ...
+    def queue_depth(self) -> int:
+        """Requests queued on the chip (excluding the executing batch)."""
+        ...
 
 
 def _pending(chip: ChipView) -> int:
@@ -132,6 +134,7 @@ class RoundRobinRouter(Router):
         self._next = 0
 
     def route(self, request, chips):
+        """The next chip in cyclic order, regardless of load."""
         chosen = self._next % len(chips)
         self._next += 1
         return chosen
@@ -143,6 +146,7 @@ class JoinShortestQueueRouter(Router):
     name = "jsq"
 
     def route(self, request, chips):
+        """The chip with the least pending work (lowest id breaks ties)."""
         return min(chips, key=lambda chip: (_pending(chip), chip.chip_id)).chip_id
 
 
@@ -171,6 +175,7 @@ class WorkloadAffinityRouter(Router):
             self.owners[name] = owned or (index % num_chips,)
 
     def route(self, request, chips):
+        """The least-loaded chip among the workload's shard owners."""
         try:
             owners = self.owners[request.workload]
         except KeyError:
@@ -228,6 +233,7 @@ class SymbolicAffinityRouter(Router):
             )
 
     def route(self, request, chips):
+        """The least-loaded chip of the workload's symbolic/neural pool."""
         owners = self.owners.get(request.workload)
         if owners is None:
             raise ServingError(

@@ -40,6 +40,7 @@ def percentile(values: Sequence[float], q: float) -> float:
 
 
 def _ms(seconds: float) -> float:
+    """Seconds to milliseconds (the tables' latency unit)."""
     return seconds * 1e3
 
 

@@ -60,6 +60,7 @@ class Scenario:
 
 
 def _steady_traffic(seed: int, load_scale: float, duration_scale: float):
+    """Constant Poisson load over a uniform workload mix."""
     mix = WorkloadMix.uniform(SERVED_WORKLOADS)
     return PoissonArrivals(2400.0 * load_scale, mix).generate(
         2.0 * duration_scale, seed=seed
@@ -67,6 +68,7 @@ def _steady_traffic(seed: int, load_scale: float, duration_scale: float):
 
 
 def _diurnal_traffic(seed: int, load_scale: float, duration_scale: float):
+    """Low/peak/low daily curve from chained Poisson segments."""
     mix = WorkloadMix.uniform(SERVED_WORKLOADS)
     segments = [
         (PoissonArrivals(400.0 * load_scale, mix), 0.6 * duration_scale),
@@ -77,6 +79,7 @@ def _diurnal_traffic(seed: int, load_scale: float, duration_scale: float):
 
 
 def _flash_crowd_traffic(seed: int, load_scale: float, duration_scale: float):
+    """Bursty MMPP stream with a 13x burst-to-quiet rate ratio."""
     mix = WorkloadMix.uniform(SERVED_WORKLOADS)
     process = MMPPArrivals(
         normal_rate_rps=300.0 * load_scale,
@@ -89,6 +92,7 @@ def _flash_crowd_traffic(seed: int, load_scale: float, duration_scale: float):
 
 
 def _mixed_workload_traffic(seed: int, load_scale: float, duration_scale: float):
+    """70% NVSA hot spot over a light background mix."""
     # 70 % NVSA hot spot over a light background of the other workloads.
     mix = WorkloadMix({"nvsa": 0.7, "mimonet": 0.1, "lvrf": 0.1, "prae": 0.1})
     return PoissonArrivals(1200.0 * load_scale, mix).generate(

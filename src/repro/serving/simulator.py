@@ -129,6 +129,7 @@ class _Chip:
 
     @property
     def queue_depth(self) -> int:
+        """Requests queued on this chip (excluding the executing batch)."""
         return len(self.queue)
 
 

@@ -114,6 +114,7 @@ class ArrivalProcess:
         start_s: float,
         start_id: int,
     ) -> list[Request]:
+        """Subclass hook producing the (possibly unsorted) raw arrivals."""
         raise NotImplementedError
 
 
@@ -127,6 +128,7 @@ class PoissonArrivals(ArrivalProcess):
         self.mix = mix
 
     def _generate(self, duration_s, rng, start_s, start_id):
+        """Exponential inter-arrival times, workloads sampled per request."""
         requests = []
         clock = start_s
         horizon = start_s + duration_s
@@ -167,6 +169,7 @@ class MMPPArrivals(ArrivalProcess):
         self.mix = mix
 
     def _generate(self, duration_s, rng, start_s, start_id):
+        """Two-state MMPP: alternate normal/burst dwells, Poisson within."""
         requests = []
         clock = start_s
         horizon = start_s + duration_s
@@ -209,6 +212,7 @@ class TraceArrivals(ArrivalProcess):
         )
 
     def _generate(self, duration_s, rng, start_s, start_id):
+        """Replay the trace entries that fall inside the window."""
         horizon = start_s + duration_s
         return [
             Request(start_id + index, workload, arrival)

@@ -1,0 +1,148 @@
+"""Tests for Pareto dominance and frontier reduction (incl. property tests)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse import (
+    Objective,
+    annotate_pareto,
+    dominates,
+    format_objectives,
+    pareto_frontier,
+    parse_objectives,
+)
+from repro.errors import DesignSpaceError
+
+MIN_MIN = (Objective("x", "min"), Objective("y", "min"))
+
+
+class TestObjective:
+    def test_invalid_sense_rejected(self):
+        with pytest.raises(DesignSpaceError, match="unknown sense"):
+            Objective("x", "maximize")
+
+    def test_missing_and_non_numeric_keys_raise(self):
+        objective = Objective("x")
+        with pytest.raises(DesignSpaceError, match="missing objective key"):
+            objective.value({"y": 1.0})
+        with pytest.raises(DesignSpaceError, match="not numeric"):
+            objective.value({"x": "fast"})
+
+
+class TestParseObjectives:
+    def test_round_trip(self):
+        objectives = parse_objectives("latency_ms:min, goodput_rps:max")
+        assert objectives == (
+            Objective("latency_ms", "min"),
+            Objective("goodput_rps", "max"),
+        )
+        assert format_objectives(objectives) == "latency_ms:min,goodput_rps:max"
+
+    def test_sense_defaults_to_min(self):
+        assert parse_objectives("latency_ms") == (Objective("latency_ms", "min"),)
+
+    def test_empty_and_duplicate_rejected(self):
+        with pytest.raises(DesignSpaceError, match="no objectives"):
+            parse_objectives(" , ")
+        with pytest.raises(DesignSpaceError, match="duplicate objective"):
+            parse_objectives("x:min,x:max")
+
+
+class TestDominates:
+    def test_strictly_better_on_one_axis(self):
+        assert dominates({"x": 1, "y": 1}, {"x": 2, "y": 1}, MIN_MIN)
+
+    def test_identical_rows_do_not_dominate(self):
+        row = {"x": 1, "y": 1}
+        assert not dominates(row, dict(row), MIN_MIN)
+
+    def test_tradeoff_rows_do_not_dominate(self):
+        assert not dominates({"x": 1, "y": 2}, {"x": 2, "y": 1}, MIN_MIN)
+        assert not dominates({"x": 2, "y": 1}, {"x": 1, "y": 2}, MIN_MIN)
+
+    def test_max_sense_flips_direction(self):
+        objectives = (Objective("throughput", "max"),)
+        assert dominates({"throughput": 2}, {"throughput": 1}, objectives)
+        assert not dominates({"throughput": 1}, {"throughput": 2}, objectives)
+
+    def test_no_objectives_rejected(self):
+        with pytest.raises(DesignSpaceError, match="at least one objective"):
+            dominates({"x": 1}, {"x": 2}, ())
+
+
+class TestFrontier:
+    def test_known_frontier(self):
+        rows = [
+            {"x": 1.0, "y": 3.0},  # frontier
+            {"x": 2.0, "y": 2.0},  # frontier
+            {"x": 3.0, "y": 1.0},  # frontier
+            {"x": 3.0, "y": 3.0},  # dominated by (1,3)/(2,2)/(3,1)
+        ]
+        assert pareto_frontier(rows, MIN_MIN) == rows[:3]
+
+    def test_exact_ties_both_survive(self):
+        rows = [{"x": 1.0}, {"x": 1.0}, {"x": 2.0}]
+        assert pareto_frontier(rows, (Objective("x"),)) == rows[:2]
+
+    def test_annotate_preserves_order_and_flags(self):
+        rows = [{"x": 2.0}, {"x": 1.0}]
+        annotated = annotate_pareto(rows, (Objective("x"),))
+        assert [row["x"] for row in annotated] == [2.0, 1.0]
+        assert [row["pareto"] for row in annotated] == [False, True]
+
+
+# -- property tests: the acceptance-level non-dominance guarantee -------------
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+row_lists = st.lists(
+    st.fixed_dictionaries({"x": finite, "y": finite, "z": finite}),
+    min_size=1,
+    max_size=24,
+)
+objective_sets = st.lists(
+    st.sampled_from(
+        [Objective("x", "min"), Objective("y", "max"), Objective("z", "min")]
+    ),
+    min_size=1,
+    max_size=3,
+    unique_by=lambda objective: objective.key,
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(rows=row_lists, objectives=objective_sets)
+def test_frontier_points_are_never_dominated(rows, objectives):
+    """No row in the frontier is dominated by any row of the input."""
+    frontier = pareto_frontier(rows, objectives)
+    assert frontier, "a non-empty row set always has a non-dominated point"
+    for member in frontier:
+        assert not any(dominates(row, member, objectives) for row in rows)
+
+
+@settings(max_examples=120, deadline=None)
+@given(rows=row_lists, objectives=objective_sets)
+def test_dominated_rows_are_dominated_by_a_frontier_member(rows, objectives):
+    """Every excluded row is dominated by at least one frontier member."""
+    frontier = pareto_frontier(rows, objectives)
+    frontier_ids = {id(row) for row in frontier}
+    for row in rows:
+        if id(row) not in frontier_ids:
+            assert any(dominates(member, row, objectives) for member in frontier)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=row_lists, objectives=objective_sets)
+def test_annotate_matches_frontier_membership(rows, objectives):
+    """``annotate_pareto`` flags exactly the frontier rows, in input order."""
+    annotated = annotate_pareto(rows, objectives)
+    frontier = pareto_frontier(rows, objectives)
+    assert [row for row in annotated if row["pareto"]] == [
+        {**row, "pareto": True} for row in frontier
+    ]
+    assert [
+        {key: value for key, value in row.items() if key != "pareto"}
+        for row in annotated
+    ] == rows

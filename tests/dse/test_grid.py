@@ -1,0 +1,136 @@
+"""Tests for design-space grids and CustomSpec expansion."""
+
+import pytest
+
+from repro.backends import get_backend
+from repro.dse import (
+    DESIGN_SPACES,
+    Axis,
+    DesignPoint,
+    DesignSpace,
+    describe_design_spaces,
+    design_space_names,
+    expand_grid,
+    format_axis_value,
+    get_design_space,
+)
+from repro.errors import DesignSpaceError
+from repro.workloads import build_workload
+
+
+class TestAxis:
+    def test_unknown_axis_name_rejected(self):
+        with pytest.raises(DesignSpaceError, match="unknown design axis"):
+            Axis("warp_size", (32, 64))
+
+    def test_empty_and_duplicate_values_rejected(self):
+        with pytest.raises(DesignSpaceError, match="no values"):
+            Axis("num_cells", ())
+        with pytest.raises(DesignSpaceError, match="repeats"):
+            Axis("num_cells", (8, 8))
+
+    def test_switch_axes_allowed(self):
+        assert Axis("scale_out", (True, False)).label == "so"
+        assert Axis("reconfigurable_symbolic", (True, False)).label == "nspe"
+
+
+class TestExpandGrid:
+    def test_cartesian_product_order(self):
+        grid = expand_grid(
+            (Axis("num_cells", (8, 16)), Axis("simd_pes", (256, 512)))
+        )
+        assert grid == [
+            {"num_cells": 8, "simd_pes": 256},
+            {"num_cells": 8, "simd_pes": 512},
+            {"num_cells": 16, "simd_pes": 256},
+            {"num_cells": 16, "simd_pes": 512},
+        ]
+
+    def test_empty_and_duplicate_axes_rejected(self):
+        with pytest.raises(DesignSpaceError, match="empty axis list"):
+            expand_grid(())
+        with pytest.raises(DesignSpaceError, match="duplicate axes"):
+            expand_grid((Axis("num_cells", (8,)), Axis("num_cells", (16,))))
+
+
+class TestFormatAxisValue:
+    @pytest.mark.parametrize(
+        ("value", "expected"),
+        [
+            (True, "1"),
+            (False, "0"),
+            (700e9, "700G"),
+            (0.8e9, "0.8G"),
+            (4_000_000.0, "4M"),
+            (512, "512"),
+            (0.5, "0.5"),
+        ],
+    )
+    def test_compact_rendering(self, value, expected):
+        assert format_axis_value(value) == expected
+
+
+class TestDesignPoint:
+    def test_name_is_deterministic_and_compact(self):
+        point = DesignPoint.from_params(
+            "cogsys",
+            {"num_cells": 16, "dram_bandwidth_bytes_per_s": 700e9, "scale_out": True},
+        )
+        assert point.name == "cells16-bw700G-so1"
+
+    def test_spec_builds_working_backend(self):
+        point = DesignPoint.from_params(
+            "pe_array", {"num_cells": 8, "simd_pes": 256, "scale_out": False}
+        )
+        backend = get_backend(point.spec())
+        assert backend.name == "pe_array:cells8-simd256-so0"
+        assert backend.accelerator.config.num_cells == 8
+        assert backend.accelerator.config.simd_pes == 256
+        assert backend.accelerator.scale_out is False
+        report = backend.execute(build_workload("nvsa", num_tasks=1))
+        assert report.total_seconds > 0
+
+
+class TestDesignSpace:
+    def test_smoke_axes_must_subset_full_axes(self):
+        with pytest.raises(DesignSpaceError, match="smoke axes"):
+            DesignSpace(
+                name="bad",
+                description="",
+                axes=(Axis("num_cells", (8, 16)),),
+                smoke_axes=(Axis("simd_pes", (512,)),),
+            )
+
+    def test_points_match_num_points(self):
+        for space in DESIGN_SPACES.values():
+            for smoke in (False, True):
+                points = space.points(smoke=smoke)
+                assert len(points) == space.num_points(smoke=smoke)
+                assert len({point.name for point in points}) == len(points)
+
+    def test_every_builtin_point_expands_to_a_custom_spec(self):
+        for space in DESIGN_SPACES.values():
+            for point in space.points(smoke=True):
+                spec = point.spec()
+                assert spec.cogsys_config is not None
+                assert spec.name == f"{space.name}:{point.name}"
+
+    def test_smoke_grids_are_small(self):
+        for space in DESIGN_SPACES.values():
+            assert space.num_points(smoke=True) <= 8
+            assert space.num_points(smoke=True) <= space.num_points()
+
+
+class TestRegistry:
+    def test_lookup_and_names(self):
+        assert set(design_space_names()) == set(DESIGN_SPACES)
+        assert get_design_space("pe_array") is DESIGN_SPACES["pe_array"]
+        with pytest.raises(DesignSpaceError, match="unknown design space"):
+            get_design_space("nope")
+
+    def test_describe_rows_are_json_clean(self):
+        import json
+
+        rows = describe_design_spaces()
+        assert [row["space"] for row in rows] == list(DESIGN_SPACES)
+        json.dumps(rows)  # must not raise

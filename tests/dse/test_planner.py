@@ -1,0 +1,102 @@
+"""Tests for the serving capacity planner."""
+
+import pytest
+
+from repro.dse import PLANNER_OBJECTIVES, dominates, plan_capacity, recommend
+from repro.errors import DesignSpaceError
+
+SMOKE = dict(
+    chip_counts=(1, 2),
+    routers=("jsq",),
+    policies=("none", "continuous"),
+    requests=120,
+)
+
+
+@pytest.fixture(scope="module")
+def plan_rows():
+    """One shared smoke-scale capacity plan."""
+    return plan_capacity(**SMOKE)
+
+
+class TestPlanRows:
+    def test_covers_the_whole_configuration_grid(self, plan_rows):
+        configs = {(row["chips"], row["router"], row["policy"]) for row in plan_rows}
+        assert configs == {
+            (chips, "jsq", policy)
+            for chips in (1, 2)
+            for policy in ("none", "continuous")
+        }
+
+    def test_fleet_power_scales_with_chips(self, plan_rows):
+        by_chips = {row["chips"]: row["fleet_power_w"] for row in plan_rows}
+        assert by_chips[2] == pytest.approx(2 * by_chips[1])
+
+    def test_meets_target_consistent_with_metrics(self, plan_rows):
+        for row in plan_rows:
+            expected = row["p99_ms"] <= 5.0 and row["slo_attainment"] >= 0.99
+            assert row["meets_target"] == expected
+
+    def test_pareto_rows_non_dominated(self, plan_rows):
+        for row in plan_rows:
+            if row["pareto"]:
+                assert not any(
+                    dominates(other, row, PLANNER_OBJECTIVES)
+                    for other in plan_rows
+                )
+
+    def test_determinism(self, plan_rows):
+        assert plan_capacity(**SMOKE) == plan_rows
+
+
+class TestRecommend:
+    def test_cheapest_passing_config_wins(self, plan_rows):
+        best = recommend(plan_rows)
+        meeting = [row for row in plan_rows if row["meets_target"]]
+        assert meeting and best is not None
+        assert best["fleet_power_w"] == min(row["fleet_power_w"] for row in meeting)
+
+    def test_impossible_target_recommends_nothing(self):
+        rows = plan_capacity(target_p99_ms=1e-6, **SMOKE)
+        assert all(not row["meets_target"] for row in rows)
+        assert recommend(rows) is None
+
+    def test_recommend_on_empty_rows(self):
+        assert recommend([]) is None
+
+    def test_empty_traffic_draw_is_a_typed_error(self):
+        # requests=1 with this seed draws zero Poisson arrivals; the planner
+        # must name the bad parameters instead of crashing in the simulator.
+        with pytest.raises(DesignSpaceError, match="produced no requests"):
+            plan_capacity(
+                chip_counts=(1,), routers=("jsq",), policies=("none",),
+                requests=1, seed=1,
+            )
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        ("kwargs", "match"),
+        [
+            (dict(offered_rps=0), "offered_rps"),
+            (dict(target_p99_ms=0), "target_p99_ms"),
+            (dict(target_attainment=0), "target_attainment"),
+            (dict(requests=0), "requests"),
+            (dict(chip_counts=()), "at least one"),
+            (dict(chip_counts=(0,)), "chip counts"),
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs, match):
+        merged = {**SMOKE, **kwargs}
+        with pytest.raises(DesignSpaceError, match=match):
+            plan_capacity(**merged)
+
+
+class TestCapacityPlanDriver:
+    def test_recommended_column_marks_single_row(self):
+        from repro.evaluation.dse_experiments import capacity_plan
+
+        rows = capacity_plan(**SMOKE)
+        recommended = [row for row in rows if row["recommended"]]
+        assert len(recommended) == 1
+        assert recommended[0]["meets_target"]

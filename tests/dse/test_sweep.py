@@ -1,0 +1,164 @@
+"""Tests for design-space sweeps: determinism, cache reuse, pareto groups."""
+
+import pytest
+
+from repro.dse import (
+    DEFAULT_OBJECTIVES,
+    DesignSpaceSweeper,
+    dominates,
+    get_design_space,
+    sweep,
+)
+from repro.errors import DesignSpaceError
+
+EXPECTED_COLUMNS = {
+    "design",
+    "workload",
+    "batch",
+    "latency_ms",
+    "throughput_tps",
+    "energy_mj_per_task",
+    "power_w",
+    "area_mm2",
+    "occupancy",
+    "pareto",
+}
+
+
+@pytest.fixture(scope="module")
+def smoke_rows():
+    """One shared smoke sweep (pe_array, nvsa, batches 1+4)."""
+    return sweep("pe_array", workloads=("nvsa",), batch_sizes=(1, 4), smoke=True)
+
+
+class TestSweepRows:
+    def test_row_count_and_columns(self, smoke_rows):
+        space = get_design_space("pe_array")
+        assert len(smoke_rows) == space.num_points(smoke=True) * 2
+        for row in smoke_rows:
+            assert EXPECTED_COLUMNS <= set(row)
+
+    def test_rows_in_grid_expansion_order(self, smoke_rows):
+        space = get_design_space("pe_array")
+        expected = [
+            (point.name, batch)
+            for point in space.points(smoke=True)
+            for batch in (1, 4)
+        ]
+        assert [(row["design"], row["batch"]) for row in smoke_rows] == expected
+
+    def test_pareto_annotation_is_per_group(self, smoke_rows):
+        for batch in (1, 4):
+            group = [row for row in smoke_rows if row["batch"] == batch]
+            frontier = [row for row in group if row["pareto"]]
+            assert frontier, "every group keeps at least one non-dominated design"
+            for row in frontier:
+                assert not any(
+                    dominates(other, row, DEFAULT_OBJECTIVES) for other in group
+                )
+            for row in group:
+                if not row["pareto"]:
+                    assert any(
+                        dominates(other, row, DEFAULT_OBJECTIVES) for other in group
+                    )
+
+    def test_batching_amortizes_energy(self, smoke_rows):
+        by_design: dict[str, dict[int, dict]] = {}
+        for row in smoke_rows:
+            by_design.setdefault(row["design"], {})[row["batch"]] = row
+        for batches in by_design.values():
+            assert (
+                batches[4]["energy_mj_per_task"] <= batches[1]["energy_mj_per_task"]
+            )
+
+    def test_determinism(self, smoke_rows):
+        again = sweep("pe_array", workloads=("nvsa",), batch_sizes=(1, 4), smoke=True)
+        assert again == smoke_rows
+
+
+class TestSweepValidation:
+    def test_unknown_space_workload_and_bad_batches(self):
+        with pytest.raises(DesignSpaceError, match="unknown design space"):
+            sweep("nope", smoke=True)
+        with pytest.raises(DesignSpaceError, match="unknown workload"):
+            sweep("pe_array", workloads=("resnet",), smoke=True)
+        with pytest.raises(DesignSpaceError, match="batch sizes must be positive"):
+            sweep("pe_array", batch_sizes=(0,), smoke=True)
+        with pytest.raises(DesignSpaceError, match="at least one workload"):
+            sweep("pe_array", workloads=(), smoke=True)
+        with pytest.raises(DesignSpaceError, match="at least one batch size"):
+            sweep("pe_array", batch_sizes=(), smoke=True)
+
+    def test_duplicate_workloads_and_batches_rejected(self):
+        # Silent duplicates would double every row in the output tables.
+        with pytest.raises(DesignSpaceError, match="duplicate workloads"):
+            sweep("pe_array", workloads=("nvsa", "nvsa"), smoke=True)
+        with pytest.raises(DesignSpaceError, match="duplicate batch sizes"):
+            sweep("pe_array", batch_sizes=(1, 1), smoke=True)
+
+
+class TestCacheReuse:
+    def test_shared_sweeper_never_resimulates(self):
+        sweeper = DesignSpaceSweeper()
+        first = sweep(
+            "pe_array", workloads=("nvsa",), batch_sizes=(1,), smoke=True,
+            sweeper=sweeper,
+        )
+        simulated = sweeper.cached_reports
+        assert simulated == len(first)
+        second = sweep(
+            "pe_array", workloads=("nvsa",), batch_sizes=(1,), smoke=True,
+            sweeper=sweeper,
+        )
+        assert second == first
+        assert sweeper.cached_reports == simulated  # pure cache hits
+
+    def test_sweeper_extends_incrementally(self):
+        sweeper = DesignSpaceSweeper()
+        sweep(
+            "pe_array", workloads=("nvsa",), batch_sizes=(1,), smoke=True,
+            sweeper=sweeper,
+        )
+        baseline = sweeper.cached_reports
+        # A second batch size only adds the new (design, workload, batch)
+        # points; the batch-1 reports are reused.
+        sweep(
+            "pe_array", workloads=("nvsa",), batch_sizes=(1, 2), smoke=True,
+            sweeper=sweeper,
+        )
+        assert sweeper.cached_reports == 2 * baseline
+
+    def test_scheduler_threads_through(self):
+        adaptive = sweep(
+            "frequency", workloads=("nvsa",), batch_sizes=(1,), smoke=True
+        )
+        sequential = sweep(
+            "frequency", workloads=("nvsa",), batch_sizes=(1,), smoke=True,
+            scheduler="sequential",
+        )
+        assert all(
+            seq["latency_ms"] >= ada["latency_ms"]
+            for seq, ada in zip(sequential, adaptive)
+        )
+
+
+class TestEngineIntegration:
+    def test_dse_sweep_spec_caches_byte_identically(self, tmp_path):
+        from repro.evaluation import engine
+
+        cold = engine.run(
+            "dse_sweep", cache_dir=tmp_path, grid="smoke", batch_sizes=(1,)
+        )
+        assert cold.provenance["cache"] == "miss"
+        warm = engine.run(
+            "dse_sweep", cache_dir=tmp_path, grid="smoke", batch_sizes=(1,)
+        )
+        assert warm.provenance["cache"] == "hit"
+        assert warm.rows == cold.rows
+        assert warm.to_markdown() == cold.to_markdown()
+
+    def test_grid_parameter_validated(self):
+        from repro.evaluation import engine
+
+        with pytest.raises(DesignSpaceError, match="grid must be"):
+            engine.run("dse_sweep", use_cache=False, grid="huge")

@@ -240,9 +240,10 @@ class TestServe:
             "serve", "--smoke", "--cache-dir", str(tmp_path), "--format", "json",
         ]) == 0
         payload = json.loads(capsys.readouterr().out)
+        # Every spec tagged "serving", incl. the DSE capacity planner.
         assert [entry["experiment"] for entry in payload] == [
             "serve_load", "serve_batch", "serve_fleet", "serve_scenarios",
-            "serve_hetero",
+            "serve_hetero", "dse_capacity",
         ]
 
 

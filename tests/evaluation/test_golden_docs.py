@@ -1,0 +1,85 @@
+"""Golden-file snapshot tests for docs-facing CLI output.
+
+``repro backends`` (the listing and a single-backend describe) and
+``repro report --smoke`` feed documentation directly — README tables,
+EXPERIMENTS.md and the CI gates are downstream of them — so their exact
+rendering is pinned to golden files under ``tests/evaluation/golden/``.
+A deliberate change regenerates them with::
+
+    UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/evaluation/test_golden_docs.py
+
+and the diff lands in review like any other code change.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.evaluation.registry import all_specs
+from repro.evaluation.report import _HEADER, build_report
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _assert_matches_golden(name: str, actual: str) -> None:
+    """Compare against (or, under UPDATE_GOLDEN=1, rewrite) a golden file."""
+    path = GOLDEN_DIR / name
+    if os.environ.get("UPDATE_GOLDEN"):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(actual)
+    assert path.is_file(), (
+        f"golden file {path} missing; regenerate with UPDATE_GOLDEN=1"
+    )
+    expected = path.read_text()
+    assert actual == expected, (
+        f"{name} drifted from its golden snapshot; if the change is "
+        f"intentional, regenerate with UPDATE_GOLDEN=1"
+    )
+
+
+class TestBackendsGolden:
+    def test_backends_listing_markdown(self, capsys):
+        assert main(["backends"]) == 0
+        _assert_matches_golden("backends_list.md", capsys.readouterr().out)
+
+    def test_backends_describe_cogsys_markdown(self, capsys):
+        assert main(["backends", "cogsys"]) == 0
+        _assert_matches_golden("backends_describe_cogsys.md", capsys.readouterr().out)
+
+
+class TestReportGolden:
+    def test_smoke_report_markdown(self, session_cache_dir):
+        """The full smoke-scale report renders byte-identically.
+
+        Uses the session-shared result cache, so the heavy drivers run at
+        most once per test session regardless of test order.
+        """
+        document = build_report(smoke=True, cache_dir=session_cache_dir)
+        _assert_matches_golden("report_smoke.md", document)
+
+
+class TestCheckedInReportStructure:
+    """Cheap guards that EXPERIMENTS.md tracks the registry (full regen is CI's job)."""
+
+    @pytest.fixture(scope="class")
+    def experiments_md(self):
+        """The checked-in paper-vs-measured document."""
+        return (Path(__file__).parents[2] / "EXPERIMENTS.md").read_text()
+
+    def test_header_matches_report_builder(self, experiments_md):
+        assert experiments_md.startswith(_HEADER)
+
+    def test_one_section_per_registered_spec_in_order(self, experiments_md):
+        sections = [
+            line[3:]
+            for line in experiments_md.splitlines()
+            if line.startswith("## ")
+        ]
+        assert sections == [spec.title for spec in all_specs()]
+
+    def test_paper_notes_present(self, experiments_md):
+        for spec in all_specs():
+            if spec.paper_note:
+                assert spec.paper_note in experiments_md, spec.id

@@ -37,8 +37,8 @@ class TestRegistryCompleteness:
         assert len(ids) == len(set(ids))
         for spec in all_specs():
             # Paper anchors (fig/tab + number) plus the beyond-the-paper
-            # serving experiment family.
-            assert re.fullmatch(r"(fig|tab)\d{2}|serving", spec.anchor), spec.anchor
+            # serving and design-space-exploration experiment families.
+            assert re.fullmatch(r"(fig|tab)\d{2}|serving|dse", spec.anchor), spec.anchor
             assert spec.title
             assert spec.tags
 
@@ -50,7 +50,7 @@ class TestRegistryCompleteness:
     def test_specs_by_tag_partitions_registry(self):
         tagged = {spec.id
                   for tag in ("characterization", "accuracy", "hardware", "e2e",
-                              "serving")
+                              "serving", "dse")
                   for spec in specs_by_tag(tag)}
         assert tagged == set(EXPERIMENTS)
 
