@@ -11,3 +11,11 @@ from pathlib import Path
 _SRC = Path(__file__).parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+
+def pytest_configure(config):
+    """Register repo-local markers (``-m "not slow"`` skips the big ones)."""
+    config.addinivalue_line(
+        "markers",
+        "slow: scale acceptance tests (e.g. the million-request trace replay)",
+    )

@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Gate the serving event core's throughput against its recorded baseline.
+
+Runs the :data:`repro.serving.benchmark.THROUGHPUT_SUITE` and compares the
+live numbers with ``benchmarks/BENCH_serving.json``:
+
+* **Regression gate** (the CI purpose): every case must reach at least
+  ``1 - tolerance`` (default 25 %) of its recorded post-refactor
+  throughput, after scaling the recording by the live/recorded
+  calibration ratio so machine speed differences cancel out.
+* **Speedup floor**: the geometric-mean speedup over the recorded
+  *legacy* (pre-refactor) numbers must stay at or above ``--min-speedup``
+  (default 5x) — the PR 5 acceptance bar, kept as a standing guarantee.
+
+Usage::
+
+    python scripts/check_serving_throughput.py            # gate (CI)
+    python scripts/check_serving_throughput.py --record   # refresh baseline
+
+``--record`` re-measures and rewrites the ``current`` section (the legacy
+section is a frozen capture of commit 07b27c3 and is never touched).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serving.benchmark import (  # noqa: E402  (path bootstrap above)
+    calibration_ops_per_s,
+    geometric_mean,
+    measure_suite,
+)
+
+BASELINE_PATH = REPO_ROOT / "benchmarks" / "BENCH_serving.json"
+
+
+def _load_baseline() -> dict:
+    try:
+        return json.loads(BASELINE_PATH.read_text())
+    except FileNotFoundError:
+        raise SystemExit(
+            f"missing {BASELINE_PATH}; record one with --record"
+        ) from None
+
+
+def _record(baseline: dict, repeats: int) -> int:
+    calibration = calibration_ops_per_s()
+    rows = measure_suite(repeats=repeats)
+    baseline["current"] = {
+        "calibration_ops_per_s": round(calibration, 1),
+        "cases": {row["label"]: row for row in rows},
+    }
+    BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+    for row in rows:
+        print(f"  {row['label']}: {row['requests_per_s']:,.0f} req/s")
+    print(f"recorded {len(rows)} cases -> {BASELINE_PATH}")
+    return 0
+
+
+def _check(baseline: dict, repeats: int, tolerance: float, min_speedup: float) -> int:
+    current = baseline.get("current")
+    legacy = baseline.get("legacy")
+    if not current or not legacy:
+        raise SystemExit(
+            f"{BASELINE_PATH} lacks the current/legacy sections; "
+            "record with --record"
+        )
+    live_calibration = calibration_ops_per_s()
+    scale_current = live_calibration / current["calibration_ops_per_s"]
+    scale_legacy = live_calibration / legacy["calibration_ops_per_s"]
+    print(
+        f"calibration: live {live_calibration:,.0f} ops/s "
+        f"(recorded current x{scale_current:.2f}, legacy x{scale_legacy:.2f})"
+    )
+
+    rows = measure_suite(repeats=repeats)
+    failures = []
+    speedups = []
+    for row in rows:
+        label = row["label"]
+        live = row["requests_per_s"]
+        recorded = current["cases"][label]["requests_per_s"] * scale_current
+        floor = recorded * (1.0 - tolerance)
+        legacy_rps = legacy["cases"][label]["requests_per_s"] * scale_legacy
+        speedup = live / legacy_rps
+        speedups.append(speedup)
+        verdict = "ok" if live >= floor else "REGRESSION"
+        print(
+            f"  {label}: {live:,.0f} req/s "
+            f"(floor {floor:,.0f}, {speedup:.1f}x legacy) {verdict}"
+        )
+        if live < floor:
+            failures.append(
+                f"{label}: {live:,.0f} req/s is below the {tolerance:.0%} "
+                f"regression floor ({floor:,.0f} req/s)"
+            )
+    mean_speedup = geometric_mean(speedups)
+    print(f"geomean speedup vs legacy event core: {mean_speedup:.2f}x")
+    if mean_speedup < min_speedup:
+        failures.append(
+            f"geomean speedup {mean_speedup:.2f}x fell below the "
+            f"{min_speedup:.1f}x floor"
+        )
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("throughput gate passed")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--record", action="store_true",
+                        help="re-measure and rewrite the 'current' baseline")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repetitions per case (best-of)")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed per-case regression fraction")
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="geomean speedup floor vs the legacy core")
+    args = parser.parse_args(argv)
+    baseline = _load_baseline()
+    if args.record:
+        return _record(baseline, args.repeats)
+    return _check(baseline, args.repeats, args.tolerance, args.min_speedup)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

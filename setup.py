@@ -31,7 +31,12 @@ setup(
     python_requires=">=3.10",
     install_requires=["numpy>=1.24"],
     extras_require={
-        "test": ["pytest>=7", "pytest-benchmark>=4", "hypothesis>=6"],
+        "test": [
+            "pytest>=7",
+            "pytest-benchmark>=4",
+            "pytest-cov>=4",
+            "hypothesis>=6",
+        ],
     },
     entry_points={
         "console_scripts": ["repro=repro.cli:main"],

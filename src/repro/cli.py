@@ -14,10 +14,15 @@ Installed as a console script (see ``setup.py``) and runnable as
     Regenerate the paper-vs-measured document from the registry.
 ``repro serve SCENARIO [--seed N] [--chips N] [--router R] [--policy P]
 [--backend B[,B...]] [--load-scale X] [--duration-scale X]`` /
+``repro serve SCENARIO --record FILE`` / ``repro serve --trace FILE`` /
 ``repro serve --list`` / ``repro serve --smoke``
     Run a serving scenario preset (or every serving experiment at smoke
     scale) through the request-level simulator; ``--backend`` builds a
     (possibly heterogeneous) fleet from registry backend names.
+    ``--record`` writes the scenario's traffic to a JSONL request trace
+    instead of serving it; ``--trace`` streams a recorded trace through
+    the bounded-memory event core (fleet flags apply, ``--slo-ms`` sets
+    the report's SLO).
 ``repro backends [NAME] [--format md|json]``
     List every registered backend, or describe one by name.
 ``repro cache [info|stats|clear] [--stats]``
@@ -239,6 +244,164 @@ def _cmd_backends(args) -> int:
     return 0
 
 
+def _serve_trace_replay(args, backends) -> int:
+    """``repro serve --trace FILE`` — streamed replay of a recorded trace."""
+    from repro.serving import metrics
+    from repro.serving.trace import RequestTrace, replay_trace
+
+    trace = RequestTrace(args.trace)
+    result = replay_trace(
+        args.trace,
+        num_chips=args.chips,
+        router=args.router or "jsq",
+        policy=args.policy or "continuous",
+        backends=backends,
+        chunk_size=args.chunk_size,
+    )
+    slo_s = args.slo_ms * 1e-3
+    summary = metrics.summarize_result(result, slo_s)
+    breakdown = metrics.per_workload_summary(result, slo_s)
+    by_backend = metrics.per_backend_summary(result, slo_s)
+    if args.format == "json":
+        payload = {
+            "trace": str(args.trace),
+            "trace_info": {
+                "num_requests": trace.num_requests,
+                "duration_s": trace.info.duration_s,
+                "workloads": list(trace.workloads),
+                "source": dict(trace.info.source),
+            },
+            "provenance": result.provenance,
+            "summary": summary,
+            "per_workload": breakdown,
+            "per_backend": by_backend,
+        }
+        output = json.dumps(payload, indent=2) + "\n"
+    else:
+        lines = [
+            f"## Trace replay — {args.trace} "
+            f"({trace.num_requests} requests, {len(trace.workloads)} workloads)",
+            "",
+        ]
+        lines.append(
+            format_markdown_table(
+                ["metric", "value"], [[key, value] for key, value in summary.items()]
+            )
+        )
+        if breakdown:
+            lines.append("")
+            headers = list(breakdown[0])
+            lines.append(
+                format_markdown_table(
+                    headers, [[row[h] for h in headers] for row in breakdown]
+                )
+            )
+        if len(by_backend) > 1:
+            lines.append("")
+            headers = list(by_backend[0])
+            lines.append(
+                format_markdown_table(
+                    headers, [[row[h] for h in headers] for row in by_backend]
+                )
+            )
+        output = "\n".join(lines) + "\n"
+    _emit(args, output)
+    return 0
+
+
+def _serve_record(args) -> int:
+    """``repro serve SCENARIO --record FILE`` — record traffic to a trace."""
+    from repro.serving.trace import record_scenario
+
+    info = record_scenario(
+        args.record,
+        args.scenario,
+        seed=args.seed,
+        load_scale=args.load_scale,
+        duration_scale=args.duration_scale,
+    )
+    if args.format == "json":
+        payload = {
+            "trace": info.path,
+            "num_requests": info.num_requests,
+            "duration_s": info.duration_s,
+            "workloads": list(info.workloads),
+            "source": dict(info.source),
+        }
+        _emit(args, json.dumps(payload, indent=2) + "\n")
+    else:
+        rows = [
+            ["trace", info.path],
+            ["num_requests", info.num_requests],
+            ["duration_s", round(info.duration_s, 4)],
+            ["workloads", ",".join(info.workloads)],
+        ]
+        _emit(args, format_markdown_table(["field", "value"], rows) + "\n")
+        print(
+            f"recorded {info.num_requests} requests "
+            f"({info.duration_s:.3f} s, workloads: {', '.join(info.workloads)}) "
+            f"to {info.path}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _reject_stray_serve_options(args, backends) -> None:
+    """Fail fast on flag combinations that would be silently ignored."""
+    if args.trace and args.record:
+        raise ReproError("--trace and --record are mutually exclusive")
+    if args.trace:
+        stray = []
+        if args.scenario:
+            stray.append(f"positional SCENARIO ({args.scenario!r})")
+        stray.extend(
+            flag
+            for flag, raw, default in (
+                ("--seed", args.seed, 0),
+                ("--load-scale", args.load_scale, 1.0),
+                ("--duration-scale", args.duration_scale, 1.0),
+            )
+            if raw != default
+        )
+        if stray:
+            raise ReproError(
+                "a trace replay is deterministic — it does not accept: "
+                + ", ".join(stray)
+            )
+    if args.record:
+        if not args.scenario:
+            raise ReproError("--record needs a scenario to record (see --list)")
+        stray = [
+            flag
+            for flag, raw in (
+                ("--chips", args.chips),
+                ("--router", args.router),
+                ("--policy", args.policy),
+                ("--slo-ms", None if args.slo_ms == 5.0 else args.slo_ms),
+            )
+            if raw is not None
+        ]
+        if backends:
+            stray.append("--backend")
+        if stray:
+            raise ReproError(
+                "--record only captures traffic, not a fleet; drop: "
+                + ", ".join(stray)
+            )
+    if (args.list or args.smoke) and (args.trace or args.record):
+        raise ReproError(
+            "--trace/--record do not combine with --list/--smoke"
+        )
+    if not args.trace:
+        if args.slo_ms != 5.0:
+            raise ReproError(
+                "--slo-ms only applies to --trace replays; scenario presets "
+                "pin their own SLO"
+            )
+        if args.chunk_size != 65536:
+            raise ReproError("--chunk-size only applies to --trace replays")
+
+
 def _cmd_serve(args) -> int:
     from repro.serving import metrics, scenarios
 
@@ -258,6 +421,11 @@ def _cmd_serve(args) -> int:
             "--backend only applies to scenario runs; drop it from "
             "--list/--smoke invocations"
         )
+    _reject_stray_serve_options(args, backends)
+    if args.trace:
+        return _serve_trace_replay(args, backends)
+    if args.record:
+        return _serve_record(args)
     if args.list:
         presets = list(scenarios.SCENARIOS.values())
         if args.format == "json":
@@ -589,6 +757,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--policy", default=None,
                               choices=("none", "fixed", "continuous"),
                               help="override the scenario's batching policy")
+    serve_parser.add_argument("--trace", metavar="FILE",
+                              help="replay a recorded request trace through "
+                                   "the streaming event core")
+    serve_parser.add_argument("--record", metavar="FILE",
+                              help="record the scenario's traffic to a JSONL "
+                                   "trace instead of serving it")
+    serve_parser.add_argument("--slo-ms", type=float, default=5.0, metavar="MS",
+                              help="SLO for trace-replay reports (default 5)")
+    serve_parser.add_argument("--chunk-size", type=int, default=65536,
+                              help=argparse.SUPPRESS)
     serve_parser.add_argument("--format", choices=("md", "json"), default="md")
     serve_parser.add_argument("--output", metavar="FILE",
                               help="write the summary to FILE")

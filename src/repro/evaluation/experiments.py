@@ -59,6 +59,7 @@ from repro.evaluation.serving_experiments import (
     heterogeneous_fleet,
     latency_load_sweep,
     scenario_slo_matrix,
+    trace_replay_matrix,
 )
 from repro.evaluation.dse_experiments import (
     capacity_plan,
@@ -95,6 +96,7 @@ __all__ = [
     "fleet_scaling",
     "scenario_slo_matrix",
     "heterogeneous_fleet",
+    "trace_replay_matrix",
     "design_space_sweep",
     "design_frontier",
     "capacity_plan",

@@ -11,18 +11,25 @@ seconds.  Five experiment families are registered:
 * ``serve_fleet`` — fleet scaling efficiency across routing policies,
 * ``serve_scenarios`` — SLO matrix over the named scenario presets,
 * ``serve_hetero`` — mixed CogSys + GPU/edge fleet with symbolic-affinity
-  routing and per-backend utilization.
+  routing and per-backend utilization,
+* ``serve_trace`` — record each scenario's traffic to a JSONL trace, then
+  replay it through the streaming event core and prove the streamed
+  metrics match the in-memory run.
 """
 
 from __future__ import annotations
 
+import tempfile
+from pathlib import Path
+
 from repro.backends import ExecutionCache
 from repro.errors import ServingError
 from repro.serving.batching import build_policy
-from repro.serving.fleet import Fleet
+from repro.serving.fleet import Fleet, FleetServiceModel
 from repro.serving.metrics import per_backend_summary, summarize_result
-from repro.serving.scenarios import run_scenario
+from repro.serving.scenarios import get_scenario, run_scenario
 from repro.serving.simulator import ServingSimulator
+from repro.serving.trace import RequestTrace, record_scenario, replay_trace
 from repro.serving.traffic import PoissonArrivals, WorkloadMix
 from repro.workloads.registry import WORKLOAD_BUILDERS
 
@@ -32,6 +39,7 @@ __all__ = [
     "fleet_scaling",
     "scenario_slo_matrix",
     "heterogeneous_fleet",
+    "trace_replay_matrix",
 ]
 
 #: every registered workload, in stable (alphabetical) order
@@ -274,3 +282,69 @@ def heterogeneous_fleet(
         **{key: overall[key] for key in metric_keys},
     }
     return [fleet_row, *by_backend]
+
+
+def trace_replay_matrix(
+    scenarios: tuple[str, ...] = (
+        "steady",
+        "diurnal",
+        "flash_crowd",
+        "mixed_workload",
+    ),
+    seed: int = 0,
+    load_scale: float = 1.0,
+    duration_scale: float = 1.0,
+    chunk_size: int = 4096,
+) -> list[dict]:
+    """Record, replay and cross-check each scenario as a request trace.
+
+    For every scenario the driver (1) records the preset's traffic to a
+    JSONL trace, (2) replays it through the streaming event core
+    (``run_stream`` over columnar chunks) on the scenario's own fleet, and
+    (3) runs the identical requests through the full in-memory simulator.
+    ``stream_matches_memory`` asserts the two paths agree on every summary
+    metric — the differential guarantee that bounded-memory replay does
+    not change semantics.  All columns are deterministic in ``seed``.
+    """
+    if chunk_size < 1:
+        raise ServingError(f"chunk_size must be positive, got {chunk_size}")
+    rows = []
+    with tempfile.TemporaryDirectory(prefix="repro-serve-trace-") as tmp:
+        for name in scenarios:
+            scenario = get_scenario(name)
+            path = Path(tmp) / f"{name}.jsonl"
+            info = record_scenario(
+                path,
+                name,
+                seed=seed,
+                load_scale=load_scale,
+                duration_scale=duration_scale,
+            )
+            fleet = Fleet(num_chips=scenario.num_chips, router=scenario.router)
+            model = FleetServiceModel(fleet=fleet)
+            streamed = replay_trace(
+                path,
+                num_chips=scenario.num_chips,
+                router=scenario.router,
+                policy=scenario.policy,
+                service_model=model,
+                chunk_size=chunk_size,
+            )
+            simulator = ServingSimulator(
+                service_model=model,
+                fleet=fleet,
+                batching_policy=build_policy(scenario.policy),
+            )
+            in_memory = simulator.run(RequestTrace(path).requests())
+            streamed_summary = summarize_result(streamed, scenario.slo_s)
+            memory_summary = summarize_result(in_memory, scenario.slo_s)
+            rows.append(
+                {
+                    "scenario": name,
+                    "trace_requests": info.num_requests,
+                    "chunks": -(-info.num_requests // chunk_size),
+                    "stream_matches_memory": streamed_summary == memory_summary,
+                    **streamed_summary,
+                }
+            )
+    return rows

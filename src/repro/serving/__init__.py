@@ -12,12 +12,18 @@ deterministic discrete-event simulator over the cycle-level
 * :mod:`~repro.serving.fleet` — multi-chip (optionally heterogeneous)
   fleets with routing policies and shared per-``(workload, batch)``
   backend report caches,
-* :mod:`~repro.serving.simulator` — the heapq event loop producing
-  per-request latency traces, utilization and energy,
+* :mod:`~repro.serving.simulator` — the high-throughput event core:
+  index-based arrivals over columnar chunks, slot-keyed chip queues and a
+  hoisted service-time table, producing per-request latency traces (or
+  bounded-memory streamed aggregates), utilization and energy,
+* :mod:`~repro.serving.trace` — JSONL request traces: record any
+  generator or scenario, replay deterministically in streaming chunks,
+* :mod:`~repro.serving.dsl` — the scenario DSL (steady/ramp/burst/drain/
+  mix-shift phases composed into :class:`~repro.serving.dsl.ScenarioSpec`),
 * :mod:`~repro.serving.metrics` — tail latency, goodput under SLO and
-  saturation summaries,
-* :mod:`~repro.serving.scenarios` — named presets (steady, diurnal,
-  flash-crowd, mixed-workload) runnable via ``repro serve``.
+  saturation summaries over full-trace or streamed results,
+* :mod:`~repro.serving.scenarios` — DSL-defined presets (steady, diurnal,
+  flash-crowd, mixed-workload, ramp-surge) runnable via ``repro serve``.
 """
 
 from repro.serving.batching import (
@@ -52,8 +58,37 @@ from repro.serving.metrics import (
     saturation_summary,
     summarize_result,
 )
-from repro.serving.scenarios import SCENARIOS, Scenario, get_scenario, run_scenario
-from repro.serving.simulator import RequestRecord, ServingResult, ServingSimulator
+from repro.serving.dsl import (
+    Phase,
+    ScenarioSpec,
+    burst,
+    drain,
+    mix_shift,
+    ramp,
+    steady,
+)
+from repro.serving.scenarios import (
+    SCENARIOS,
+    Scenario,
+    get_scenario,
+    register_scenario,
+    run_scenario,
+)
+from repro.serving.simulator import (
+    RequestRecord,
+    ServingResult,
+    ServingSimulator,
+    StreamedServingResult,
+    columnar_chunks,
+)
+from repro.serving.trace import (
+    RequestTrace,
+    TraceInfo,
+    record_process,
+    record_scenario,
+    replay_trace,
+    write_trace,
+)
 from repro.serving.traffic import (
     ArrivalProcess,
     MMPPArrivals,
@@ -92,7 +127,22 @@ __all__ = [
     "Fleet",
     "RequestRecord",
     "ServingResult",
+    "StreamedServingResult",
     "ServingSimulator",
+    "columnar_chunks",
+    "RequestTrace",
+    "TraceInfo",
+    "write_trace",
+    "record_process",
+    "record_scenario",
+    "replay_trace",
+    "Phase",
+    "ScenarioSpec",
+    "steady",
+    "ramp",
+    "burst",
+    "drain",
+    "mix_shift",
     "percentile",
     "latency_summary",
     "queueing_summary",
@@ -104,5 +154,6 @@ __all__ = [
     "Scenario",
     "SCENARIOS",
     "get_scenario",
+    "register_scenario",
     "run_scenario",
 ]

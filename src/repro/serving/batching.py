@@ -15,6 +15,16 @@ The policy interface is a single method::
 ``wake_s`` is an optional future time at which the simulator should consult
 the policy again even if no new request arrives (used by timeout-based
 policies to cap the wait of a partially filled batch).
+
+Policies may additionally implement the O(workloads) fast-path hook::
+
+    plan(groups, now_s) -> (workload, count, wake_s)
+
+consumed by the simulator's slot-keyed event core (see
+:meth:`BatchingPolicy.plan` for the contract).  All built-in policies do,
+which is what removes per-dispatch queue materialization from the hot
+path; third-party policies that only implement ``select`` keep working
+through the simulator's generic queue.
 """
 
 from __future__ import annotations
@@ -78,21 +88,65 @@ class BatchingPolicy:
 
     name = "base"
 
+    #: when the queue holds exactly one workload group, the batch is its
+    #: first ``min(len(group), single_group_cap)`` entries with no wake-up;
+    #: ``None`` means the single-group case still needs :meth:`plan`
+    #: (e.g. timeout policies that may wait instead of dispatching).
+    #: The simulator honours this shortcut only for the built-in policies —
+    #: a subclass overriding :meth:`plan` always gets its plan called.
+    single_group_cap: int | None = None
+
+    #: a lone request arriving at an idle, empty chip dispatches immediately
+    #: as a batch of one (must agree with what ``select``/``plan`` would
+    #: decide for that one-request queue).  Like ``single_group_cap``, only
+    #: honoured for the built-in policies.
+    eager_singleton = False
+
     def select(self, queue: Sequence[Request], now_s: float) -> BatchDecision:
         """Pick the batch to dispatch at ``now_s`` (or when to re-check)."""
         raise NotImplementedError
+
+    def plan(self, groups, now_s: float):
+        """Fast-path hook over slot-keyed queues; ``None`` when unsupported.
+
+        ``groups`` maps workload name to that workload's queued
+        ``(arrival_s, request_id)`` deque, in first-occurrence (queue)
+        order; each deque is non-empty and sorted.  Implementations must
+        return ``(workload, count, wake_s)`` where the batch is exactly the
+        first ``count`` entries of ``groups[workload]`` — the same requests
+        ``select`` would choose — or ``(None, 0, wake_s)`` to wait.  The
+        base class returns ``None``, telling the simulator to fall back to
+        :meth:`select` over a materialized queue.  A subclass that
+        overrides ``select`` below the class providing ``plan`` is also
+        routed through ``select`` (the inherited plan may no longer agree
+        with it).
+        """
+        return None
 
 
 class NoBatching(BatchingPolicy):
     """Dispatch the oldest queued request alone — the no-amortization baseline."""
 
     name = "none"
+    single_group_cap = 1
+    eager_singleton = True
 
     def select(self, queue, now_s):
         """Ship the oldest queued request as a batch of one."""
         if not queue:
             return BatchDecision(batch=None)
         return BatchDecision(batch=[queue[0]])
+
+    def plan(self, groups, now_s):
+        """Fast path: the workload whose head is the global queue head."""
+        best_workload = None
+        best_head = None
+        for workload, entries in groups.items():
+            head = entries[0]
+            if best_head is None or head < best_head:
+                best_head = head
+                best_workload = workload
+        return best_workload, 1, None
 
 
 class FixedSizeBatching(BatchingPolicy):
@@ -113,6 +167,10 @@ class FixedSizeBatching(BatchingPolicy):
             raise ServingError(f"max_wait_s must be non-negative, got {max_wait_s}")
         self.batch_size = batch_size
         self.max_wait_s = max_wait_s
+        # A one-request batch is already "full", so there is never a reason
+        # to wait; larger targets may hold a lone request for the timeout.
+        self.eager_singleton = batch_size == 1
+        self.single_group_cap = 1 if batch_size == 1 else None
 
     def select(self, queue, now_s):
         """Dispatch the oldest full group, or a timed-out partial one."""
@@ -131,6 +189,28 @@ class FixedSizeBatching(BatchingPolicy):
         if now_s >= deadline:
             return BatchDecision(batch=oldest[: self.batch_size])
         return BatchDecision(batch=None, wake_s=deadline)
+
+    def plan(self, groups, now_s):
+        """Fast path: oldest full group, else the timed-out oldest partial."""
+        size = self.batch_size
+        full_workload = None
+        full_head = None
+        oldest_workload = None
+        oldest_head = None
+        for workload, entries in groups.items():
+            head = entries[0]
+            if oldest_head is None or head < oldest_head:
+                oldest_head = head
+                oldest_workload = workload
+            if len(entries) >= size and (full_head is None or head < full_head):
+                full_head = head
+                full_workload = workload
+        if full_workload is not None:
+            return full_workload, size, None
+        deadline = oldest_head[0] + self.max_wait_s
+        if now_s >= deadline:
+            return oldest_workload, len(groups[oldest_workload]), None
+        return None, 0, deadline
 
 
 class ContinuousBatching(BatchingPolicy):
@@ -170,6 +250,10 @@ class ContinuousBatching(BatchingPolicy):
         if any(value <= 0 for value in slo_values):
             raise ServingError(f"slo_s must be positive, got {slo_s}")
         self.max_batch_size = max_batch_size
+        # Continuous batching never waits: a single group always ships its
+        # head requests immediately, capped at the batch-size limit.
+        self.single_group_cap = max_batch_size
+        self.eager_singleton = True
 
     def _deadline(self, request: Request) -> float:
         """Latest dispatch time that can still meet the request's SLO."""
@@ -188,6 +272,23 @@ class ContinuousBatching(BatchingPolicy):
             key=lambda item: (self._deadline(item[1][0]), item[0]),
         )[1]
         return BatchDecision(batch=urgent[: self.max_batch_size])
+
+    def plan(self, groups, now_s):
+        """Fast path: most deadline-urgent workload group, name-tie-broken."""
+        slo_by_workload = self.slo_by_workload
+        default_slo = self.default_slo_s
+        best_workload = None
+        best_key = None
+        for workload, entries in groups.items():
+            slo = slo_by_workload.get(workload, default_slo) if slo_by_workload \
+                else default_slo
+            key = (entries[0][0] + slo, workload)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_workload = workload
+        depth = len(groups[best_workload])
+        cap = self.max_batch_size
+        return best_workload, (cap if depth > cap else depth), None
 
 
 #: policy name -> factory, the registry the CLI and experiment drivers use

@@ -1,0 +1,130 @@
+"""Event-core throughput suite: the serving layer's performance contract.
+
+The suite measures *simulated requests per wall-clock second* of
+:meth:`~repro.serving.simulator.ServingSimulator.run` across five load
+regimes — nominal, moderate overload, deep saturation, an extreme flash
+crowd and a sharded hot spot.  Service-report caches are pre-warmed so the
+numbers isolate the discrete-event hot path (the thing PR 5 rewrote), not
+one-time workload-graph construction.
+
+Wall-clock throughput is machine-dependent, so the recorded baseline in
+``benchmarks/BENCH_serving.json`` stores a *calibration* figure (a fixed
+pure-Python loop's ops/s) next to every measurement; comparisons scale the
+recorded numbers by the live-to-recorded calibration ratio before
+applying tolerances.  ``scripts/check_serving_throughput.py`` is the CI
+gate built on this module; ``benchmarks/bench_serving_sweep.py`` runs the
+same suite under pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import NamedTuple
+
+from repro.serving.batching import build_policy
+from repro.serving.fleet import Fleet, FleetServiceModel
+from repro.serving.scenarios import get_scenario
+from repro.serving.simulator import ServingSimulator
+
+__all__ = [
+    "ThroughputCase",
+    "THROUGHPUT_SUITE",
+    "calibration_ops_per_s",
+    "measure_case",
+    "measure_suite",
+    "geometric_mean",
+]
+
+
+class ThroughputCase(NamedTuple):
+    """One throughput measurement: a scenario preset at a load regime."""
+
+    label: str
+    scenario: str
+    load_scale: float
+    duration_scale: float
+
+
+#: the five load regimes the event core is graded on.  The saturated and
+#: flash cases push offered load past *batched* fleet capacity — standing
+#: queues grow to thousands of requests, which is exactly where the old
+#: per-dispatch queue scans collapsed (sub-20k req/s) and where a serving
+#: simulator for million-request traces must stay fast.
+THROUGHPUT_SUITE: tuple[ThroughputCase, ...] = (
+    ThroughputCase("steady_nominal", "steady", 1.0, 4.0),
+    ThroughputCase("steady_overload", "steady", 1.6, 4.0),
+    ThroughputCase("steady_saturated", "steady", 4.0, 2.0),
+    ThroughputCase("flash_megacrowd", "flash_crowd", 4.0, 2.0),
+    ThroughputCase("mixed_hotspot", "mixed_workload", 1.3, 4.0),
+)
+
+#: iterations of the calibration loop (a fixed, allocation-free workload)
+_CALIBRATION_OPS = 2_000_000
+
+
+def calibration_ops_per_s() -> float:
+    """Machine-speed yardstick: ops/s of a fixed pure-Python loop.
+
+    Recorded next to every baseline measurement so a throughput check on a
+    faster or slower machine can rescale the recorded numbers instead of
+    comparing wall-clock figures across hardware.  Best of three, like the
+    measurements it normalizes.
+    """
+    best = 0.0
+    for _ in range(3):
+        total = 0
+        started = time.perf_counter()
+        for i in range(_CALIBRATION_OPS):
+            total += i % 7
+        elapsed = time.perf_counter() - started
+        best = max(best, _CALIBRATION_OPS / elapsed)
+    return best
+
+
+def measure_case(case: ThroughputCase, repeats: int = 3) -> dict:
+    """Measure one suite case: best-of-``repeats`` requests/s of ``run``.
+
+    Traffic generation and the first (cache-warming) run are excluded from
+    timing — the measurement is the event loop itself over a fully
+    memoized service table.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    scenario = get_scenario(case.scenario)
+    requests = scenario.traffic(0, case.load_scale, case.duration_scale)
+    fleet = Fleet(num_chips=scenario.num_chips, router=scenario.router)
+    simulator = ServingSimulator(
+        service_model=FleetServiceModel(fleet=fleet),
+        fleet=fleet,
+        batching_policy=build_policy(scenario.policy),
+    )
+    simulator.run(requests)  # warm every (workload, batch) service report
+    best = 0.0
+    for _ in range(repeats):
+        started = time.perf_counter()
+        simulator.run(requests)
+        elapsed = time.perf_counter() - started
+        best = max(best, len(requests) / elapsed)
+    return {
+        "label": case.label,
+        "scenario": case.scenario,
+        "load_scale": case.load_scale,
+        "duration_scale": case.duration_scale,
+        "requests": len(requests),
+        "requests_per_s": round(best, 1),
+    }
+
+
+def measure_suite(repeats: int = 3) -> list[dict]:
+    """Measure every case of :data:`THROUGHPUT_SUITE`."""
+    return [measure_case(case, repeats=repeats) for case in THROUGHPUT_SUITE]
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean (the right average for per-case speedup ratios)."""
+    if not values:
+        raise ValueError("geometric_mean needs at least one value")
+    if any(value <= 0 for value in values):
+        raise ValueError(f"geometric_mean needs positive values, got {values}")
+    return math.exp(sum(math.log(value) for value in values) / len(values))

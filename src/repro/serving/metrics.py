@@ -1,9 +1,13 @@
 """Serving metrics: tail latency, goodput under SLO, saturation summaries.
 
 All functions consume the plain :class:`~repro.serving.simulator.ServingResult`
-/ :class:`~repro.serving.simulator.RequestRecord` structures and return JSON
--clean dictionaries, so experiment drivers can hand them straight to the
-result engine and the ``repro serve`` CLI can print them unmodified.
+/ :class:`~repro.serving.simulator.RequestRecord` structures — or the
+array-native :class:`~repro.serving.simulator.StreamedServingResult` a
+streamed trace replay produces — and return JSON-clean dictionaries, so
+experiment drivers can hand them straight to the result engine and the
+``repro serve`` CLI can print them unmodified.  The distribution math runs
+on NumPy arrays either way (a full-trace result exports its records as
+arrays), which keeps summarizing a million-request replay vectorized.
 Latencies are reported in milliseconds (the natural scale of the modelled
 chip), rates in requests per second.
 """
@@ -16,7 +20,11 @@ import numpy as np
 
 from repro.errors import ServingError
 from repro.serving.fleet import DEFAULT_BACKEND
-from repro.serving.simulator import RequestRecord, ServingResult
+from repro.serving.simulator import (
+    RequestRecord,
+    ServingResult,
+    StreamedServingResult,
+)
 
 __all__ = [
     "percentile",
@@ -44,29 +52,59 @@ def _ms(seconds: float) -> float:
     return seconds * 1e3
 
 
+def _latency_summary_values(latencies: np.ndarray) -> dict:
+    """p50/p95/p99/mean/max of a latency array (ms)."""
+    if latencies.size == 0:
+        raise ServingError("latency_summary needs at least one record")
+    return {
+        "count": int(latencies.size),
+        "p50_ms": round(_ms(float(np.percentile(latencies, 50))), 4),
+        "p95_ms": round(_ms(float(np.percentile(latencies, 95))), 4),
+        "p99_ms": round(_ms(float(np.percentile(latencies, 99))), 4),
+        "mean_ms": round(_ms(float(np.mean(latencies))), 4),
+        "max_ms": round(_ms(float(latencies.max())), 4),
+    }
+
+
 def latency_summary(records: Sequence[RequestRecord]) -> dict:
     """p50/p95/p99/mean/max end-to-end latency of ``records`` (ms)."""
-    if not records:
+    if not len(records):
         raise ServingError("latency_summary needs at least one record")
-    latencies = [record.latency_s for record in records]
+    return _latency_summary_values(
+        np.array([record.latency_s for record in records], dtype=float)
+    )
+
+
+def _queueing_summary_values(delays: np.ndarray) -> dict:
+    """Mean and tail queueing delay of a delay array (ms)."""
+    if delays.size == 0:
+        raise ServingError("queueing_summary needs at least one record")
     return {
-        "count": len(records),
-        "p50_ms": round(_ms(percentile(latencies, 50)), 4),
-        "p95_ms": round(_ms(percentile(latencies, 95)), 4),
-        "p99_ms": round(_ms(percentile(latencies, 99)), 4),
-        "mean_ms": round(_ms(float(np.mean(latencies))), 4),
-        "max_ms": round(_ms(max(latencies)), 4),
+        "mean_queue_ms": round(_ms(float(np.mean(delays))), 4),
+        "p99_queue_ms": round(_ms(float(np.percentile(delays, 99))), 4),
     }
 
 
 def queueing_summary(records: Sequence[RequestRecord]) -> dict:
     """Mean and tail queueing delay of ``records`` (ms)."""
-    if not records:
+    if not len(records):
         raise ServingError("queueing_summary needs at least one record")
-    delays = [record.queue_delay_s for record in records]
+    return _queueing_summary_values(
+        np.array([record.queue_delay_s for record in records], dtype=float)
+    )
+
+
+def _goodput_values(latencies: np.ndarray, slo_s: float, span_s: float) -> dict:
+    """SLO attainment and goodput from a latency array."""
+    if slo_s <= 0:
+        raise ServingError(f"slo_s must be positive, got {slo_s}")
+    if latencies.size == 0:
+        raise ServingError("goodput needs at least one record")
+    met = int(np.count_nonzero(latencies <= slo_s))
     return {
-        "mean_queue_ms": round(_ms(float(np.mean(delays))), 4),
-        "p99_queue_ms": round(_ms(percentile(delays, 99)), 4),
+        "slo_ms": round(_ms(slo_s), 4),
+        "slo_attainment": round(met / latencies.size, 4),
+        "goodput_rps": round(met / span_s, 2) if span_s > 0 else 0.0,
     }
 
 
@@ -76,29 +114,29 @@ def goodput(
     """SLO attainment and goodput (SLO-met requests per second)."""
     if slo_s <= 0:
         raise ServingError(f"slo_s must be positive, got {slo_s}")
-    if not records:
+    if not len(records):
         raise ServingError("goodput needs at least one record")
-    met = sum(1 for record in records if record.latency_s <= slo_s)
-    return {
-        "slo_ms": round(_ms(slo_s), 4),
-        "slo_attainment": round(met / len(records), 4),
-        "goodput_rps": round(met / span_s, 2) if span_s > 0 else 0.0,
-    }
+    return _goodput_values(
+        np.array([record.latency_s for record in records], dtype=float),
+        slo_s,
+        span_s,
+    )
 
 
 def summarize_result(
-    result: ServingResult,
+    result: ServingResult | StreamedServingResult,
     slo_s: float,
     offered_rps: float | None = None,
 ) -> dict:
     """One flat row summarising a serving run (the drivers' row format)."""
+    latencies = result.latency_values()
     row = {
         "requests": result.num_requests,
         "num_chips": result.num_chips,
         "throughput_rps": round(result.throughput_rps, 2),
-        **latency_summary(result.records),
-        **queueing_summary(result.records),
-        **goodput(result.records, slo_s, result.span_s),
+        **_latency_summary_values(latencies),
+        **_queueing_summary_values(result.queue_delay_values()),
+        **_goodput_values(latencies, slo_s, result.span_s),
         "mean_batch": round(result.mean_batch_size, 3),
         "utilization": round(result.utilization, 4),
         "energy_mj_per_request": round(
@@ -111,25 +149,29 @@ def summarize_result(
     return row
 
 
-def per_workload_summary(result: ServingResult, slo_s: float) -> list[dict]:
+def per_workload_summary(
+    result: ServingResult | StreamedServingResult, slo_s: float
+) -> list[dict]:
     """Latency/goodput rows broken down by workload."""
     rows = []
-    by_workload: dict[str, list[RequestRecord]] = {}
-    for record in result.records:
-        by_workload.setdefault(record.workload, []).append(record)
+    by_workload = result.workload_latency_values()
     for workload in sorted(by_workload):
-        records = by_workload[workload]
+        latencies = by_workload[workload]
+        if latencies.size == 0:
+            continue  # declared in the stream's universe but never arrived
         rows.append(
             {
                 "workload": workload,
-                **latency_summary(records),
-                **goodput(records, slo_s, result.span_s),
+                **_latency_summary_values(latencies),
+                **_goodput_values(latencies, slo_s, result.span_s),
             }
         )
     return rows
 
 
-def per_backend_summary(result: ServingResult, slo_s: float) -> list[dict]:
+def per_backend_summary(
+    result: ServingResult | StreamedServingResult, slo_s: float
+) -> list[dict]:
     """Utilization/latency/goodput rows broken down by chip backend.
 
     The key observability surface of heterogeneous fleets: one row per
@@ -142,15 +184,20 @@ def per_backend_summary(result: ServingResult, slo_s: float) -> list[dict]:
     chips_by_backend: dict[str, list[int]] = {}
     for chip, backend in enumerate(backends):
         chips_by_backend.setdefault(backend, []).append(chip)
-    records_by_chip: dict[int, list[RequestRecord]] = {}
-    for record in result.records:
-        records_by_chip.setdefault(record.chip, []).append(record)
+    if isinstance(result, StreamedServingResult):
+        latencies_of_chip = list(result.chip_latency_s)
+    else:
+        grouped: dict[int, list[float]] = {}
+        for record in result.records:
+            grouped.setdefault(record.chip, []).append(record.latency_s)
+        latencies_of_chip = [
+            np.array(grouped.get(chip, ()), dtype=float)
+            for chip in range(result.num_chips)
+        ]
     rows = []
     for backend in sorted(chips_by_backend):
         chips = chips_by_backend[backend]
-        records = [
-            record for chip in chips for record in records_by_chip.get(chip, [])
-        ]
+        latencies = np.concatenate([latencies_of_chip[chip] for chip in chips])
         busy_s = sum(result.chip_busy_s[chip] for chip in chips)
         utilization = (
             min(1.0, busy_s / (result.span_s * len(chips)))
@@ -160,17 +207,17 @@ def per_backend_summary(result: ServingResult, slo_s: float) -> list[dict]:
         row = {
             "backend": backend,
             "chips": len(chips),
-            "requests": len(records),
-            "request_share": round(len(records) / result.num_requests, 4)
+            "requests": int(latencies.size),
+            "request_share": round(latencies.size / result.num_requests, 4)
             if result.num_requests
             else 0.0,
             "utilization": round(utilization, 4),
         }
-        if records:
-            latency = latency_summary(records)
-            latency.pop("count")
-            row.update(latency)
-            row.update(goodput(records, slo_s, result.span_s))
+        if latencies.size:
+            summary = _latency_summary_values(latencies)
+            summary.pop("count")
+            row.update(summary)
+            row.update(_goodput_values(latencies, slo_s, result.span_s))
         else:
             row.update(_zeroed_latency_goodput(slo_s))
         rows.append(row)

@@ -1,22 +1,29 @@
-"""Named serving scenario presets.
+"""Named serving scenario presets, defined in the scenario DSL.
 
 A :class:`Scenario` bundles everything one reproducible serving run needs:
 a seeded traffic builder, a fleet (chip count + router), a batching policy
-and an SLO.  The presets cover the canonical load shapes a production
-deployment must survive:
+and an SLO.  Every preset is declared as a
+:class:`~repro.serving.dsl.ScenarioSpec` — a composition of ``steady`` /
+``ramp`` / ``burst`` / ``drain`` / ``mix_shift`` phases — and covers a
+canonical load shape a production deployment must survive:
 
 * ``steady`` — constant Poisson traffic, uniform workload mix.
-* ``diurnal`` — low/peak/low daily curve built from chained Poisson
-  segments.
+* ``diurnal`` — low/peak/low daily curve built from chained steady
+  phases.
 * ``flash_crowd`` — bursty MMPP traffic with an order-of-magnitude gap
   between the quiet and burst rates.
 * ``mixed_workload`` — heavily skewed workload mix on an affinity-sharded
   fleet, stressing per-shard hot spots.
+* ``ramp_surge`` — a ramp into an over-capacity burst, then a drain —
+  the capacity-planning shape (only expressible with the DSL's ramp and
+  drain phases).
 
 Rates are calibrated against the cycle model's sub-millisecond service
 times (a single chip sustains roughly 1.4-5.8k requests/s depending on the
 workload), so the presets land in the interesting 60-90 % utilization band
-at ``load_scale=1.0``.
+at ``load_scale=1.0``.  New scenarios can be added at runtime with
+:func:`register_scenario`; recorded traces of any scenario replay through
+``repro serve --trace`` (see :mod:`repro.serving.trace`).
 """
 
 from __future__ import annotations
@@ -26,18 +33,19 @@ from dataclasses import dataclass
 
 from repro.errors import ServingError
 from repro.serving.batching import build_policy
+from repro.serving.dsl import ScenarioSpec, burst, drain, ramp, steady
 from repro.serving.fleet import Fleet
 from repro.serving.simulator import ServingResult, ServingSimulator
-from repro.serving.traffic import (
-    MMPPArrivals,
-    PoissonArrivals,
-    Request,
-    WorkloadMix,
-    concatenate_segments,
-)
+from repro.serving.traffic import Request
 from repro.workloads.registry import WORKLOAD_BUILDERS
 
-__all__ = ["Scenario", "SCENARIOS", "get_scenario", "run_scenario"]
+__all__ = [
+    "Scenario",
+    "SCENARIOS",
+    "get_scenario",
+    "register_scenario",
+    "run_scenario",
+]
 
 #: every registered workload, in stable order — presets draw from all of them
 SERVED_WORKLOADS = tuple(sorted(WORKLOAD_BUILDERS))
@@ -57,90 +65,88 @@ class Scenario:
     router: str
     policy: str
     slo_s: float
+    #: the DSL spec this scenario was built from (None for ad-hoc builders)
+    spec: ScenarioSpec | None = None
 
 
-def _steady_traffic(seed: int, load_scale: float, duration_scale: float):
-    """Constant Poisson load over a uniform workload mix."""
-    mix = WorkloadMix.uniform(SERVED_WORKLOADS)
-    return PoissonArrivals(2400.0 * load_scale, mix).generate(
-        2.0 * duration_scale, seed=seed
-    )
+#: 70 % NVSA hot spot over a light background of the other workloads
+_HOTSPOT_MIX = {"nvsa": 0.7, "mimonet": 0.1, "lvrf": 0.1, "prae": 0.1}
 
-
-def _diurnal_traffic(seed: int, load_scale: float, duration_scale: float):
-    """Low/peak/low daily curve from chained Poisson segments."""
-    mix = WorkloadMix.uniform(SERVED_WORKLOADS)
-    segments = [
-        (PoissonArrivals(400.0 * load_scale, mix), 0.6 * duration_scale),
-        (PoissonArrivals(2800.0 * load_scale, mix), 1.0 * duration_scale),
-        (PoissonArrivals(400.0 * load_scale, mix), 0.6 * duration_scale),
-    ]
-    return concatenate_segments(segments, seed=seed)
-
-
-def _flash_crowd_traffic(seed: int, load_scale: float, duration_scale: float):
-    """Bursty MMPP stream with a 13x burst-to-quiet rate ratio."""
-    mix = WorkloadMix.uniform(SERVED_WORKLOADS)
-    process = MMPPArrivals(
-        normal_rate_rps=300.0 * load_scale,
-        burst_rate_rps=4000.0 * load_scale,
-        mix=mix,
-        mean_normal_s=0.5,
-        mean_burst_s=0.15,
-    )
-    return process.generate(2.0 * duration_scale, seed=seed)
-
-
-def _mixed_workload_traffic(seed: int, load_scale: float, duration_scale: float):
-    """70% NVSA hot spot over a light background mix."""
-    # 70 % NVSA hot spot over a light background of the other workloads.
-    mix = WorkloadMix({"nvsa": 0.7, "mimonet": 0.1, "lvrf": 0.1, "prae": 0.1})
-    return PoissonArrivals(1200.0 * load_scale, mix).generate(
-        2.0 * duration_scale, seed=seed
-    )
-
+#: the DSL definitions of every preset, in presentation order
+_PRESET_SPECS: tuple[ScenarioSpec, ...] = (
+    ScenarioSpec(
+        name="steady",
+        description="constant Poisson load, uniform workload mix",
+        phases=(steady(2400.0, duration_s=2.0),),
+        num_chips=2,
+        router="jsq",
+        policy="continuous",
+        slo_s=5e-3,
+    ),
+    ScenarioSpec(
+        name="diurnal",
+        description="low/peak/low daily curve from chained Poisson segments",
+        phases=(
+            steady(400.0, duration_s=0.6),
+            steady(2800.0, duration_s=1.0),
+            steady(400.0, duration_s=0.6),
+        ),
+        num_chips=2,
+        router="jsq",
+        policy="continuous",
+        slo_s=5e-3,
+    ),
+    ScenarioSpec(
+        name="flash_crowd",
+        description="bursty MMPP traffic with 13x burst-to-quiet rate ratio",
+        phases=(
+            burst(
+                base_rps=300.0,
+                burst_rps=4000.0,
+                duration_s=2.0,
+                mean_normal_s=0.5,
+                mean_burst_s=0.15,
+            ),
+        ),
+        num_chips=2,
+        router="jsq",
+        policy="continuous",
+        slo_s=10e-3,
+    ),
+    ScenarioSpec(
+        name="mixed_workload",
+        description="70% NVSA hot spot on an affinity-sharded fleet",
+        phases=(steady(1200.0, duration_s=2.0, mix=_HOTSPOT_MIX),),
+        num_chips=4,
+        router="affinity",
+        policy="continuous",
+        slo_s=5e-3,
+    ),
+    ScenarioSpec(
+        name="ramp_surge",
+        description="ramp into an over-capacity surge, then a drain",
+        phases=(
+            ramp(400.0, 3200.0, duration_s=1.0),
+            burst(
+                base_rps=3200.0,
+                burst_rps=6400.0,
+                duration_s=0.6,
+                mean_normal_s=0.2,
+                mean_burst_s=0.1,
+            ),
+            drain(0.2),
+            steady(600.0, duration_s=0.4),
+        ),
+        num_chips=2,
+        router="jsq",
+        policy="continuous",
+        slo_s=10e-3,
+    ),
+)
 
 #: scenario name -> preset, in presentation order
 SCENARIOS: dict[str, Scenario] = {
-    scenario.name: scenario
-    for scenario in (
-        Scenario(
-            name="steady",
-            description="constant Poisson load, uniform workload mix",
-            traffic=_steady_traffic,
-            num_chips=2,
-            router="jsq",
-            policy="continuous",
-            slo_s=5e-3,
-        ),
-        Scenario(
-            name="diurnal",
-            description="low/peak/low daily curve from chained Poisson segments",
-            traffic=_diurnal_traffic,
-            num_chips=2,
-            router="jsq",
-            policy="continuous",
-            slo_s=5e-3,
-        ),
-        Scenario(
-            name="flash_crowd",
-            description="bursty MMPP traffic with 13x burst-to-quiet rate ratio",
-            traffic=_flash_crowd_traffic,
-            num_chips=2,
-            router="jsq",
-            policy="continuous",
-            slo_s=10e-3,
-        ),
-        Scenario(
-            name="mixed_workload",
-            description="70% NVSA hot spot on an affinity-sharded fleet",
-            traffic=_mixed_workload_traffic,
-            num_chips=4,
-            router="affinity",
-            policy="continuous",
-            slo_s=5e-3,
-        ),
-    )
+    spec.name: spec.scenario() for spec in _PRESET_SPECS
 }
 
 
@@ -152,6 +158,23 @@ def get_scenario(name: str) -> Scenario:
         raise ServingError(
             f"unknown scenario '{name}'; known: {', '.join(SCENARIOS)}"
         ) from None
+
+
+def register_scenario(spec: ScenarioSpec, replace: bool = False) -> Scenario:
+    """Add a DSL-defined scenario to the preset registry.
+
+    Registered scenarios become runnable through :func:`run_scenario`,
+    ``repro serve`` and trace recording like any built-in preset.  Re-using
+    a built-in or registered name requires ``replace=True``.
+    """
+    if spec.name in SCENARIOS and not replace:
+        raise ServingError(
+            f"scenario '{spec.name}' already exists; pass replace=True to "
+            "override it"
+        )
+    scenario = spec.scenario()
+    SCENARIOS[spec.name] = scenario
+    return scenario
 
 
 def run_scenario(

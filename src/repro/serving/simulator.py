@@ -1,45 +1,92 @@
 """Discrete-event core of the request-level serving simulator.
 
-The simulator advances a heap of timestamped events — request arrivals,
-chip completions and batching wake-ups — over a fleet of backend chips
-(all CogSys by default, or any mix of registry backends).  Three pluggable
-pieces define a run:
+The simulator advances request arrivals, chip completions and batching
+wake-ups over a fleet of backend chips (all CogSys by default, or any mix
+of registry backends).  Three pluggable pieces define a run:
 
-* the request stream (:mod:`repro.serving.traffic`),
+* the request stream (:mod:`repro.serving.traffic` or a recorded trace,
+  :mod:`repro.serving.trace`),
 * the batching policy (:mod:`repro.serving.batching`),
 * the fleet: per-chip backends, routing policy and the memoized
   service-time model (:mod:`repro.serving.fleet`).
 
-Determinism: the event heap is ordered by ``(time, kind, sequence)`` with a
-monotone sequence counter, routing and batching policies are deterministic
-functions of observable state, and all randomness lives in the seeded
-traffic generators — so the same seed and scenario always reproduce the
-identical per-request latency trace.
+The hot path is built for million-request traces: arrivals are consumed
+from pre-sorted columnar chunks by index (no per-request heap entries —
+the event heap only ever holds one completion/wake-up per chip), chip
+queues are slot-keyed ``{workload: deque}`` maps so built-in batching
+policies pick a batch in O(workloads) and dequeue it in O(batch), routing
+for the built-in routers is inlined integer comparison, and the
+``(chip model, workload, batch size)`` service/energy table is memoized
+outside the loop.  Third-party routers and batching policies that only
+implement the generic ``route``/``select`` interfaces still work — the
+core transparently falls back to a materialized per-chip queue for them.
+
+Determinism: events order by ``(time, kind, sequence)`` with arrivals
+before completions before wake-ups at an instant, routing and batching
+policies are deterministic functions of observable state, and all
+randomness lives in the seeded traffic generators — so the same seed and
+scenario always reproduce the identical per-request latency trace.
+
+Invariants the property harness (``tests/serving/test_invariants.py``)
+pins across every policy/router: conservation (every arrival completes
+exactly once), causality (``arrival <= dispatch <= finish`` per request),
+and per-chip non-overlap (a chip never executes two batches at once).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from collections.abc import Sequence
+from array import array
+from collections import deque
+from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
+from typing import NamedTuple
+
+import numpy as np
 
 from repro.errors import ServingError
-from repro.serving.batching import Batch, BatchingPolicy, NoBatching
-from repro.serving.fleet import Fleet, FleetServiceModel
+from repro.serving.batching import (
+    Batch,
+    BatchingPolicy,
+    ContinuousBatching,
+    FixedSizeBatching,
+    NoBatching,
+)
+from repro.serving.fleet import (
+    Fleet,
+    FleetServiceModel,
+    JoinShortestQueueRouter,
+    RoundRobinRouter,
+    SymbolicAffinityRouter,
+    WorkloadAffinityRouter,
+)
 from repro.serving.traffic import Request
 
-__all__ = ["RequestRecord", "ServingResult", "ServingSimulator"]
+__all__ = [
+    "RequestRecord",
+    "ServingResult",
+    "StreamedServingResult",
+    "ServingSimulator",
+    "columnar_chunks",
+]
 
 # Event kinds, in tie-breaking order: arrivals first so load-aware routers
 # and batch formation see every request that lands at an instant, then chip
 # completions, then batching wake-ups.
 _ARRIVAL, _FREE, _WAKE = 0, 1, 2
 
+#: request-index chunk size used when columnarizing in-memory streams
+DEFAULT_CHUNK_SIZE = 65536
 
-@dataclass(frozen=True)
-class RequestRecord:
-    """Lifecycle of one request through the serving system."""
+
+class RequestRecord(NamedTuple):
+    """Lifecycle of one request through the serving system.
+
+    A named tuple rather than a dataclass: full-trace runs create one per
+    request, so cheap construction is part of the event core's throughput
+    budget.
+    """
 
     request_id: int
     workload: str
@@ -65,26 +112,8 @@ class RequestRecord:
         return self.finish_s - self.dispatch_s
 
 
-@dataclass(frozen=True)
-class ServingResult:
-    """Everything a serving run produced, ready for the metrics layer."""
-
-    records: tuple[RequestRecord, ...]
-    num_chips: int
-    chip_busy_s: tuple[float, ...]
-    chip_requests: tuple[int, ...]
-    energy_joules: float
-    num_batches: int
-    horizon_s: float
-    first_arrival_s: float = 0.0
-    #: backend name of every chip (empty for legacy constructions)
-    chip_backends: tuple[str, ...] = ()
-    provenance: dict = field(default_factory=dict)
-
-    @property
-    def num_requests(self) -> int:
-        """Requests served."""
-        return len(self.records)
+class _FleetRunStats:
+    """Derived metrics shared by full-trace and streamed serving results."""
 
     @property
     def span_s(self) -> float:
@@ -108,29 +137,213 @@ class ServingResult:
             return 0.0
         return min(1.0, sum(self.chip_busy_s) / (self.span_s * self.num_chips))
 
+
+@dataclass(frozen=True)
+class ServingResult(_FleetRunStats):
+    """Everything a serving run produced, ready for the metrics layer."""
+
+    records: tuple[RequestRecord, ...]
+    num_chips: int
+    chip_busy_s: tuple[float, ...]
+    chip_requests: tuple[int, ...]
+    energy_joules: float
+    num_batches: int
+    horizon_s: float
+    first_arrival_s: float = 0.0
+    #: backend name of every chip (empty for legacy constructions)
+    chip_backends: tuple[str, ...] = ()
+    provenance: dict = field(default_factory=dict)
+
+    @property
+    def num_requests(self) -> int:
+        """Requests served."""
+        return len(self.records)
+
     def latencies_s(self) -> list[float]:
         """Per-request end-to-end latencies, in request-id order."""
         return [record.latency_s for record in self.records]
 
+    def latency_values(self) -> np.ndarray:
+        """End-to-end latencies as a float array, in request-id order."""
+        return np.array([record.latency_s for record in self.records], dtype=float)
 
-class _Chip:
-    """Mutable per-chip simulation state (router-visible via ChipView)."""
+    def queue_delay_values(self) -> np.ndarray:
+        """Queueing delays as a float array, in request-id order."""
+        return np.array(
+            [record.queue_delay_s for record in self.records], dtype=float
+        )
+
+    def workload_latency_values(self) -> dict[str, np.ndarray]:
+        """Latency arrays per workload, requests in request-id order."""
+        grouped: dict[str, list[float]] = {}
+        for record in self.records:
+            grouped.setdefault(record.workload, []).append(record.latency_s)
+        return {
+            workload: np.array(values, dtype=float)
+            for workload, values in grouped.items()
+        }
+
+
+@dataclass(frozen=True)
+class StreamedServingResult(_FleetRunStats):
+    """Aggregate outcome of a streamed run (no per-request record objects).
+
+    Produced by :meth:`ServingSimulator.run_stream`, which serves arrivals
+    from columnar chunks and keeps only typed latency arrays — so a
+    multi-million-request trace replays in bounded memory.  Latency arrays
+    are in *completion (dispatch) order*, which percentile/goodput metrics
+    are invariant to; anything needing per-request identity should use
+    :meth:`ServingSimulator.run` instead.
+    """
+
+    num_requests: int
+    num_chips: int
+    chip_busy_s: tuple[float, ...]
+    chip_requests: tuple[int, ...]
+    energy_joules: float
+    num_batches: int
+    horizon_s: float
+    first_arrival_s: float
+    chip_backends: tuple[str, ...]
+    latency_s: np.ndarray
+    queue_delay_s: np.ndarray
+    workload_latency_s: Mapping[str, np.ndarray]
+    chip_latency_s: tuple[np.ndarray, ...]
+    provenance: dict = field(default_factory=dict)
+
+    def latencies_s(self) -> list[float]:
+        """Per-request end-to-end latencies, in completion order."""
+        return self.latency_s.tolist()
+
+    def latency_values(self) -> np.ndarray:
+        """End-to-end latencies as a float array, in completion order."""
+        return self.latency_s
+
+    def queue_delay_values(self) -> np.ndarray:
+        """Queueing delays as a float array, in completion order."""
+        return self.queue_delay_s
+
+    def workload_latency_values(self) -> Mapping[str, np.ndarray]:
+        """Latency arrays per workload, requests in completion order."""
+        return self.workload_latency_s
+
+
+class _SlotChip:
+    """Chip state with a slot-keyed queue (fast batching-policy path).
+
+    ``groups`` maps workload name to the queued ``(arrival_s, request_id)``
+    entries of that workload, in arrival order; insertion order of the keys
+    is first-occurrence order within the current queue (emptied keys are
+    deleted), which is exactly the group order the generic ``select`` path
+    observes.
+    """
+
+    __slots__ = (
+        "chip_id", "busy", "inflight", "groups", "depth", "pending", "busy_s",
+        "served", "pending_wake_s", "queue",
+    )
+
+    def __init__(self, chip_id: int) -> None:
+        self.chip_id = chip_id
+        self.busy = False
+        self.inflight = 0
+        self.groups: dict[str, deque[tuple[float, int]]] = {}
+        self.depth = 0
+        # queued + in-flight, maintained incrementally so load-aware
+        # routing is one attribute read instead of a property call
+        self.pending = 0
+        self.busy_s = 0.0
+        self.served = 0
+        # Earliest batching wake-up already in the event heap, if any —
+        # lets dispatch skip pushing duplicates for an unchanged deadline.
+        self.pending_wake_s: float | None = None
+        self.queue = None  # generic-path queue, unused on the fast path
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests queued on this chip (excluding the executing batch)."""
+        return self.depth
+
+
+class _ListChip:
+    """Chip state with a materialized queue (generic ``select`` path)."""
+
+    __slots__ = (
+        "chip_id", "busy", "inflight", "queue", "pending", "busy_s", "served",
+        "pending_wake_s",
+    )
 
     def __init__(self, chip_id: int) -> None:
         self.chip_id = chip_id
         self.busy = False
         self.inflight = 0
         self.queue: list[Request] = []
+        self.pending = 0
         self.busy_s = 0.0
         self.served = 0
-        # Earliest batching wake-up already in the event heap, if any —
-        # lets dispatch() skip pushing duplicates for an unchanged deadline.
         self.pending_wake_s: float | None = None
 
     @property
     def queue_depth(self) -> int:
         """Requests queued on this chip (excluding the executing batch)."""
         return len(self.queue)
+
+
+#: policies whose dispatch-shortcut attributes (``single_group_cap``,
+#: ``eager_singleton``) are known to agree with their ``plan``/``select``
+_BUILTIN_POLICIES = (NoBatching, FixedSizeBatching, ContinuousBatching)
+
+
+def _plan_method(policy: BatchingPolicy):
+    """``(plan, shortcuts_trusted)`` for the policy, or ``(None, False)``.
+
+    The fast path applies only when the policy actually overrides
+    :meth:`BatchingPolicy.plan` and does not override ``select`` *below*
+    the class providing that plan — a subclass replacing ``select`` while
+    inheriting ``plan`` (e.g. a test double) must keep its ``select``
+    semantics authoritative.  ``shortcuts_trusted`` is True only when the
+    resolved plan belongs to a built-in policy class: the single-group and
+    eager-singleton shortcut attributes are promises about that exact
+    plan, and a subclass overriding ``plan`` while inheriting the parent's
+    attributes must not have its logic silently bypassed.
+    """
+    mro = type(policy).__mro__
+    plan_index = next(
+        (index for index, cls in enumerate(mro) if "plan" in vars(cls)), None
+    )
+    if plan_index is None or mro[plan_index] is BatchingPolicy:
+        return None, False
+    select_index = next(
+        (index for index, cls in enumerate(mro) if "select" in vars(cls)), None
+    )
+    if select_index is not None and select_index < plan_index:
+        return None, False
+    return policy.plan, mro[plan_index] in _BUILTIN_POLICIES
+
+
+def columnar_chunks(
+    requests: Iterable[Request], chunk_size: int = DEFAULT_CHUNK_SIZE
+) -> Iterable[tuple[list[float], list[str], list[int]]]:
+    """Columnarize a request iterable into ``(arrivals, workloads, ids)`` chunks.
+
+    Adapter from object streams to the columnar form
+    :meth:`ServingSimulator.run_stream` consumes; the input must already be
+    sorted by ``(arrival_s, request_id)``.
+    """
+    if chunk_size < 1:
+        raise ServingError(f"chunk_size must be positive, got {chunk_size}")
+    arrivals: list[float] = []
+    workloads: list[str] = []
+    ids: list[int] = []
+    for request in requests:
+        arrivals.append(request.arrival_s)
+        workloads.append(request.workload)
+        ids.append(request.request_id)
+        if len(arrivals) >= chunk_size:
+            yield arrivals, workloads, ids
+            arrivals, workloads, ids = [], [], []
+    if arrivals:
+        yield arrivals, workloads, ids
 
 
 class ServingSimulator:
@@ -171,17 +384,8 @@ class ServingSimulator:
             )
         return [model] * self.fleet.num_chips
 
-    def run(self, requests: Sequence[Request]) -> ServingResult:
-        """Simulate ``requests`` to completion and return the full trace."""
-        if not requests:
-            raise ServingError("cannot simulate an empty request stream")
-        stream = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
-        ids = [request.request_id for request in stream]
-        if len(set(ids)) != len(ids):
-            raise ServingError("request stream contains duplicate request ids")
-
-        chip_models = self._chip_models()
-        workloads = tuple(sorted({request.workload for request in stream}))
+    def _make_router(self, workloads: tuple[str, ...], chip_models: list):
+        """The fleet router plus the lazily-resolved symbolic oracle."""
 
         def symbolic_fraction_of(workload: str) -> float:
             """Batch-1 symbolic share on the fleet's reference (baseline) backend.
@@ -199,132 +403,567 @@ class ServingSimulator:
                 )
             return report(workload, 1).symbolic_fraction
 
-        router = self.fleet.make_router(
+        return self.fleet.make_router(
             workloads, symbolic_fraction_of=symbolic_fraction_of
         )
-        chips = [_Chip(chip_id) for chip_id in range(self.fleet.num_chips)]
-        records: list[RequestRecord] = []
-        energy = 0.0
-        batches = 0
 
-        sequence = itertools.count()
-        # (time, kind, seq, chip_id, request) — request only for arrivals.
-        events: list[tuple[float, int, int, int, Request | None]] = []
-        for request in stream:
-            heapq.heappush(
-                events, (request.arrival_s, _ARRIVAL, next(sequence), -1, request)
-            )
+    def _provenance(self, num_requests: int) -> dict:
+        """The run-configuration dict every result carries."""
+        return {
+            "num_requests": num_requests,
+            "num_chips": self.fleet.num_chips,
+            "router": self.fleet.router,
+            "backends": list(dict.fromkeys(self.fleet.chip_backends)),
+            "batching_policy": self.batching_policy.name,
+            "scheduler": self.service_model.scheduler,
+            "cached_reports": self.service_model.cached_reports,
+        }
 
-        def dispatch(chip: _Chip, now: float) -> None:
-            nonlocal energy, batches
-            if chip.busy or not chip.queue:
-                return
-            decision = self.batching_policy.select(tuple(chip.queue), now)
-            if decision.batch is None:
-                if (
-                    decision.wake_s is not None
-                    and decision.wake_s > now
-                    and (
-                        chip.pending_wake_s is None
-                        or decision.wake_s < chip.pending_wake_s
-                    )
-                ):
-                    heapq.heappush(
-                        events,
-                        (decision.wake_s, _WAKE, next(sequence), chip.chip_id, None),
-                    )
-                    chip.pending_wake_s = decision.wake_s
-                return
-            # Batch construction enforces the same-workload invariant even
-            # for third-party policies.
-            batch = Batch(
-                workload=decision.batch[0].workload,
-                requests=tuple(decision.batch),
-                formed_s=now,
-            )
-            chosen = set(id(request) for request in batch.requests)
-            chip.queue = [r for r in chip.queue if id(r) not in chosen]
-            workload = batch.workload
-            model = chip_models[chip.chip_id]
-            service = model.service_seconds(workload, batch.size)
-            finish = now + service
-            energy += model.energy_joules(workload, batch.size)
-            batches += 1
-            chip.busy = True
-            chip.inflight = batch.size
-            chip.busy_s += service
-            chip.served += batch.size
-            for request in batch.requests:
-                records.append(
-                    RequestRecord(
-                        request_id=request.request_id,
-                        workload=request.workload,
-                        chip=chip.chip_id,
-                        arrival_s=request.arrival_s,
-                        dispatch_s=now,
-                        finish_s=finish,
-                        batch_size=batch.size,
-                    )
-                )
-            heapq.heappush(events, (finish, _FREE, next(sequence), chip.chip_id, None))
+    def run(self, requests: Sequence[Request]) -> ServingResult:
+        """Simulate ``requests`` to completion and return the full trace."""
+        if not requests:
+            raise ServingError("cannot simulate an empty request stream")
+        stream = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+        ids = [request.request_id for request in stream]
+        if len(set(ids)) != len(ids):
+            raise ServingError("request stream contains duplicate request ids")
+        workloads = tuple(sorted({request.workload for request in stream}))
 
-        # Horizon advances on completions only: a stale batching wake-up
-        # scheduled past the last finish must not stretch the active span
-        # (which would deflate throughput/utilization for timeout policies).
-        horizon = stream[0].arrival_s
-        while events:
-            now, kind, _, chip_id, request = heapq.heappop(events)
-            if kind == _FREE:
-                horizon = max(horizon, now)
-            if kind == _ARRIVAL:
-                # Drain every arrival landing at this instant before
-                # dispatching, so a simultaneous burst can form one batch
-                # instead of the first request stealing the idle chip alone.
-                touched = set()
-                target = chips[router.route(request, chips)]
-                target.queue.append(request)
-                touched.add(target.chip_id)
-                while events and events[0][0] == now and events[0][1] == _ARRIVAL:
-                    _, _, _, _, peer = heapq.heappop(events)
-                    target = chips[router.route(peer, chips)]
-                    target.queue.append(peer)
-                    touched.add(target.chip_id)
-                for touched_id in sorted(touched):
-                    dispatch(chips[touched_id], now)
-            elif kind == _FREE:
-                chip = chips[chip_id]
-                chip.busy = False
-                chip.inflight = 0
-                dispatch(chip, now)
-            else:  # _WAKE — re-check a timed-out partial batch.
-                chip = chips[chip_id]
-                if chip.pending_wake_s is not None and chip.pending_wake_s <= now:
-                    chip.pending_wake_s = None
-                dispatch(chip, now)
+        raw_batches: list[tuple] = []
 
-        if len(records) != len(stream):
+        def emit(*batch):
+            raw_batches.append(batch)
+
+        # One pre-sorted columnar chunk: run() already holds the whole list.
+        chunks = [(
+            [request.arrival_s for request in stream],
+            [request.workload for request in stream],
+            [request.request_id for request in stream],
+        )]
+        chips, energy, num_batches, horizon, first_arrival, served = (
+            self._simulate(chunks, workloads, emit)
+        )
+        if served != len(stream):
             raise ServingError(
-                f"simulation lost requests: {len(records)} served of {len(stream)}"
+                f"simulation lost requests: {served} served of {len(stream)}"
             )
-        records.sort(key=lambda record: record.request_id)
-        chip_backends = self.fleet.chip_backends
+        records = [
+            RequestRecord(
+                request_id, workload, chip_id, arrival_s, dispatch_s, finish_s, size
+            )
+            for chip_id, dispatch_s, finish_s, size, workload, members in raw_batches
+            for arrival_s, request_id in members
+        ]
+        # Plain tuple sort: request_id is the lead field and is unique.
+        records.sort()
         return ServingResult(
             records=tuple(records),
             num_chips=self.fleet.num_chips,
             chip_busy_s=tuple(chip.busy_s for chip in chips),
             chip_requests=tuple(chip.served for chip in chips),
             energy_joules=energy,
-            num_batches=batches,
+            num_batches=num_batches,
             horizon_s=horizon,
-            first_arrival_s=stream[0].arrival_s,
-            chip_backends=chip_backends,
-            provenance={
-                "num_requests": len(stream),
-                "num_chips": self.fleet.num_chips,
-                "router": self.fleet.router,
-                "backends": list(dict.fromkeys(chip_backends)),
-                "batching_policy": self.batching_policy.name,
-                "scheduler": self.service_model.scheduler,
-                "cached_reports": self.service_model.cached_reports,
-            },
+            first_arrival_s=first_arrival,
+            chip_backends=self.fleet.chip_backends,
+            provenance=self._provenance(len(stream)),
         )
+
+    def run_stream(
+        self,
+        chunks: Iterable[tuple[Sequence[float], Sequence[str], Sequence[int]]],
+        workloads: Sequence[str],
+        provenance: Mapping[str, object] | None = None,
+    ) -> StreamedServingResult:
+        """Serve a columnar arrival stream in bounded memory.
+
+        ``chunks`` yields ``(arrival_s, workload, request_id)`` column
+        triples globally sorted by ``(arrival_s, request_id)`` (see
+        :func:`columnar_chunks` and ``RequestTrace.iter_chunks``);
+        ``workloads`` is the stream's workload universe, needed up front to
+        build affinity routers.  Per-request state never outlives the
+        request, so multi-million-request traces replay without ever
+        materializing as one list; the result carries typed latency arrays
+        instead of record objects.
+        """
+        workload_names = tuple(sorted(set(workloads)))
+        if not workload_names:
+            raise ServingError("run_stream needs the stream's workload set")
+
+        latencies = array("d")
+        queue_delays = array("d")
+        workload_latencies = {name: array("d") for name in workload_names}
+        num_chips = self.fleet.num_chips
+        chip_latencies = [array("d") for _ in range(num_chips)]
+
+        latencies_append = latencies.append
+        delays_append = queue_delays.append
+
+        def emit(chip_id, dispatch_s, finish_s, size, workload, members):
+            bucket = workload_latencies.get(workload)
+            if bucket is None:
+                raise ServingError(
+                    f"stream contains workload '{workload}' missing from the "
+                    f"declared workload set {list(workload_names)}"
+                )
+            per_workload = bucket.append
+            per_chip = chip_latencies[chip_id].append
+            for arrival_s, _request_id in members:
+                latency = finish_s - arrival_s
+                latencies_append(latency)
+                delays_append(dispatch_s - arrival_s)
+                per_workload(latency)
+                per_chip(latency)
+
+        chips, energy, num_batches, horizon, first_arrival, served = (
+            self._simulate(chunks, workload_names, emit)
+        )
+        run_provenance = self._provenance(served)
+        if provenance:
+            run_provenance.update(provenance)
+        return StreamedServingResult(
+            num_requests=served,
+            num_chips=num_chips,
+            chip_busy_s=tuple(chip.busy_s for chip in chips),
+            chip_requests=tuple(chip.served for chip in chips),
+            energy_joules=energy,
+            num_batches=num_batches,
+            horizon_s=horizon,
+            first_arrival_s=first_arrival,
+            chip_backends=self.fleet.chip_backends,
+            latency_s=np.frombuffer(latencies, dtype=float),
+            queue_delay_s=np.frombuffer(queue_delays, dtype=float),
+            workload_latency_s={
+                name: np.frombuffer(values, dtype=float)
+                for name, values in workload_latencies.items()
+            },
+            chip_latency_s=tuple(
+                np.frombuffer(values, dtype=float) for values in chip_latencies
+            ),
+            provenance=run_provenance,
+        )
+
+    # -- event core ---------------------------------------------------------
+
+    def _simulate(self, chunks, workloads: tuple[str, ...], emit):
+        """Advance the event core over sorted columnar arrival chunks.
+
+        ``emit(chip_id, dispatch_s, finish_s, size, workload, members)`` is
+        called once per dispatched batch with ``members`` the batch's
+        ``(arrival_s, request_id)`` entries in queue order.  Returns
+        ``(chips, energy, batches, horizon, first_arrival, served)``.
+        """
+        chip_models = self._chip_models()
+        router = self._make_router(workloads, chip_models)
+        policy = self.batching_policy
+        plan, shortcuts_trusted = _plan_method(policy)
+
+        num_chips = self.fleet.num_chips
+        chip_cls = _SlotChip if plan is not None else _ListChip
+        chips = [chip_cls(chip_id) for chip_id in range(num_chips)]
+
+        # Memoized (model, workload, batch) -> (service_s, energy_J) table,
+        # hoisted so the inner loop never re-enters the backend layer.  Chips
+        # sharing an ExecutionCache share table entries.
+        model_index = {}
+        chip_model_keys = []
+        for model in chip_models:
+            chip_model_keys.append(model_index.setdefault(id(model), len(model_index)))
+        service_table: dict[tuple, tuple[float, float]] = {}
+
+        heap: list[tuple] = []
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        sequence = itertools.count()
+        next_seq = sequence.__next__
+
+        energy = 0.0
+        num_batches = 0
+        served = 0
+
+        # Routing fast paths for the exact built-in router classes; any
+        # subclass (overridden route()) goes through the generic call.
+        router_type = type(router)
+        route_generic = router.route
+        if router_type is RoundRobinRouter:
+            route_mode = "rr"
+            rr_next = router._next
+        elif router_type is JoinShortestQueueRouter:
+            route_mode = "jsq"
+        elif router_type in (WorkloadAffinityRouter, SymbolicAffinityRouter):
+            route_mode = "owners"
+            owner_chips = {
+                workload: [chips[chip_id] for chip_id in owners]
+                for workload, owners in router.owners.items()
+            }
+        else:
+            route_mode = "generic"
+
+        single_cap = policy.single_group_cap if shortcuts_trusted else None
+
+        if plan is not None:
+
+            def dispatch(chip, now):
+                nonlocal energy, num_batches, served
+                if chip.busy or not chip.depth:
+                    return
+                groups = chip.groups
+                if len(groups) == 1 and single_cap is not None:
+                    # One workload queued: the batch is its head requests,
+                    # capped — no need to consult the policy's full plan.
+                    workload, entries = next(iter(groups.items()))
+                    depth = len(entries)
+                    count = single_cap if depth > single_cap else depth
+                    wake_s = None
+                else:
+                    workload, count, wake_s = plan(groups, now)
+                if workload is None:
+                    if (
+                        wake_s is not None
+                        and wake_s > now
+                        and (
+                            chip.pending_wake_s is None
+                            or wake_s < chip.pending_wake_s
+                        )
+                    ):
+                        heappush(heap, (wake_s, _WAKE, next_seq(), chip.chip_id))
+                        chip.pending_wake_s = wake_s
+                    return
+                entries = groups[workload]
+                popleft = entries.popleft
+                members = [popleft() for _ in range(count)]
+                if not entries:
+                    del groups[workload]
+                chip.depth -= count
+                key = (chip_model_keys[chip.chip_id], workload, count)
+                cached = service_table.get(key)
+                if cached is None:
+                    model = chip_models[chip.chip_id]
+                    cached = (
+                        model.service_seconds(workload, count),
+                        model.energy_joules(workload, count),
+                    )
+                    service_table[key] = cached
+                service_s, energy_j = cached
+                finish = now + service_s
+                energy += energy_j
+                num_batches += 1
+                served += count
+                chip.busy = True
+                chip.inflight = count
+                chip.busy_s += service_s
+                chip.served += count
+                emit(chip.chip_id, now, finish, count, workload, members)
+                heappush(heap, (finish, _FREE, next_seq(), chip.chip_id))
+
+        else:
+
+            def dispatch(chip, now):
+                nonlocal energy, num_batches, served
+                if chip.busy or not chip.queue:
+                    return
+                decision = policy.select(tuple(chip.queue), now)
+                if decision.batch is None:
+                    if (
+                        decision.wake_s is not None
+                        and decision.wake_s > now
+                        and (
+                            chip.pending_wake_s is None
+                            or decision.wake_s < chip.pending_wake_s
+                        )
+                    ):
+                        heappush(
+                            heap, (decision.wake_s, _WAKE, next_seq(), chip.chip_id)
+                        )
+                        chip.pending_wake_s = decision.wake_s
+                    return
+                # Batch construction enforces the same-workload invariant
+                # even for third-party policies.
+                batch = Batch(
+                    workload=decision.batch[0].workload,
+                    requests=tuple(decision.batch),
+                    formed_s=now,
+                )
+                chosen = {request.request_id for request in batch.requests}
+                if len(chosen) != batch.size:
+                    raise ServingError(
+                        f"policy '{policy.name}' selected a request twice in "
+                        "one batch"
+                    )
+                chip.queue = [
+                    request
+                    for request in chip.queue
+                    if request.request_id not in chosen
+                ]
+                workload = batch.workload
+                count = batch.size
+                key = (chip_model_keys[chip.chip_id], workload, count)
+                cached = service_table.get(key)
+                if cached is None:
+                    model = chip_models[chip.chip_id]
+                    cached = (
+                        model.service_seconds(workload, count),
+                        model.energy_joules(workload, count),
+                    )
+                    service_table[key] = cached
+                service_s, energy_j = cached
+                finish = now + service_s
+                energy += energy_j
+                num_batches += 1
+                served += count
+                chip.busy = True
+                chip.inflight = count
+                chip.busy_s += service_s
+                chip.served += count
+                emit(
+                    chip.chip_id,
+                    now,
+                    finish,
+                    count,
+                    workload,
+                    [
+                        (request.arrival_s, request.request_id)
+                        for request in batch.requests
+                    ],
+                )
+                heappush(heap, (finish, _FREE, next_seq(), chip.chip_id))
+
+        # -- arrival feed priming ------------------------------------------
+        chunk_iter = iter(chunks)
+
+        def next_chunk():
+            """Columns of the next non-empty chunk, or ``None`` at the end."""
+            for arrivals, names, ids in chunk_iter:
+                if len(arrivals):
+                    if not (len(arrivals) == len(names) == len(ids)):
+                        raise ServingError(
+                            "columnar chunk has mismatched column lengths"
+                        )
+                    return arrivals, names, ids
+            return None
+
+        columns = next_chunk()
+        if columns is None:
+            raise ServingError("cannot simulate an empty request stream")
+        arrivals, names, ids = columns
+        index = 0
+        limit = len(arrivals)
+        exhausted = False
+
+        first_arrival = arrivals[0]
+        horizon = first_arrival
+        prev_arrival = -float("inf")
+        prev_id = -1
+        fast_chips = plan is not None
+        eager = shortcuts_trusted and policy.eager_singleton
+        # Per-chip singleton (service, energy) rows — the eager path's
+        # tuple-key-free view of the memoized service table.
+        singleton_tables: list[dict] = [{} for _ in range(num_chips)]
+
+        while True:
+            if not exhausted:
+                next_arrival = arrivals[index]
+                if heap and heap[0][0] < next_arrival:
+                    pass  # a completion/wake-up precedes the next arrival
+                elif index + 1 < limit and arrivals[index + 1] != next_arrival:
+                    # Single-arrival instant — the overwhelmingly common
+                    # case in continuous time, handled without the drain
+                    # scaffolding (and, for policies that dispatch a lone
+                    # request on an idle chip immediately, without touching
+                    # the queue at all).
+                    now = next_arrival
+                    workload = names[index]
+                    request_id = ids[index]
+                    if now < prev_arrival or (
+                        now == prev_arrival and request_id <= prev_id
+                    ):
+                        raise ServingError(
+                            "request stream is not sorted by "
+                            "(arrival_s, request_id) or repeats a request "
+                            f"id near request {request_id}"
+                        )
+                    prev_arrival = now
+                    prev_id = request_id
+                    index += 1
+
+                    if route_mode == "jsq":
+                        chosen = chips[0]
+                        best = chosen.pending
+                        for candidate in chips:
+                            if candidate.pending < best:
+                                best = candidate.pending
+                                chosen = candidate
+                    elif route_mode == "owners":
+                        candidates = owner_chips.get(workload)
+                        if candidates is None:
+                            route_generic(
+                                Request(request_id, workload, now), chips
+                            )
+                            raise ServingError(  # pragma: no cover
+                                f"router failed on workload '{workload}'"
+                            )
+                        chosen = candidates[0]
+                        best = chosen.pending
+                        for candidate in candidates:
+                            if candidate.pending < best:
+                                best = candidate.pending
+                                chosen = candidate
+                    elif route_mode == "rr":
+                        chosen = chips[rr_next % num_chips]
+                        rr_next += 1
+                    else:
+                        chosen = chips[
+                            route_generic(Request(request_id, workload, now), chips)
+                        ]
+
+                    if eager and not chosen.busy and not chosen.depth:
+                        # Immediate singleton batch: empty queue, idle chip.
+                        cached = singleton_tables[chosen.chip_id].get(workload)
+                        if cached is None:
+                            model = chip_models[chosen.chip_id]
+                            cached = (
+                                model.service_seconds(workload, 1),
+                                model.energy_joules(workload, 1),
+                            )
+                            singleton_tables[chosen.chip_id][workload] = cached
+                            service_table[
+                                (chip_model_keys[chosen.chip_id], workload, 1)
+                            ] = cached
+                        service_s, energy_j = cached
+                        finish = now + service_s
+                        energy += energy_j
+                        num_batches += 1
+                        served += 1
+                        chosen.busy = True
+                        chosen.inflight = 1
+                        chosen.pending += 1
+                        chosen.busy_s += service_s
+                        chosen.served += 1
+                        emit(
+                            chosen.chip_id, now, finish, 1, workload,
+                            ((now, request_id),),
+                        )
+                        heappush(heap, (finish, _FREE, next_seq(), chosen.chip_id))
+                    else:
+                        if fast_chips:
+                            group = chosen.groups.get(workload)
+                            if group is None:
+                                chosen.groups[workload] = group = deque()
+                            group.append((now, request_id))
+                            chosen.depth += 1
+                        else:
+                            chosen.queue.append(Request(request_id, workload, now))
+                        chosen.pending += 1
+                        dispatch(chosen, now)
+                    continue
+                else:
+                    # Drain every arrival landing at this instant before
+                    # dispatching, so a simultaneous burst can form one
+                    # batch instead of the first request stealing the idle
+                    # chip alone.
+                    now = next_arrival
+                    touched = set()
+                    add_touched = touched.add
+                    while True:
+                        arrival_s = arrivals[index]
+                        workload = names[index]
+                        request_id = ids[index]
+                        if arrival_s < prev_arrival or (
+                            arrival_s == prev_arrival and request_id <= prev_id
+                        ):
+                            raise ServingError(
+                                "request stream is not sorted by "
+                                "(arrival_s, request_id) or repeats a request "
+                                f"id near request {request_id}"
+                            )
+                        prev_arrival = arrival_s
+                        prev_id = request_id
+
+                        if route_mode == "jsq":
+                            chosen = chips[0]
+                            best = chosen.pending
+                            for candidate in chips:
+                                if candidate.pending < best:
+                                    best = candidate.pending
+                                    chosen = candidate
+                        elif route_mode == "owners":
+                            candidates = owner_chips.get(workload)
+                            if candidates is None:
+                                # Unrouteable workload: the router raises its
+                                # own (exact) error message.
+                                route_generic(
+                                    Request(request_id, workload, arrival_s),
+                                    chips,
+                                )
+                                raise ServingError(  # pragma: no cover
+                                    f"router failed on workload '{workload}'"
+                                )
+                            chosen = candidates[0]
+                            best = chosen.pending
+                            for candidate in candidates:
+                                if candidate.pending < best:
+                                    best = candidate.pending
+                                    chosen = candidate
+                        elif route_mode == "rr":
+                            chosen = chips[rr_next % num_chips]
+                            rr_next += 1
+                        else:
+                            chosen = chips[
+                                route_generic(
+                                    Request(request_id, workload, arrival_s),
+                                    chips,
+                                )
+                            ]
+
+                        if fast_chips:
+                            group = chosen.groups.get(workload)
+                            if group is None:
+                                chosen.groups[workload] = group = deque()
+                            group.append((arrival_s, request_id))
+                            chosen.depth += 1
+                        else:
+                            chosen.queue.append(
+                                Request(request_id, workload, arrival_s)
+                            )
+                        chosen.pending += 1
+                        add_touched(chosen)
+
+                        index += 1
+                        if index == limit:
+                            columns = next_chunk()
+                            if columns is None:
+                                exhausted = True
+                                break
+                            arrivals, names, ids = columns
+                            index = 0
+                            limit = len(arrivals)
+                        if arrivals[index] != now:
+                            break
+                    if len(touched) == 1:
+                        dispatch(touched.pop(), now)
+                    else:
+                        for chip in sorted(touched, key=lambda c: c.chip_id):
+                            dispatch(chip, now)
+                    continue
+            elif not heap:
+                break
+
+            now, kind, _seq, chip_id = heappop(heap)
+            chip = chips[chip_id]
+            if kind == _FREE:
+                # Horizon advances on completions only: a stale batching
+                # wake-up scheduled past the last finish must not stretch
+                # the active span (which would deflate throughput and
+                # utilization for timeout policies).
+                if now > horizon:
+                    horizon = now
+                chip.busy = False
+                chip.pending -= chip.inflight
+                chip.inflight = 0
+                dispatch(chip, now)
+            else:  # _WAKE — re-check a timed-out partial batch.
+                if chip.pending_wake_s is not None and chip.pending_wake_s <= now:
+                    chip.pending_wake_s = None
+                dispatch(chip, now)
+
+        return chips, energy, num_batches, horizon, first_arrival, served

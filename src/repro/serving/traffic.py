@@ -32,8 +32,16 @@ __all__ = [
     "PoissonArrivals",
     "MMPPArrivals",
     "TraceArrivals",
+    "SEED_STRIDE",
     "concatenate_segments",
 ]
+
+#: sub-seed stride between chained generation segments.  Shared by
+#: :func:`concatenate_segments`, the scenario DSL's multi-phase compilation
+#: and windowed trace recording — all three must derive segment ``i``'s
+#: seed as ``seed * SEED_STRIDE + i`` or recorded streams stop matching
+#: their generators.
+SEED_STRIDE = 10_007
 
 
 @dataclass(frozen=True)
@@ -239,7 +247,7 @@ def concatenate_segments(
         requests.extend(
             process.generate(
                 duration_s,
-                seed=seed * 10_007 + index,
+                seed=seed * SEED_STRIDE + index,
                 start_s=offset,
                 start_id=len(requests),
             )

@@ -197,8 +197,72 @@ class TestServe:
         capsys.readouterr()
         payload = json.loads(output.read_text())
         assert {entry["scenario"] for entry in payload} == {
-            "steady", "diurnal", "flash_crowd", "mixed_workload",
+            "steady", "diurnal", "flash_crowd", "mixed_workload", "ramp_surge",
         }
+
+    def test_record_then_replay_roundtrip(self, capsys, tmp_path):
+        trace = tmp_path / "steady.jsonl"
+        assert main([
+            "serve", "steady", "--record", str(trace),
+            "--duration-scale", "0.05",
+        ]) == 0
+        assert "recorded" in capsys.readouterr().err
+        assert trace.is_file()
+        assert main([
+            "serve", "--trace", str(trace), "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["trace_info"]["source"]["scenario"] == "steady"
+        assert payload["summary"]["requests"] == (
+            payload["trace_info"]["num_requests"]
+        )
+        assert payload["per_workload"]
+
+    def test_trace_replay_honours_fleet_flags(self, capsys, tmp_path):
+        trace = tmp_path / "mixed.jsonl"
+        assert main([
+            "serve", "mixed_workload", "--record", str(trace),
+            "--duration-scale", "0.05",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "serve", "--trace", str(trace), "--chips", "3",
+            "--router", "affinity", "--policy", "none",
+            "--slo-ms", "8", "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["provenance"]["num_chips"] == 3
+        assert payload["provenance"]["router"] == "affinity"
+        assert payload["provenance"]["batching_policy"] == "none"
+        assert payload["summary"]["slo_ms"] == 8.0
+
+    def test_record_needs_a_scenario(self, capsys, tmp_path):
+        assert main(["serve", "--record", str(tmp_path / "x.jsonl")]) == 2
+        assert "needs a scenario" in capsys.readouterr().err
+
+    def test_trace_rejects_scenario_scale_flags(self, capsys, tmp_path):
+        trace = tmp_path / "steady.jsonl"
+        assert main([
+            "serve", "steady", "--record", str(trace),
+            "--duration-scale", "0.05",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "serve", "--trace", str(trace), "--load-scale", "2.0",
+        ]) == 2
+        assert "deterministic" in capsys.readouterr().err
+
+    def test_slo_ms_is_trace_only(self, capsys):
+        assert main([
+            "serve", "steady", "--slo-ms", "8", "--duration-scale", "0.05",
+        ]) == 2
+        assert "--slo-ms" in capsys.readouterr().err
+
+    def test_replaying_a_non_trace_file_is_a_clean_error(self, capsys, tmp_path):
+        bogus = tmp_path / "bogus.jsonl"
+        bogus.write_text("not json\n")
+        assert main(["serve", "--trace", str(bogus)]) == 2
+        assert "not a request trace" in capsys.readouterr().err
 
     def test_smoke_runs_every_serving_spec(self, capsys, tmp_path):
         assert main(["serve", "--smoke", "--cache-dir", str(tmp_path)]) == 0
@@ -243,7 +307,7 @@ class TestServe:
         # Every spec tagged "serving", incl. the DSE capacity planner.
         assert [entry["experiment"] for entry in payload] == [
             "serve_load", "serve_batch", "serve_fleet", "serve_scenarios",
-            "serve_hetero", "dse_capacity",
+            "serve_hetero", "serve_trace", "dse_capacity",
         ]
 
 

@@ -1,0 +1,98 @@
+"""Differential tests against golden runs of the pre-refactor simulator.
+
+``tests/serving/golden/*.json`` was captured from the original
+heapq-per-request event loop (commit ``07b27c3``) on every scenario preset
+at ``seed=0, load_scale=1.0, duration_scale=0.1``: the full per-request
+record stream, the chip accounting, and the summary/per-workload metric
+rows.  The rewritten event core must reproduce every value **exactly** —
+same floats, same ordering — proving the ≥5x hot-path rewrite changed no
+semantics.  Regenerating these files is only legitimate when serving
+semantics change on purpose; the capture recipe is in
+``tests/serving/golden/README.md``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.backends import ExecutionCache
+from repro.serving.metrics import per_workload_summary, summarize_result
+from repro.serving.scenarios import get_scenario, run_scenario
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+GOLDEN_SCENARIOS = ("steady", "diurnal", "flash_crowd", "mixed_workload")
+
+
+@pytest.fixture(scope="module")
+def shared_model():
+    """One memoized execution cache shared by every golden replay."""
+    return ExecutionCache()
+
+
+def _load(name):
+    return json.loads((GOLDEN_DIR / f"{name}.json").read_text())
+
+
+@pytest.mark.parametrize("name", GOLDEN_SCENARIOS)
+class TestGoldenEquivalence:
+    def test_records_are_byte_identical(self, name, shared_model):
+        golden = _load(name)
+        _, result = run_scenario(
+            name,
+            seed=golden["seed"],
+            load_scale=golden["load_scale"],
+            duration_scale=golden["duration_scale"],
+            service_model=shared_model,
+        )
+        produced = [
+            [
+                record.request_id,
+                record.workload,
+                record.chip,
+                record.arrival_s,
+                record.dispatch_s,
+                record.finish_s,
+                record.batch_size,
+            ]
+            for record in result.records
+        ]
+        # Exact equality, floats included: the event core must not perturb
+        # a single dispatch decision or timestamp.
+        assert produced == golden["records"]
+
+    def test_fleet_accounting_is_byte_identical(self, name, shared_model):
+        golden = _load(name)
+        _, result = run_scenario(
+            name,
+            seed=golden["seed"],
+            load_scale=golden["load_scale"],
+            duration_scale=golden["duration_scale"],
+            service_model=shared_model,
+        )
+        assert result.num_requests == golden["num_requests"]
+        assert result.num_chips == golden["num_chips"]
+        assert result.num_batches == golden["num_batches"]
+        assert result.energy_joules == golden["energy_joules"]
+        assert result.horizon_s == golden["horizon_s"]
+        assert result.first_arrival_s == golden["first_arrival_s"]
+        assert list(result.chip_busy_s) == golden["chip_busy_s"]
+        assert list(result.chip_requests) == golden["chip_requests"]
+        assert list(result.chip_backends) == golden["chip_backends"]
+
+    def test_metric_rows_are_byte_identical(self, name, shared_model):
+        golden = _load(name)
+        scenario = get_scenario(name)
+        _, result = run_scenario(
+            name,
+            seed=golden["seed"],
+            load_scale=golden["load_scale"],
+            duration_scale=golden["duration_scale"],
+            service_model=shared_model,
+        )
+        assert summarize_result(result, scenario.slo_s) == golden["summary"]
+        assert (
+            per_workload_summary(result, scenario.slo_s)
+            == golden["per_workload"]
+        )

@@ -1,0 +1,225 @@
+"""Tests for the scenario DSL (phases, compilation, preset equivalence)."""
+
+import pytest
+
+from repro.errors import ServingError
+from repro.serving.dsl import (
+    ScenarioSpec,
+    burst,
+    drain,
+    mix_shift,
+    ramp,
+    steady,
+)
+from repro.serving.scenarios import (
+    SCENARIOS,
+    get_scenario,
+    register_scenario,
+)
+from repro.serving.traffic import (
+    MMPPArrivals,
+    PoissonArrivals,
+    WorkloadMix,
+    concatenate_segments,
+)
+
+
+class TestPhaseValidation:
+    def test_rates_and_durations_must_be_positive(self):
+        with pytest.raises(ServingError):
+            steady(0.0, duration_s=1.0)
+        with pytest.raises(ServingError):
+            steady(100.0, duration_s=0.0)
+        with pytest.raises(ServingError):
+            ramp(0.0, 100.0, duration_s=1.0)
+        with pytest.raises(ServingError):
+            burst(100.0, 0.0, duration_s=1.0)
+        with pytest.raises(ServingError):
+            mix_shift(-1.0, 1.0, {"nvsa": 1.0}, {"prae": 1.0})
+
+    def test_unknown_workloads_fail_at_definition_time(self):
+        with pytest.raises(ServingError, match="unknown workloads"):
+            steady(100.0, duration_s=1.0, mix={"bogus": 1.0})
+
+    def test_spec_needs_traffic(self):
+        with pytest.raises(ServingError, match="no phases"):
+            ScenarioSpec(name="empty", description="", phases=())
+        with pytest.raises(ServingError, match="all drain"):
+            ScenarioSpec(
+                name="silent", description="", phases=(drain(1.0), drain(2.0))
+            )
+
+
+class TestCompilation:
+    def test_single_steady_phase_equals_plain_poisson(self):
+        """A one-phase spec uses the seed directly — byte-equal streams."""
+        spec = ScenarioSpec(
+            name="unit", description="", phases=(steady(800.0, duration_s=1.0),)
+        )
+        direct = PoissonArrivals(800.0, WorkloadMix.uniform()).generate(
+            1.0, seed=5
+        )
+        assert spec.build_traffic(seed=5) == direct
+
+    def test_chained_phases_follow_concatenate_semantics(self):
+        """Multi-phase specs sub-seed exactly like concatenate_segments."""
+        spec = ScenarioSpec(
+            name="chained",
+            description="",
+            phases=(
+                steady(400.0, duration_s=0.5),
+                steady(1200.0, duration_s=0.5),
+            ),
+        )
+        mix = WorkloadMix.uniform()
+        reference = concatenate_segments(
+            [
+                (PoissonArrivals(400.0, mix), 0.5),
+                (PoissonArrivals(1200.0, mix), 0.5),
+            ],
+            seed=11,
+        )
+        assert spec.build_traffic(seed=11) == reference
+
+    def test_load_and_duration_scales_apply(self):
+        spec = ScenarioSpec(
+            name="scaled", description="",
+            phases=(steady(1000.0, duration_s=1.0),),
+        )
+        base = spec.build_traffic(seed=0)
+        doubled = spec.build_traffic(seed=0, duration_scale=2.0)
+        heavier = spec.build_traffic(seed=0, load_scale=3.0)
+        assert max(r.arrival_s for r in doubled) > max(
+            r.arrival_s for r in base
+        )
+        assert len(heavier) > 2 * len(base)
+
+    def test_drain_leaves_a_silent_gap(self):
+        spec = ScenarioSpec(
+            name="gapped",
+            description="",
+            phases=(
+                steady(2000.0, duration_s=0.5),
+                drain(1.0),
+                steady(2000.0, duration_s=0.5),
+            ),
+        )
+        requests = spec.build_traffic(seed=3)
+        in_gap = [r for r in requests if 0.5 <= r.arrival_s < 1.5]
+        after = [r for r in requests if r.arrival_s >= 1.5]
+        assert not in_gap
+        assert after
+
+    def test_ramp_rate_increases_over_the_phase(self):
+        spec = ScenarioSpec(
+            name="ramped",
+            description="",
+            phases=(ramp(200.0, 4000.0, duration_s=2.0, steps=8),),
+        )
+        requests = spec.build_traffic(seed=1)
+        first_half = sum(1 for r in requests if r.arrival_s < 1.0)
+        second_half = len(requests) - first_half
+        assert second_half > 2 * first_half
+
+    def test_mix_shift_interpolates_the_workload_mix(self):
+        spec = ScenarioSpec(
+            name="shifting",
+            description="",
+            phases=(
+                mix_shift(
+                    3000.0,
+                    duration_s=2.0,
+                    mix_from={"nvsa": 1.0},
+                    mix_to={"mimonet": 1.0},
+                    steps=4,
+                ),
+            ),
+        )
+        requests = spec.build_traffic(seed=2)
+        early = [r.workload for r in requests if r.arrival_s < 0.5]
+        late = [r.workload for r in requests if r.arrival_s >= 1.5]
+        assert early.count("nvsa") > early.count("mimonet")
+        assert late.count("mimonet") > late.count("nvsa")
+
+    def test_ids_are_contiguous_and_sorted_across_phases(self):
+        spec = ScenarioSpec(
+            name="ordered",
+            description="",
+            phases=(
+                burst(500.0, 2000.0, duration_s=0.5),
+                drain(0.2),
+                steady(800.0, duration_s=0.5),
+            ),
+        )
+        requests = spec.build_traffic(seed=4)
+        assert [r.request_id for r in requests] == list(range(len(requests)))
+        arrivals = [r.arrival_s for r in requests]
+        assert arrivals == sorted(arrivals)
+
+
+class TestPresetEquivalence:
+    """The DSL re-expressions reproduce the original preset builders."""
+
+    def test_steady_matches_the_original_builder(self):
+        direct = PoissonArrivals(2400.0 * 1.3, WorkloadMix.uniform()).generate(
+            2.0 * 0.2, seed=6
+        )
+        assert get_scenario("steady").traffic(6, 1.3, 0.2) == direct
+
+    def test_flash_crowd_matches_the_original_builder(self):
+        process = MMPPArrivals(
+            normal_rate_rps=300.0,
+            burst_rate_rps=4000.0,
+            mix=WorkloadMix.uniform(),
+            mean_normal_s=0.5,
+            mean_burst_s=0.15,
+        )
+        direct = process.generate(2.0 * 0.2, seed=8)
+        assert get_scenario("flash_crowd").traffic(8, 1.0, 0.2) == direct
+
+    def test_diurnal_matches_the_original_builder(self):
+        mix = WorkloadMix.uniform()
+        reference = concatenate_segments(
+            [
+                (PoissonArrivals(400.0, mix), 0.6 * 0.2),
+                (PoissonArrivals(2800.0, mix), 1.0 * 0.2),
+                (PoissonArrivals(400.0, mix), 0.6 * 0.2),
+            ],
+            seed=12,
+        )
+        assert get_scenario("diurnal").traffic(12, 1.0, 0.2) == reference
+
+    def test_every_preset_carries_its_spec(self):
+        for scenario in SCENARIOS.values():
+            assert scenario.spec is not None
+            assert scenario.spec.name == scenario.name
+
+
+class TestRegistration:
+    def test_registered_scenarios_run_like_presets(self):
+        from repro.serving.scenarios import run_scenario
+
+        spec = ScenarioSpec(
+            name="test_custom_surge",
+            description="unit-test scenario",
+            phases=(
+                steady(1500.0, duration_s=0.3),
+                burst(500.0, 3000.0, duration_s=0.3),
+            ),
+            num_chips=2,
+        )
+        try:
+            register_scenario(spec)
+            scenario, result = run_scenario("test_custom_surge", seed=1)
+            assert scenario.spec is spec
+            assert result.num_requests > 0
+        finally:
+            SCENARIOS.pop("test_custom_surge", None)
+
+    def test_duplicate_names_need_replace(self):
+        spec = ScenarioSpec(
+            name="steady", description="impostor",
+            phases=(steady(10.0, duration_s=0.1),),
+        )
+        with pytest.raises(ServingError, match="already exists"):
+            register_scenario(spec)

@@ -1,0 +1,214 @@
+"""Property-based invariant harness for the serving event core.
+
+Hypothesis generates adversarial request streams — simultaneous bursts,
+duplicate arrival instants, skewed workload mixes — and every stream is
+served across **all** batching policies and **all** routers.  Three
+invariants must hold unconditionally:
+
+* **Conservation** — every arrival completes exactly once (no loss, no
+  duplication), whatever the policy/router combination.
+* **Causality** — ``arrival <= dispatch <= finish`` for every request.
+* **Per-chip non-overlap** — a chip never executes two batches at once:
+  ordered by dispatch time, each batch on a chip starts at or after the
+  previous batch's finish.
+
+A fourth property pins the optimization itself: the slot-keyed fast path
+(policies implementing ``plan``) must produce byte-identical results to
+the generic materialized-queue path (``select`` only), for every policy,
+on every generated stream.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving.batching import (
+    BatchingPolicy,
+    ContinuousBatching,
+    FixedSizeBatching,
+    NoBatching,
+)
+from repro.serving.fleet import Fleet
+from repro.serving.simulator import ServingSimulator
+from repro.serving.traffic import Request
+
+WORKLOADS = ("lvrf", "mimonet", "nvsa", "prae")
+
+ROUTERS = ("round_robin", "jsq", "affinity", "symbolic_affinity")
+
+
+class _Report:
+    def __init__(self, symbolic_fraction):
+        self.symbolic_fraction = symbolic_fraction
+
+
+class InvariantFakeModel:
+    """Deterministic service model covering every router's needs.
+
+    Service times differ per workload and grow sub-linearly with batch
+    size; ``report`` supplies the symbolic fractions the symbolic-affinity
+    router asks for.
+    """
+
+    scheduler = "fake"
+    cached_reports = 0
+
+    BASE = {"lvrf": 0.8, "mimonet": 0.2, "nvsa": 1.0, "prae": 0.5}
+    SYMBOLIC = {"lvrf": 0.9, "mimonet": 0.1, "nvsa": 0.8, "prae": 0.3}
+
+    def service_seconds(self, workload, batch_size):
+        return self.BASE[workload] * (0.5 + 0.5 * batch_size)
+
+    def energy_joules(self, workload, batch_size):
+        return self.service_seconds(workload, batch_size)
+
+    def report(self, workload, batch_size):
+        return _Report(self.SYMBOLIC[workload])
+
+
+def _policies():
+    """One instance of every batching policy, with batching-visible knobs."""
+    return (
+        NoBatching(),
+        FixedSizeBatching(batch_size=3, max_wait_s=0.4),
+        ContinuousBatching(max_batch_size=4, slo_s=2.0),
+    )
+
+
+#: request streams: arrivals on a 0.1 s grid so simultaneous-arrival and
+#: wake-up tie-breaking paths are exercised, not just the generic case
+request_streams = st.lists(
+    st.tuples(
+        st.sampled_from(WORKLOADS),
+        st.integers(min_value=0, max_value=40),
+    ),
+    min_size=1,
+    max_size=40,
+).map(
+    lambda entries: [
+        Request(request_id=index, workload=workload, arrival_s=tick / 10.0)
+        for index, (workload, tick) in enumerate(
+            sorted(entries, key=lambda e: e[1])
+        )
+    ]
+)
+
+
+def _run(requests, num_chips, router, policy):
+    simulator = ServingSimulator(
+        service_model=InvariantFakeModel(),
+        fleet=Fleet(num_chips=num_chips, router=router),
+        batching_policy=policy,
+    )
+    return simulator.run(requests)
+
+
+def _batches_by_chip(result):
+    """Per chip: the (dispatch, finish) spans of its batches, sorted."""
+    spans = {}
+    for record in result.records:
+        spans.setdefault(record.chip, set()).add(
+            (record.dispatch_s, record.finish_s)
+        )
+    return {chip: sorted(batch) for chip, batch in spans.items()}
+
+
+class TestInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(stream=request_streams, num_chips=st.integers(1, 3))
+    def test_conservation_causality_nonoverlap_all_policies_all_routers(
+        self, stream, num_chips
+    ):
+        for router in ROUTERS:
+            for policy in _policies():
+                result = _run(stream, num_chips, router, policy)
+
+                # Conservation: every arrival completes exactly once.
+                assert result.num_requests == len(stream)
+                assert [r.request_id for r in result.records] == [
+                    request.request_id for request in stream
+                ]
+
+                # Causality per request.
+                for record in result.records:
+                    assert (
+                        record.arrival_s <= record.dispatch_s <= record.finish_s
+                    )
+                    assert math.isfinite(record.finish_s)
+
+                # Per-chip non-overlap of service intervals.
+                for spans in _batches_by_chip(result).values():
+                    for (_, prev_finish), (next_dispatch, _) in zip(
+                        spans, spans[1:]
+                    ):
+                        assert next_dispatch >= prev_finish
+
+    @settings(max_examples=25, deadline=None)
+    @given(stream=request_streams, num_chips=st.integers(1, 3))
+    def test_batches_are_single_workload_and_accounting_adds_up(
+        self, stream, num_chips
+    ):
+        for router in ROUTERS:
+            for policy in _policies():
+                result = _run(stream, num_chips, router, policy)
+                by_batch = {}
+                for record in result.records:
+                    by_batch.setdefault(
+                        (record.chip, record.dispatch_s, record.finish_s), []
+                    ).append(record)
+                assert len(by_batch) == result.num_batches
+                for members in by_batch.values():
+                    assert len({r.workload for r in members}) == 1
+                    # batch_size annotations agree with the actual batch
+                    assert {r.batch_size for r in members} == {len(members)}
+                # chip occupancy equals the sum of its batch spans
+                for chip, spans in _batches_by_chip(result).items():
+                    busy = sum(finish - start for start, finish in spans)
+                    assert math.isclose(
+                        busy, result.chip_busy_s[chip], rel_tol=1e-9
+                    )
+                assert sum(result.chip_requests) == len(stream)
+
+
+class _ForcedGenericPolicy(BatchingPolicy):
+    """Wrapper that hides a policy's ``plan``, forcing the generic path."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.name = inner.name
+        self.single_group_cap = None
+        self.eager_singleton = False
+
+    def select(self, queue, now_s):
+        return self.inner.select(queue, now_s)
+
+
+class TestFastPathEquivalence:
+    """The slot-keyed fast path must match the generic select path exactly."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        stream=request_streams,
+        num_chips=st.integers(1, 3),
+        router=st.sampled_from(ROUTERS),
+    )
+    def test_fast_and_generic_paths_are_byte_identical(
+        self, stream, num_chips, router
+    ):
+        for policy_factory in (
+            lambda: NoBatching(),
+            lambda: FixedSizeBatching(batch_size=3, max_wait_s=0.4),
+            lambda: ContinuousBatching(max_batch_size=4, slo_s=2.0),
+        ):
+            fast = _run(stream, num_chips, router, policy_factory())
+            generic = _run(
+                stream, num_chips, router,
+                _ForcedGenericPolicy(policy_factory()),
+            )
+            assert fast.records == generic.records
+            assert fast.chip_busy_s == generic.chip_busy_s
+            assert fast.chip_requests == generic.chip_requests
+            assert fast.energy_joules == generic.energy_joules
+            assert fast.num_batches == generic.num_batches
+            assert fast.horizon_s == generic.horizon_s

@@ -17,9 +17,9 @@ def shared_model():
 
 
 class TestPresets:
-    def test_the_four_presets_exist(self):
+    def test_the_presets_exist(self):
         assert list(SCENARIOS) == [
-            "steady", "diurnal", "flash_crowd", "mixed_workload",
+            "steady", "diurnal", "flash_crowd", "mixed_workload", "ramp_surge",
         ]
         for scenario in SCENARIOS.values():
             assert scenario.description

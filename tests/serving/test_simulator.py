@@ -123,6 +123,95 @@ class TestBatching:
         assert all(len(workloads) == 1 for workloads in by_batch.values())
 
 
+class TestDispatchOrder:
+    """Pin the exact dequeue/dispatch order of the slot-keyed queues.
+
+    Regression test for the old ``id()``-based list scan: selected
+    requests must be removed head-first from their workload group, the
+    remaining requests must keep FIFO order, and group precedence must
+    follow first-occurrence order on arrival ties.
+    """
+
+    def test_interleaved_workloads_dispatch_in_pinned_order(self, fake_model):
+        # One chip; nvsa ids 0/2/4 and mimonet ids 1/3 all land at t=0.
+        requests = [
+            Request(request_id=0, workload="nvsa", arrival_s=0.0),
+            Request(request_id=1, workload="mimonet", arrival_s=0.0),
+            Request(request_id=2, workload="nvsa", arrival_s=0.0),
+            Request(request_id=3, workload="mimonet", arrival_s=0.0),
+            Request(request_id=4, workload="nvsa", arrival_s=0.0),
+        ]
+        policy = FixedSizeBatching(batch_size=2, max_wait_s=10.0)
+        result = _simulator(fake_model, policy=policy).run(requests)
+
+        batches = {}
+        for record in result.records:
+            batches.setdefault(record.dispatch_s, []).append(record)
+        dispatch_times = sorted(batches)
+        ordered = [
+            sorted(r.request_id for r in batches[t]) for t in dispatch_times
+        ]
+        # Batch 1: both groups are full with equal head arrivals; nvsa wins
+        # on first-occurrence order and ships its two oldest (0, 2) — NOT
+        # (0, 4) or any other subset.  Batch 2: the full mimonet pair.
+        # Batch 3: the leftover nvsa request, flushed by the timeout wake.
+        assert ordered == [[0, 2], [1, 3], [4]]
+        # nvsa pair: 1.5 s; mimonet pair starts right after it.
+        assert dispatch_times[0] == 0.0
+        assert dispatch_times[1] == pytest.approx(1.5)
+        # The partial nvsa group waits for the max_wait timeout, not the
+        # chip: it dispatches at arrival + max_wait.
+        assert dispatch_times[2] == pytest.approx(10.0)
+        # FIFO within the workload: id 2 rode in the first batch while the
+        # younger id 4 waited.
+        finish_by_id = {r.request_id: r.finish_s for r in result.records}
+        assert finish_by_id[2] < finish_by_id[4]
+
+    def test_subclass_plan_is_not_bypassed_by_inherited_shortcuts(
+        self, fake_model, make_requests
+    ):
+        # A subclass overriding plan() (and select() to match) inherits
+        # eager_singleton/single_group_cap from ContinuousBatching, but the
+        # dispatch shortcuts must NOT bypass its custom logic: this policy
+        # refuses to dispatch before two requests are queued.
+        from repro.serving.batching import BatchDecision, ContinuousBatching
+
+        class WaitForPair(ContinuousBatching):
+            def select(self, queue, now_s):
+                if len(queue) < 2:
+                    return BatchDecision(batch=None)
+                return super().select(queue, now_s)
+
+            def plan(self, groups, now_s):
+                if sum(len(entries) for entries in groups.values()) < 2:
+                    return None, 0, None
+                return super().plan(groups, now_s)
+
+        requests = make_requests([("nvsa", 0.0), ("nvsa", 3.0)])
+        result = _simulator(fake_model, policy=WaitForPair()).run(requests)
+        # The first lone arrival must wait for the second — one batch of 2,
+        # dispatched at the second arrival, not an eager singleton at t=0.
+        assert result.num_batches == 1
+        assert all(r.dispatch_s == pytest.approx(3.0) for r in result.records)
+        assert all(r.batch_size == 2 for r in result.records)
+
+    def test_continuous_batching_prefers_urgent_group_deterministically(
+        self, fake_model
+    ):
+        # Same-instant burst across two workloads with one shared SLO: the
+        # deadline tie breaks on workload name, so 'mimonet' < 'nvsa' ships
+        # first no matter the queue interleaving.
+        requests = [
+            Request(request_id=0, workload="nvsa", arrival_s=0.0),
+            Request(request_id=1, workload="mimonet", arrival_s=0.0),
+            Request(request_id=2, workload="nvsa", arrival_s=0.0),
+        ]
+        policy = ContinuousBatching(max_batch_size=8, slo_s=5.0)
+        result = _simulator(fake_model, policy=policy).run(requests)
+        first_batch = min(result.records, key=lambda r: r.dispatch_s)
+        assert first_batch.workload == "mimonet"
+
+
 class TestFleetBehaviour:
     def test_round_robin_spreads_requests(self, fake_model, make_requests):
         requests = make_requests([("nvsa", t / 100.0) for t in range(8)])
