@@ -10,7 +10,13 @@ live numbers with ``benchmarks/BENCH_serving.json``:
   calibration ratio so machine speed differences cancel out.
 * **Speedup floor**: the geometric-mean speedup over the recorded
   *legacy* (pre-refactor) numbers must stay at or above ``--min-speedup``
-  (default 5x) — the PR 5 acceptance bar, kept as a standing guarantee.
+  (default 7x) — raised from the PR 5 bar of 5x after the sharded-core
+  work pushed the measured geomean to ~8.8x.
+* **Sharded gate**: every ``SHARDED_SUITE`` case (deep saturation on an
+  8-chip round-robin fleet) must reach its calibration-scaled recorded
+  sharded throughput and beat its own live single-shard run by
+  ``--min-shard-speedup`` (default 1.3x) — a machine-independent check
+  that component sharding keeps paying for itself.
 
 Usage::
 
@@ -34,6 +40,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.serving.benchmark import (  # noqa: E402  (path bootstrap above)
     calibration_ops_per_s,
     geometric_mean,
+    measure_sharded_suite,
     measure_suite,
 )
 
@@ -56,14 +63,73 @@ def _record(baseline: dict, repeats: int) -> int:
         "calibration_ops_per_s": round(calibration, 1),
         "cases": {row["label"]: row for row in rows},
     }
+    sharded_rows = measure_sharded_suite(repeats=repeats)
+    baseline["sharded"] = {
+        "calibration_ops_per_s": round(calibration, 1),
+        "cases": {row["label"]: row for row in sharded_rows},
+    }
     BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
     for row in rows:
         print(f"  {row['label']}: {row['requests_per_s']:,.0f} req/s")
-    print(f"recorded {len(rows)} cases -> {BASELINE_PATH}")
+    for row in sharded_rows:
+        print(
+            f"  {row['label']}: {row['requests_per_s']:,.0f} req/s "
+            f"({row['shards']} shards; "
+            f"{row['single_shard_requests_per_s']:,.0f} single-shard)"
+        )
+    print(
+        f"recorded {len(rows)} + {len(sharded_rows)} cases -> {BASELINE_PATH}"
+    )
     return 0
 
 
-def _check(baseline: dict, repeats: int, tolerance: float, min_speedup: float) -> int:
+def _check_sharded(
+    baseline: dict,
+    repeats: int,
+    tolerance: float,
+    min_shard_speedup: float,
+    live_calibration: float,
+    failures: list,
+) -> None:
+    sharded = baseline.get("sharded")
+    if not sharded:
+        print("no recorded sharded section; skipping the sharded gate")
+        return
+    scale = live_calibration / sharded["calibration_ops_per_s"]
+    for row in measure_sharded_suite(repeats=repeats):
+        label = row["label"]
+        live = row["requests_per_s"]
+        single = row["single_shard_requests_per_s"]
+        recorded = sharded["cases"][label]["requests_per_s"] * scale
+        floor = recorded * (1.0 - tolerance)
+        ratio = live / single if single > 0 else 0.0
+        verdict = (
+            "ok" if live >= floor and ratio >= min_shard_speedup else "REGRESSION"
+        )
+        print(
+            f"  {label}: {live:,.0f} req/s at {row['shards']} shards "
+            f"(floor {floor:,.0f}, {ratio:.2f}x its single-shard "
+            f"{single:,.0f}) {verdict}"
+        )
+        if live < floor:
+            failures.append(
+                f"{label}: {live:,.0f} req/s is below the {tolerance:.0%} "
+                f"sharded regression floor ({floor:,.0f} req/s)"
+            )
+        if ratio < min_shard_speedup:
+            failures.append(
+                f"{label}: sharding pays only {ratio:.2f}x over its own "
+                f"single-shard run (floor {min_shard_speedup:.1f}x)"
+            )
+
+
+def _check(
+    baseline: dict,
+    repeats: int,
+    tolerance: float,
+    min_speedup: float,
+    min_shard_speedup: float,
+) -> int:
     current = baseline.get("current")
     legacy = baseline.get("legacy")
     if not current or not legacy:
@@ -107,6 +173,10 @@ def _check(baseline: dict, repeats: int, tolerance: float, min_speedup: float) -
             f"geomean speedup {mean_speedup:.2f}x fell below the "
             f"{min_speedup:.1f}x floor"
         )
+    _check_sharded(
+        baseline, repeats, tolerance, min_shard_speedup, live_calibration,
+        failures,
+    )
     if failures:
         print("\nFAIL:", file=sys.stderr)
         for failure in failures:
@@ -124,13 +194,18 @@ def main(argv: list[str] | None = None) -> int:
                         help="timing repetitions per case (best-of)")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed per-case regression fraction")
-    parser.add_argument("--min-speedup", type=float, default=5.0,
+    parser.add_argument("--min-speedup", type=float, default=7.0,
                         help="geomean speedup floor vs the legacy core")
+    parser.add_argument("--min-shard-speedup", type=float, default=1.3,
+                        help="per-case floor on sharded vs own single-shard")
     args = parser.parse_args(argv)
     baseline = _load_baseline()
     if args.record:
         return _record(baseline, args.repeats)
-    return _check(baseline, args.repeats, args.tolerance, args.min_speedup)
+    return _check(
+        baseline, args.repeats, args.tolerance, args.min_speedup,
+        args.min_shard_speedup,
+    )
 
 
 if __name__ == "__main__":

@@ -257,6 +257,8 @@ def _serve_trace_replay(args, backends) -> int:
         policy=args.policy or "continuous",
         backends=backends,
         chunk_size=args.chunk_size,
+        shards=args.shards,
+        shard_workers=args.shard_workers,
     )
     slo_s = args.slo_ms * 1e-3
     summary = metrics.summarize_result(result, slo_s)
@@ -346,6 +348,54 @@ def _serve_record(args) -> int:
     return 0
 
 
+def _serve_profile(args, backends) -> int:
+    """``repro serve SCENARIO --profile`` — per-phase wall-clock breakdown."""
+    from repro.serving.profile import profile_scenario
+
+    if len(set(backends)) > 1:
+        raise ReproError(
+            "--profile needs a homogeneous fleet; name at most one --backend"
+        )
+    payload = profile_scenario(
+        args.scenario,
+        seed=args.seed,
+        load_scale=args.load_scale,
+        duration_scale=args.duration_scale,
+        num_chips=args.chips,
+        router=args.router,
+        policy=args.policy,
+        backend=backends[0] if backends else None,
+    )
+    if args.format == "json":
+        _emit(args, json.dumps(payload, indent=2) + "\n")
+        return 0
+    lines = [
+        f"## Profile — scenario '{payload['scenario']}' "
+        f"({payload['num_requests']} requests, {payload['num_chips']} chips, "
+        f"router {payload['router']}, policy {payload['policy']})",
+        "",
+        format_markdown_table(
+            ["phase", "seconds", "calls", "share (%)"],
+            [
+                [row["phase"], row["seconds"], row["calls"], row["share_pct"]]
+                for row in payload["phases"]
+            ],
+        ),
+        "",
+        format_markdown_table(
+            ["metric", "value"],
+            [
+                ["instrumented run (s)", payload["instrumented_run_s"]],
+                ["uninstrumented run (s)", payload["uninstrumented_run_s"]],
+                ["fast-path speedup (x)", payload["fast_path_speedup_x"]],
+                ["warm-up run (s)", payload["warmup_run_s"]],
+            ],
+        ),
+    ]
+    _emit(args, "\n".join(lines) + "\n")
+    return 0
+
+
 def _reject_stray_serve_options(args, backends) -> None:
     """Fail fast on flag combinations that would be silently ignored."""
     if args.trace and args.record:
@@ -378,6 +428,8 @@ def _reject_stray_serve_options(args, backends) -> None:
                 ("--router", args.router),
                 ("--policy", args.policy),
                 ("--slo-ms", None if args.slo_ms == 5.0 else args.slo_ms),
+                ("--shards", None if args.shards == 1 else args.shards),
+                ("--shard-workers", args.shard_workers),
             )
             if raw is not None
         ]
@@ -392,6 +444,26 @@ def _reject_stray_serve_options(args, backends) -> None:
         raise ReproError(
             "--trace/--record do not combine with --list/--smoke"
         )
+    if (args.list or args.smoke) and (
+        args.shards != 1 or args.shard_workers is not None or args.profile
+    ):
+        raise ReproError(
+            "--shards/--shard-workers/--profile only apply to scenario runs "
+            "and trace replays; drop them from --list/--smoke invocations"
+        )
+    if args.profile:
+        if args.trace:
+            raise ReproError(
+                "--profile breaks down one scenario run; it does not apply "
+                "to --trace replays"
+            )
+        if args.shards != 1 or args.shard_workers is not None:
+            raise ReproError(
+                "--profile times the single-shard event core; drop "
+                "--shards/--shard-workers"
+            )
+    if args.shard_workers is not None and args.shards == 1:
+        raise ReproError("--shard-workers needs --shards greater than 1")
     if not args.trace:
         if args.slo_ms != 5.0:
             raise ReproError(
@@ -479,6 +551,8 @@ def _cmd_serve(args) -> int:
         raise ReproError(
             "repro serve needs a scenario name (see --list), --smoke or --list"
         )
+    if args.profile:
+        return _serve_profile(args, backends)
     scenario, result = scenarios.run_scenario(
         args.scenario,
         seed=args.seed,
@@ -488,6 +562,8 @@ def _cmd_serve(args) -> int:
         router=args.router,
         policy=args.policy,
         backends=backends or None,
+        shards=args.shards,
+        shard_workers=args.shard_workers,
     )
     summary = metrics.summarize_result(result, scenario.slo_s)
     breakdown = metrics.per_workload_summary(result, scenario.slo_s)
@@ -767,6 +843,15 @@ def build_parser() -> argparse.ArgumentParser:
                               help="SLO for trace-replay reports (default 5)")
     serve_parser.add_argument("--chunk-size", type=int, default=65536,
                               help=argparse.SUPPRESS)
+    serve_parser.add_argument("--shards", type=int, default=1, metavar="N",
+                              help="split router-independent sub-fleets into N "
+                                   "shard simulations (records identical to "
+                                   "a single-shard run)")
+    serve_parser.add_argument("--shard-workers", type=int, default=None,
+                              metavar="N", help=argparse.SUPPRESS)
+    serve_parser.add_argument("--profile", action="store_true",
+                              help="per-phase wall-clock breakdown of one "
+                                   "scenario run (no serving report)")
     serve_parser.add_argument("--format", choices=("md", "json"), default="md")
     serve_parser.add_argument("--output", metavar="FILE",
                               help="write the summary to FILE")

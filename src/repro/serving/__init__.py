@@ -23,7 +23,12 @@ deterministic discrete-event simulator over the cycle-level
 * :mod:`~repro.serving.metrics` — tail latency, goodput under SLO and
   saturation summaries over full-trace or streamed results,
 * :mod:`~repro.serving.scenarios` — DSL-defined presets (steady, diurnal,
-  flash-crowd, mixed-workload, ramp-surge) runnable via ``repro serve``.
+  flash-crowd, mixed-workload, ramp-surge) runnable via ``repro serve``,
+* :mod:`~repro.serving.sharding` — component-sharded execution: factor a
+  router-independent fleet into per-shard simulations whose merged result
+  is byte-identical to the single-shard run,
+* :mod:`~repro.serving.profile` — per-phase wall-clock breakdown of one
+  scenario run (``repro serve --profile``).
 """
 
 from repro.serving.batching import (
@@ -67,12 +72,18 @@ from repro.serving.dsl import (
     ramp,
     steady,
 )
+from repro.serving.profile import profile_scenario
 from repro.serving.scenarios import (
     SCENARIOS,
     Scenario,
     get_scenario,
     register_scenario,
     run_scenario,
+)
+from repro.serving.sharding import (
+    plan_components,
+    run_sharded,
+    run_stream_sharded,
 )
 from repro.serving.simulator import (
     RequestRecord,
@@ -156,4 +167,8 @@ __all__ = [
     "get_scenario",
     "register_scenario",
     "run_scenario",
+    "plan_components",
+    "run_sharded",
+    "run_stream_sharded",
+    "profile_scenario",
 ]

@@ -110,8 +110,11 @@ class BatchingPolicy:
         """Fast-path hook over slot-keyed queues; ``None`` when unsupported.
 
         ``groups`` maps workload name to that workload's queued
-        ``(arrival_s, request_id)`` deque, in first-occurrence (queue)
-        order; each deque is non-empty and sorted.  Implementations must
+        ``(arrival_s, request_id)`` entries as a sequence-like object
+        supporting ``len``/indexing/iteration (a deque in the scalar core,
+        a cursor view over columnar arrays in the sharded engine), in
+        first-occurrence (queue) order; each is non-empty and sorted.
+        Implementations must
         return ``(workload, count, wake_s)`` where the batch is exactly the
         first ``count`` entries of ``groups[workload]`` — the same requests
         ``select`` would choose — or ``(None, 0, wake_s)`` to wait.  The

@@ -30,9 +30,13 @@ from repro.serving.simulator import ServingSimulator
 __all__ = [
     "ThroughputCase",
     "THROUGHPUT_SUITE",
+    "ShardedThroughputCase",
+    "SHARDED_SUITE",
     "calibration_ops_per_s",
     "measure_case",
     "measure_suite",
+    "measure_sharded_case",
+    "measure_sharded_suite",
     "geometric_mean",
 ]
 
@@ -57,6 +61,32 @@ THROUGHPUT_SUITE: tuple[ThroughputCase, ...] = (
     ThroughputCase("steady_saturated", "steady", 4.0, 2.0),
     ThroughputCase("flash_megacrowd", "flash_crowd", 4.0, 2.0),
     ThroughputCase("mixed_hotspot", "mixed_workload", 1.3, 4.0),
+)
+
+class ShardedThroughputCase(NamedTuple):
+    """A sharded measurement: a deep-saturation regime on a wide rr fleet."""
+
+    label: str
+    scenario: str
+    load_scale: float
+    duration_scale: float
+    num_chips: int
+    router: str
+    shards: int
+
+
+#: the million-req/s regimes: deep saturation (mean batch ≈ 7-8) on an
+#: 8-chip round-robin fleet, where the fleet factors into one component
+#: per chip and the columnar per-component engine takes over.  Shallower
+#: loads (e.g. ``steady_saturated``'s 4.0 on 2 chips) leave each chip at
+#: batch ≈ 1 and the sharded path merely matches the single-shard core.
+SHARDED_SUITE: tuple[ShardedThroughputCase, ...] = (
+    ShardedThroughputCase(
+        "steady_saturated_x8", "steady", 16.0, 2.0, 8, "round_robin", 4
+    ),
+    ShardedThroughputCase(
+        "flash_megacrowd_x8", "flash_crowd", 16.0, 2.0, 8, "round_robin", 4
+    ),
 )
 
 #: iterations of the calibration loop (a fixed, allocation-free workload)
@@ -119,6 +149,63 @@ def measure_case(case: ThroughputCase, repeats: int = 3) -> dict:
 def measure_suite(repeats: int = 3) -> list[dict]:
     """Measure every case of :data:`THROUGHPUT_SUITE`."""
     return [measure_case(case, repeats=repeats) for case in THROUGHPUT_SUITE]
+
+
+def measure_sharded_case(case: ShardedThroughputCase, repeats: int = 3) -> dict:
+    """Measure one sharded case at ``shards=1`` and ``shards=case.shards``.
+
+    Both numbers go through :meth:`ServingSimulator.run_stream` over one
+    pre-columnarized chunk, so the comparison isolates the sharded merge
+    against the single-shard streaming core on identical input.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    scenario = get_scenario(case.scenario)
+    requests = scenario.traffic(0, case.load_scale, case.duration_scale)
+    fleet = Fleet(num_chips=case.num_chips, router=case.router)
+    simulator = ServingSimulator(
+        service_model=FleetServiceModel(fleet=fleet),
+        fleet=fleet,
+        batching_policy=build_policy(scenario.policy),
+    )
+    columns = (
+        [request.arrival_s for request in requests],
+        [request.workload for request in requests],
+        [request.request_id for request in requests],
+    )
+    workloads = tuple(sorted({request.workload for request in requests}))
+    simulator.run_stream([columns], workloads)  # warm the service reports
+
+    def best_of(shards: int) -> float:
+        best = 0.0
+        for _ in range(repeats):
+            started = time.perf_counter()
+            simulator.run_stream([columns], workloads, shards=shards)
+            elapsed = time.perf_counter() - started
+            best = max(best, len(requests) / elapsed)
+        return best
+
+    single = best_of(1)
+    sharded = best_of(case.shards)
+    return {
+        "label": case.label,
+        "scenario": case.scenario,
+        "load_scale": case.load_scale,
+        "duration_scale": case.duration_scale,
+        "num_chips": case.num_chips,
+        "router": case.router,
+        "shards": case.shards,
+        "requests": len(requests),
+        "requests_per_s": round(sharded, 1),
+        "single_shard_requests_per_s": round(single, 1),
+    }
+
+
+def measure_sharded_suite(repeats: int = 3) -> list[dict]:
+    """Measure every case of :data:`SHARDED_SUITE`."""
+    return [
+        measure_sharded_case(case, repeats=repeats) for case in SHARDED_SUITE
+    ]
 
 
 def geometric_mean(values: list[float]) -> float:

@@ -47,6 +47,7 @@ __all__ = [
     "JoinShortestQueueRouter",
     "WorkloadAffinityRouter",
     "SymbolicAffinityRouter",
+    "FixedOwnersRouter",
     "ROUTERS",
     "build_router",
     "Fleet",
@@ -238,6 +239,44 @@ class SymbolicAffinityRouter(Router):
         if owners is None:
             raise ServingError(
                 "symbolic-affinity router has no pool for workload "
+                f"'{request.workload}'"
+            )
+        candidates = [chips[chip_id] for chip_id in owners]
+        return min(candidates, key=lambda chip: (_pending(chip), chip.chip_id)).chip_id
+
+
+class FixedOwnersRouter(Router):
+    """Affinity router with an injected, pre-computed ownership table.
+
+    The sharding layer uses this to rebuild a shard's slice of a parent
+    affinity/symbolic-affinity router: the parent's ``owners`` mapping is
+    remapped to shard-local chip ids and injected verbatim, so the shard
+    routes exactly as the chips did inside the full fleet.  Re-dealing
+    ownership over the shard's smaller workload set would pick different
+    owners, which is why this router never computes its own table.  Owner
+    tuples must be ascending chip ids, matching the builtin routers.
+    """
+
+    name = "fixed_owners"
+
+    def __init__(self, owners: Mapping[str, Sequence[int]]) -> None:
+        if not owners:
+            raise ServingError("fixed-owners router needs an ownership table")
+        self.owners: dict[str, tuple[int, ...]] = {
+            workload: tuple(chip_ids) for workload, chip_ids in owners.items()
+        }
+        for workload, chip_ids in self.owners.items():
+            if not chip_ids:
+                raise ServingError(
+                    f"fixed-owners router has an empty pool for '{workload}'"
+                )
+
+    def route(self, request, chips):
+        """The least-loaded chip among the workload's fixed owners."""
+        owners = self.owners.get(request.workload)
+        if owners is None:
+            raise ServingError(
+                "fixed-owners router has no owners for workload "
                 f"'{request.workload}'"
             )
         candidates = [chips[chip_id] for chip_id in owners]

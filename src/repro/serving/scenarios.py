@@ -187,6 +187,8 @@ def run_scenario(
     policy: str | None = None,
     service_model=None,
     backends: Sequence[str] | None = None,
+    shards: int = 1,
+    shard_workers: int | None = None,
 ) -> tuple[Scenario, ServingResult]:
     """Execute one scenario preset (with optional overrides) end to end.
 
@@ -194,6 +196,9 @@ def run_scenario(
     when given without ``num_chips`` the fleet grows to one chip per name.
     A caller-supplied ``service_model`` must match the resulting fleet —
     heterogeneous fleets build their own per-chip model when it is None.
+    ``shards > 1`` splits router-independent sub-fleets into per-shard
+    simulations with records identical to the single-shard run (see
+    :mod:`repro.serving.sharding`).
     """
     if load_scale <= 0 or duration_scale <= 0:
         raise ServingError("load_scale and duration_scale must be positive")
@@ -224,7 +229,7 @@ def run_scenario(
         fleet=fleet,
         batching_policy=batching,
     )
-    result = simulator.run(requests)
+    result = simulator.run(requests, shards=shards, shard_workers=shard_workers)
     result.provenance.update(
         {"scenario": name, "seed": seed, "load_scale": load_scale,
          "duration_scale": duration_scale}

@@ -13,13 +13,23 @@ of registry backends).  Three pluggable pieces define a run:
 The hot path is built for million-request traces: arrivals are consumed
 from pre-sorted columnar chunks by index (no per-request heap entries —
 the event heap only ever holds one completion/wake-up per chip), chip
-queues are slot-keyed ``{workload: deque}`` maps so built-in batching
-policies pick a batch in O(workloads) and dequeue it in O(batch), routing
-for the built-in routers is inlined integer comparison, and the
-``(chip model, workload, batch size)`` service/energy table is memoized
-outside the loop.  Third-party routers and batching policies that only
-implement the generic ``route``/``select`` interfaces still work — the
-core transparently falls back to a materialized per-chip queue for them.
+queues are slot-keyed ``{workload: group}`` maps whose groups pop a
+dispatched batch as one list slice, routing for the built-in routers is
+inlined integer comparison, and the ``(chip model, workload, batch size)``
+service/energy table is memoized outside the loop.  On top of that, the
+*chunked clock advance* scans each columnar chunk once (vectorized) for
+idle-disjoint runs — maximal spans where every arrival strictly outlives
+the previous request's service — and serves whole runs without touching
+the event heap at all.  Third-party routers and batching policies that
+only implement the generic ``route``/``select`` interfaces still work —
+the core transparently falls back to a materialized per-chip queue for
+them (``vectorize=False`` forces the scalar path everywhere, which the
+property harness uses to prove the chunked advance changes no bytes).
+
+Fleets whose router partitions the chips into independent sub-fleets can
+additionally run with ``shards > 1`` (see :mod:`repro.serving.sharding`):
+each component simulates in isolation — optionally on worker processes —
+and the results merge deterministically.
 
 Determinism: events order by ``(time, kind, sequence)`` with arrivals
 before completions before wake-ups at an instant, routing and batching
@@ -38,7 +48,6 @@ from __future__ import annotations
 import heapq
 import itertools
 from array import array
-from collections import deque
 from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
 from typing import NamedTuple
@@ -54,6 +63,7 @@ from repro.serving.batching import (
     NoBatching,
 )
 from repro.serving.fleet import (
+    FixedOwnersRouter,
     Fleet,
     FleetServiceModel,
     JoinShortestQueueRouter,
@@ -78,6 +88,12 @@ _ARRIVAL, _FREE, _WAKE = 0, 1, 2
 
 #: request-index chunk size used when columnarizing in-memory streams
 DEFAULT_CHUNK_SIZE = 65536
+
+#: shortest idle-disjoint run the chunked clock advance will take over; a
+#: run's fixed vectorization overhead (~a dozen small array ops) beats the
+#: scalar loop only past this length, so shorter runs stay on the exact
+#: same scalar path they always used
+BULK_MIN_RUN = 16
 
 
 class RequestRecord(NamedTuple):
@@ -228,6 +244,67 @@ class StreamedServingResult(_FleetRunStats):
         return self.workload_latency_s
 
 
+class _Group:
+    """One workload's queued ``(arrival_s, request_id)`` entries on a chip.
+
+    A list plus a consumed-prefix cursor: a dispatched batch pops off the
+    front as one slice (``popn``) instead of per-entry ``popleft`` calls,
+    and the consumed prefix is compacted away once it dominates the list so
+    saturated runs stay memory-bounded.  Exposes the read-only sequence
+    surface batching-policy ``plan`` implementations rely on (``len``,
+    indexing from the logical head, iteration).
+    """
+
+    __slots__ = ("items", "head")
+
+    #: consumed-prefix length beyond which ``popn`` considers compacting
+    _COMPACT_MIN = 4096
+
+    def __init__(self) -> None:
+        self.items: list[tuple[float, int]] = []
+        self.head = 0
+
+    def __len__(self) -> int:
+        return len(self.items) - self.head
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            start, stop, step = index.indices(len(self.items) - self.head)
+            head = self.head
+            return self.items[head + start : head + stop : step]
+        if index < 0:
+            index += len(self.items) - self.head
+            if index < 0:
+                raise IndexError("group index out of range")
+        return self.items[self.head + index]
+
+    def __iter__(self):
+        return iter(self.items[self.head :])
+
+    def append(self, entry: tuple[float, int]) -> None:
+        self.items.append(entry)
+
+    def popn(self, count: int) -> list[tuple[float, int]]:
+        """Pop the first ``count`` entries as one slice."""
+        head = self.head
+        end = head + count
+        items = self.items
+        if count < 0 or end > len(items):
+            raise ServingError(
+                f"batch of {count} requested from a queue of {len(items) - head}"
+            )
+        members = items[head:end]
+        if end == len(items):
+            items.clear()
+            self.head = 0
+        else:
+            self.head = end
+            if end > self._COMPACT_MIN and end * 2 >= len(items):
+                del items[:end]
+                self.head = 0
+        return members
+
+
 class _SlotChip:
     """Chip state with a slot-keyed queue (fast batching-policy path).
 
@@ -247,7 +324,7 @@ class _SlotChip:
         self.chip_id = chip_id
         self.busy = False
         self.inflight = 0
-        self.groups: dict[str, deque[tuple[float, int]]] = {}
+        self.groups: dict[str, _Group] = {}
         self.depth = 0
         # queued + in-flight, maintained incrementally so load-aware
         # routing is one attribute read instead of a property call
@@ -354,10 +431,15 @@ class ServingSimulator:
         service_model=None,
         fleet: Fleet | None = None,
         batching_policy: BatchingPolicy | None = None,
+        vectorize: bool = True,
     ) -> None:
         self.fleet = fleet or Fleet()
         self.service_model = service_model or FleetServiceModel(fleet=self.fleet)
         self.batching_policy = batching_policy or NoBatching()
+        #: enable the chunked clock advance (vectorized idle-disjoint runs);
+        #: False forces the scalar event loop everywhere, which the
+        #: equivalence harness uses to prove the two paths agree byte-for-byte
+        self.vectorize = bool(vectorize)
 
     def _chip_models(self) -> list:
         """Per-chip service oracles, validated against the fleet shape."""
@@ -419,10 +501,26 @@ class ServingSimulator:
             "cached_reports": self.service_model.cached_reports,
         }
 
-    def run(self, requests: Sequence[Request]) -> ServingResult:
-        """Simulate ``requests`` to completion and return the full trace."""
+    def run(
+        self,
+        requests: Sequence[Request],
+        shards: int = 1,
+        shard_workers: int | None = None,
+    ) -> ServingResult:
+        """Simulate ``requests`` to completion and return the full trace.
+
+        ``shards > 1`` partitions router-independent sub-fleets into
+        per-shard simulations (see :mod:`repro.serving.sharding`) whose
+        merged records are identical to the single-shard run.
+        """
         if not requests:
             raise ServingError("cannot simulate an empty request stream")
+        if shards != 1:
+            from repro.serving.sharding import run_sharded
+
+            return run_sharded(
+                self, requests, shards=shards, workers=shard_workers
+            )
         stream = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
         ids = [request.request_id for request in stream]
         if len(set(ids)) != len(ids):
@@ -430,9 +528,13 @@ class ServingSimulator:
         workloads = tuple(sorted({request.workload for request in stream}))
 
         raw_batches: list[tuple] = []
+        bulk_runs: list[tuple] = []
 
         def emit(*batch):
             raw_batches.append(batch)
+
+        def emit_run(chip_ids, arrivals, finishes, names, codes, run_ids):
+            bulk_runs.append((chip_ids, arrivals, finishes, names, run_ids))
 
         # One pre-sorted columnar chunk: run() already holds the whole list.
         chunks = [(
@@ -441,7 +543,7 @@ class ServingSimulator:
             [request.request_id for request in stream],
         )]
         chips, energy, num_batches, horizon, first_arrival, served = (
-            self._simulate(chunks, workloads, emit)
+            self._simulate(chunks, workloads, emit, emit_run=emit_run)
         )
         if served != len(stream):
             raise ServingError(
@@ -454,6 +556,29 @@ class ServingSimulator:
             for chip_id, dispatch_s, finish_s, size, workload, members in raw_batches
             for arrival_s, request_id in members
         ]
+        one = itertools.repeat(1)
+        for chip_ids, arrivals, finishes, names, run_ids in bulk_runs:
+            # An idle-disjoint run: every request served alone at its
+            # arrival instant (dispatch == arrival, batch size 1).
+            arrival_list = arrivals.tolist()
+            finish_list = finishes.tolist()
+            chip_iter = (
+                itertools.repeat(chip_ids)
+                if isinstance(chip_ids, int)
+                else chip_ids.tolist()
+            )
+            records.extend(
+                map(
+                    RequestRecord,
+                    run_ids,
+                    names,
+                    chip_iter,
+                    arrival_list,
+                    arrival_list,
+                    finish_list,
+                    one,
+                )
+            )
         # Plain tuple sort: request_id is the lead field and is unique.
         records.sort()
         return ServingResult(
@@ -474,6 +599,8 @@ class ServingSimulator:
         chunks: Iterable[tuple[Sequence[float], Sequence[str], Sequence[int]]],
         workloads: Sequence[str],
         provenance: Mapping[str, object] | None = None,
+        shards: int = 1,
+        shard_workers: int | None = None,
     ) -> StreamedServingResult:
         """Serve a columnar arrival stream in bounded memory.
 
@@ -489,6 +616,17 @@ class ServingSimulator:
         workload_names = tuple(sorted(set(workloads)))
         if not workload_names:
             raise ServingError("run_stream needs the stream's workload set")
+        if shards != 1:
+            from repro.serving.sharding import run_stream_sharded
+
+            return run_stream_sharded(
+                self,
+                chunks,
+                workload_names,
+                provenance=provenance,
+                shards=shards,
+                workers=shard_workers,
+            )
 
         latencies = array("d")
         queue_delays = array("d")
@@ -515,8 +653,28 @@ class ServingSimulator:
                 per_workload(latency)
                 per_chip(latency)
 
+        workload_buckets = [workload_latencies[name] for name in workload_names]
+
+        def emit_run(chip_ids, run_arrivals, finishes, names, codes, run_ids):
+            # An idle-disjoint run of singleton batches: latency is pure
+            # service time (dispatch == arrival), appended in dispatch
+            # order — exactly the order the scalar path would emit.
+            lat = finishes - run_arrivals
+            raw = lat.tobytes()
+            latencies.frombytes(raw)
+            queue_delays.frombytes(bytes(len(raw)))
+            for code in np.unique(codes):
+                workload_buckets[code].frombytes(lat[codes == code].tobytes())
+            if isinstance(chip_ids, int):
+                chip_latencies[chip_ids].frombytes(raw)
+            else:
+                for chip_id in np.unique(chip_ids):
+                    chip_latencies[chip_id].frombytes(
+                        lat[chip_ids == chip_id].tobytes()
+                    )
+
         chips, energy, num_batches, horizon, first_arrival, served = (
-            self._simulate(chunks, workload_names, emit)
+            self._simulate(chunks, workload_names, emit, emit_run=emit_run)
         )
         run_provenance = self._provenance(served)
         if provenance:
@@ -545,20 +703,45 @@ class ServingSimulator:
 
     # -- event core ---------------------------------------------------------
 
-    def _simulate(self, chunks, workloads: tuple[str, ...], emit):
+    def _simulate(
+        self,
+        chunks,
+        workloads: tuple[str, ...],
+        emit,
+        emit_run=None,
+        router=None,
+        chip_models=None,
+    ):
         """Advance the event core over sorted columnar arrival chunks.
 
         ``emit(chip_id, dispatch_s, finish_s, size, workload, members)`` is
         called once per dispatched batch with ``members`` the batch's
         ``(arrival_s, request_id)`` entries in queue order.  Returns
         ``(chips, energy, batches, horizon, first_arrival, served)``.
+
+        ``emit_run(chip_ids, arrivals, finishes, names, codes, ids)``, when
+        given, receives whole idle-disjoint runs from the chunked clock
+        advance instead of one ``emit`` per singleton batch: ``chip_ids``
+        is an int (every request on that chip) or a per-request int array,
+        ``arrivals``/``finishes`` are float arrays (dispatch == arrival for
+        every request of a run), ``names`` the workload column slice,
+        ``codes`` int array indices into sorted ``workloads``, and ``ids``
+        the request-id column slice.  Without it, runs are replayed through
+        ``emit`` one singleton at a time.
+
+        ``router``/``chip_models`` inject a pre-built router and per-chip
+        service oracles — the sharding layer uses this to simulate a
+        sub-fleet without constructing a sub-``Fleet`` (the chip count is
+        ``len(chip_models)``).
         """
-        chip_models = self._chip_models()
-        router = self._make_router(workloads, chip_models)
+        if chip_models is None:
+            chip_models = self._chip_models()
+        if router is None:
+            router = self._make_router(workloads, chip_models)
         policy = self.batching_policy
         plan, shortcuts_trusted = _plan_method(policy)
 
-        num_chips = self.fleet.num_chips
+        num_chips = len(chip_models)
         chip_cls = _SlotChip if plan is not None else _ListChip
         chips = [chip_cls(chip_id) for chip_id in range(num_chips)]
 
@@ -589,8 +772,16 @@ class ServingSimulator:
             route_mode = "rr"
             rr_next = router._next
         elif router_type is JoinShortestQueueRouter:
-            route_mode = "jsq"
-        elif router_type in (WorkloadAffinityRouter, SymbolicAffinityRouter):
+            # Two-chip JSQ (the most common fleet shape) collapses the
+            # min-scan to one comparison; ties go to the lower chip id.
+            if num_chips == 2:
+                route_mode = "jsq2"
+                chip_a, chip_b = chips
+            else:
+                route_mode = "jsq"
+        elif router_type in (
+            WorkloadAffinityRouter, SymbolicAffinityRouter, FixedOwnersRouter
+        ):
             route_mode = "owners"
             owner_chips = {
                 workload: [chips[chip_id] for chip_id in owners]
@@ -611,8 +802,10 @@ class ServingSimulator:
                 if len(groups) == 1 and single_cap is not None:
                     # One workload queued: the batch is its head requests,
                     # capped — no need to consult the policy's full plan.
-                    workload, entries = next(iter(groups.items()))
-                    depth = len(entries)
+                    # With one group the chip's total queue depth IS the
+                    # group's length, so the group object is never touched.
+                    workload = next(iter(groups))
+                    depth = chip.depth
                     count = single_cap if depth > single_cap else depth
                     wake_s = None
                 else:
@@ -630,9 +823,8 @@ class ServingSimulator:
                         chip.pending_wake_s = wake_s
                     return
                 entries = groups[workload]
-                popleft = entries.popleft
-                members = [popleft() for _ in range(count)]
-                if not entries:
+                members = entries.popn(count)
+                if not entries.items:
                     del groups[workload]
                 chip.depth -= count
                 key = (chip_model_keys[chip.chip_id], workload, count)
@@ -733,12 +925,14 @@ class ServingSimulator:
 
         def next_chunk():
             """Columns of the next non-empty chunk, or ``None`` at the end."""
+            nonlocal bulk_cols
+            bulk_cols = None
             for arrivals, names, ids in chunk_iter:
+                if not (len(arrivals) == len(names) == len(ids)):
+                    raise ServingError(
+                        "columnar chunk has mismatched column lengths"
+                    )
                 if len(arrivals):
-                    if not (len(arrivals) == len(names) == len(ids)):
-                        raise ServingError(
-                            "columnar chunk has mismatched column lengths"
-                        )
                     return arrivals, names, ids
             return None
 
@@ -760,8 +954,198 @@ class ServingSimulator:
         # tuple-key-free view of the memoized service table.
         singleton_tables: list[dict] = [{} for _ in range(num_chips)]
 
+        # -- chunked clock advance -----------------------------------------
+        # When the event heap is empty, every chip is idle with an empty
+        # queue (an eager policy dispatches the moment work meets an idle
+        # chip, and schedules no wake-ups), so the simulation's future is a
+        # pure function of upcoming arrivals.  A maximal *idle-disjoint
+        # run* — consecutive arrivals where each request's singleton
+        # service finishes strictly before the next arrival — then plays
+        # out as one vectorized span: every request dispatches alone at its
+        # own arrival on the chip the router picks for an all-idle fleet
+        # (jsq: chip 0; affinity pools: lowest owner; round-robin: the
+        # cycling counter).  Only the run's last request leaves through the
+        # heap, because its boundary against the next event is unchecked.
+        # Requires trusted eager-singleton shortcuts and a builtin router;
+        # round-robin additionally needs one shared service oracle since
+        # its assignment strides across every chip.
+        bulk_mode = None
+        if self.vectorize and eager and route_mode != "generic":
+            if route_mode != "rr" or len(model_index) == 1:
+                bulk_mode = "jsq" if route_mode == "jsq2" else route_mode
+        wl_code = {name: code for code, name in enumerate(workloads)}
+        bulk_rows: dict[str, tuple] = {}
+        bulk_cols = None  # lazily-built per-chunk arrays
+
+        def bulk_row(name):
+            """``(service_s, energy_j, chip_id, code)`` for a lone ``name``.
+
+            Resolved on the chip an all-idle fleet routes the workload to.
+            Any failure — unknown workload, unroutable workload, service
+            oracle error — encodes as service ``-1.0``, which bars the
+            request from every run so the scalar path raises its exact
+            error at the exact request.
+            """
+            invalid = (-1.0, 0.0, -1, -1)
+            code = wl_code.get(name, -1)
+            if code < 0:
+                return invalid
+            if bulk_mode == "owners":
+                candidates = owner_chips.get(name)
+                if candidates is None:
+                    return invalid
+                chip_id = candidates[0].chip_id
+            else:
+                chip_id = 0
+            try:
+                model = chip_models[chip_id]
+                return (
+                    model.service_seconds(name, 1),
+                    model.energy_joules(name, 1),
+                    chip_id,
+                    code,
+                )
+            except Exception:
+                return invalid
+
+        def bulk_prepare(arrivals, names):
+            """Per-chunk arrays driving the run scan, built once per chunk."""
+            arr = np.asarray(arrivals, dtype=float)
+            n = len(arr)
+            svc_list = [0.0] * n
+            en_list = [0.0] * n
+            chip_list = [0] * n
+            code_list = [0] * n
+            rows_get = bulk_rows.get
+            for i, name in enumerate(names):
+                row = rows_get(name)
+                if row is None:
+                    bulk_rows[name] = row = bulk_row(name)
+                svc_list[i] = row[0]
+                en_list[i] = row[1]
+                chip_list[i] = row[2]
+                code_list[i] = row[3]
+            svc = np.array(svc_list)
+            ok = svc >= 0.0
+            fin = arr + svc
+            # chain[i]: request i+1 may extend a run through i — request
+            # i's singleton service is positive and finishes strictly
+            # before arrival i+1 (at equality the scalar core processes
+            # the arrival first and sees a busy chip), and both rows are
+            # servable.  solo[i]: arrival i+1 is a later instant than i,
+            # required of a run's last member so it cannot have been
+            # batched with a simultaneous successor.  Both are False at
+            # the chunk's last index: its successor is unseen.
+            chain = np.zeros(n, dtype=bool)
+            solo = np.zeros(n, dtype=bool)
+            if n > 1:
+                chain[:-1] = (
+                    (arr[1:] > fin[:-1]) & (svc[:-1] > 0.0) & ok[:-1] & ok[1:]
+                )
+                solo[:-1] = arr[1:] > arr[:-1]
+            breaks = np.flatnonzero(~chain)
+            codes = np.array(code_list)
+            run_chip_ids = (
+                np.array(chip_list) if bulk_mode == "owners" else None
+            )
+            return arr, fin, svc_list, en_list, run_chip_ids, codes, solo, breaks
+
         while True:
             if not exhausted:
+                if (
+                    bulk_mode is not None
+                    and not heap
+                    and index + 2 < limit
+                    and arrivals[index] > prev_arrival
+                ):
+                    if bulk_cols is None:
+                        bulk_cols = bulk_prepare(arrivals, names)
+                    (arr_np, fin_np, svc_list, en_list, run_chip_ids,
+                     codes_np, solo, breaks) = bulk_cols
+                    start = index
+                    stop = int(breaks[np.searchsorted(breaks, start)])
+                    end = stop if solo[stop] else stop - 1
+                    if end - start + 1 >= BULK_MIN_RUN:
+                        length = end + 1 - start
+                        run_fin = fin_np[start:end + 1]
+                        if bulk_mode == "jsq":
+                            chip = chips[0]
+                            chip.busy_s = sum(
+                                svc_list[start:end + 1], chip.busy_s
+                            )
+                            chip.served += length
+                            chip_spec = 0
+                            last_chip = chip
+                        elif bulk_mode == "rr":
+                            rr0 = rr_next
+                            spread = num_chips if num_chips < length else length
+                            for offset in range(spread):
+                                chip = chips[(rr0 + offset) % num_chips]
+                                seg = svc_list[start + offset:end + 1:num_chips]
+                                chip.busy_s = sum(seg, chip.busy_s)
+                                chip.served += len(seg)
+                            rr_next = rr0 + length
+                            chip_spec = (rr0 + np.arange(length)) % num_chips
+                            last_chip = chips[(rr0 + length - 1) % num_chips]
+                        else:  # owners
+                            chip_spec = run_chip_ids[start:end + 1]
+                            for chip_id in np.unique(chip_spec):
+                                chip = chips[chip_id]
+                                seg = [
+                                    svc_list[start + i]
+                                    for i in np.flatnonzero(chip_spec == chip_id)
+                                ]
+                                chip.busy_s = sum(seg, chip.busy_s)
+                                chip.served += len(seg)
+                            last_chip = chips[run_chip_ids[end]]
+                        # Left-fold sums over python floats reproduce the
+                        # scalar loop's accumulation order bit-for-bit.
+                        energy = sum(en_list[start:end + 1], energy)
+                        num_batches += length
+                        served += length
+                        # The run's trailing boundary is unchecked: the
+                        # last request may still be executing when the next
+                        # event fires, so it leaves through the heap like
+                        # any scalar dispatch.
+                        last_chip.busy = True
+                        last_chip.inflight = 1
+                        last_chip.pending += 1
+                        heappush(
+                            heap,
+                            (float(run_fin[-1]), _FREE, next_seq(),
+                             last_chip.chip_id),
+                        )
+                        if emit_run is not None:
+                            emit_run(
+                                chip_spec,
+                                arr_np[start:end + 1],
+                                run_fin,
+                                names[start:end + 1],
+                                codes_np[start:end + 1],
+                                ids[start:end + 1],
+                            )
+                        else:
+                            fin_list = run_fin.tolist()
+                            chip_list = (
+                                None
+                                if isinstance(chip_spec, int)
+                                else chip_spec.tolist()
+                            )
+                            for offset in range(length):
+                                i = start + offset
+                                arrival_i = arrivals[i]
+                                emit(
+                                    0 if chip_list is None else chip_list[offset],
+                                    arrival_i,
+                                    fin_list[offset],
+                                    1,
+                                    names[i],
+                                    ((arrival_i, ids[i]),),
+                                )
+                        prev_arrival = arrivals[end]
+                        prev_id = ids[end]
+                        index = end + 1
+                        continue
                 next_arrival = arrivals[index]
                 if heap and heap[0][0] < next_arrival:
                     pass  # a completion/wake-up precedes the next arrival
@@ -786,7 +1170,13 @@ class ServingSimulator:
                     prev_id = request_id
                     index += 1
 
-                    if route_mode == "jsq":
+                    if route_mode == "jsq2":
+                        chosen = (
+                            chip_a
+                            if chip_a.pending <= chip_b.pending
+                            else chip_b
+                        )
+                    elif route_mode == "jsq":
                         chosen = chips[0]
                         best = chosen.pending
                         for candidate in chips:
@@ -848,13 +1238,14 @@ class ServingSimulator:
                         if fast_chips:
                             group = chosen.groups.get(workload)
                             if group is None:
-                                chosen.groups[workload] = group = deque()
+                                chosen.groups[workload] = group = _Group()
                             group.append((now, request_id))
                             chosen.depth += 1
                         else:
                             chosen.queue.append(Request(request_id, workload, now))
                         chosen.pending += 1
-                        dispatch(chosen, now)
+                        if not chosen.busy:
+                            dispatch(chosen, now)
                     continue
                 else:
                     # Drain every arrival landing at this instant before
@@ -879,7 +1270,13 @@ class ServingSimulator:
                         prev_arrival = arrival_s
                         prev_id = request_id
 
-                        if route_mode == "jsq":
+                        if route_mode == "jsq2":
+                            chosen = (
+                                chip_a
+                                if chip_a.pending <= chip_b.pending
+                                else chip_b
+                            )
+                        elif route_mode == "jsq":
                             chosen = chips[0]
                             best = chosen.pending
                             for candidate in chips:
@@ -918,7 +1315,7 @@ class ServingSimulator:
                         if fast_chips:
                             group = chosen.groups.get(workload)
                             if group is None:
-                                chosen.groups[workload] = group = deque()
+                                chosen.groups[workload] = group = _Group()
                             group.append((arrival_s, request_id))
                             chosen.depth += 1
                         else:
@@ -940,10 +1337,13 @@ class ServingSimulator:
                         if arrivals[index] != now:
                             break
                     if len(touched) == 1:
-                        dispatch(touched.pop(), now)
+                        burst_chip = touched.pop()
+                        if not burst_chip.busy:
+                            dispatch(burst_chip, now)
                     else:
-                        for chip in sorted(touched, key=lambda c: c.chip_id):
-                            dispatch(chip, now)
+                        for burst_chip in sorted(touched, key=lambda c: c.chip_id):
+                            if not burst_chip.busy:
+                                dispatch(burst_chip, now)
                     continue
             elif not heap:
                 break

@@ -392,6 +392,8 @@ def replay_trace(
     backends: Sequence[str] = (),
     service_model=None,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    shards: int = 1,
+    shard_workers: int | None = None,
 ) -> StreamedServingResult:
     """Stream the trace at ``path`` through the serving simulator.
 
@@ -399,7 +401,10 @@ def replay_trace(
     queue, continuous batching); ``backends`` cycles registry backend
     names across the fleet exactly like ``repro serve --backend``.  The
     replay is deterministic: the same trace and fleet configuration always
-    produce the identical result.
+    produce the identical result.  ``shards > 1`` splits router-independent
+    sub-fleets into per-shard simulations (see
+    :mod:`repro.serving.sharding`); fleets that cannot shard fall back to
+    the single-shard core and record why in the result's provenance.
     """
     from repro.serving.batching import build_policy
     from repro.serving.fleet import Fleet
@@ -426,4 +431,6 @@ def replay_trace(
             "trace_requests": trace.num_requests,
             "trace_source": dict(trace.info.source),
         },
+        shards=shards,
+        shard_workers=shard_workers,
     )

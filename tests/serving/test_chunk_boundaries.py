@@ -1,0 +1,126 @@
+"""Chunk-boundary regression tests for the streaming event core.
+
+``run_stream`` consumes columnar chunks of arbitrary sizes; degenerate
+boundaries — one-request chunks, empty chunks injected mid-stream,
+mismatched column lengths hiding behind an empty first column — must
+either work identically to one big chunk or fail loudly.  These pin the
+fix where a zero-length first column used to short-circuit the
+column-length validation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.serving.batching import ContinuousBatching
+from repro.serving.fleet import Fleet
+from repro.serving.simulator import ServingSimulator, columnar_chunks
+from repro.serving.traffic import Request
+
+WORKLOADS = ("lvrf", "mimonet", "nvsa", "prae")
+
+
+class _Model:
+    scheduler = "fake"
+    cached_reports = 0
+
+    BASE = {"lvrf": 0.8, "mimonet": 0.2, "nvsa": 1.0, "prae": 0.5}
+
+    def service_seconds(self, workload, batch_size):
+        return self.BASE[workload] * (0.05 + 0.05 * batch_size)
+
+    def energy_joules(self, workload, batch_size):
+        return self.service_seconds(workload, batch_size)
+
+
+def _stream(n=50):
+    entries = sorted(
+        ((i * 37 % 499) / 499.0, WORKLOADS[i % len(WORKLOADS)])
+        for i in range(n)
+    )
+    return [
+        Request(request_id=index, workload=workload, arrival_s=arrival)
+        for index, (arrival, workload) in enumerate(entries)
+    ]
+
+
+def _simulator(num_chips=2, router="round_robin"):
+    return ServingSimulator(
+        service_model=_Model(),
+        fleet=Fleet(num_chips=num_chips, router=router),
+        batching_policy=ContinuousBatching(max_batch_size=4),
+    )
+
+
+def _assert_stream_equal(base, other, num_chips):
+    for chip in range(num_chips):
+        assert np.array_equal(other.chip_latency_s[chip], base.chip_latency_s[chip])
+    assert np.array_equal(other.latency_values(), base.latency_values())
+    assert other.chip_busy_s == base.chip_busy_s
+    assert other.num_requests == base.num_requests
+    assert other.num_batches == base.num_batches
+    assert other.horizon_s == base.horizon_s
+
+
+class TestChunkBoundaries:
+    @pytest.mark.parametrize("chunk_size", (1, 2, 3, 7))
+    @pytest.mark.parametrize("shards", (1, 2))
+    def test_tiny_chunks_match_one_big_chunk(self, chunk_size, shards):
+        stream = _stream()
+        sim = _simulator()
+        base = sim.run_stream(columnar_chunks(stream, len(stream)), WORKLOADS)
+        tiny = sim.run_stream(
+            columnar_chunks(stream, chunk_size), WORKLOADS, shards=shards
+        )
+        _assert_stream_equal(base, tiny, sim.fleet.num_chips)
+
+    @pytest.mark.parametrize("shards", (1, 2))
+    def test_empty_chunks_are_skipped(self, shards):
+        stream = _stream(n=9)
+        sim = _simulator()
+        base = sim.run_stream(columnar_chunks(stream, len(stream)), WORKLOADS)
+        chunks = [([], [], [])]
+        for chunk in columnar_chunks(stream, 3):
+            chunks.extend([chunk, ([], [], [])])
+        padded = sim.run_stream(iter(chunks), WORKLOADS, shards=shards)
+        _assert_stream_equal(base, padded, sim.fleet.num_chips)
+
+    @pytest.mark.parametrize("shards", (1, 2))
+    def test_single_request_stream(self, shards):
+        sim = _simulator()
+        result = sim.run_stream(
+            [([0.25], ["nvsa"], [7])], WORKLOADS, shards=shards
+        )
+        assert result.num_requests == 1
+        assert result.latency_values().shape == (1,)
+
+    @pytest.mark.parametrize("shards", (1, 2))
+    @pytest.mark.parametrize(
+        "chunk",
+        (
+            ([], [0.0], []),
+            ([0.0], [], [0]),
+            ([0.0], ["nvsa"], []),
+            ([0.0, 0.1], ["nvsa"], [0, 1]),
+        ),
+        ids=("empty-arrivals", "empty-workloads", "empty-ids", "short-names"),
+    )
+    def test_mismatched_columns_fail_loudly(self, chunk, shards):
+        # A zero-length column must not make the chunk look empty and skip
+        # validation: mismatched lengths are a malformed stream, always.
+        sim = _simulator()
+        fixed_chunk = (
+            [float(value) for value in chunk[0]],
+            [str(name) for name in chunk[1]],
+            list(chunk[2]),
+        )
+        with pytest.raises(ServingError, match="mismatched column lengths"):
+            sim.run_stream(
+                [([0.0], ["nvsa"], [99]), fixed_chunk],
+                WORKLOADS,
+                shards=shards,
+            )
+
+    def test_chunk_size_must_be_positive(self):
+        with pytest.raises(ServingError, match="chunk_size must be positive"):
+            list(columnar_chunks(_stream(n=3), 0))

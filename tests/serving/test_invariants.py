@@ -95,13 +95,13 @@ request_streams = st.lists(
 )
 
 
-def _run(requests, num_chips, router, policy):
+def _run(requests, num_chips, router, policy, shards=1):
     simulator = ServingSimulator(
         service_model=InvariantFakeModel(),
         fleet=Fleet(num_chips=num_chips, router=router),
         batching_policy=policy,
     )
-    return simulator.run(requests)
+    return simulator.run(requests, shards=shards)
 
 
 def _batches_by_chip(result):
@@ -212,3 +212,30 @@ class TestFastPathEquivalence:
             assert fast.energy_joules == generic.energy_joules
             assert fast.num_batches == generic.num_batches
             assert fast.horizon_s == generic.horizon_s
+
+
+class TestShardedEquivalence:
+    """Sharded execution must merge back to the single-shard result."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        stream=request_streams,
+        num_chips=st.integers(2, 4),
+        shards=st.integers(2, 4),
+        router=st.sampled_from(("round_robin", "affinity")),
+    )
+    def test_sharded_run_matches_single_shard(
+        self, stream, num_chips, shards, router
+    ):
+        for policy in _policies():
+            base = _run(stream, num_chips, router, policy)
+            sharded = _run(stream, num_chips, router, policy, shards=shards)
+            assert sharded.records == base.records
+            assert sharded.chip_busy_s == base.chip_busy_s
+            assert sharded.chip_requests == base.chip_requests
+            assert sharded.num_batches == base.num_batches
+            assert sharded.horizon_s == base.horizon_s
+            assert math.isclose(
+                sharded.energy_joules, base.energy_joules, rel_tol=1e-12
+            )
+            assert sharded.provenance["shards"] == shards
