@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Validate an exported telemetry JSONL file against the frozen schema.
+
+CI exports telemetry from a smoke run and pipes the file through this
+check, so any drift in the export schema — a renamed field, a reordered
+header, a row that stops conserving counts — fails the build instead of
+silently breaking downstream consumers.
+
+Checks, in order:
+
+* the header carries the expected format tag / version and its
+  ``fields`` list equals :data:`repro.serving.telemetry.TELEMETRY_FIELDS`
+  exactly (names *and* order),
+* every row's keys equal the frozen field list, window indices are
+  consecutive and window geometry matches ``window_s``,
+* per-chip columns (``queue_depth``, ``inflight``) have ``num_chips``
+  entries everywhere,
+* the header totals are conserved: ``sum(arrivals) == requests``,
+  ``sum(completions) == completed`` and ``num_windows`` matches the
+  row count.
+
+Usage::
+
+    python scripts/check_telemetry_schema.py telemetry.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serving.exporters import TELEMETRY_FORMAT  # noqa: E402
+from repro.serving.telemetry import TELEMETRY_FIELDS  # noqa: E402
+
+
+def _fail(message: str) -> None:
+    raise SystemExit(f"telemetry schema check failed: {message}")
+
+
+def check_file(path: Path) -> dict:
+    """Validate one export; returns the parsed header on success."""
+    lines = path.read_text().splitlines()
+    if not lines:
+        _fail(f"{path} is empty")
+    header = json.loads(lines[0])
+    if header.get("format") != TELEMETRY_FORMAT:
+        _fail(f"bad format tag {header.get('format')!r}")
+    if header.get("version") != 1:
+        _fail(f"unknown version {header.get('version')!r}")
+    if header.get("fields") != list(TELEMETRY_FIELDS):
+        _fail(
+            "header fields drifted from TELEMETRY_FIELDS:\n"
+            f"  header: {header.get('fields')}\n"
+            f"  frozen: {list(TELEMETRY_FIELDS)}"
+        )
+    rows = [json.loads(line) for line in lines[1:]]
+    if len(rows) != header["num_windows"]:
+        _fail(
+            f"header says {header['num_windows']} windows, "
+            f"file has {len(rows)} rows"
+        )
+    if not rows:
+        _fail("export contains no window rows")
+    num_chips = header["num_chips"]
+    window_s = header["window_s"]
+    first = rows[0]["window"]
+    for offset, row in enumerate(rows):
+        if list(row) != list(TELEMETRY_FIELDS):
+            _fail(f"row {offset} keys drifted: {list(row)}")
+        if row["window"] != first + offset:
+            _fail(
+                f"window indices not consecutive at row {offset}: "
+                f"{row['window']} != {first + offset}"
+            )
+        if abs(row["end_s"] - row["start_s"] - window_s) > 1e-9:
+            _fail(f"row {offset} geometry != window_s={window_s}")
+        for column in ("queue_depth", "inflight"):
+            if len(row[column]) != num_chips:
+                _fail(
+                    f"row {offset} {column} has {len(row[column])} entries "
+                    f"for {num_chips} chips"
+                )
+    arrivals = sum(row["arrivals"] for row in rows)
+    completions = sum(row["completions"] for row in rows)
+    if arrivals != header["requests"]:
+        _fail(f"sum(arrivals)={arrivals} != header requests={header['requests']}")
+    if completions != header["completed"]:
+        _fail(
+            f"sum(completions)={completions} != "
+            f"header completed={header['completed']}"
+        )
+    return header
+
+
+def main(argv=None) -> int:
+    """CLI entry: validate every file named on the command line."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", type=Path)
+    args = parser.parse_args(argv)
+    for path in args.files:
+        header = check_file(path)
+        print(
+            f"{path}: ok — {header['num_windows']} windows, "
+            f"{header['requests']} requests, "
+            f"{header['num_chips']} chips, window {header['window_s']:g}s"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,7 +22,10 @@ Installed as a console script (see ``setup.py``) and runnable as
     ``--record`` writes the scenario's traffic to a JSONL request trace
     instead of serving it; ``--trace`` streams a recorded trace through
     the bounded-memory event core (fleet flags apply, ``--slo-ms`` sets
-    the report's SLO).
+    the report's SLO).  ``--telemetry FILE [--telemetry-format jsonl|prom]
+    [--window-ms W]`` exports the run's windowed time series and
+    ``--dashboard`` renders it as terminal sparklines (both also apply to
+    ``--trace`` replays).
 ``repro backends [NAME] [--format md|json]``
     List every registered backend, or describe one by name.
 ``repro cache [info|stats|clear] [--stats]``
@@ -244,6 +247,38 @@ def _cmd_backends(args) -> int:
     return 0
 
 
+def _serve_window_s(args) -> float | None:
+    """Telemetry window in seconds, or None when telemetry is off."""
+    if not (args.telemetry or args.dashboard):
+        return None
+    return args.window_ms * 1e-3
+
+
+def _export_telemetry(args, result, source) -> None:
+    """Write ``--telemetry FILE`` in the requested format, if asked."""
+    if not args.telemetry:
+        return
+    from repro.serving import exporters
+
+    series = result.telemetry
+    if args.telemetry_format == "prom":
+        Path(args.telemetry).write_text(exporters.to_prometheus(series))
+    else:
+        exporters.write_jsonl(args.telemetry, series, source=source)
+    print(
+        f"telemetry ({args.telemetry_format}, {series.num_windows} windows) "
+        f"-> {args.telemetry}",
+        file=sys.stderr,
+    )
+
+
+def _render_serve_dashboard(result, title: str) -> str:
+    """The ``--dashboard`` terminal view over a run's telemetry series."""
+    from repro.serving import exporters
+
+    return exporters.render_dashboard(result.telemetry, title=title)
+
+
 def _serve_trace_replay(args, backends) -> int:
     """``repro serve --trace FILE`` — streamed replay of a recorded trace."""
     from repro.serving import metrics
@@ -259,7 +294,17 @@ def _serve_trace_replay(args, backends) -> int:
         chunk_size=args.chunk_size,
         shards=args.shards,
         shard_workers=args.shard_workers,
+        telemetry_window_s=_serve_window_s(args),
     )
+    _export_telemetry(
+        args, result,
+        source={"trace": trace.path.name, "requests": trace.num_requests},
+    )
+    if args.dashboard:
+        _emit(args, _render_serve_dashboard(
+            result, f"Trace replay telemetry — {trace.path.name}"
+        ))
+        return 0
     slo_s = args.slo_ms * 1e-3
     summary = metrics.summarize_result(result, slo_s)
     breakdown = metrics.per_workload_summary(result, slo_s)
@@ -365,14 +410,22 @@ def _serve_profile(args, backends) -> int:
         router=args.router,
         policy=args.policy,
         backend=backends[0] if backends else None,
+        shards=args.shards,
+        shard_workers=args.shard_workers,
     )
     if args.format == "json":
         _emit(args, json.dumps(payload, indent=2) + "\n")
         return 0
+    sharding = ""
+    if "shards" in payload:
+        sharding = (
+            f", shards {payload['shards']}"
+            f" (effective {payload['shards_effective']})"
+        )
     lines = [
         f"## Profile — scenario '{payload['scenario']}' "
         f"({payload['num_requests']} requests, {payload['num_chips']} chips, "
-        f"router {payload['router']}, policy {payload['policy']})",
+        f"router {payload['router']}, policy {payload['policy']}{sharding})",
         "",
         format_markdown_table(
             ["phase", "seconds", "calls", "share (%)"],
@@ -392,6 +445,12 @@ def _serve_profile(args, backends) -> int:
             ],
         ),
     ]
+    if "shard_fallback" in payload:
+        lines += [
+            "",
+            "Sharding fell back to the single-shard core: "
+            f"{payload['shard_fallback']}.",
+        ]
     _emit(args, "\n".join(lines) + "\n")
     return 0
 
@@ -451,19 +510,35 @@ def _reject_stray_serve_options(args, backends) -> None:
             "--shards/--shard-workers/--profile only apply to scenario runs "
             "and trace replays; drop them from --list/--smoke invocations"
         )
-    if args.profile:
-        if args.trace:
-            raise ReproError(
-                "--profile breaks down one scenario run; it does not apply "
-                "to --trace replays"
-            )
-        if args.shards != 1 or args.shard_workers is not None:
-            raise ReproError(
-                "--profile times the single-shard event core; drop "
-                "--shards/--shard-workers"
-            )
+    if args.profile and args.trace:
+        raise ReproError(
+            "--profile breaks down one scenario run; it does not apply "
+            "to --trace replays"
+        )
     if args.shard_workers is not None and args.shards == 1:
         raise ReproError("--shard-workers needs --shards greater than 1")
+    telemetry_on = bool(args.telemetry or args.dashboard)
+    if telemetry_on and (args.list or args.smoke or args.record or args.profile):
+        raise ReproError(
+            "--telemetry/--dashboard sample a served run; they do not "
+            "combine with --list/--smoke/--record/--profile"
+        )
+    if not telemetry_on:
+        if args.telemetry_format != "jsonl":
+            raise ReproError("--telemetry-format needs --telemetry")
+        if args.window_ms != 100.0:
+            raise ReproError(
+                "--window-ms needs --telemetry or --dashboard"
+            )
+    if args.window_ms <= 0:
+        raise ReproError(
+            f"--window-ms must be positive, got {args.window_ms:g}"
+        )
+    if args.dashboard and args.format == "json":
+        raise ReproError(
+            "--dashboard renders a terminal view; it does not combine "
+            "with --format json (export with --telemetry instead)"
+        )
     if not args.trace:
         if args.slo_ms != 5.0:
             raise ReproError(
@@ -564,7 +639,19 @@ def _cmd_serve(args) -> int:
         backends=backends or None,
         shards=args.shards,
         shard_workers=args.shard_workers,
+        telemetry_window_s=_serve_window_s(args),
     )
+    _export_telemetry(
+        args, result,
+        source={"scenario": scenario.name, "seed": args.seed,
+                "load_scale": args.load_scale,
+                "duration_scale": args.duration_scale},
+    )
+    if args.dashboard:
+        _emit(args, _render_serve_dashboard(
+            result, f"Scenario '{scenario.name}' telemetry"
+        ))
+        return 0
     summary = metrics.summarize_result(result, scenario.slo_s)
     breakdown = metrics.per_workload_summary(result, scenario.slo_s)
     by_backend = metrics.per_backend_summary(result, scenario.slo_s)
@@ -852,6 +939,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--profile", action="store_true",
                               help="per-phase wall-clock breakdown of one "
                                    "scenario run (no serving report)")
+    serve_parser.add_argument("--telemetry", metavar="FILE",
+                              help="export the windowed telemetry time series "
+                                   "to FILE (see --telemetry-format)")
+    serve_parser.add_argument("--telemetry-format", default="jsonl",
+                              choices=("jsonl", "prom"),
+                              help="telemetry export format: self-describing "
+                                   "JSONL (default) or Prometheus text")
+    serve_parser.add_argument("--window-ms", type=float, default=100.0,
+                              metavar="MS",
+                              help="telemetry window width in simulated "
+                                   "milliseconds (default 100)")
+    serve_parser.add_argument("--dashboard", action="store_true",
+                              help="render a terminal sparkline dashboard "
+                                   "over the windowed series instead of the "
+                                   "summary report")
     serve_parser.add_argument("--format", choices=("md", "json"), default="md")
     serve_parser.add_argument("--output", metavar="FILE",
                               help="write the summary to FILE")

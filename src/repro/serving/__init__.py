@@ -28,7 +28,13 @@ deterministic discrete-event simulator over the cycle-level
   router-independent fleet into per-shard simulations whose merged result
   is byte-identical to the single-shard run,
 * :mod:`~repro.serving.profile` — per-phase wall-clock breakdown of one
-  scenario run (``repro serve --profile``).
+  scenario run (``repro serve --profile``),
+* :mod:`~repro.serving.telemetry` — windowed time-series telemetry
+  (queue depth, utilization, windowed tail latency, energy/window) and
+  per-request lifecycle spans, byte-identical across the full-trace,
+  streamed and sharded paths,
+* :mod:`~repro.serving.exporters` — JSONL / Prometheus-text exports and
+  the terminal sparkline dashboard over a telemetry series.
 """
 
 from repro.serving.batching import (
@@ -62,6 +68,21 @@ from repro.serving.metrics import (
     queueing_summary,
     saturation_summary,
     summarize_result,
+)
+from repro.serving.exporters import (
+    render_dashboard,
+    to_prometheus,
+    write_jsonl,
+    write_spans_jsonl,
+)
+from repro.serving.telemetry import (
+    DEFAULT_WINDOW_S,
+    SPAN_FIELDS,
+    TELEMETRY_FIELDS,
+    TelemetryCollector,
+    TelemetrySeries,
+    derive_series,
+    request_spans,
 )
 from repro.serving.dsl import (
     Phase,
@@ -171,4 +192,15 @@ __all__ = [
     "run_sharded",
     "run_stream_sharded",
     "profile_scenario",
+    "DEFAULT_WINDOW_S",
+    "TELEMETRY_FIELDS",
+    "SPAN_FIELDS",
+    "TelemetrySeries",
+    "TelemetryCollector",
+    "derive_series",
+    "request_spans",
+    "write_jsonl",
+    "write_spans_jsonl",
+    "to_prometheus",
+    "render_dashboard",
 ]

@@ -19,6 +19,7 @@ same suite under pytest-benchmark.
 from __future__ import annotations
 
 import math
+import statistics
 import time
 from typing import NamedTuple
 
@@ -37,6 +38,7 @@ __all__ = [
     "measure_suite",
     "measure_sharded_case",
     "measure_sharded_suite",
+    "measure_telemetry_overhead",
     "geometric_mean",
 ]
 
@@ -206,6 +208,62 @@ def measure_sharded_suite(repeats: int = 3) -> list[dict]:
     return [
         measure_sharded_case(case, repeats=repeats) for case in SHARDED_SUITE
     ]
+
+
+def measure_telemetry_overhead(
+    case: ThroughputCase | None = None,
+    window_s: float = 0.02,
+    repeats: int = 3,
+) -> dict:
+    """Wall-clock cost of telemetry on one suite case, off vs on.
+
+    Runs the case ``repeats`` times alternating ``telemetry_window_s=None``
+    and the given window over a pre-warmed service table.  The returned
+    ``overhead_pct`` is the *median of the paired per-iteration deltas*
+    over the median off time (the acceptance budget is <10 %):
+    interleaving makes each pair see the same machine state, and the
+    median of deltas is robust against the multi-millisecond noise a
+    single slow iteration injects into a best-of comparison.  The
+    telemetry-off number is the same measurement the throughput gate
+    takes, so "off means free" stays checked by CI without a second
+    gate.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    case = case if case is not None else THROUGHPUT_SUITE[0]
+    scenario = get_scenario(case.scenario)
+    requests = scenario.traffic(0, case.load_scale, case.duration_scale)
+    fleet = Fleet(num_chips=scenario.num_chips, router=scenario.router)
+    simulator = ServingSimulator(
+        service_model=FleetServiceModel(fleet=fleet),
+        fleet=fleet,
+        batching_policy=build_policy(scenario.policy),
+    )
+    simulator.run(requests)  # warm every (workload, batch) service report
+
+    offs: list[float] = []
+    ons: list[float] = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        simulator.run(requests)
+        offs.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        simulator.run(requests, telemetry_window_s=window_s)
+        ons.append(time.perf_counter() - started)
+    off_s = statistics.median(offs)
+    on_s = statistics.median(ons)
+    delta_s = statistics.median(on - off for on, off in zip(ons, offs))
+    return {
+        "label": case.label,
+        "scenario": case.scenario,
+        "requests": len(requests),
+        "window_s": window_s,
+        "off_s": round(off_s, 6),
+        "on_s": round(on_s, 6),
+        "overhead_pct": round(100.0 * delta_s / off_s, 2)
+        if off_s > 0
+        else 0.0,
+    }
 
 
 def geometric_mean(values: list[float]) -> float:

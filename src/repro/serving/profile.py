@@ -124,16 +124,27 @@ class _TimedModel:
 
 
 class _ProfilingSimulator(ServingSimulator):
-    """Simulator whose router is wrapped in the timing proxy."""
+    """Simulator whose router is wrapped in the timing proxy.
 
-    def __init__(self, *args, timings: _PhaseTimings, **kwargs) -> None:
+    Sharded profiling runs skip the router wrapper: the proxy would hide
+    the router's concrete class from
+    :func:`~repro.serving.sharding.plan_components` and force a
+    single-shard fallback.  Per-component routing then happens inside the
+    shard engines and is accounted to ``event core (other)``.
+    """
+
+    def __init__(
+        self, *args, timings: _PhaseTimings, wrap_router: bool = True, **kwargs
+    ) -> None:
         super().__init__(*args, **kwargs)
         self._timings = timings
+        self._wrap_router = wrap_router
 
     def _make_router(self, workloads, chip_models):
-        return _TimedRouter(
-            super()._make_router(workloads, chip_models), self._timings
-        )
+        router = super()._make_router(workloads, chip_models)
+        if not self._wrap_router:
+            return router
+        return _TimedRouter(router, self._timings)
 
 
 def profile_scenario(
@@ -145,11 +156,23 @@ def profile_scenario(
     router: str | None = None,
     policy: str | None = None,
     backend: str | None = None,
+    shards: int = 1,
+    shard_workers: int | None = None,
 ) -> dict:
     """Profile one scenario run; returns the per-phase breakdown payload.
 
     The fleet must be homogeneous (one backend) — per-chip model wrapping
     on a mixed fleet would blur whose lookups cost what.
+
+    ``shards > 1`` profiles the component-sharded engine instead: phase
+    timings aggregate across every shard.  The timing proxies are not
+    picklable, so instrumented shards always run sequentially in-process
+    (the proxied model pins its component to the parent process) — which
+    is exactly what makes the aggregation exact.  Routing happens inside
+    the per-component engines there, so the ``route`` phase reports zero
+    and its cost lands in ``event core (other)``.  The uninstrumented
+    comparison run uses the same ``shards`` / ``shard_workers`` settings
+    with every fast path on.
     """
     from repro.serving.metrics import per_workload_summary, summarize_result
     from repro.serving.scenarios import get_scenario
@@ -187,18 +210,19 @@ def profile_scenario(
         fleet=fleet,
         batching_policy=_TimedPolicy(build_policy(policy_name), timings),
         timings=timings,
+        wrap_router=shards == 1,
     )
     # Warm the execution cache first so "service lookup" times the per-run
     # memoized-lookup cost the steady state pays, not one-time workload
     # graph construction (reported separately).
     started = time.perf_counter()
-    timed_sim.run(requests)
+    timed_sim.run(requests, shards=shards, shard_workers=shard_workers)
     warmup_s = time.perf_counter() - started
     timings.seconds.clear()
     timings.calls.clear()
 
     started = time.perf_counter()
-    result = timed_sim.run(requests)
+    result = timed_sim.run(requests, shards=shards, shard_workers=shard_workers)
     instrumented_s = time.perf_counter() - started
 
     started = time.perf_counter()
@@ -210,9 +234,9 @@ def profile_scenario(
     plain_sim = ServingSimulator(
         service_model=cache, fleet=fleet, batching_policy=build_policy(policy_name)
     )
-    plain_sim.run(requests)
+    plain_sim.run(requests, shards=shards, shard_workers=shard_workers)
     started = time.perf_counter()
-    plain_sim.run(requests)
+    plain_sim.run(requests, shards=shards, shard_workers=shard_workers)
     uninstrumented_s = time.perf_counter() - started
 
     phase_order = (
@@ -247,7 +271,7 @@ def profile_scenario(
         }
         for phase in phase_order
     ]
-    return {
+    payload = {
         "scenario": name,
         "seed": seed,
         "load_scale": load_scale,
@@ -264,3 +288,11 @@ def profile_scenario(
         else 0.0,
         "warmup_run_s": round(warmup_s, 6),
     }
+    if shards > 1:
+        payload["shards"] = shards
+        payload["shards_effective"] = result.provenance.get(
+            "shards_effective", 1
+        )
+        if "shard_fallback" in result.provenance:
+            payload["shard_fallback"] = result.provenance["shard_fallback"]
+    return payload

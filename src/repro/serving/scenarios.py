@@ -189,6 +189,7 @@ def run_scenario(
     backends: Sequence[str] | None = None,
     shards: int = 1,
     shard_workers: int | None = None,
+    telemetry_window_s: float | None = None,
 ) -> tuple[Scenario, ServingResult]:
     """Execute one scenario preset (with optional overrides) end to end.
 
@@ -198,7 +199,8 @@ def run_scenario(
     heterogeneous fleets build their own per-chip model when it is None.
     ``shards > 1`` splits router-independent sub-fleets into per-shard
     simulations with records identical to the single-shard run (see
-    :mod:`repro.serving.sharding`).
+    :mod:`repro.serving.sharding`).  ``telemetry_window_s`` attaches the
+    windowed time series (:mod:`repro.serving.telemetry`) to the result.
     """
     if load_scale <= 0 or duration_scale <= 0:
         raise ServingError("load_scale and duration_scale must be positive")
@@ -229,7 +231,10 @@ def run_scenario(
         fleet=fleet,
         batching_policy=batching,
     )
-    result = simulator.run(requests, shards=shards, shard_workers=shard_workers)
+    result = simulator.run(
+        requests, shards=shards, shard_workers=shard_workers,
+        telemetry_window_s=telemetry_window_s,
+    )
     result.provenance.update(
         {"scenario": name, "seed": seed, "load_scale": load_scale,
          "duration_scale": duration_scale}

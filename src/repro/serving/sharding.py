@@ -812,6 +812,7 @@ def run_stream_sharded(
     provenance=None,
     shards: int = 2,
     workers: int | None = None,
+    telemetry_window_s: float | None = None,
 ) -> StreamedServingResult:
     """``ServingSimulator.run_stream`` semantics with sharded execution.
 
@@ -822,6 +823,11 @@ def run_stream_sharded(
     batch)`` order: per-chip arrays are byte-identical to the single-shard
     run; the global interleave at float-equal dispatch instants is
     canonicalized by chip id (order-insensitive metrics are unaffected).
+
+    ``telemetry_window_s`` derives the windowed series from the merged
+    canonical columns through the same vectorized kernel the post-hoc
+    path uses — the resulting series is byte-identical to the
+    single-shard run's (window contents are order-insensitive multisets).
     """
     _validate_shard_args(shards, workers)
     names_sorted = tuple(sorted(set(workload_names)))
@@ -833,7 +839,10 @@ def run_stream_sharded(
         else "shards=1 requested"
     )
     if isinstance(plan, str):
-        result = sim.run_stream(chunks, names_sorted, provenance=provenance)
+        result = sim.run_stream(
+            chunks, names_sorted, provenance=provenance,
+            telemetry_window_s=telemetry_window_s,
+        )
         result.provenance.update(
             {"shards": shards, "shards_effective": 1, "shard_fallback": plan}
         )
@@ -955,10 +964,8 @@ def run_stream_sharded(
     ))
     chip_ordered = chip_merged[order]
     arrival_ordered = np.concatenate([b.arrival for b in bundles])[order]
-    latency = np.concatenate([b.finish for b in bundles])[order]
-    latency -= arrival_ordered
-    queue_delay = np.concatenate([b.dispatch for b in bundles])[order]
-    queue_delay -= arrival_ordered
+    finish_ordered = np.concatenate([b.finish for b in bundles])[order]
+    dispatch_ordered = np.concatenate([b.dispatch for b in bundles])[order]
     codes_ordered = np.concatenate([b.codes for b in bundles])[order]
 
     num_chips = sim.fleet.num_chips
@@ -975,6 +982,28 @@ def run_stream_sharded(
         num_batches += bundle.num_batches
         if bundle.horizon > horizon:
             horizon = bundle.horizon
+
+    telemetry = None
+    if telemetry_window_s is not None:
+        from repro.serving.telemetry import _energy_lookup, _series_from_columns
+
+        telemetry = _series_from_columns(
+            arrival=arrival_ordered,
+            dispatch=dispatch_ordered,
+            finish=finish_ordered,
+            chip=chip_ordered,
+            size=np.concatenate([b.size for b in bundles])[order],
+            codes=codes_ordered,
+            names=names_sorted,
+            num_chips=num_chips,
+            energy_of=_energy_lookup(chip_models),
+            window_s=telemetry_window_s,
+            horizon_s=horizon,
+            first_arrival_s=first_arrival,
+        )
+
+    latency = finish_ordered - arrival_ordered
+    queue_delay = dispatch_ordered - arrival_ordered
     run_provenance = sim._provenance(served)
     if provenance:
         run_provenance.update(provenance)
@@ -999,4 +1028,5 @@ def run_stream_sharded(
             latency[chip_ordered == chip] for chip in range(num_chips)
         ),
         provenance=run_provenance,
+        telemetry=telemetry,
     )

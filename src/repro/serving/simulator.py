@@ -49,8 +49,8 @@ import heapq
 import itertools
 from array import array
 from collections.abc import Iterable, Mapping, Sequence
-from dataclasses import dataclass, field
-from typing import NamedTuple
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, NamedTuple
 
 import numpy as np
 
@@ -72,6 +72,9 @@ from repro.serving.fleet import (
     WorkloadAffinityRouter,
 )
 from repro.serving.traffic import Request
+
+if TYPE_CHECKING:
+    from repro.serving.telemetry import TelemetrySeries
 
 __all__ = [
     "RequestRecord",
@@ -169,6 +172,8 @@ class ServingResult(_FleetRunStats):
     #: backend name of every chip (empty for legacy constructions)
     chip_backends: tuple[str, ...] = ()
     provenance: dict = field(default_factory=dict)
+    #: windowed time series, present when the run asked for telemetry
+    telemetry: "TelemetrySeries | None" = None
 
     @property
     def num_requests(self) -> int:
@@ -226,6 +231,8 @@ class StreamedServingResult(_FleetRunStats):
     workload_latency_s: Mapping[str, np.ndarray]
     chip_latency_s: tuple[np.ndarray, ...]
     provenance: dict = field(default_factory=dict)
+    #: windowed time series, present when the run asked for telemetry
+    telemetry: "TelemetrySeries | None" = None
 
     def latencies_s(self) -> list[float]:
         """Per-request end-to-end latencies, in completion order."""
@@ -423,6 +430,27 @@ def columnar_chunks(
         yield arrivals, workloads, ids
 
 
+def _tap_arrival_chunks(chunks, collector):
+    """Yield columnar chunks unchanged while feeding arrivals to telemetry."""
+    for chunk in chunks:
+        collector.on_arrivals(chunk[0])
+        yield chunk
+
+
+def _tap_emits(emit, emit_run, collector):
+    """Wrap the stream emit callbacks so the collector sees every batch."""
+
+    def tapped_emit(chip_id, dispatch_s, finish_s, size, workload, members):
+        emit(chip_id, dispatch_s, finish_s, size, workload, members)
+        collector.on_batch(chip_id, dispatch_s, finish_s, size, workload, members)
+
+    def tapped_emit_run(chip_ids, arrivals, finishes, names, codes, run_ids):
+        emit_run(chip_ids, arrivals, finishes, names, codes, run_ids)
+        collector.on_run(chip_ids, arrivals, finishes, codes)
+
+    return tapped_emit, tapped_emit_run
+
+
 class ServingSimulator:
     """Run request streams against a fleet of backend chips."""
 
@@ -501,25 +529,48 @@ class ServingSimulator:
             "cached_reports": self.service_model.cached_reports,
         }
 
+    def _attach_telemetry(self, result: ServingResult, telemetry_window_s):
+        """Derive and attach the windowed series to a sharded run's result.
+
+        Post-hoc derivation from the (already merged, already sorted)
+        records: the event core never sees the telemetry request, and the
+        sharded path inherits byte-identity for free because its records
+        are byte-identical to the single-shard run's (which derives the
+        same series directly from its captured emit structures).
+        """
+        if telemetry_window_s is None:
+            return result
+        from repro.serving.telemetry import derive_series
+
+        series = derive_series(result, telemetry_window_s, self._chip_models())
+        return replace(result, telemetry=series)
+
     def run(
         self,
         requests: Sequence[Request],
         shards: int = 1,
         shard_workers: int | None = None,
+        telemetry_window_s: float | None = None,
     ) -> ServingResult:
         """Simulate ``requests`` to completion and return the full trace.
 
         ``shards > 1`` partitions router-independent sub-fleets into
         per-shard simulations (see :mod:`repro.serving.sharding`) whose
         merged records are identical to the single-shard run.
+
+        ``telemetry_window_s`` additionally derives the windowed
+        time-series (:mod:`repro.serving.telemetry`) from the finished
+        records and attaches it as ``result.telemetry``; ``None`` (the
+        default) skips every telemetry code path.
         """
         if not requests:
             raise ServingError("cannot simulate an empty request stream")
         if shards != 1:
             from repro.serving.sharding import run_sharded
 
-            return run_sharded(
-                self, requests, shards=shards, workers=shard_workers
+            return self._attach_telemetry(
+                run_sharded(self, requests, shards=shards, workers=shard_workers),
+                telemetry_window_s,
             )
         stream = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
         ids = [request.request_id for request in stream]
@@ -534,7 +585,7 @@ class ServingSimulator:
             raw_batches.append(batch)
 
         def emit_run(chip_ids, arrivals, finishes, names, codes, run_ids):
-            bulk_runs.append((chip_ids, arrivals, finishes, names, run_ids))
+            bulk_runs.append((chip_ids, arrivals, finishes, names, codes, run_ids))
 
         # One pre-sorted columnar chunk: run() already holds the whole list.
         chunks = [(
@@ -549,6 +600,34 @@ class ServingSimulator:
             raise ServingError(
                 f"simulation lost requests: {served} served of {len(stream)}"
             )
+        series = None
+        if telemetry_window_s is not None:
+            # Derive the series straight from the captured emit structures
+            # (bulk-run columns are already numpy arrays) — byte-identical
+            # to record-based derivation but without the per-record round
+            # trip.  Deriving *before* the records fill the young GC
+            # generation keeps the collections its temporaries trigger
+            # from rescanning thousands of fresh record tuples; together
+            # these keep telemetry-on overhead in single-digit percent.
+            from repro.serving.telemetry import (
+                _energy_lookup,
+                _series_from_emits,
+            )
+
+            series = _series_from_emits(
+                raw_batches,
+                [
+                    (chip_ids, arrivals, finishes, codes)
+                    for chip_ids, arrivals, finishes, _names, codes, _ids
+                    in bulk_runs
+                ],
+                workloads,
+                self.fleet.num_chips,
+                _energy_lookup(self._chip_models()),
+                telemetry_window_s,
+                horizon,
+                first_arrival,
+            )
         records = [
             RequestRecord(
                 request_id, workload, chip_id, arrival_s, dispatch_s, finish_s, size
@@ -557,7 +636,7 @@ class ServingSimulator:
             for arrival_s, request_id in members
         ]
         one = itertools.repeat(1)
-        for chip_ids, arrivals, finishes, names, run_ids in bulk_runs:
+        for chip_ids, arrivals, finishes, names, _codes, run_ids in bulk_runs:
             # An idle-disjoint run: every request served alone at its
             # arrival instant (dispatch == arrival, batch size 1).
             arrival_list = arrivals.tolist()
@@ -592,6 +671,7 @@ class ServingSimulator:
             first_arrival_s=first_arrival,
             chip_backends=self.fleet.chip_backends,
             provenance=self._provenance(len(stream)),
+            telemetry=series,
         )
 
     def run_stream(
@@ -601,6 +681,7 @@ class ServingSimulator:
         provenance: Mapping[str, object] | None = None,
         shards: int = 1,
         shard_workers: int | None = None,
+        telemetry_window_s: float | None = None,
     ) -> StreamedServingResult:
         """Serve a columnar arrival stream in bounded memory.
 
@@ -612,6 +693,12 @@ class ServingSimulator:
         request, so multi-million-request traces replay without ever
         materializing as one list; the result carries typed latency arrays
         instead of record objects.
+
+        ``telemetry_window_s`` taps the emit callbacks with an incremental
+        :class:`~repro.serving.telemetry.TelemetryCollector` that flushes
+        windows as the stream advances (bounded memory) and attaches the
+        finished series as ``result.telemetry``; ``None`` leaves the
+        callbacks unwrapped.
         """
         workload_names = tuple(sorted(set(workloads)))
         if not workload_names:
@@ -626,6 +713,7 @@ class ServingSimulator:
                 provenance=provenance,
                 shards=shards,
                 workers=shard_workers,
+                telemetry_window_s=telemetry_window_s,
             )
 
         latencies = array("d")
@@ -673,8 +761,22 @@ class ServingSimulator:
                         lat[chip_ids == chip_id].tobytes()
                     )
 
+        emit_cb, emit_run_cb, collector, chip_models = emit, emit_run, None, None
+        if telemetry_window_s is not None:
+            from repro.serving.telemetry import TelemetryCollector
+
+            chip_models = self._chip_models()
+            collector = TelemetryCollector(
+                telemetry_window_s, num_chips, chip_models, workload_names
+            )
+            chunks = _tap_arrival_chunks(chunks, collector)
+            emit_cb, emit_run_cb = _tap_emits(emit, emit_run, collector)
+
         chips, energy, num_batches, horizon, first_arrival, served = (
-            self._simulate(chunks, workload_names, emit, emit_run=emit_run)
+            self._simulate(
+                chunks, workload_names, emit_cb, emit_run=emit_run_cb,
+                chip_models=chip_models,
+            )
         )
         run_provenance = self._provenance(served)
         if provenance:
@@ -699,6 +801,9 @@ class ServingSimulator:
                 np.frombuffer(values, dtype=float) for values in chip_latencies
             ),
             provenance=run_provenance,
+            telemetry=(
+                collector.finalize(horizon) if collector is not None else None
+            ),
         )
 
     # -- event core ---------------------------------------------------------

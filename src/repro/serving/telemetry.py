@@ -1,0 +1,945 @@
+"""Windowed time-series telemetry over the serving event core.
+
+The simulator's results are end-of-run aggregates; this module adds the
+*over time* view: the run is cut into fixed simulated-time windows
+(anchored at ``t = 0``, width ``window_s``) and each window reports
+arrival/completion/batch counts and rates, windowed latency percentiles,
+energy, fleet utilization, and per-chip queue depth / in-flight state at
+the window boundary — the sensor series a closed-loop controller (or a
+dashboard) consumes.
+
+Three producers build the exact same series:
+
+* :func:`_series_from_emits` — vectorized derivation straight from the
+  emit structures ``run()`` already captures (the event core is never
+  touched, so telemetry-off runs pay nothing); :func:`derive_series`
+  rebuilds the identical series post-hoc from any finished full-trace
+  :class:`~repro.serving.simulator.ServingResult`,
+* :class:`TelemetryCollector` — an incremental tap on ``run_stream()``'s
+  ``emit``/``emit_run`` callbacks plus the fed arrival chunks, flushing
+  windows as soon as their content is provably complete so multi-million
+  request replays keep bounded memory,
+* the sharded merge (:mod:`repro.serving.sharding`) — derives from the
+  canonically merged columns via the same vectorized kernel.
+
+Byte-identity across the three is a hard guarantee (and CI-tested): all
+floating-point reductions happen per window over *sorted* value
+multisets inside :func:`_window_row`, window indices use the identical
+``t // window_s`` floor division everywhere, and per-batch energy comes
+from the same memoized ``model.energy_joules(workload, batch_size)``
+call the event core uses.
+
+Per-request lifecycle *spans* (arrive -> dispatch -> complete with
+queue-wait and service segments) are derived from the existing records
+by :func:`request_spans`; nothing is added to the hot path.
+"""
+
+from __future__ import annotations
+
+import itertools
+import operator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ServingError
+
+__all__ = [
+    "DEFAULT_WINDOW_S",
+    "TELEMETRY_FIELDS",
+    "SPAN_FIELDS",
+    "TelemetrySeries",
+    "TelemetryCollector",
+    "derive_series",
+    "request_spans",
+]
+
+#: default telemetry window width in simulated seconds (100 ms)
+DEFAULT_WINDOW_S = 0.1
+
+#: frozen per-window schema, in emission order — the JSONL exporter and
+#: the CI schema check both validate against exactly this list
+TELEMETRY_FIELDS = (
+    "window",
+    "start_s",
+    "end_s",
+    "arrivals",
+    "completions",
+    "batches",
+    "shed",
+    "arrival_rate_rps",
+    "completion_rate_rps",
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+    "energy_j",
+    "utilization",
+    "queue_depth",
+    "inflight",
+)
+
+#: per-request lifecycle span schema (see :func:`request_spans`)
+SPAN_FIELDS = (
+    "request_id",
+    "workload",
+    "chip",
+    "arrival_s",
+    "dispatch_s",
+    "finish_s",
+    "queue_wait_s",
+    "service_s",
+    "latency_s",
+    "batch_size",
+)
+
+
+@dataclass(frozen=True)
+class TelemetrySeries:
+    """The windowed time series one serving run produced.
+
+    ``windows`` holds one dict per window (consecutive, covering the
+    first arrival through the horizon) whose keys are exactly
+    :data:`TELEMETRY_FIELDS`.  ``queue_depth`` and ``inflight`` are
+    per-chip integer lists sampled at the window's end boundary;
+    ``shed`` is reserved for admission control (always 0 today);
+    latency percentiles are ``None`` in windows with no completions.
+    """
+
+    window_s: float
+    num_chips: int
+    windows: tuple[dict, ...]
+
+    @property
+    def num_windows(self) -> int:
+        """Number of windows in the series."""
+        return len(self.windows)
+
+    @property
+    def requests(self) -> int:
+        """Total arrivals across all windows."""
+        return sum(row["arrivals"] for row in self.windows)
+
+    @property
+    def completed(self) -> int:
+        """Total completions across all windows."""
+        return sum(row["completions"] for row in self.windows)
+
+    def column(self, name: str) -> list:
+        """One field of every window, in window order."""
+        if name not in TELEMETRY_FIELDS:
+            raise ServingError(
+                f"unknown telemetry field '{name}'; "
+                f"choose from {list(TELEMETRY_FIELDS)}"
+            )
+        return [row[name] for row in self.windows]
+
+
+def _quantile(sorted_values: np.ndarray, q: float) -> float:
+    """Linear-interpolated quantile of an already-sorted array.
+
+    Same formula (and same ``gamma >= 0.5`` lerp branch) as
+    ``np.percentile``'s default method, inlined because the per-call
+    overhead of ``np.percentile`` dominated per-window finalization —
+    windows hold tens of latencies, and a run can have thousands of
+    windows.
+    """
+    n = sorted_values.shape[0]
+    pos = q * (n - 1)
+    lo = int(pos)
+    gamma = pos - lo
+    a = float(sorted_values[lo])
+    if gamma == 0.0:
+        return a
+    b = float(sorted_values[lo + 1 if lo + 1 < n else n - 1])
+    diff = b - a
+    if gamma < 0.5:
+        return a + gamma * diff
+    return b - diff * (1.0 - gamma)
+
+
+def _window_row(
+    window: int,
+    window_s: float,
+    num_chips: int,
+    arrivals: int,
+    completions: int,
+    batches: int,
+    latencies,
+    energies,
+    busy,
+    queue_depth,
+    inflight,
+) -> dict:
+    """Finalize one window's raw accumulators into its schema row.
+
+    Every producer funnels through this function with the same value
+    *multisets*; all float reductions sort first, so any two producers
+    that accumulated the same values in any order emit identical bytes.
+    """
+    lat = np.sort(np.asarray(latencies, dtype=float))
+    if lat.size:
+        p50 = round(_quantile(lat, 0.5) * 1000.0, 4)
+        p95 = round(_quantile(lat, 0.95) * 1000.0, 4)
+        p99 = round(_quantile(lat, 0.99) * 1000.0, 4)
+    else:
+        p50 = p95 = p99 = None
+    energy_j = float(np.sort(np.asarray(energies, dtype=float)).sum())
+    busy_s = float(np.sort(np.asarray(busy, dtype=float)).sum())
+    capacity_s = window_s * num_chips
+    return {
+        "window": int(window),
+        "start_s": round(window * window_s, 9),
+        "end_s": round((window + 1) * window_s, 9),
+        "arrivals": int(arrivals),
+        "completions": int(completions),
+        "batches": int(batches),
+        "shed": 0,
+        "arrival_rate_rps": round(arrivals / window_s, 3),
+        "completion_rate_rps": round(completions / window_s, 3),
+        "p50_ms": p50,
+        "p95_ms": p95,
+        "p99_ms": p99,
+        "energy_j": round(energy_j, 9),
+        "utilization": round(min(1.0, busy_s / capacity_s), 6),
+        "queue_depth": [int(v) for v in queue_depth],
+        "inflight": [int(v) for v in inflight],
+    }
+
+
+def _busy_overlaps(dispatch_s: float, finish_s: float, w_lo: int, w_hi: int,
+                   window_s: float) -> list[tuple[int, float]]:
+    """Per-window busy overlap of one batch spanning several windows.
+
+    Only called when ``w_lo < w_hi``; same-window batches contribute the
+    plain ``finish - dispatch`` everywhere so the arithmetic stays
+    identical across the scalar and vectorized producers.
+    """
+    out = []
+    for w in range(w_lo, w_hi + 1):
+        start = w * window_s
+        end = (w + 1) * window_s
+        lo = dispatch_s if dispatch_s > start else start
+        hi = finish_s if finish_s < end else end
+        out.append((w, hi - lo))
+    return out
+
+
+def _energy_lookup(chip_models):
+    """Memoized ``(chip, workload, batch_size) -> joules`` closure.
+
+    Wraps the exact ``model.energy_joules`` call the event core's hoisted
+    service table uses, so the telemetry energy column sums the same
+    per-batch floats the run's ``energy_joules`` total did.
+    """
+    memo: dict[tuple, float] = {}
+
+    def energy_of(chip: int, workload: str, size: int) -> float:
+        key = (chip, workload, size)
+        value = memo.get(key)
+        if value is None:
+            value = float(chip_models[chip].energy_joules(workload, size))
+            memo[key] = value
+        return value
+
+    return energy_of
+
+
+def _check_window(window_s) -> float:
+    """Validate and normalize a window width."""
+    window_s = float(window_s)
+    if not window_s > 0:
+        raise ServingError(
+            f"telemetry window must be positive, got {window_s}"
+        )
+    return window_s
+
+
+def _window_slices(widx: np.ndarray, values: np.ndarray, n_win: int) -> list:
+    """Group ``values`` by 0-based window index into per-window arrays."""
+    sorter = np.argsort(widx, kind="stable")
+    return _sorted_slices(widx[sorter], values[sorter], n_win)
+
+
+def _sorted_slices(
+    sorted_w: np.ndarray, sorted_v: np.ndarray, n_win: int
+) -> list:
+    """Per-window views of values already ordered by window index."""
+    bounds = np.searchsorted(sorted_w, np.arange(n_win + 1))
+    return [sorted_v[bounds[i]:bounds[i + 1]] for i in range(n_win)]
+
+
+def _batch_energy(b_chip, b_codes, b_size, names, energy_of) -> np.ndarray:
+    """Per-batch energy via memoized model lookups over unique triples.
+
+    Collapses the batches to unique ``(chip, workload, batch size)``
+    composite keys so the python-level ``energy_of`` call count is the
+    number of distinct service-table cells, not the number of batches.
+    """
+    n_names = len(names)
+    size_span = int(b_size.max()) + 1
+    b_key = (b_chip * n_names + b_codes) * size_span + b_size
+    max_key = int(b_key.max())
+    if max_key < (1 << 20):
+        # The key space (chips x workloads x sizes) is tiny in practice:
+        # resolve through a dense table, skipping np.unique's O(n log n)
+        # sort of the per-batch keys.
+        table = np.zeros(max_key + 1, dtype=float)
+        present = np.nonzero(np.bincount(b_key, minlength=max_key + 1))[0]
+        for key in present.tolist():
+            batch_size = key % size_span
+            rest = key // size_span
+            table[key] = energy_of(
+                int(rest // n_names), names[int(rest % n_names)],
+                int(batch_size),
+            )
+        return table[b_key]
+    uniq_keys, inverse = np.unique(b_key, return_inverse=True)
+    uniq_energy = np.empty(uniq_keys.size, dtype=float)
+    for i, key in enumerate(uniq_keys.tolist()):
+        batch_size = key % size_span
+        rest = key // size_span
+        uniq_energy[i] = energy_of(
+            int(rest // n_names), names[int(rest % n_names)], int(batch_size)
+        )
+    return uniq_energy[inverse]
+
+
+def _series_from_parts(
+    *,
+    latency: np.ndarray,
+    aw: np.ndarray,
+    dw: np.ndarray,
+    fw: np.ndarray,
+    req_chip: np.ndarray,
+    b_chip: np.ndarray,
+    b_disp: np.ndarray,
+    b_fin: np.ndarray,
+    b_dw: np.ndarray,
+    b_fw: np.ndarray,
+    b_energy: np.ndarray,
+    num_chips: int,
+    window_s: float,
+    horizon_s: float,
+    first_arrival_s: float,
+) -> TelemetrySeries:
+    """Windowing core shared by every vectorized telemetry producer.
+
+    Takes per-request latency/chip columns with their arrival/dispatch/
+    finish *window indices* (``t // window_s``, computed by the caller —
+    the emit path repeats batch-level indices instead of re-dividing
+    per-request columns) plus per-batch occupancy/energy columns, all in
+    *any* row order: counts become ``bincount`` histograms over window
+    indices and float multisets are grouped per window and reduced
+    inside :func:`_window_row`, which sorts first.  Row-order
+    independence is what makes the ``run()`` emit-tap path, the
+    record-derivation path and the sharded merge byte-identical.
+    """
+    w0 = int(first_arrival_s // window_s)
+    last = max(int(horizon_s // window_s), int(fw.max()))
+    n_win = last - w0 + 1
+
+    count_arrived = np.bincount(aw - w0, minlength=n_win)
+    count_finished = np.bincount(fw - w0, minlength=n_win)
+    b_widx = b_dw - w0
+    count_batches = np.bincount(b_widx, minlength=n_win)
+
+    # Latency multiset of each window's completions.
+    lat_groups = _window_slices(fw - w0, latency, n_win)
+    # Energy and busy are both keyed by the batch dispatch window, so one
+    # stable argsort serves both groupings (busy falls back to its own
+    # sort only when a window-spanning batch rewrites its key list).
+    b_sorter = np.argsort(b_widx, kind="stable")
+    b_widx_sorted = b_widx[b_sorter]
+    energy_groups = _sorted_slices(b_widx_sorted, b_energy[b_sorter], n_win)
+
+    # Busy overlap: batches inside one window contribute finish - dispatch;
+    # the rare window-spanning batch splits via the shared scalar helper.
+    same = b_dw == b_fw
+    spanning = np.nonzero(~same)[0]
+    if spanning.size:
+        span_w: list[int] = []
+        span_v: list[float] = []
+        for i in spanning.tolist():
+            for w, overlap in _busy_overlaps(
+                float(b_disp[i]), float(b_fin[i]), int(b_dw[i]), int(b_fw[i]),
+                window_s,
+            ):
+                span_w.append(w - w0)
+                span_v.append(overlap)
+        busy_groups = _window_slices(
+            np.concatenate([b_widx[same], np.asarray(span_w, dtype=np.int64)]),
+            np.concatenate(
+                [(b_fin - b_disp)[same], np.asarray(span_v, dtype=float)]
+            ),
+            n_win,
+        )
+    else:
+        busy_groups = _sorted_slices(
+            b_widx_sorted, (b_fin - b_disp)[b_sorter], n_win
+        )
+
+    # Per-chip boundary state: cumulative routed/dispatched requests give
+    # queue depth, cumulative started/finished batches give in-flight.
+    # (chip, window) histograms via bincount over a flat composite index —
+    # np.add.at on 2-D targets is an order of magnitude slower.
+    cells = num_chips * n_win
+
+    def per_chip(chips, widx):
+        return np.bincount(
+            chips * n_win + widx, minlength=cells
+        ).reshape(num_chips, n_win)
+
+    routed = per_chip(req_chip, aw - w0)
+    dispatched = per_chip(req_chip, dw - w0)
+    started = per_chip(b_chip, b_dw - w0)
+    finished = per_chip(b_chip, b_fw - w0)
+    queue_depth = routed.cumsum(axis=1) - dispatched.cumsum(axis=1)
+    inflight = started.cumsum(axis=1) - finished.cumsum(axis=1)
+
+    # One C-level transpose+tolist per matrix instead of one ndarray
+    # slice + tolist per window.
+    arrived_list = count_arrived.tolist()
+    finished_list = count_finished.tolist()
+    batches_list = count_batches.tolist()
+    depth_cols = queue_depth.T.tolist()
+    inflight_cols = inflight.T.tolist()
+    rows = [
+        _window_row(
+            w0 + i, window_s, num_chips,
+            arrived_list[i], finished_list[i], batches_list[i],
+            lat_groups[i], energy_groups[i], busy_groups[i],
+            depth_cols[i], inflight_cols[i],
+        )
+        for i in range(n_win)
+    ]
+    return TelemetrySeries(window_s, int(num_chips), tuple(rows))
+
+
+def _series_from_columns(
+    *,
+    arrival: np.ndarray,
+    dispatch: np.ndarray,
+    finish: np.ndarray,
+    chip: np.ndarray,
+    size: np.ndarray,
+    codes: np.ndarray,
+    names: tuple[str, ...],
+    num_chips: int,
+    energy_of,
+    window_s: float,
+    horizon_s: float,
+    first_arrival_s: float,
+) -> TelemetrySeries:
+    """Windowed-series derivation from full per-request columns.
+
+    Used by the ``run()`` record path and the sharded-stream merge:
+    batches are recovered as unique ``(chip, dispatch)`` pairs (a chip is
+    serial, so a dispatch instant identifies one batch) and the shared
+    windowing core does the rest.
+    """
+    window_s = _check_window(window_s)
+    arrival = np.ascontiguousarray(arrival, dtype=float)
+    n = arrival.size
+    if n == 0:
+        return TelemetrySeries(window_s, int(num_chips), ())
+    dispatch = np.ascontiguousarray(dispatch, dtype=float)
+    finish = np.ascontiguousarray(finish, dtype=float)
+    chip = np.ascontiguousarray(chip, dtype=np.int64)
+    size = np.ascontiguousarray(size, dtype=np.int64)
+    codes = np.ascontiguousarray(codes, dtype=np.int64)
+
+    # Batch recovery: rows sorted by (chip, dispatch); a new batch starts
+    # wherever either changes.
+    order = np.lexsort((dispatch, chip))
+    chip_sorted = chip[order]
+    disp_sorted = dispatch[order]
+    first_of_batch = np.empty(n, dtype=bool)
+    first_of_batch[0] = True
+    first_of_batch[1:] = (chip_sorted[1:] != chip_sorted[:-1]) | (
+        disp_sorted[1:] != disp_sorted[:-1]
+    )
+    batch_rows = order[first_of_batch]
+    dw = (dispatch // window_s).astype(np.int64)
+    fw = (finish // window_s).astype(np.int64)
+    return _series_from_parts(
+        latency=finish - arrival,
+        aw=(arrival // window_s).astype(np.int64),
+        dw=dw,
+        fw=fw,
+        req_chip=chip,
+        b_chip=chip[batch_rows],
+        b_disp=dispatch[batch_rows],
+        b_fin=finish[batch_rows],
+        b_dw=dw[batch_rows],
+        b_fw=fw[batch_rows],
+        b_energy=_batch_energy(
+            chip[batch_rows], codes[batch_rows], size[batch_rows],
+            names, energy_of,
+        ),
+        num_chips=num_chips,
+        window_s=window_s,
+        horizon_s=horizon_s,
+        first_arrival_s=first_arrival_s,
+    )
+
+
+def _series_from_emits(
+    raw_batches,
+    bulk_runs,
+    names: tuple[str, ...],
+    num_chips: int,
+    energy_of,
+    window_s: float,
+    horizon_s: float,
+    first_arrival_s: float,
+) -> TelemetrySeries:
+    """Windowed series straight from ``run()``'s captured emit structures.
+
+    ``raw_batches`` holds the per-batch emit tuples
+    ``(chip, dispatch, finish, size, workload, members)``; ``bulk_runs``
+    holds ``(chip_ids, arrivals, finishes, codes)`` idle-disjoint runs
+    whose columns are already numpy arrays.  Skipping the per-record
+    round trip (build records, then unzip them back into columns) is
+    what keeps telemetry-on ``run()`` overhead in the sub-microsecond
+    per-request range; byte-identity with the record/merge paths holds
+    because the multisets fed to the shared core are the same.
+
+    Every per-batch column goes straight from the emit tuples into a
+    numpy array via ``fromiter`` — no ``zip(*...)`` transposition, no
+    flattened member list.  Those big young containers are not just
+    allocation cost: every gen-0 garbage collection that fires while
+    they are alive rescans them, which roughly doubled the measured
+    overhead before they were eliminated.
+    """
+    window_s = _check_window(window_s)
+    code_of = {name: code for code, name in enumerate(names)}
+    lat_p, aw_p, dw_p, fw_p, chip_p = [], [], [], [], []
+    b_chip_p, b_disp_p, b_fin_p = [], [], []
+    b_dw_p, b_fw_p, b_energy_p = [], [], []
+    if raw_batches:
+        n_batches = len(raw_batches)
+
+        def column(index: int, dtype) -> np.ndarray:
+            return np.fromiter(
+                map(operator.itemgetter(index), raw_batches), dtype, n_batches
+            )
+
+        b_chip = column(0, np.int64)
+        b_disp = column(1, float)
+        b_fin = column(2, float)
+        b_size = column(3, np.int64)
+        b_codes = np.fromiter(
+            map(code_of.__getitem__, map(operator.itemgetter(4), raw_batches)),
+            np.int64,
+            n_batches,
+        )
+        # A batch's size is its member count, so the size column doubles
+        # as the repeat vector for batch -> request expansion.
+        counts = b_size
+        total = int(counts.sum())
+        arrivals = np.fromiter(
+            map(
+                operator.itemgetter(0),
+                itertools.chain.from_iterable(
+                    map(operator.itemgetter(5), raw_batches)
+                ),
+            ),
+            float,
+            total,
+        )
+        b_dw = (b_disp // window_s).astype(np.int64)
+        b_fw = (b_fin // window_s).astype(np.int64)
+        lat_p.append(np.repeat(b_fin, counts) - arrivals)
+        aw_p.append((arrivals // window_s).astype(np.int64))
+        dw_p.append(np.repeat(b_dw, counts))
+        fw_p.append(np.repeat(b_fw, counts))
+        chip_p.append(np.repeat(b_chip, counts))
+        b_chip_p.append(b_chip)
+        b_disp_p.append(b_disp)
+        b_fin_p.append(b_fin)
+        b_dw_p.append(b_dw)
+        b_fw_p.append(b_fw)
+        b_energy_p.append(
+            _batch_energy(b_chip, b_codes, b_size, names, energy_of)
+        )
+    for chip_ids, arrivals, finishes, codes in bulk_runs:
+        # An idle-disjoint run: every request its own size-1 batch with
+        # dispatch == arrival.
+        arrivals = np.ascontiguousarray(arrivals, dtype=float)
+        finishes = np.ascontiguousarray(finishes, dtype=float)
+        chips = (
+            np.full(arrivals.size, chip_ids, dtype=np.int64)
+            if isinstance(chip_ids, int)
+            else np.ascontiguousarray(chip_ids, dtype=np.int64)
+        )
+        codes = np.ascontiguousarray(codes, dtype=np.int64)
+        aw = (arrivals // window_s).astype(np.int64)
+        fw = (finishes // window_s).astype(np.int64)
+        lat_p.append(finishes - arrivals)
+        aw_p.append(aw)
+        dw_p.append(aw)
+        fw_p.append(fw)
+        chip_p.append(chips)
+        b_chip_p.append(chips)
+        b_disp_p.append(arrivals)
+        b_fin_p.append(finishes)
+        b_dw_p.append(aw)
+        b_fw_p.append(fw)
+        b_energy_p.append(
+            _batch_energy(
+                chips, codes, np.ones(arrivals.size, dtype=np.int64),
+                names, energy_of,
+            )
+        )
+    if not lat_p:
+        return TelemetrySeries(window_s, int(num_chips), ())
+    def cat(parts: list) -> np.ndarray:
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+    return _series_from_parts(
+        latency=cat(lat_p),
+        aw=cat(aw_p),
+        dw=cat(dw_p),
+        fw=cat(fw_p),
+        req_chip=cat(chip_p),
+        b_chip=cat(b_chip_p),
+        b_disp=cat(b_disp_p),
+        b_fin=cat(b_fin_p),
+        b_dw=cat(b_dw_p),
+        b_fw=cat(b_fw_p),
+        b_energy=cat(b_energy_p),
+        num_chips=num_chips,
+        window_s=window_s,
+        horizon_s=horizon_s,
+        first_arrival_s=first_arrival_s,
+    )
+
+
+def derive_series(result, window_s, chip_models) -> TelemetrySeries:
+    """Windowed series derived post-hoc from a full-trace ``ServingResult``.
+
+    ``chip_models`` are the per-chip service oracles the run used
+    (``ServingSimulator._chip_models()``); the event core itself is never
+    re-run, so deriving telemetry after the fact costs a single
+    vectorized pass over the records.
+    """
+    records = result.records
+    window_s = _check_window(window_s)
+    if not records:
+        return TelemetrySeries(window_s, result.num_chips, ())
+    _ids, name_col, chip_col, arr_col, disp_col, fin_col, size_col = zip(
+        *records
+    )
+    names = tuple(sorted(set(name_col)))
+    code_of = {name: code for code, name in enumerate(names)}
+    codes = np.fromiter(
+        map(code_of.__getitem__, name_col), np.int64, len(records)
+    )
+    return _series_from_columns(
+        arrival=np.asarray(arr_col, dtype=float),
+        dispatch=np.asarray(disp_col, dtype=float),
+        finish=np.asarray(fin_col, dtype=float),
+        chip=np.asarray(chip_col, dtype=np.int64),
+        size=np.asarray(size_col, dtype=np.int64),
+        codes=codes,
+        names=names,
+        num_chips=result.num_chips,
+        energy_of=_energy_lookup(chip_models),
+        window_s=window_s,
+        horizon_s=result.horizon_s,
+        first_arrival_s=result.first_arrival_s,
+    )
+
+
+class _WindowAcc:
+    """Raw accumulators of one still-open window in the streaming collector."""
+
+    __slots__ = (
+        "arrivals", "completions", "batches", "lat", "energy", "busy",
+        "routed", "dispatched", "started", "finished",
+    )
+
+    def __init__(self, num_chips: int) -> None:
+        self.arrivals = 0
+        self.completions = 0
+        self.batches = 0
+        self.lat: list[float] = []
+        self.energy: list[float] = []
+        self.busy: list[float] = []
+        self.routed = np.zeros(num_chips, dtype=np.int64)
+        self.dispatched = np.zeros(num_chips, dtype=np.int64)
+        self.started = np.zeros(num_chips, dtype=np.int64)
+        self.finished = np.zeros(num_chips, dtype=np.int64)
+
+
+class TelemetryCollector:
+    """Incremental windowed-series builder for ``run_stream``.
+
+    Taps three streams: fed arrival chunks (:meth:`on_arrivals`),
+    per-batch emits (:meth:`on_batch`) and idle-disjoint bulk runs
+    (:meth:`on_run`).  A window flushes to its final row as soon as it is
+    provably complete — the feed and dispatch watermarks have both passed
+    its end boundary *and* every request that arrived inside it has
+    dispatched (so its chip, and hence the per-chip queue depths, are
+    known).  Emit order guarantees dispatch times are non-decreasing
+    across emits, which makes both watermarks sound.
+
+    The finished series is byte-identical to :func:`derive_series` over
+    the same run's records: both paths accumulate the same per-window
+    value multisets and share :func:`_window_row`'s sorted reductions.
+    """
+
+    #: emit count between opportunistic flush attempts
+    _FLUSH_EVERY = 4096
+
+    def __init__(self, window_s, num_chips, chip_models, workload_names):
+        self.window_s = _check_window(window_s)
+        self.num_chips = int(num_chips)
+        self._names = tuple(workload_names)
+        self._energy_of = _energy_lookup(list(chip_models))
+        self._pending: dict[int, _WindowAcc] = {}
+        self._rows: list[dict] = []
+        self._first: int | None = None
+        self._next: int | None = None
+        self._fed_idx = -1       # window index of the feed watermark
+        self._disp_idx = -1      # window index of the dispatch watermark
+        self._fed_flushed = 0    # fed arrivals inside flushed windows
+        self._routed_flushed = 0  # dispatched-known arrivals inside them
+        self._routed_cum = np.zeros(self.num_chips, dtype=np.int64)
+        self._dispatched_cum = np.zeros(self.num_chips, dtype=np.int64)
+        self._started_cum = np.zeros(self.num_chips, dtype=np.int64)
+        self._finished_cum = np.zeros(self.num_chips, dtype=np.int64)
+        self._emits = 0
+
+    def _acc(self, window: int) -> _WindowAcc:
+        """The (created-on-demand) accumulator of one window."""
+        acc = self._pending.get(window)
+        if acc is None:
+            acc = self._pending[window] = _WindowAcc(self.num_chips)
+        return acc
+
+    def on_arrivals(self, arrivals) -> None:
+        """Record one fed columnar chunk's arrival times (sorted)."""
+        arr = np.asarray(arrivals, dtype=float)
+        if arr.size == 0:
+            return
+        widx = (arr // self.window_s).astype(np.int64)
+        if self._first is None:
+            self._first = int(widx[0])
+            self._next = self._first
+        for w, count in zip(*(a.tolist() for a in np.unique(widx, return_counts=True))):
+            self._acc(w).arrivals += count
+        self._fed_idx = max(self._fed_idx, int(widx[-1]))
+        self._flush()
+
+    def on_batch(self, chip_id, dispatch_s, finish_s, size, workload,
+                 members) -> None:
+        """Record one dispatched batch (the ``emit`` tap)."""
+        window_s = self.window_s
+        wd = int(dispatch_s // window_s)
+        wf = int(finish_s // window_s)
+        acc_d = self._acc(wd)
+        acc_d.batches += 1
+        acc_d.started[chip_id] += 1
+        acc_d.dispatched[chip_id] += len(members)
+        acc_d.energy.append(self._energy_of(chip_id, workload, size))
+        acc_f = self._acc(wf)
+        acc_f.completions += len(members)
+        acc_f.finished[chip_id] += 1
+        lat = acc_f.lat
+        for arrival_s, _request_id in members:
+            lat.append(finish_s - arrival_s)
+            self._acc(int(arrival_s // window_s)).routed[chip_id] += 1
+        if wd == wf:
+            acc_d.busy.append(finish_s - dispatch_s)
+        else:
+            for w, overlap in _busy_overlaps(
+                dispatch_s, finish_s, wd, wf, window_s
+            ):
+                self._acc(w).busy.append(overlap)
+        if wd > self._disp_idx:
+            self._disp_idx = wd
+        self._emits += 1
+        if not self._emits % self._FLUSH_EVERY:
+            self._flush()
+
+    def _add_chip_counts(self, attr: str, widx: np.ndarray, chips) -> None:
+        """Bump a per-chip counter per ``(window, chip)`` occurrence."""
+        if isinstance(chips, (int, np.integer)):
+            for w, count in zip(
+                *(a.tolist() for a in np.unique(widx, return_counts=True))
+            ):
+                getattr(self._acc(w), attr)[chips] += count
+        else:
+            key = widx * self.num_chips + chips
+            for k, count in zip(
+                *(a.tolist() for a in np.unique(key, return_counts=True))
+            ):
+                getattr(self._acc(k // self.num_chips), attr)[
+                    k % self.num_chips
+                ] += count
+
+    def on_run(self, chip_ids, arrivals, finishes, codes) -> None:
+        """Record one idle-disjoint bulk run (the ``emit_run`` tap).
+
+        Every request of a run is a singleton batch served at its arrival
+        instant (``dispatch == arrival``, batch size 1).
+        """
+        window_s = self.window_s
+        arr = np.asarray(arrivals, dtype=float)
+        if arr.size == 0:
+            return
+        fin = np.asarray(finishes, dtype=float)
+        codes = np.ascontiguousarray(codes, dtype=np.int64)
+        aw = (arr // window_s).astype(np.int64)
+        fw = (fin // window_s).astype(np.int64)
+        scalar_chip = isinstance(chip_ids, (int, np.integer))
+        chips = int(chip_ids) if scalar_chip else np.ascontiguousarray(
+            chip_ids, dtype=np.int64
+        )
+        lat = fin - arr
+
+        # Completions and the latency multiset, grouped by finish window.
+        sorter = np.argsort(fw, kind="stable")
+        fw_sorted = fw[sorter]
+        lat_sorted = lat[sorter]
+        uniq_f, starts = np.unique(fw_sorted, return_index=True)
+        bounds = np.append(starts, fw_sorted.size)
+        for i, w in enumerate(uniq_f.tolist()):
+            acc = self._acc(w)
+            acc.completions += int(bounds[i + 1] - bounds[i])
+            acc.lat.extend(lat_sorted[bounds[i]:bounds[i + 1]].tolist())
+
+        # Batch count per dispatch (== arrival) window.
+        for w, count in zip(*(a.tolist() for a in np.unique(aw, return_counts=True))):
+            self._acc(w).batches += count
+
+        # Per-chip counters: routed/dispatched/started key on the arrival
+        # window, finished on the finish window.
+        self._add_chip_counts("routed", aw, chips)
+        self._add_chip_counts("dispatched", aw, chips)
+        self._add_chip_counts("started", aw, chips)
+        self._add_chip_counts("finished", fw, chips)
+
+        # Per-singleton energy over unique (chip, workload) pairs.
+        n_names = len(self._names)
+        key = chips * n_names + codes  # broadcasts over a scalar chip too
+        uniq_keys, inverse = np.unique(key, return_inverse=True)
+        uniq_energy = np.empty(uniq_keys.size, dtype=float)
+        for i, k in enumerate(uniq_keys.tolist()):
+            uniq_energy[i] = self._energy_of(
+                int(k // n_names), self._names[int(k % n_names)], 1
+            )
+        energy = uniq_energy[inverse]
+        sorter_a = np.argsort(aw, kind="stable")
+        aw_sorted = aw[sorter_a]
+        energy_sorted = energy[sorter_a]
+        uniq_a, starts_a = np.unique(aw_sorted, return_index=True)
+        bounds_a = np.append(starts_a, aw_sorted.size)
+        for i, w in enumerate(uniq_a.tolist()):
+            self._acc(w).energy.extend(
+                energy_sorted[bounds_a[i]:bounds_a[i + 1]].tolist()
+            )
+
+        # Busy overlap: singleton service time, split when spanning.
+        same = aw == fw
+        lat_same = lat[same]
+        aw_same = aw[same]
+        sorter_b = np.argsort(aw_same, kind="stable")
+        aw_b = aw_same[sorter_b]
+        lat_b = lat_same[sorter_b]
+        uniq_b, starts_b = np.unique(aw_b, return_index=True)
+        bounds_b = np.append(starts_b, aw_b.size)
+        for i, w in enumerate(uniq_b.tolist()):
+            self._acc(w).busy.extend(lat_b[bounds_b[i]:bounds_b[i + 1]].tolist())
+        spanning = np.nonzero(~same)[0]
+        for i in spanning.tolist():
+            for w, overlap in _busy_overlaps(
+                float(arr[i]), float(fin[i]), int(aw[i]), int(fw[i]), window_s
+            ):
+                self._acc(w).busy.append(overlap)
+
+        self._disp_idx = max(self._disp_idx, int(aw[-1]))
+        self._flush()
+
+    def _emit_row(self, window: int, acc: _WindowAcc) -> None:
+        """Finalize one window into its row and advance cumulative state."""
+        self._fed_flushed += acc.arrivals
+        self._routed_flushed += int(acc.routed.sum())
+        self._routed_cum += acc.routed
+        self._dispatched_cum += acc.dispatched
+        self._started_cum += acc.started
+        self._finished_cum += acc.finished
+        self._rows.append(_window_row(
+            window, self.window_s, self.num_chips,
+            acc.arrivals, acc.completions, acc.batches,
+            acc.lat, acc.energy, acc.busy,
+            (self._routed_cum - self._dispatched_cum).tolist(),
+            (self._started_cum - self._finished_cum).tolist(),
+        ))
+
+    def _flush(self) -> None:
+        """Flush every window whose content is provably complete."""
+        if self._next is None:
+            return
+        limit = min(self._fed_idx, self._disp_idx)
+        while self._next < limit:
+            window = self._next
+            acc = self._pending.get(window)
+            if acc is None:
+                acc = _WindowAcc(self.num_chips)
+            if (
+                self._fed_flushed + acc.arrivals
+                != self._routed_flushed + int(acc.routed.sum())
+            ):
+                return  # a request that arrived <= end(window) is still queued
+            self._emit_row(window, acc)
+            self._pending.pop(window, None)
+            self._next = window + 1
+
+    def finalize(self, horizon_s: float) -> TelemetrySeries:
+        """Flush all remaining windows and return the finished series."""
+        if self._first is None or self._next is None:
+            return TelemetrySeries(self.window_s, self.num_chips, ())
+        last = int(horizon_s // self.window_s)
+        if self._pending:
+            last = max(last, max(self._pending))
+        for window in range(self._next, last + 1):
+            acc = self._pending.pop(window, None)
+            if acc is None:
+                acc = _WindowAcc(self.num_chips)
+            self._emit_row(window, acc)
+        self._next = last + 1
+        return TelemetrySeries(self.window_s, self.num_chips, tuple(self._rows))
+
+
+def request_spans(result) -> tuple[dict, ...]:
+    """Per-request lifecycle spans of a full-trace run.
+
+    One dict per request (keys: :data:`SPAN_FIELDS`) splitting its life
+    into the queue-wait segment (arrival -> dispatch) and the service
+    segment (dispatch -> finish), in request-id order.  Needs the
+    per-request records only ``ServingSimulator.run`` keeps; streamed
+    results hold aggregates and are rejected.
+    """
+    records = getattr(result, "records", None)
+    if records is None:
+        raise ServingError(
+            "request spans need per-request records; use "
+            "ServingSimulator.run() (run_stream keeps only aggregates)"
+        )
+    return tuple(
+        {
+            "request_id": record.request_id,
+            "workload": record.workload,
+            "chip": record.chip,
+            "arrival_s": record.arrival_s,
+            "dispatch_s": record.dispatch_s,
+            "finish_s": record.finish_s,
+            "queue_wait_s": record.dispatch_s - record.arrival_s,
+            "service_s": record.finish_s - record.dispatch_s,
+            "latency_s": record.finish_s - record.arrival_s,
+            "batch_size": record.batch_size,
+        }
+        for record in records
+    )

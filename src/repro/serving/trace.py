@@ -394,6 +394,7 @@ def replay_trace(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     shards: int = 1,
     shard_workers: int | None = None,
+    telemetry_window_s: float | None = None,
 ) -> StreamedServingResult:
     """Stream the trace at ``path`` through the serving simulator.
 
@@ -405,6 +406,8 @@ def replay_trace(
     sub-fleets into per-shard simulations (see
     :mod:`repro.serving.sharding`); fleets that cannot shard fall back to
     the single-shard core and record why in the result's provenance.
+    ``telemetry_window_s`` attaches the windowed time series
+    (:mod:`repro.serving.telemetry`) to the result.
     """
     from repro.serving.batching import build_policy
     from repro.serving.fleet import Fleet
@@ -433,4 +436,5 @@ def replay_trace(
         },
         shards=shards,
         shard_workers=shard_workers,
+        telemetry_window_s=telemetry_window_s,
     )

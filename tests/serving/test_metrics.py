@@ -118,6 +118,38 @@ class TestSummarizeResult:
         assert rows[1]["count"] == 2
 
 
+class TestCrossPathSummaries:
+    """The full-trace and streamed result paths must summarize identically.
+
+    Both :class:`ServingResult` and :class:`StreamedServingResult` funnel
+    through ``_latency_summary_values``; this pins the whole summary row —
+    every percentile included — so a future divergence (e.g. a path-local
+    percentile method) fails loudly instead of drifting the dashboards.
+    """
+
+    def test_run_and_run_stream_summaries_are_identical(self):
+        from repro.serving.batching import build_policy
+        from repro.serving.fleet import Fleet
+        from repro.serving.scenarios import get_scenario
+        from repro.serving.simulator import ServingSimulator, columnar_chunks
+
+        scenario = get_scenario("steady")
+        requests = scenario.traffic(0, 0.3, 0.2)
+        sim = ServingSimulator(
+            fleet=Fleet(num_chips=scenario.num_chips, router=scenario.router),
+            batching_policy=build_policy(scenario.policy),
+        )
+        full = sim.run(requests)
+        workloads = sorted({request.workload for request in requests})
+        streamed = sim.run_stream(columnar_chunks(requests, 256), workloads)
+        assert summarize_result(full, scenario.slo_s) == summarize_result(
+            streamed, scenario.slo_s
+        )
+        assert per_workload_summary(full, scenario.slo_s) == (
+            per_workload_summary(streamed, scenario.slo_s)
+        )
+
+
 class TestSaturationSummary:
     ROWS = [
         {"load": 0.2, "p99_ms": 1.0},

@@ -54,6 +54,34 @@ class TestProfileScenario:
         with pytest.raises(ServingError, match="must be positive"):
             profile_scenario("steady", load_scale=0.0)
 
+    def test_sharded_profile_aggregates_phase_timings(self):
+        payload = profile_scenario(
+            "steady",
+            load_scale=0.2,
+            duration_scale=0.2,
+            num_chips=4,
+            router="round_robin",
+            shards=4,
+        )
+        assert payload["shards"] == 4
+        assert payload["shards_effective"] == 4
+        assert "shard_fallback" not in payload
+        by_phase = {row["phase"]: row for row in payload["phases"]}
+        # Policy and model timings aggregate across all four shard engines;
+        # routing is inlined per component, so its phase stays empty.
+        assert by_phase["policy plan"]["calls"] > 0
+        assert by_phase["service lookup"]["calls"] > 0
+        assert by_phase["route"]["calls"] == 0
+
+    def test_sharded_profile_reports_fallback(self):
+        # jsq couples every chip, so the sharded engine cannot factor it.
+        payload = profile_scenario(
+            "steady", load_scale=0.2, duration_scale=0.2, shards=2
+        )
+        assert payload["shards"] == 2
+        assert payload["shards_effective"] == 1
+        assert "couples every chip" in payload["shard_fallback"]
+
 
 class TestServeCLIFlags:
     def test_serve_profile_json(self, capsys):
@@ -74,6 +102,18 @@ class TestServeCLIFlags:
         assert "event core (other)" in out
         assert "fast-path speedup (x)" in out
 
+    def test_serve_profile_shards_json(self, capsys):
+        assert main([
+            "serve", "steady", "--profile", "--chips", "4",
+            "--router", "round_robin", "--shards", "2",
+            "--load-scale", "0.2", "--duration-scale", "0.2",
+            "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["shards"] == 2
+        assert payload["shards_effective"] == 4
+        assert tuple(row["phase"] for row in payload["phases"]) == PHASES
+
     def test_serve_shards_records_provenance(self, capsys):
         assert main([
             "serve", "steady", "--chips", "4", "--router", "round_robin",
@@ -89,13 +129,12 @@ class TestServeCLIFlags:
         (
             ["serve", "--list", "--shards", "2"],
             ["serve", "--smoke", "--profile"],
-            ["serve", "steady", "--profile", "--shards", "2"],
             ["serve", "steady", "--shard-workers", "2"],
             ["serve", "steady", "--record", "x.jsonl", "--shards", "2"],
             ["serve", "steady", "--profile", "--backend", "cogsys,a100"],
         ),
         ids=(
-            "list-shards", "smoke-profile", "profile-shards",
+            "list-shards", "smoke-profile",
             "workers-without-shards", "record-shards", "profile-hetero",
         ),
     )

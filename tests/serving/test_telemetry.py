@@ -1,0 +1,346 @@
+"""Tests for the windowed telemetry layer, its exporters and the CLI flags.
+
+The load-bearing guarantee is byte-identity: the full-trace (``run``),
+streamed (``run_stream``) and sharded paths must produce *equal* window
+rows for the same request stream — every float included.  Hypothesis
+drives that over adversarial streams; golden JSONL snapshots pin the
+exported bytes for two presets.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.errors import ServingError
+from repro.serving.batching import ContinuousBatching, NoBatching
+from repro.serving.exporters import (
+    TELEMETRY_FORMAT,
+    render_dashboard,
+    to_prometheus,
+    write_jsonl,
+    write_spans_jsonl,
+)
+from repro.serving.fleet import Fleet
+from repro.serving.simulator import ServingSimulator, columnar_chunks
+from repro.serving.telemetry import (
+    SPAN_FIELDS,
+    TELEMETRY_FIELDS,
+    derive_series,
+    request_spans,
+)
+from repro.serving.traffic import Request
+
+WORKLOADS = ("lvrf", "mimonet", "nvsa", "prae")
+
+#: window width used throughout — coarse enough for multi-window runs,
+#: fine enough to exercise batch-spans-window accounting
+WINDOW_S = 0.5
+
+
+class TelemetryFakeModel:
+    """Deterministic per-workload service model (1 W chip: energy == busy)."""
+
+    scheduler = "fake"
+    cached_reports = 0
+
+    BASE = {"lvrf": 0.8, "mimonet": 0.2, "nvsa": 1.0, "prae": 0.5}
+
+    def service_seconds(self, workload, batch_size):
+        return self.BASE[workload] * (0.5 + 0.5 * batch_size)
+
+    def energy_joules(self, workload, batch_size):
+        return self.service_seconds(workload, batch_size)
+
+
+#: adversarial request streams on a 0.1 s grid (simultaneous arrivals,
+#: duplicate instants), same shape as the invariant harness uses
+request_streams = st.lists(
+    st.tuples(
+        st.sampled_from(WORKLOADS),
+        st.integers(min_value=0, max_value=40),
+    ),
+    min_size=1,
+    max_size=40,
+).map(
+    lambda entries: [
+        Request(request_id=index, workload=workload, arrival_s=tick / 10.0)
+        for index, (workload, tick) in enumerate(
+            sorted(entries, key=lambda e: e[1])
+        )
+    ]
+)
+
+
+def _simulator(num_chips, router="round_robin", policy=None):
+    return ServingSimulator(
+        service_model=TelemetryFakeModel(),
+        fleet=Fleet(num_chips=num_chips, router=router),
+        batching_policy=policy or ContinuousBatching(max_batch_size=4, slo_s=2.0),
+    )
+
+
+class TestWindowConservation:
+    @settings(max_examples=25, deadline=None)
+    @given(stream=request_streams, num_chips=st.integers(1, 3))
+    def test_per_window_counts_conserve_totals(self, stream, num_chips):
+        sim = _simulator(num_chips)
+        result = sim.run(stream, telemetry_window_s=WINDOW_S)
+        series = result.telemetry
+        assert series.requests == len(stream)
+        assert series.completed == len(stream)
+        assert sum(series.column("batches")) == result.num_batches
+        assert sum(series.column("shed")) == 0
+        # Windows tile [first arrival window, horizon window] contiguously.
+        windows = series.column("window")
+        assert windows == list(range(windows[0], windows[0] + len(windows)))
+        for row in series.windows:
+            assert 0.0 <= row["utilization"] <= 1.0
+            assert len(row["queue_depth"]) == num_chips
+            assert len(row["inflight"]) == num_chips
+            assert all(depth >= 0 for depth in row["queue_depth"])
+            assert all(count >= 0 for count in row["inflight"])
+        # Everything drains by the horizon.
+        assert series.windows[-1]["queue_depth"] == [0] * num_chips
+        assert series.windows[-1]["inflight"] == [0] * num_chips
+
+    @settings(max_examples=25, deadline=None)
+    @given(stream=request_streams, num_chips=st.integers(1, 3))
+    def test_streamed_and_sharded_series_match_full_trace(
+        self, stream, num_chips
+    ):
+        sim = _simulator(num_chips)
+        full = sim.run(stream, telemetry_window_s=WINDOW_S)
+        workloads = sorted({request.workload for request in stream})
+        streamed = sim.run_stream(
+            columnar_chunks(stream, 7), workloads, telemetry_window_s=WINDOW_S
+        )
+        sharded = sim.run(
+            stream, shards=num_chips, telemetry_window_s=WINDOW_S
+        )
+        assert streamed.telemetry.windows == full.telemetry.windows
+        assert sharded.telemetry.windows == full.telemetry.windows
+
+    @settings(max_examples=15, deadline=None)
+    @given(stream=request_streams)
+    def test_energy_windows_sum_to_run_total(self, stream):
+        sim = _simulator(2, policy=NoBatching())
+        result = sim.run(stream, telemetry_window_s=WINDOW_S)
+        total = sum(result.telemetry.column("energy_j"))
+        assert total == pytest.approx(result.energy_joules, rel=1e-9)
+
+
+class TestTelemetrySeries:
+    def _series(self, entries, **kwargs):
+        stream = [
+            Request(request_id=index, workload=workload, arrival_s=arrival)
+            for index, (workload, arrival) in enumerate(entries)
+        ]
+        sim = _simulator(kwargs.pop("num_chips", 2), **kwargs)
+        return sim.run(stream, telemetry_window_s=WINDOW_S).telemetry
+
+    def test_rows_carry_the_frozen_schema(self):
+        series = self._series([("nvsa", 0.0), ("mimonet", 0.3)])
+        for row in series.windows:
+            assert tuple(row) == TELEMETRY_FIELDS
+
+    def test_empty_window_has_null_percentiles(self):
+        # One request at t=0 (1 s service), next at 2.6 s: the middle
+        # window sees no completions.
+        series = self._series([("mimonet", 0.0), ("mimonet", 2.6)])
+        quiet = [row for row in series.windows if row["completions"] == 0]
+        assert quiet
+        assert all(row["p99_ms"] is None for row in quiet)
+
+    def test_unknown_column_rejected(self):
+        series = self._series([("nvsa", 0.0)])
+        with pytest.raises(ServingError, match="unknown telemetry field"):
+            series.column("p42_ms")
+
+    def test_bad_window_rejected(self):
+        sim = _simulator(1)
+        with pytest.raises(ServingError, match="window"):
+            sim.run(
+                [Request(request_id=0, workload="nvsa", arrival_s=0.0)],
+                telemetry_window_s=0.0,
+            )
+
+    def test_telemetry_off_by_default(self):
+        sim = _simulator(1)
+        result = sim.run(
+            [Request(request_id=0, workload="nvsa", arrival_s=0.0)]
+        )
+        assert result.telemetry is None
+
+
+class TestRequestSpans:
+    def test_spans_decompose_latency(self):
+        stream = [
+            Request(request_id=index, workload="nvsa", arrival_s=0.0)
+            for index in range(3)
+        ]
+        sim = _simulator(1, policy=NoBatching())
+        spans = request_spans(sim.run(stream))
+        assert len(spans) == 3
+        for span in spans:
+            assert tuple(span) == SPAN_FIELDS
+            assert span["queue_wait_s"] + span["service_s"] == pytest.approx(
+                span["latency_s"]
+            )
+
+    def test_streamed_results_rejected(self):
+        sim = _simulator(1)
+        stream = [Request(request_id=0, workload="nvsa", arrival_s=0.0)]
+        streamed = sim.run_stream(columnar_chunks(stream, 8), ["nvsa"])
+        with pytest.raises(ServingError, match="per-request records"):
+            request_spans(streamed)
+
+
+class TestExporters:
+    def _series(self):
+        stream = [
+            Request(request_id=index, workload=workload, arrival_s=0.2 * index)
+            for index, workload in enumerate(("nvsa", "mimonet", "lvrf"))
+        ]
+        sim = _simulator(2)
+        return sim.run(stream, telemetry_window_s=WINDOW_S)
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        result = self._series()
+        path = write_jsonl(
+            tmp_path / "telemetry.jsonl", result.telemetry,
+            source={"scenario": "unit"},
+        )
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["format"] == TELEMETRY_FORMAT
+        assert header["fields"] == list(TELEMETRY_FIELDS)
+        assert header["source"] == {"scenario": "unit"}
+        rows = [json.loads(line) for line in lines[1:]]
+        assert len(rows) == header["num_windows"]
+        assert sum(row["completions"] for row in rows) == header["completed"]
+
+    def test_spans_jsonl(self, tmp_path):
+        result = self._series()
+        path = write_spans_jsonl(
+            tmp_path / "spans.jsonl", request_spans(result)
+        )
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["format"] == "cogsys-serving-spans"
+        assert header["num_spans"] == len(lines) - 1
+        assert json.loads(lines[1])["request_id"] == 0
+
+    def test_prometheus_exposition(self):
+        result = self._series()
+        text = to_prometheus(result.telemetry)
+        assert "# TYPE repro_serving_completions gauge" in text
+        assert 'repro_serving_queue_depth{chip="1"}' in text
+        assert "None" not in text
+
+    def test_dashboard_renders_panels(self):
+        result = self._series()
+        view = render_dashboard(result.telemetry, title="unit run")
+        assert "unit run" in view
+        assert "completions/s" in view
+        assert "utilization" in view
+
+    def test_dashboard_rejects_empty_series(self):
+        from repro.serving.telemetry import TelemetrySeries
+
+        empty = TelemetrySeries(window_s=0.1, num_chips=1, windows=())
+        with pytest.raises(ServingError, match="empty"):
+            render_dashboard(empty)
+
+
+class TestServeTelemetryCLI:
+    ARGS = ["--load-scale", "0.2", "--duration-scale", "0.2"]
+
+    def test_telemetry_export(self, tmp_path, capsys):
+        out = tmp_path / "telemetry.jsonl"
+        assert main(
+            ["serve", "steady", *self.ARGS, "--telemetry", str(out),
+             "--window-ms", "20"]
+        ) == 0
+        header = json.loads(out.read_text().splitlines()[0])
+        assert header["format"] == TELEMETRY_FORMAT
+        assert header["window_s"] == pytest.approx(0.02)
+        assert header["source"]["scenario"] == "steady"
+
+    def test_telemetry_prometheus_export(self, tmp_path, capsys):
+        out = tmp_path / "telemetry.prom"
+        assert main(
+            ["serve", "steady", *self.ARGS, "--telemetry", str(out),
+             "--telemetry-format", "prom"]
+        ) == 0
+        assert "# TYPE repro_serving_arrivals gauge" in out.read_text()
+
+    def test_dashboard_renders(self, capsys):
+        assert main(["serve", "steady", *self.ARGS, "--dashboard"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry" in out
+        assert "completions/s" in out
+
+    def test_sharded_telemetry_export_matches_single_shard(
+        self, tmp_path, capsys
+    ):
+        single = tmp_path / "single.jsonl"
+        sharded = tmp_path / "sharded.jsonl"
+        base = [
+            "serve", "steady", *self.ARGS, "--chips", "4",
+            "--router", "round_robin",
+        ]
+        assert main([*base, "--telemetry", str(single)]) == 0
+        assert main(
+            [*base, "--shards", "4", "--telemetry", str(sharded)]
+        ) == 0
+        assert single.read_bytes() == sharded.read_bytes()
+
+    @pytest.mark.parametrize(
+        "argv",
+        (
+            ["serve", "steady", "--window-ms", "20"],
+            ["serve", "steady", "--telemetry-format", "prom"],
+            ["serve", "steady", "--dashboard", "--format", "json"],
+            ["serve", "steady", "--profile", "--telemetry", "x.jsonl"],
+            ["serve", "--list", "--dashboard"],
+            ["serve", "steady", "--telemetry", "x.jsonl", "--window-ms", "0"],
+        ),
+        ids=(
+            "window-without-telemetry", "format-without-telemetry",
+            "dashboard-json", "profile-telemetry", "list-dashboard",
+            "zero-window",
+        ),
+    )
+    def test_stray_telemetry_flags_rejected(self, argv, capsys):
+        assert main(argv) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestGoldenTelemetry:
+    """Exported JSONL bytes for two presets, frozen at capture time.
+
+    Regenerate only on a deliberate semantics change (see
+    ``tests/serving/golden/README.md``).
+    """
+
+    @pytest.mark.parametrize("name", ("steady", "flash_crowd"))
+    def test_export_matches_golden_snapshot(self, name, tmp_path):
+        from pathlib import Path
+
+        from repro.serving.scenarios import run_scenario
+
+        _, result = run_scenario(
+            name, seed=0, load_scale=1.0, duration_scale=0.1,
+            telemetry_window_s=0.02,
+        )
+        path = write_jsonl(
+            tmp_path / f"{name}.jsonl", result.telemetry,
+            source={"scenario": name, "seed": 0},
+        )
+        golden = (
+            Path(__file__).parent / "golden" / f"telemetry_{name}.jsonl"
+        )
+        assert path.read_bytes() == golden.read_bytes()
