@@ -17,14 +17,21 @@ live numbers with ``benchmarks/BENCH_serving.json``:
   sharded throughput and beat its own live single-shard run by
   ``--min-shard-speedup`` (default 1.3x) — a machine-independent check
   that component sharding keeps paying for itself.
+* **Coupled gate**: every ``COUPLED_SUITE`` case (deep saturation on
+  jsq fleets, which cannot shard) must reach its calibration-scaled
+  recorded ``coupled`` throughput, and the geometric-mean speedup over
+  the frozen ``coupled_baseline`` section (the pre-water-fill scalar
+  JSQ path) must stay at or above ``--min-coupled-speedup``
+  (default 3x).
 
 Usage::
 
     python scripts/check_serving_throughput.py            # gate (CI)
     python scripts/check_serving_throughput.py --record   # refresh baseline
 
-``--record`` re-measures and rewrites the ``current`` section (the legacy
-section is a frozen capture of commit 07b27c3 and is never touched).
+``--record`` re-measures and rewrites the ``current``, ``sharded`` and
+``coupled`` sections (the ``legacy`` and ``coupled_baseline`` sections
+are frozen captures of commits 07b27c3 / aab4ba7 and are never touched).
 """
 
 from __future__ import annotations
@@ -40,6 +47,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.serving.benchmark import (  # noqa: E402  (path bootstrap above)
     calibration_ops_per_s,
     geometric_mean,
+    measure_coupled_suite,
     measure_sharded_suite,
     measure_suite,
 )
@@ -68,6 +76,11 @@ def _record(baseline: dict, repeats: int) -> int:
         "calibration_ops_per_s": round(calibration, 1),
         "cases": {row["label"]: row for row in sharded_rows},
     }
+    coupled_rows = measure_coupled_suite(repeats=repeats)
+    baseline["coupled"] = {
+        "calibration_ops_per_s": round(calibration, 1),
+        "cases": {row["label"]: row for row in coupled_rows},
+    }
     BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
     for row in rows:
         print(f"  {row['label']}: {row['requests_per_s']:,.0f} req/s")
@@ -77,8 +90,15 @@ def _record(baseline: dict, repeats: int) -> int:
             f"({row['shards']} shards; "
             f"{row['single_shard_requests_per_s']:,.0f} single-shard)"
         )
+    for row in coupled_rows:
+        print(
+            f"  {row['label']}: {row['requests_per_s']:,.0f} req/s "
+            f"({row['num_chips']}-chip jsq; "
+            f"{row['water_fill_requests']:,d} water-filled)"
+        )
     print(
-        f"recorded {len(rows)} + {len(sharded_rows)} cases -> {BASELINE_PATH}"
+        f"recorded {len(rows)} + {len(sharded_rows)} + {len(coupled_rows)} "
+        f"cases -> {BASELINE_PATH}"
     )
     return 0
 
@@ -123,12 +143,56 @@ def _check_sharded(
             )
 
 
+def _check_coupled(
+    baseline: dict,
+    repeats: int,
+    tolerance: float,
+    min_coupled_speedup: float,
+    live_calibration: float,
+    failures: list,
+) -> None:
+    coupled = baseline.get("coupled")
+    frozen = baseline.get("coupled_baseline")
+    if not coupled or not frozen:
+        print("no recorded coupled section; skipping the coupled gate")
+        return
+    scale = live_calibration / coupled["calibration_ops_per_s"]
+    scale_frozen = live_calibration / frozen["calibration_ops_per_s"]
+    speedups = []
+    for row in measure_coupled_suite(repeats=repeats):
+        label = row["label"]
+        live = row["requests_per_s"]
+        recorded = coupled["cases"][label]["requests_per_s"] * scale
+        floor = recorded * (1.0 - tolerance)
+        frozen_rps = frozen["cases"][label]["requests_per_s"] * scale_frozen
+        speedup = live / frozen_rps
+        speedups.append(speedup)
+        verdict = "ok" if live >= floor else "REGRESSION"
+        print(
+            f"  {label}: {live:,.0f} req/s "
+            f"(floor {floor:,.0f}, {speedup:.1f}x scalar jsq) {verdict}"
+        )
+        if live < floor:
+            failures.append(
+                f"{label}: {live:,.0f} req/s is below the {tolerance:.0%} "
+                f"coupled regression floor ({floor:,.0f} req/s)"
+            )
+    mean_speedup = geometric_mean(speedups)
+    print(f"geomean speedup vs scalar jsq path: {mean_speedup:.2f}x")
+    if mean_speedup < min_coupled_speedup:
+        failures.append(
+            f"coupled geomean speedup {mean_speedup:.2f}x fell below the "
+            f"{min_coupled_speedup:.1f}x floor"
+        )
+
+
 def _check(
     baseline: dict,
     repeats: int,
     tolerance: float,
     min_speedup: float,
     min_shard_speedup: float,
+    min_coupled_speedup: float,
 ) -> int:
     current = baseline.get("current")
     legacy = baseline.get("legacy")
@@ -177,6 +241,10 @@ def _check(
         baseline, repeats, tolerance, min_shard_speedup, live_calibration,
         failures,
     )
+    _check_coupled(
+        baseline, repeats, tolerance, min_coupled_speedup, live_calibration,
+        failures,
+    )
     if failures:
         print("\nFAIL:", file=sys.stderr)
         for failure in failures:
@@ -198,13 +266,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="geomean speedup floor vs the legacy core")
     parser.add_argument("--min-shard-speedup", type=float, default=1.3,
                         help="per-case floor on sharded vs own single-shard")
+    parser.add_argument("--min-coupled-speedup", type=float, default=3.0,
+                        help="geomean floor vs the frozen scalar jsq path")
     args = parser.parse_args(argv)
     baseline = _load_baseline()
     if args.record:
         return _record(baseline, args.repeats)
     return _check(
         baseline, args.repeats, args.tolerance, args.min_speedup,
-        args.min_shard_speedup,
+        args.min_shard_speedup, args.min_coupled_speedup,
     )
 
 

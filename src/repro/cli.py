@@ -12,8 +12,9 @@ Installed as a console script (see ``setup.py``) and runnable as
 ``repro report [--output EXPERIMENTS.md] [--workers N] [--no-cache]
 [--smoke]``
     Regenerate the paper-vs-measured document from the registry.
-``repro serve SCENARIO [--seed N] [--chips N] [--router R] [--policy P]
-[--backend B[,B...]] [--load-scale X] [--duration-scale X]`` /
+``repro serve SCENARIO[,SCENARIO...] [--seed N] [--chips N] [--router R]
+[--policy P] [--backend B[,B...]] [--load-scale X] [--duration-scale X]
+[--jobs N]`` /
 ``repro serve SCENARIO --record FILE`` / ``repro serve --trace FILE`` /
 ``repro serve --list`` / ``repro serve --smoke``
     Run a serving scenario preset (or every serving experiment at smoke
@@ -445,6 +446,30 @@ def _serve_profile(args, backends) -> int:
             ],
         ),
     ]
+    if "event_paths" in payload:
+        paths = payload["event_paths"]
+        engine = (
+            f" (coupled engine: {payload['coupled_engine']})"
+            if "coupled_engine" in payload
+            else ""
+        )
+        lines += [
+            "",
+            f"Dispatch paths of the uninstrumented run{engine}:",
+            "",
+            format_markdown_table(
+                ["dispatch path", "requests", "spans"],
+                [
+                    ["water-fill (vectorized jsq)",
+                     paths["water_fill_requests"],
+                     paths["water_fill_spans"]],
+                    ["bulk idle-disjoint runs",
+                     paths["bulk_run_requests"],
+                     paths["bulk_runs"]],
+                    ["scalar event loop", paths["scalar_requests"], "-"],
+                ],
+            ),
+        ]
     if "shard_fallback" in payload:
         lines += [
             "",
@@ -455,10 +480,105 @@ def _serve_profile(args, backends) -> int:
     return 0
 
 
+def _serve_suite(args, backends, names) -> int:
+    """``repro serve A[,B...] --jobs N`` — fan cases across a process pool."""
+    from repro.serving.scenarios import get_scenario
+    from repro.serving.suite import SuiteCase, run_suite
+
+    for name in names:
+        get_scenario(name)  # fail fast on typos before forking workers
+    cases = [
+        SuiteCase(
+            scenario=name,
+            seed=args.seed,
+            load_scale=args.load_scale,
+            duration_scale=args.duration_scale,
+            num_chips=args.chips,
+            router=args.router,
+            policy=args.policy,
+            backends=backends,
+        )
+        for name in names
+    ]
+    results = run_suite(cases, jobs=args.jobs)
+    if args.format == "json":
+        payload = [
+            {
+                "scenario": res.scenario,
+                "provenance": res.provenance,
+                "summary": res.summary,
+                "per_workload": res.per_workload,
+                "per_backend": res.per_backend,
+            }
+            for res in results
+        ]
+        _emit(args, json.dumps(payload, indent=2) + "\n")
+        return 0
+    sections = []
+    for res in results:
+        lines = [f"## Scenario '{res.scenario}' — {res.description}", ""]
+        lines.append(
+            format_markdown_table(
+                ["metric", "value"],
+                [[key, value] for key, value in res.summary.items()],
+            )
+        )
+        if res.per_workload:
+            lines.append("")
+            headers = list(res.per_workload[0])
+            lines.append(
+                format_markdown_table(
+                    headers,
+                    [[row[h] for h in headers] for row in res.per_workload],
+                )
+            )
+        if len(res.per_backend) > 1:
+            lines.append("")
+            headers = list(res.per_backend[0])
+            lines.append(
+                format_markdown_table(
+                    headers,
+                    [[row[h] for h in headers] for row in res.per_backend],
+                )
+            )
+        sections.append("\n".join(lines))
+    _emit(args, "\n\n".join(sections) + "\n")
+    print(
+        f"ran {len(results)} scenario case(s) with --jobs {args.jobs}",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _reject_stray_serve_options(args, backends) -> None:
     """Fail fast on flag combinations that would be silently ignored."""
     if args.trace and args.record:
         raise ReproError("--trace and --record are mutually exclusive")
+    if args.jobs < 1:
+        raise ReproError(f"--jobs must be at least 1, got {args.jobs}")
+    suite_mode = args.jobs != 1 or "," in (args.scenario or "")
+    if suite_mode:
+        stray = [
+            flag
+            for flag, on in (
+                ("--trace", args.trace),
+                ("--record", args.record),
+                ("--list", args.list),
+                ("--smoke", args.smoke),
+                ("--profile", args.profile),
+                ("--shards", args.shards != 1),
+                ("--shard-workers", args.shard_workers is not None),
+                ("--telemetry", args.telemetry),
+                ("--dashboard", args.dashboard),
+            )
+            if on
+        ]
+        if stray:
+            raise ReproError(
+                "--jobs (or a comma-separated scenario list) runs a suite of "
+                "independent scenario cases; it does not combine with: "
+                + ", ".join(stray)
+            )
     if args.trace:
         stray = []
         if args.scenario:
@@ -628,6 +748,9 @@ def _cmd_serve(args) -> int:
         )
     if args.profile:
         return _serve_profile(args, backends)
+    names = [name.strip() for name in args.scenario.split(",") if name.strip()]
+    if args.jobs != 1 or len(names) > 1:
+        return _serve_suite(args, backends, names)
     scenario, result = scenarios.run_scenario(
         args.scenario,
         seed=args.seed,
@@ -896,7 +1019,9 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="run the request-level serving simulator"
     )
     serve_parser.add_argument("scenario", nargs="?", metavar="SCENARIO",
-                              help="scenario preset name (see --list)")
+                              help="scenario preset name (see --list); a "
+                                   "comma-separated list runs a suite "
+                                   "(parallel with --jobs)")
     serve_parser.add_argument("--list", action="store_true",
                               help="enumerate the scenario presets")
     serve_parser.add_argument("--smoke", action="store_true",
@@ -934,6 +1059,10 @@ def build_parser() -> argparse.ArgumentParser:
                               help="split router-independent sub-fleets into N "
                                    "shard simulations (records identical to "
                                    "a single-shard run)")
+    serve_parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                              help="run the (comma-separated) scenario cases "
+                                   "across N pooled worker processes "
+                                   "(see repro.serving.suite)")
     serve_parser.add_argument("--shard-workers", type=int, default=None,
                               metavar="N", help=argparse.SUPPRESS)
     serve_parser.add_argument("--profile", action="store_true",

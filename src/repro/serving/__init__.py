@@ -27,6 +27,9 @@ deterministic discrete-event simulator over the cycle-level
 * :mod:`~repro.serving.sharding` — component-sharded execution: factor a
   router-independent fleet into per-shard simulations whose merged result
   is byte-identical to the single-shard run,
+* :mod:`~repro.serving.suite` — parallel suite runner: fan independent
+  (scenario, config) cases across a persistent process pool with
+  pre-warmed service tables (``repro serve --jobs N``),
 * :mod:`~repro.serving.profile` — per-phase wall-clock breakdown of one
   scenario run (``repro serve --profile``),
 * :mod:`~repro.serving.telemetry` — windowed time-series telemetry
@@ -113,6 +116,11 @@ from repro.serving.simulator import (
     StreamedServingResult,
     columnar_chunks,
 )
+from repro.serving.suite import (
+    SuiteCase,
+    SuiteResult,
+    run_suite,
+)
 from repro.serving.trace import (
     RequestTrace,
     TraceInfo,
@@ -191,6 +199,9 @@ __all__ = [
     "plan_components",
     "run_sharded",
     "run_stream_sharded",
+    "SuiteCase",
+    "SuiteResult",
+    "run_suite",
     "profile_scenario",
     "DEFAULT_WINDOW_S",
     "TELEMETRY_FIELDS",

@@ -33,11 +33,15 @@ __all__ = [
     "THROUGHPUT_SUITE",
     "ShardedThroughputCase",
     "SHARDED_SUITE",
+    "CoupledThroughputCase",
+    "COUPLED_SUITE",
     "calibration_ops_per_s",
     "measure_case",
     "measure_suite",
     "measure_sharded_case",
     "measure_sharded_suite",
+    "measure_coupled_case",
+    "measure_coupled_suite",
     "measure_telemetry_overhead",
     "geometric_mean",
 ]
@@ -89,6 +93,32 @@ SHARDED_SUITE: tuple[ShardedThroughputCase, ...] = (
     ShardedThroughputCase(
         "flash_megacrowd_x8", "flash_crowd", 16.0, 2.0, 8, "round_robin", 4
     ),
+)
+
+class CoupledThroughputCase(NamedTuple):
+    """A coupled-fleet measurement: deep saturation on a JSQ fleet."""
+
+    label: str
+    scenario: str
+    load_scale: float
+    duration_scale: float
+    num_chips: int
+    max_batch_size: int
+
+
+#: the coupled-fleet regimes: deep saturation on JSQ fleets, which cannot
+#: shard (every routing decision reads every chip's queue depth) and so ran
+#: on the scalar per-arrival path before the water-fill engine.  Standing
+#: queues of thousands keep the whole fleet busy, which is exactly when
+#: arrival runs route as single vectorized spans; large continuous-batching
+#: caps are what deep saturation pairs with in practice (draining a
+#: thousand-deep queue eight requests at a time would be a config bug).
+COUPLED_SUITE: tuple[CoupledThroughputCase, ...] = (
+    CoupledThroughputCase("steady_coupled_x2", "steady", 64.0, 0.5, 2, 128),
+    CoupledThroughputCase(
+        "steady_coupled_deep_x2", "steady", 128.0, 0.25, 2, 256
+    ),
+    CoupledThroughputCase("steady_coupled_x4", "steady", 192.0, 0.25, 4, 128),
 )
 
 #: iterations of the calibration loop (a fixed, allocation-free workload)
@@ -148,9 +178,21 @@ def measure_case(case: ThroughputCase, repeats: int = 3) -> dict:
     }
 
 
-def measure_suite(repeats: int = 3) -> list[dict]:
-    """Measure every case of :data:`THROUGHPUT_SUITE`."""
-    return [measure_case(case, repeats=repeats) for case in THROUGHPUT_SUITE]
+def measure_suite(repeats: int = 3, jobs: int = 1) -> list[dict]:
+    """Measure every case of :data:`THROUGHPUT_SUITE`.
+
+    ``jobs > 1`` fans the cases across the suite runner's process pool
+    (:func:`repro.serving.suite.map_cases`) — useful for quick sweeps on
+    multi-core machines, but keep the default for gate timings: parallel
+    cases contend for cores and distort each other's wall clock.
+    """
+    from functools import partial
+
+    from repro.serving.suite import map_cases
+
+    return map_cases(
+        partial(measure_case, repeats=repeats), THROUGHPUT_SUITE, jobs=jobs
+    )
 
 
 def measure_sharded_case(case: ShardedThroughputCase, repeats: int = 3) -> dict:
@@ -208,6 +250,74 @@ def measure_sharded_suite(repeats: int = 3) -> list[dict]:
     return [
         measure_sharded_case(case, repeats=repeats) for case in SHARDED_SUITE
     ]
+
+
+def measure_coupled_case(case: CoupledThroughputCase, repeats: int = 3) -> dict:
+    """Measure one coupled case: best-of-``repeats`` req/s on a JSQ fleet.
+
+    Like :func:`measure_sharded_case`, the measurement goes through
+    :meth:`ServingSimulator.run_stream` over one pre-columnarized chunk
+    with a pre-warmed service table, so it isolates the coupled event
+    core — water-fill spans plus indexed min-queue routing — from traffic
+    generation and one-time workload-graph construction.  The returned
+    row carries the run's ``event_paths`` provenance so recordings show
+    how much of the load actually took the vectorized path.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    scenario = get_scenario(case.scenario)
+    requests = scenario.traffic(0, case.load_scale, case.duration_scale)
+    fleet = Fleet(num_chips=case.num_chips, router="jsq")
+    simulator = ServingSimulator(
+        service_model=FleetServiceModel(fleet=fleet),
+        fleet=fleet,
+        batching_policy=build_policy(
+            "continuous", max_batch_size=case.max_batch_size
+        ),
+    )
+    columns = (
+        [request.arrival_s for request in requests],
+        [request.workload for request in requests],
+        [request.request_id for request in requests],
+    )
+    workloads = tuple(sorted({request.workload for request in requests}))
+    result = simulator.run_stream([columns], workloads)  # warm the reports
+    best = 0.0
+    for _ in range(repeats):
+        started = time.perf_counter()
+        simulator.run_stream([columns], workloads)
+        elapsed = time.perf_counter() - started
+        best = max(best, len(requests) / elapsed)
+    event_paths = result.provenance.get("event_paths", {})
+    return {
+        "label": case.label,
+        "scenario": case.scenario,
+        "load_scale": case.load_scale,
+        "duration_scale": case.duration_scale,
+        "num_chips": case.num_chips,
+        "router": "jsq",
+        "max_batch_size": case.max_batch_size,
+        "requests": len(requests),
+        "requests_per_s": round(best, 1),
+        "water_fill_requests": event_paths.get("water_fill_requests", 0),
+    }
+
+
+def measure_coupled_suite(repeats: int = 3, jobs: int = 1) -> list[dict]:
+    """Measure every case of :data:`COUPLED_SUITE`.
+
+    Coupled fleets cannot shard, but independent cases can still run in
+    parallel: ``jobs > 1`` uses the suite runner's pool (see
+    :func:`measure_suite` for the gate-timing caveat).
+    """
+    from functools import partial
+
+    from repro.serving.suite import map_cases
+
+    return map_cases(
+        partial(measure_coupled_case, repeats=repeats), COUPLED_SUITE,
+        jobs=jobs,
+    )
 
 
 def measure_telemetry_overhead(

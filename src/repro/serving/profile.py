@@ -15,6 +15,13 @@ classes and are bypassed by the wrappers.  The report therefore shows the
 *interface* cost of each phase; the ``uninstrumented_run_s`` figure — the
 same run with the wrappers off and every fast path on — shows what
 production pays, and the gap between the two is the fast paths' margin.
+
+The uninstrumented run also contributes its dispatch-path attribution
+(``event_paths``): how many requests rode the water-filling jsq spans and
+the bulk idle-disjoint runs versus the one-at-a-time scalar loop, plus
+the ``coupled_engine`` marker on jsq fleets — so a profile of a coupled
+scenario shows whether production traffic actually takes the vectorized
+path.
 """
 
 from __future__ import annotations
@@ -236,7 +243,9 @@ def profile_scenario(
     )
     plain_sim.run(requests, shards=shards, shard_workers=shard_workers)
     started = time.perf_counter()
-    plain_sim.run(requests, shards=shards, shard_workers=shard_workers)
+    plain_result = plain_sim.run(
+        requests, shards=shards, shard_workers=shard_workers
+    )
     uninstrumented_s = time.perf_counter() - started
 
     phase_order = (
@@ -288,6 +297,15 @@ def profile_scenario(
         else 0.0,
         "warmup_run_s": round(warmup_s, 6),
     }
+    # Dispatch-path attribution comes from the *uninstrumented* run: the
+    # timing proxies hide the builtin policy/router classes, so the
+    # instrumented run is all-scalar by construction and would report
+    # nothing about what production takes.
+    event_paths = plain_result.provenance.get("event_paths")
+    if event_paths is not None:
+        payload["event_paths"] = dict(event_paths)
+    if "coupled_engine" in plain_result.provenance:
+        payload["coupled_engine"] = plain_result.provenance["coupled_engine"]
     if shards > 1:
         payload["shards"] = shards
         payload["shards_effective"] = result.provenance.get(

@@ -480,7 +480,7 @@ def _fallback_run(
         chip_batch_seq[chip_id] = seq + 1
         code = wl_code[workload]
         chip = global_chips[chip_id]
-        for arrival_s, request_id in members:
+        for arrival_s, request_id in zip(*members):
             out_ids.append(request_id)
             out_codes.append(code)
             out_chip.append(chip)

@@ -48,6 +48,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from array import array
+from bisect import bisect_right, insort
 from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, NamedTuple
@@ -97,6 +98,19 @@ DEFAULT_CHUNK_SIZE = 65536
 #: scalar loop only past this length, so shorter runs stay on the exact
 #: same scalar path they always used
 BULK_MIN_RUN = 16
+
+#: shortest saturated arrival run the coupled water-fill dispatch will
+#: take over; below this the per-span setup (two bisects, a depth scan,
+#: and per-chip strided gathers plus a stable segment sort) costs about
+#: what routing the arrivals through the scalar JSQ loop does, so short
+#: bursts — shallow-batch regimes dispatch between every handful of
+#: arrivals — stay scalar and only deep standing queues vectorize
+FILL_MIN_RUN = 48
+
+#: smallest batch the streaming accumulators turn columnar; batches this
+#: large amortize the fixed cost of the array round-trip, smaller ones
+#: stay on the per-member append loop
+EMIT_COLUMNAR_MIN = 16
 
 
 class RequestRecord(NamedTuple):
@@ -254,60 +268,84 @@ class StreamedServingResult(_FleetRunStats):
 class _Group:
     """One workload's queued ``(arrival_s, request_id)`` entries on a chip.
 
-    A list plus a consumed-prefix cursor: a dispatched batch pops off the
-    front as one slice (``popn``) instead of per-entry ``popleft`` calls,
-    and the consumed prefix is compacted away once it dominates the list so
+    Storage is columnar — parallel ``arrs``/``rids`` lists plus a
+    consumed-prefix cursor — so bulk producers (the water-fill span path)
+    extend whole numpy columns without building one tuple per request, and
+    a dispatched batch pops off the front as two slices (``popn``) that
+    flow to ``emit`` consumers as ``(arrivals, request_ids)`` columns.
+    The consumed prefix is compacted away once it dominates the lists so
     saturated runs stay memory-bounded.  Exposes the read-only sequence
     surface batching-policy ``plan`` implementations rely on (``len``,
-    indexing from the logical head, iteration).
+    indexing from the logical head, iteration), yielding ``(arrival_s,
+    request_id)`` tuples exactly as before.
     """
 
-    __slots__ = ("items", "head")
+    __slots__ = ("arrs", "rids", "head")
 
     #: consumed-prefix length beyond which ``popn`` considers compacting
     _COMPACT_MIN = 4096
 
     def __init__(self) -> None:
-        self.items: list[tuple[float, int]] = []
+        self.arrs: list[float] = []
+        self.rids: list[int] = []
         self.head = 0
 
     def __len__(self) -> int:
-        return len(self.items) - self.head
+        return len(self.arrs) - self.head
 
     def __getitem__(self, index):
+        if type(index) is int:
+            # ``plan`` fast paths read the head entry once per group per
+            # dispatch, so the integer case leads.
+            if index < 0:
+                index += len(self.arrs) - self.head
+                if index < 0:
+                    raise IndexError("group index out of range")
+            at = self.head + index
+            return (self.arrs[at], self.rids[at])
         if isinstance(index, slice):
-            start, stop, step = index.indices(len(self.items) - self.head)
+            start, stop, step = index.indices(len(self.arrs) - self.head)
             head = self.head
-            return self.items[head + start : head + stop : step]
+            return list(
+                zip(
+                    self.arrs[head + start : head + stop : step],
+                    self.rids[head + start : head + stop : step],
+                )
+            )
         if index < 0:
-            index += len(self.items) - self.head
+            index += len(self.arrs) - self.head
             if index < 0:
                 raise IndexError("group index out of range")
-        return self.items[self.head + index]
+        at = self.head + index
+        return (self.arrs[at], self.rids[at])
 
     def __iter__(self):
-        return iter(self.items[self.head :])
+        return iter(zip(self.arrs[self.head :], self.rids[self.head :]))
 
-    def append(self, entry: tuple[float, int]) -> None:
-        self.items.append(entry)
+    def append(self, arrival_s: float, request_id: int) -> None:
+        self.arrs.append(arrival_s)
+        self.rids.append(request_id)
 
-    def popn(self, count: int) -> list[tuple[float, int]]:
-        """Pop the first ``count`` entries as one slice."""
+    def popn(self, count: int) -> tuple[list[float], list[int]]:
+        """Pop the first ``count`` entries as an ``(arrivals, ids)`` pair."""
         head = self.head
         end = head + count
-        items = self.items
-        if count < 0 or end > len(items):
+        arrs = self.arrs
+        rids = self.rids
+        if count < 0 or end > len(arrs):
             raise ServingError(
-                f"batch of {count} requested from a queue of {len(items) - head}"
+                f"batch of {count} requested from a queue of {len(arrs) - head}"
             )
-        members = items[head:end]
-        if end == len(items):
-            items.clear()
+        members = (arrs[head:end], rids[head:end])
+        if end == len(arrs):
+            arrs.clear()
+            rids.clear()
             self.head = 0
         else:
             self.head = end
-            if end > self._COMPACT_MIN and end * 2 >= len(items):
-                del items[:end]
+            if end > self._COMPACT_MIN and end * 2 >= len(arrs):
+                del arrs[:end]
+                del rids[:end]
                 self.head = 0
         return members
 
@@ -371,6 +409,63 @@ class _ListChip:
     def queue_depth(self) -> int:
         """Requests queued on this chip (excluding the executing batch)."""
         return len(self.queue)
+
+
+class _DepthIndex:
+    """Depth-bucket index over per-chip ``pending`` for O(1) JSQ routing.
+
+    ``buckets[depth]`` holds the chip ids whose ``pending`` equals
+    ``depth``, in ascending id order, so :meth:`take` returns exactly the
+    ``(pending, chip_id)`` minimum a linear scan over the fleet would
+    find — without the O(num_chips) scan per arrival.  ``take`` re-files
+    the taken chip one bucket deeper because every route is immediately
+    followed by ``pending += 1`` on the chosen chip; :meth:`move` re-files
+    a chip whose depth dropped when a batch completed.  ``min_depth`` is a
+    lower bound advanced lazily by ``take`` (completions only ever lower
+    it), so buckets left empty cost one dict probe each, once.
+    """
+
+    __slots__ = ("chips", "buckets", "min_depth")
+
+    def __init__(self, chips: list) -> None:
+        self.chips = chips
+        self.rebuild()
+
+    def rebuild(self) -> None:
+        """Re-derive every bucket from the chips' current ``pending``."""
+        buckets: dict[int, list[int]] = {}
+        for chip in self.chips:
+            buckets.setdefault(chip.pending, []).append(chip.chip_id)
+        self.buckets = buckets
+        self.min_depth = min(buckets)
+
+    def take(self):
+        """Pop the ``(pending, chip_id)``-minimal chip and re-file it +1."""
+        buckets = self.buckets
+        depth = self.min_depth
+        bucket = buckets.get(depth)
+        while not bucket:
+            depth += 1
+            bucket = buckets.get(depth)
+        self.min_depth = depth
+        chip_id = bucket.pop(0)
+        upper = buckets.get(depth + 1)
+        if upper is None:
+            buckets[depth + 1] = [chip_id]
+        else:
+            insort(upper, chip_id)
+        return self.chips[chip_id]
+
+    def move(self, chip_id: int, old_depth: int, new_depth: int) -> None:
+        """Re-file ``chip_id`` after its ``pending`` changed arbitrarily."""
+        self.buckets[old_depth].remove(chip_id)
+        bucket = self.buckets.get(new_depth)
+        if bucket is None:
+            self.buckets[new_depth] = [chip_id]
+        else:
+            insort(bucket, chip_id)
+        if new_depth < self.min_depth:
+            self.min_depth = new_depth
 
 
 #: policies whose dispatch-shortcut attributes (``single_group_cap``,
@@ -517,9 +612,18 @@ class ServingSimulator:
             workloads, symbolic_fraction_of=symbolic_fraction_of
         )
 
-    def _provenance(self, num_requests: int) -> dict:
-        """The run-configuration dict every result carries."""
-        return {
+    def _provenance(self, num_requests: int, event_paths: dict | None = None) -> dict:
+        """The run-configuration dict every result carries.
+
+        ``event_paths`` is the routing-path attribution ``_simulate`` left
+        behind for the run the provenance describes (callers pass it
+        explicitly rather than reading simulator state so a sharded run
+        never reports a sub-simulation's counters as its own).  Coupled
+        (JSQ) fleets additionally record which engine served them —
+        ``water_fill`` for the vectorized saturated-span dispatch,
+        ``scalar`` when ``vectorize=False`` forces the reference loop.
+        """
+        provenance = {
             "num_requests": num_requests,
             "num_chips": self.fleet.num_chips,
             "router": self.fleet.router,
@@ -528,6 +632,13 @@ class ServingSimulator:
             "scheduler": self.service_model.scheduler,
             "cached_reports": self.service_model.cached_reports,
         }
+        if self.fleet.router == "jsq":
+            provenance["coupled_engine"] = (
+                "water_fill" if self.vectorize else "scalar"
+            )
+        if event_paths is not None:
+            provenance["event_paths"] = dict(event_paths)
+        return provenance
 
     def _attach_telemetry(self, result: ServingResult, telemetry_window_s):
         """Derive and attach the windowed series to a sharded run's result.
@@ -596,6 +707,7 @@ class ServingSimulator:
         chips, energy, num_batches, horizon, first_arrival, served = (
             self._simulate(chunks, workloads, emit, emit_run=emit_run)
         )
+        event_paths = self._event_paths
         if served != len(stream):
             raise ServingError(
                 f"simulation lost requests: {served} served of {len(stream)}"
@@ -633,7 +745,7 @@ class ServingSimulator:
                 request_id, workload, chip_id, arrival_s, dispatch_s, finish_s, size
             )
             for chip_id, dispatch_s, finish_s, size, workload, members in raw_batches
-            for arrival_s, request_id in members
+            for arrival_s, request_id in zip(*members)
         ]
         one = itertools.repeat(1)
         for chip_ids, arrivals, finishes, names, _codes, run_ids in bulk_runs:
@@ -670,7 +782,7 @@ class ServingSimulator:
             horizon_s=horizon,
             first_arrival_s=first_arrival,
             chip_backends=self.fleet.chip_backends,
-            provenance=self._provenance(len(stream)),
+            provenance=self._provenance(len(stream), event_paths),
             telemetry=series,
         )
 
@@ -732,9 +844,21 @@ class ServingSimulator:
                     f"stream contains workload '{workload}' missing from the "
                     f"declared workload set {list(workload_names)}"
                 )
+            if size >= EMIT_COLUMNAR_MIN:
+                # One batch, four accumulators: a single float64 round trip
+                # replaces 4*size appends.  IEEE-754 subtraction is the
+                # same operation in numpy and python, so the bytes appended
+                # are exactly the scalar loop's.
+                arr = np.array(members[0])
+                raw = (finish_s - arr).tobytes()
+                latencies.frombytes(raw)
+                queue_delays.frombytes((dispatch_s - arr).tobytes())
+                bucket.frombytes(raw)
+                chip_latencies[chip_id].frombytes(raw)
+                return
             per_workload = bucket.append
             per_chip = chip_latencies[chip_id].append
-            for arrival_s, _request_id in members:
+            for arrival_s in members[0]:
                 latency = finish_s - arrival_s
                 latencies_append(latency)
                 delays_append(dispatch_s - arrival_s)
@@ -778,7 +902,7 @@ class ServingSimulator:
                 chip_models=chip_models,
             )
         )
-        run_provenance = self._provenance(served)
+        run_provenance = self._provenance(served, self._event_paths)
         if provenance:
             run_provenance.update(provenance)
         return StreamedServingResult(
@@ -821,7 +945,7 @@ class ServingSimulator:
 
         ``emit(chip_id, dispatch_s, finish_s, size, workload, members)`` is
         called once per dispatched batch with ``members`` the batch's
-        ``(arrival_s, request_id)`` entries in queue order.  Returns
+        ``(arrivals, request_ids)`` column pair in queue order.  Returns
         ``(chips, energy, batches, horizon, first_arrival, served)``.
 
         ``emit_run(chip_ids, arrivals, finishes, names, codes, ids)``, when
@@ -873,17 +997,28 @@ class ServingSimulator:
         # subclass (overridden route()) goes through the generic call.
         router_type = type(router)
         route_generic = router.route
+        jsq_index = None
         if router_type is RoundRobinRouter:
             route_mode = "rr"
             rr_next = router._next
         elif router_type is JoinShortestQueueRouter:
-            # Two-chip JSQ (the most common fleet shape) collapses the
-            # min-scan to one comparison; ties go to the lower chip id.
+            # One JSQ helper shared by every arrival site.  Two chips (the
+            # most common fleet shape) collapse the argmin to a single
+            # comparison; wider fleets route through the depth-bucket
+            # index instead of a per-arrival O(num_chips) scan.  Both
+            # resolve ties to the lower chip id, and every caller
+            # increments the chosen chip's ``pending`` right after (the
+            # index's ``take`` pre-files that increment).
+            route_mode = "jsq"
             if num_chips == 2:
-                route_mode = "jsq2"
                 chip_a, chip_b = chips
+
+                def jsq_take():
+                    return chip_a if chip_a.pending <= chip_b.pending else chip_b
+
             else:
-                route_mode = "jsq"
+                jsq_index = _DepthIndex(chips)
+                jsq_take = jsq_index.take
         elif router_type in (
             WorkloadAffinityRouter, SymbolicAffinityRouter, FixedOwnersRouter
         ):
@@ -897,10 +1032,14 @@ class ServingSimulator:
 
         single_cap = policy.single_group_cap if shortcuts_trusted else None
 
+        # Busy chips, maintained at every idle<->busy transition so the
+        # water-fill dispatch can test "whole fleet busy" in O(1).
+        busy_count = 0
+
         if plan is not None:
 
             def dispatch(chip, now):
-                nonlocal energy, num_batches, served
+                nonlocal energy, num_batches, served, busy_count
                 if chip.busy or not chip.depth:
                     return
                 groups = chip.groups
@@ -929,7 +1068,7 @@ class ServingSimulator:
                     return
                 entries = groups[workload]
                 members = entries.popn(count)
-                if not entries.items:
+                if not entries.arrs:
                     del groups[workload]
                 chip.depth -= count
                 key = (chip_model_keys[chip.chip_id], workload, count)
@@ -947,6 +1086,7 @@ class ServingSimulator:
                 num_batches += 1
                 served += count
                 chip.busy = True
+                busy_count += 1
                 chip.inflight = count
                 chip.busy_s += service_s
                 chip.served += count
@@ -956,7 +1096,7 @@ class ServingSimulator:
         else:
 
             def dispatch(chip, now):
-                nonlocal energy, num_batches, served
+                nonlocal energy, num_batches, served, busy_count
                 if chip.busy or not chip.queue:
                     return
                 decision = policy.select(tuple(chip.queue), now)
@@ -1009,6 +1149,7 @@ class ServingSimulator:
                 num_batches += 1
                 served += count
                 chip.busy = True
+                busy_count += 1
                 chip.inflight = count
                 chip.busy_s += service_s
                 chip.served += count
@@ -1018,10 +1159,10 @@ class ServingSimulator:
                     finish,
                     count,
                     workload,
-                    [
-                        (request.arrival_s, request.request_id)
-                        for request in batch.requests
-                    ],
+                    (
+                        [request.arrival_s for request in batch.requests],
+                        [request.request_id for request in batch.requests],
+                    ),
                 )
                 heappush(heap, (finish, _FREE, next_seq(), chip.chip_id))
 
@@ -1030,8 +1171,12 @@ class ServingSimulator:
 
         def next_chunk():
             """Columns of the next non-empty chunk, or ``None`` at the end."""
-            nonlocal bulk_cols
+            nonlocal bulk_cols, fill_cols, codes_cache, arrf_cache, fill_skip
             bulk_cols = None
+            fill_cols = None
+            codes_cache = None
+            arrf_cache = None
+            fill_skip = 0
             for arrivals, names, ids in chunk_iter:
                 if not (len(arrivals) == len(names) == len(ids)):
                     raise ServingError(
@@ -1077,10 +1222,78 @@ class ServingSimulator:
         bulk_mode = None
         if self.vectorize and eager and route_mode != "generic":
             if route_mode != "rr" or len(model_index) == 1:
-                bulk_mode = "jsq" if route_mode == "jsq2" else route_mode
+                bulk_mode = route_mode
         wl_code = {name: code for code, name in enumerate(workloads)}
         bulk_rows: dict[str, tuple] = {}
         bulk_cols = None  # lazily-built per-chunk arrays
+
+        # -- water-fill dispatch -------------------------------------------
+        # The saturated complement of the idle-disjoint run: while *every*
+        # chip is busy, an arrival is a pure enqueue — the eager path is
+        # barred, ``dispatch`` refuses busy chips, and nothing pushes heap
+        # events — so every arrival at or before ``heap[0][0]`` (arrivals
+        # outrank completions and wake-ups at the same instant) resolves
+        # before the next event pops.  JSQ routing of such a run is a
+        # deterministic water fill over the frozen per-chip ``pending``
+        # depths: repeated argmin with ties to the lower chip id fills
+        # depth levels bottom-up, each level pass handing one request to
+        # every chip at or below it in ascending chip-id order, and once
+        # all chips level out the remainder is a pure round-robin.  The
+        # whole span therefore routes as a short catch-up prefix plus
+        # strided slices, byte-identical to the per-arrival scan.
+        fill_mode = self.vectorize and fast_chips and route_mode == "jsq"
+        fill_cols = None  # lazily-built per-chunk fill arrays
+        # Position the chunk must reach before the next fill attempt: a
+        # span that came up shorter than FILL_MIN_RUN stays short for every
+        # later start inside it (the bounding heap head cannot change while
+        # the whole fleet is busy), so re-checking per arrival would buy
+        # nothing and cost two binary searches each.
+        fill_skip = 0
+        bulk_runs_n = 0
+        bulk_requests_n = 0
+        fill_spans_n = 0
+        fill_requests_n = 0
+
+        codes_cache = None
+        arrf_cache = None
+
+        def chunk_codes(names):
+            """Workload codes (``-1`` unknown) for the chunk, computed once.
+
+            Shared by ``bulk_prepare`` and ``fill_prepare`` so a chunk's
+            names column is scanned at most once per chunk regardless of
+            how many span kinds fire.  ``map`` over the bound dict getter
+            feeds ``fromiter`` straight from C; the interned-string hash
+            beats building a unicode array and binary-searching it.
+            """
+            nonlocal codes_cache
+            if codes_cache is None:
+                try:
+                    codes_cache = np.fromiter(
+                        map(wl_code.__getitem__, names),
+                        dtype=np.int64,
+                        count=len(names),
+                    )
+                except (KeyError, TypeError):
+                    # Unknown (or unhashable) workloads: the slow scan maps
+                    # them to -1 so spans route them to the scalar path.
+                    codes_cache = np.fromiter(
+                        (
+                            wl_code.get(name, -1) if isinstance(name, str)
+                            else -1
+                            for name in names
+                        ),
+                        dtype=np.int64,
+                        count=len(names),
+                    )
+            return codes_cache
+
+        def chunk_arrf(arrivals):
+            """The chunk's arrival column as float64, converted once."""
+            nonlocal arrf_cache
+            if arrf_cache is None:
+                arrf_cache = np.asarray(arrivals, dtype=float)
+            return arrf_cache
 
         def bulk_row(name):
             """``(service_s, energy_j, chip_id, code)`` for a lone ``name``.
@@ -1114,23 +1327,39 @@ class ServingSimulator:
                 return invalid
 
         def bulk_prepare(arrivals, names):
-            """Per-chunk arrays driving the run scan, built once per chunk."""
-            arr = np.asarray(arrivals, dtype=float)
+            """Per-chunk arrays driving the run scan, built once per chunk.
+
+            Rows are resolved once per *workload* and fanned out to the
+            chunk through its code column — the per-request work is numpy
+            table lookups, not a python loop over names.  A request whose
+            workload falls outside ``workloads`` (code ``-1``) reads the
+            table's trailing invalid row; a known workload whose service
+            oracle fails gets an invalid row of its own.  Either way the
+            request is barred from every run and the scalar path raises
+            its exact error at the exact request.
+            """
+            arr = chunk_arrf(arrivals)
             n = len(arr)
-            svc_list = [0.0] * n
-            en_list = [0.0] * n
-            chip_list = [0] * n
-            code_list = [0] * n
-            rows_get = bulk_rows.get
-            for i, name in enumerate(names):
-                row = rows_get(name)
+            codes = chunk_codes(names)
+            num_workloads = len(workloads)
+            svc_tab = np.full(num_workloads + 1, -1.0)
+            en_tab = np.zeros(num_workloads + 1)
+            chip_tab = np.full(num_workloads + 1, -1, dtype=np.int64)
+            for code in np.unique(codes).tolist():
+                if code < 0:
+                    continue
+                name = workloads[code]
+                row = bulk_rows.get(name)
                 if row is None:
                     bulk_rows[name] = row = bulk_row(name)
-                svc_list[i] = row[0]
-                en_list[i] = row[1]
-                chip_list[i] = row[2]
-                code_list[i] = row[3]
-            svc = np.array(svc_list)
+                svc_tab[code] = row[0]
+                en_tab[code] = row[1]
+                chip_tab[code] = row[2]
+            slots = np.where(codes < 0, num_workloads, codes)
+            svc = svc_tab[slots]
+            svc_list = svc.tolist()
+            en_list = en_tab[slots].tolist()
+            chip_arr = chip_tab[slots]
             ok = svc >= 0.0
             fin = arr + svc
             # chain[i]: request i+1 may extend a run through i — request
@@ -1149,11 +1378,36 @@ class ServingSimulator:
                 )
                 solo[:-1] = arr[1:] > arr[:-1]
             breaks = np.flatnonzero(~chain)
-            codes = np.array(code_list)
-            run_chip_ids = (
-                np.array(chip_list) if bulk_mode == "owners" else None
-            )
+            run_chip_ids = chip_arr if bulk_mode == "owners" else None
             return arr, fin, svc_list, en_list, run_chip_ids, codes, solo, breaks
+
+        def fill_prepare(arrivals, names, ids):
+            """Per-chunk arrays driving the water-fill span scan.
+
+            Returns ``(arr, codes, ids_arr, guards)``; ``guards`` lists
+            (ascending, terminated by the chunk length) every position a
+            span must not cross: a request whose workload is outside
+            ``workloads`` (the scalar path owns whatever error it raises
+            later) or whose ``(arrival_s, request_id)`` does not strictly
+            follow its predecessor (the scalar path raises the exact
+            sorting error at the exact request).  ``None`` when the columns
+            resist vectorized comparison (e.g. mixed request-id types) —
+            the chunk then routes entirely through the scalar path.
+            """
+            try:
+                arr = chunk_arrf(arrivals)
+                n = len(arr)
+                codes = chunk_codes(names)
+                ids_arr = np.asarray(ids)
+                bad = codes < 0
+                if n > 1:
+                    bad[1:] |= (arr[1:] < arr[:-1]) | (
+                        (arr[1:] == arr[:-1]) & (ids_arr[1:] <= ids_arr[:-1])
+                    )
+                guards = np.append(np.flatnonzero(bad), n)
+            except Exception:
+                return None
+            return arr, codes, ids_arr, guards
 
         while True:
             if not exhausted:
@@ -1164,7 +1418,32 @@ class ServingSimulator:
                     and arrivals[index] > prev_arrival
                 ):
                     if bulk_cols is None:
-                        bulk_cols = bulk_prepare(arrivals, names)
+                        # Probe the run's first link before materializing
+                        # the whole chunk's run arrays: a run starting here
+                        # needs this request's singleton service to finish
+                        # strictly before the next arrival.  Under
+                        # saturation the first link always fails, and the
+                        # probe (one memoized row plus a compare, float64
+                        # arithmetic identical to the chained scan's)
+                        # spares the chunk-wide table build; a failed probe
+                        # leaves ``bulk_cols`` unbuilt so the next idle
+                        # moment probes again.
+                        row = bulk_rows.get(names[index])
+                        if row is None:
+                            bulk_rows[names[index]] = row = bulk_row(
+                                names[index]
+                            )
+                        if (
+                            row[0] > 0.0
+                            and arrivals[index + 1] > arrivals[index] + row[0]
+                        ):
+                            bulk_cols = bulk_prepare(arrivals, names)
+                if (
+                    bulk_cols is not None
+                    and not heap
+                    and index + 2 < limit
+                    and arrivals[index] > prev_arrival
+                ):
                     (arr_np, fin_np, svc_list, en_list, run_chip_ids,
                      codes_np, solo, breaks) = bulk_cols
                     start = index
@@ -1208,13 +1487,22 @@ class ServingSimulator:
                         energy = sum(en_list[start:end + 1], energy)
                         num_batches += length
                         served += length
+                        bulk_runs_n += 1
+                        bulk_requests_n += length
                         # The run's trailing boundary is unchecked: the
                         # last request may still be executing when the next
                         # event fires, so it leaves through the heap like
                         # any scalar dispatch.
                         last_chip.busy = True
+                        busy_count += 1
                         last_chip.inflight = 1
                         last_chip.pending += 1
+                        if jsq_index is not None:
+                            jsq_index.move(
+                                last_chip.chip_id,
+                                last_chip.pending - 1,
+                                last_chip.pending,
+                            )
                         heappush(
                             heap,
                             (float(run_fin[-1]), _FREE, next_seq(),
@@ -1245,12 +1533,156 @@ class ServingSimulator:
                                     fin_list[offset],
                                     1,
                                     names[i],
-                                    ((arrival_i, ids[i]),),
+                                    ((arrival_i,), (ids[i],)),
                                 )
                         prev_arrival = arrivals[end]
                         prev_id = ids[end]
                         index = end + 1
                         continue
+                if (
+                    fill_mode
+                    and busy_count == num_chips
+                    and index >= fill_skip
+                    and fill_cols is not False
+                    and arrivals[index] > prev_arrival
+                    # O(1) reach probe before any numpy work: a span of
+                    # FILL_MIN_RUN needs the arrival that many ahead to land
+                    # at or before the bounding heap head (every busy chip
+                    # holds a FREE event, so the heap is non-empty).  Under
+                    # nominal load this fails almost every time the fleet
+                    # blips to all-busy, and the two binary searches it
+                    # replaces were costing more than the scalar arrivals
+                    # they guarded.
+                    and index + FILL_MIN_RUN <= limit
+                    and arrivals[index + FILL_MIN_RUN - 1] <= heap[0][0]
+                ):
+                    if fill_cols is None:
+                        fill_cols = fill_prepare(arrivals, names, ids)
+                        if fill_cols is None:
+                            fill_cols = False
+                    if fill_cols is not False:
+                        f_arr, f_codes, f_ids, f_guards = fill_cols
+                        # Every busy chip holds an un-popped FREE event, so
+                        # the heap is non-empty and its head bounds the span.
+                        stop = int(
+                            np.searchsorted(f_arr, heap[0][0], side="right")
+                        )
+                        first_guard = int(
+                            f_guards[np.searchsorted(f_guards, index + 1)]
+                        )
+                        if first_guard < stop:
+                            stop = first_guard
+                        k = stop - index
+                        if k < FILL_MIN_RUN or f_codes[index] < 0:
+                            fill_skip = (
+                                index + 1
+                                if f_codes[index] < 0
+                                else max(stop, index + 1)
+                            )
+                        else:
+                            # Catch-up prefix: walk level passes until every
+                            # chip reaches the fleet's top depth (or the run
+                            # drains), each pass handing one arrival to each
+                            # active chip in ascending chip-id order.  Its
+                            # length is bounded by num_chips * depth-spread,
+                            # tiny next to a saturated run.
+                            pairs = sorted(
+                                (chip.pending, chip.chip_id) for chip in chips
+                            )
+                            prefix = []
+                            active = []
+                            level = pairs[0][0]
+                            ci = 0
+                            t = 0
+                            while ci < num_chips:
+                                chip_depth, cid = pairs[ci]
+                                if chip_depth > level:
+                                    passes = chip_depth - level
+                                    width = len(active)
+                                    if t + passes * width >= k:
+                                        full, part = divmod(k - t, width)
+                                        for _ in range(full):
+                                            prefix.extend(active)
+                                        prefix.extend(active[:part])
+                                        t = k
+                                        break
+                                    for _ in range(passes):
+                                        prefix.extend(active)
+                                    t += passes * width
+                                    level = chip_depth
+                                insort(active, cid)
+                                ci += 1
+                            pos_lists = [[] for _ in range(num_chips)]
+                            for j, cid in enumerate(prefix):
+                                pos_lists[cid].append(j)
+                            for chip in chips:
+                                cid = chip.chip_id
+                                # Past the prefix the fill is round-robin in
+                                # chip-id order, so a chip's share is a
+                                # strided slice of the span.
+                                tail = np.arange(
+                                    index + t + cid, index + k, num_chips
+                                )
+                                head = pos_lists[cid]
+                                count = len(head) + len(tail)
+                                if not count:
+                                    continue
+                                if head:
+                                    pos = np.concatenate(
+                                        (
+                                            np.array(head, dtype=np.int64)
+                                            + index,
+                                            tail,
+                                        )
+                                    )
+                                else:
+                                    pos = tail
+                                sub_codes = f_codes[pos]
+                                order = np.argsort(sub_codes, kind="stable")
+                                sorted_codes = sub_codes[order]
+                                seg_bounds = (
+                                    np.flatnonzero(
+                                        sorted_codes[1:] != sorted_codes[:-1]
+                                    )
+                                    + 1
+                                )
+                                starts = [0, *seg_bounds.tolist(), count]
+                                segments = [
+                                    order[starts[s]:starts[s + 1]]
+                                    for s in range(len(starts) - 1)
+                                ]
+                                # The scalar enqueue creates a chip's
+                                # workload groups in first-occurrence order,
+                                # and dict order is observable through
+                                # ``plan``; replay segments in that order.
+                                segments.sort(key=lambda seg: seg[0])
+                                groups = chip.groups
+                                for seg in segments:
+                                    p = pos[seg]
+                                    name = names[int(p[0])]
+                                    group = groups.get(name)
+                                    if group is None:
+                                        groups[name] = group = _Group()
+                                    group.arrs.extend(f_arr[p].tolist())
+                                    group.rids.extend(f_ids[p].tolist())
+                                chip.depth += count
+                                chip.pending += count
+                            if jsq_index is not None:
+                                jsq_index.rebuild()
+                            fill_spans_n += 1
+                            fill_requests_n += k
+                            prev_arrival = arrivals[stop - 1]
+                            prev_id = ids[stop - 1]
+                            index = stop
+                            if index == limit:
+                                columns = next_chunk()
+                                if columns is None:
+                                    exhausted = True
+                                else:
+                                    arrivals, names, ids = columns
+                                    index = 0
+                                    limit = len(arrivals)
+                            continue
                 next_arrival = arrivals[index]
                 if heap and heap[0][0] < next_arrival:
                     pass  # a completion/wake-up precedes the next arrival
@@ -1275,19 +1707,8 @@ class ServingSimulator:
                     prev_id = request_id
                     index += 1
 
-                    if route_mode == "jsq2":
-                        chosen = (
-                            chip_a
-                            if chip_a.pending <= chip_b.pending
-                            else chip_b
-                        )
-                    elif route_mode == "jsq":
-                        chosen = chips[0]
-                        best = chosen.pending
-                        for candidate in chips:
-                            if candidate.pending < best:
-                                best = candidate.pending
-                                chosen = candidate
+                    if route_mode == "jsq":
+                        chosen = jsq_take()
                     elif route_mode == "owners":
                         candidates = owner_chips.get(workload)
                         if candidates is None:
@@ -1330,13 +1751,14 @@ class ServingSimulator:
                         num_batches += 1
                         served += 1
                         chosen.busy = True
+                        busy_count += 1
                         chosen.inflight = 1
                         chosen.pending += 1
                         chosen.busy_s += service_s
                         chosen.served += 1
                         emit(
                             chosen.chip_id, now, finish, 1, workload,
-                            ((now, request_id),),
+                            ((now,), (request_id,)),
                         )
                         heappush(heap, (finish, _FREE, next_seq(), chosen.chip_id))
                     else:
@@ -1344,7 +1766,7 @@ class ServingSimulator:
                             group = chosen.groups.get(workload)
                             if group is None:
                                 chosen.groups[workload] = group = _Group()
-                            group.append((now, request_id))
+                            group.append(now, request_id)
                             chosen.depth += 1
                         else:
                             chosen.queue.append(Request(request_id, workload, now))
@@ -1375,19 +1797,8 @@ class ServingSimulator:
                         prev_arrival = arrival_s
                         prev_id = request_id
 
-                        if route_mode == "jsq2":
-                            chosen = (
-                                chip_a
-                                if chip_a.pending <= chip_b.pending
-                                else chip_b
-                            )
-                        elif route_mode == "jsq":
-                            chosen = chips[0]
-                            best = chosen.pending
-                            for candidate in chips:
-                                if candidate.pending < best:
-                                    best = candidate.pending
-                                    chosen = candidate
+                        if route_mode == "jsq":
+                            chosen = jsq_take()
                         elif route_mode == "owners":
                             candidates = owner_chips.get(workload)
                             if candidates is None:
@@ -1421,7 +1832,7 @@ class ServingSimulator:
                             group = chosen.groups.get(workload)
                             if group is None:
                                 chosen.groups[workload] = group = _Group()
-                            group.append((arrival_s, request_id))
+                            group.append(arrival_s, request_id)
                             chosen.depth += 1
                         else:
                             chosen.queue.append(
@@ -1463,6 +1874,11 @@ class ServingSimulator:
                 if now > horizon:
                     horizon = now
                 chip.busy = False
+                busy_count -= 1
+                if jsq_index is not None and chip.inflight:
+                    jsq_index.move(
+                        chip_id, chip.pending, chip.pending - chip.inflight
+                    )
                 chip.pending -= chip.inflight
                 chip.inflight = 0
                 dispatch(chip, now)
@@ -1471,4 +1887,15 @@ class ServingSimulator:
                     chip.pending_wake_s = None
                 dispatch(chip, now)
 
+        # Routing-path attribution for the most recent simulation, read by
+        # ``run``/``run_stream`` right after ``_simulate`` returns (it is
+        # per-call state, not configuration): how many requests rode each
+        # vectorized span kind versus the one-at-a-time scalar loop.
+        self._event_paths = {
+            "bulk_runs": bulk_runs_n,
+            "bulk_run_requests": bulk_requests_n,
+            "water_fill_spans": fill_spans_n,
+            "water_fill_requests": fill_requests_n,
+            "scalar_requests": served - bulk_requests_n - fill_requests_n,
+        }
         return chips, energy, num_batches, horizon, first_arrival, served

@@ -538,11 +538,8 @@ def _series_from_emits(
         counts = b_size
         total = int(counts.sum())
         arrivals = np.fromiter(
-            map(
-                operator.itemgetter(0),
-                itertools.chain.from_iterable(
-                    map(operator.itemgetter(5), raw_batches)
-                ),
+            itertools.chain.from_iterable(
+                map(operator.itemgetter(0), map(operator.itemgetter(5), raw_batches))
             ),
             float,
             total,
@@ -741,13 +738,13 @@ class TelemetryCollector:
         acc_d = self._acc(wd)
         acc_d.batches += 1
         acc_d.started[chip_id] += 1
-        acc_d.dispatched[chip_id] += len(members)
+        acc_d.dispatched[chip_id] += size
         acc_d.energy.append(self._energy_of(chip_id, workload, size))
         acc_f = self._acc(wf)
-        acc_f.completions += len(members)
+        acc_f.completions += size
         acc_f.finished[chip_id] += 1
         lat = acc_f.lat
-        for arrival_s, _request_id in members:
+        for arrival_s in members[0]:
             lat.append(finish_s - arrival_s)
             self._acc(int(arrival_s // window_s)).routed[chip_id] += 1
         if wd == wf:

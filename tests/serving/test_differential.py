@@ -6,7 +6,10 @@ at ``seed=0, load_scale=1.0, duration_scale=0.1``: the full per-request
 record stream, the chip accounting, and the summary/per-workload metric
 rows.  The rewritten event core must reproduce every value **exactly** —
 same floats, same ordering — proving the ≥5x hot-path rewrite changed no
-semantics.  Regenerating these files is only legitimate when serving
+semantics.  ``ramp_surge.json`` was captured later (commit ``aab4ba7``,
+at ``load_scale=2.0`` so the surge saturates both chips) to freeze the
+scalar jsq routing reference just before the water-filling coupled engine
+landed.  Regenerating these files is only legitimate when serving
 semantics change on purpose; the capture recipe is in
 ``tests/serving/golden/README.md``.
 """
@@ -22,7 +25,9 @@ from repro.serving.scenarios import get_scenario, run_scenario
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
-GOLDEN_SCENARIOS = ("steady", "diurnal", "flash_crowd", "mixed_workload")
+GOLDEN_SCENARIOS = (
+    "steady", "diurnal", "flash_crowd", "mixed_workload", "ramp_surge",
+)
 
 
 @pytest.fixture(scope="module")

@@ -239,3 +239,102 @@ class TestShardedEquivalence:
                 sharded.energy_joules, base.energy_joules, rel_tol=1e-12
             )
             assert sharded.provenance["shards"] == shards
+
+
+#: dense bursty streams: arrivals on a 0.01 s grid packed tightly enough
+#: that a 2-chip fleet saturates and whole runs dispatch as water-fill
+#: spans (the vectorized path needs runs past its minimum span length)
+dense_streams = st.lists(
+    st.tuples(
+        st.sampled_from(WORKLOADS),
+        st.integers(min_value=0, max_value=300),
+    ),
+    min_size=60,
+    max_size=160,
+).map(
+    lambda entries: [
+        Request(request_id=index, workload=workload, arrival_s=tick / 100.0)
+        for index, (workload, tick) in enumerate(
+            sorted(entries, key=lambda e: e[1])
+        )
+    ]
+)
+
+
+class TestCoupledEngineEquivalence:
+    """The water-filling jsq engine must match the scalar reference loop.
+
+    Dense arrival runs saturate the fleet, so whole spans dispatch
+    through the vectorized water-fill and the indexed min-queue;
+    ``vectorize=False`` forces the per-request scalar reference loop on
+    the same stream.  Records, fleet accounting, telemetry windows and
+    the streamed path across chunk boundaries must all agree byte for
+    byte, for every policy and chip counts 2-9.
+    """
+
+    @staticmethod
+    def _run_jsq(requests, num_chips, policy, vectorize, **kwargs):
+        simulator = ServingSimulator(
+            service_model=InvariantFakeModel(),
+            fleet=Fleet(num_chips=num_chips, router="jsq"),
+            batching_policy=policy,
+            vectorize=vectorize,
+        )
+        return simulator.run(requests, **kwargs)
+
+    @settings(max_examples=12, deadline=None)
+    @given(stream=dense_streams, num_chips=st.integers(2, 9))
+    def test_water_fill_matches_scalar_reference(self, stream, num_chips):
+        for policy in _policies():
+            fast = self._run_jsq(
+                stream, num_chips, policy, True, telemetry_window_s=0.05
+            )
+            slow = self._run_jsq(
+                stream, num_chips, policy, False, telemetry_window_s=0.05
+            )
+            assert fast.provenance["coupled_engine"] == "water_fill"
+            assert slow.provenance["coupled_engine"] == "scalar"
+            assert fast.records == slow.records
+            assert fast.chip_busy_s == slow.chip_busy_s
+            assert fast.chip_requests == slow.chip_requests
+            assert fast.energy_joules == slow.energy_joules
+            assert fast.num_batches == slow.num_batches
+            assert fast.horizon_s == slow.horizon_s
+            assert fast.telemetry == slow.telemetry
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        stream=dense_streams,
+        num_chips=st.integers(2, 9),
+        chunk_size=st.sampled_from((7, 33, 4096)),
+    )
+    def test_streamed_water_fill_matches_scalar_across_chunks(
+        self, stream, num_chips, chunk_size
+    ):
+        from repro.serving.simulator import columnar_chunks
+
+        workloads = tuple(dict.fromkeys(r.workload for r in stream))
+        for policy in _policies():
+            results = []
+            for vectorize in (True, False):
+                simulator = ServingSimulator(
+                    service_model=InvariantFakeModel(),
+                    fleet=Fleet(num_chips=num_chips, router="jsq"),
+                    batching_policy=policy,
+                    vectorize=vectorize,
+                )
+                results.append(
+                    simulator.run_stream(
+                        columnar_chunks(stream, chunk_size), workloads,
+                        telemetry_window_s=0.05,
+                    )
+                )
+            fast, slow = results
+            assert fast.chip_busy_s == slow.chip_busy_s
+            assert fast.chip_requests == slow.chip_requests
+            assert fast.energy_joules == slow.energy_joules
+            assert fast.num_batches == slow.num_batches
+            assert fast.horizon_s == slow.horizon_s
+            assert fast.latency_s.tobytes() == slow.latency_s.tobytes()
+            assert fast.queue_delay_s.tobytes() == slow.queue_delay_s.tobytes()
+            assert fast.telemetry == slow.telemetry
