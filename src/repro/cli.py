@@ -26,7 +26,10 @@ Installed as a console script (see ``setup.py``) and runnable as
     the report's SLO).  ``--telemetry FILE [--telemetry-format jsonl|prom]
     [--window-ms W]`` exports the run's windowed time series and
     ``--dashboard`` renders it as terminal sparklines (both also apply to
-    ``--trace`` replays).
+    ``--trace`` replays).  ``--chaos FILE`` injects an incident timeline
+    (chip failures, stragglers, power caps), ``--sessions [--users N]``
+    serves closed-loop session traffic, and ``SCENARIO --smoke`` runs one
+    scenario at smoke (0.2x duration) scale with resilience accounting.
 ``repro backends [NAME] [--format md|json]``
     List every registered backend, or describe one by name.
 ``repro cache [info|stats|clear] [--stats]``
@@ -570,6 +573,9 @@ def _reject_stray_serve_options(args, backends) -> None:
                 ("--shard-workers", args.shard_workers is not None),
                 ("--telemetry", args.telemetry),
                 ("--dashboard", args.dashboard),
+                ("--chaos", args.chaos),
+                ("--sessions", args.sessions),
+                ("--users", args.users is not None),
             )
             if on
         ]
@@ -589,6 +595,9 @@ def _reject_stray_serve_options(args, backends) -> None:
                 ("--seed", args.seed, 0),
                 ("--load-scale", args.load_scale, 1.0),
                 ("--duration-scale", args.duration_scale, 1.0),
+                ("--chaos", args.chaos, None),
+                ("--sessions", args.sessions, False),
+                ("--users", args.users, None),
             )
             if raw != default
         )
@@ -609,6 +618,9 @@ def _reject_stray_serve_options(args, backends) -> None:
                 ("--slo-ms", None if args.slo_ms == 5.0 else args.slo_ms),
                 ("--shards", None if args.shards == 1 else args.shards),
                 ("--shard-workers", args.shard_workers),
+                ("--chaos", args.chaos),
+                ("--sessions", True if args.sessions else None),
+                ("--users", args.users),
             )
             if raw is not None
         ]
@@ -630,11 +642,30 @@ def _reject_stray_serve_options(args, backends) -> None:
             "--shards/--shard-workers/--profile only apply to scenario runs "
             "and trace replays; drop them from --list/--smoke invocations"
         )
+    if (args.list or (args.smoke and not args.scenario)) and (
+        args.chaos or args.sessions or args.users is not None
+    ):
+        raise ReproError(
+            "--chaos/--sessions/--users apply to a single scenario run "
+            "(including `repro serve SCENARIO --smoke`)"
+        )
     if args.profile and args.trace:
         raise ReproError(
             "--profile breaks down one scenario run; it does not apply "
             "to --trace replays"
         )
+    if args.profile and (args.chaos or args.sessions or args.users is not None):
+        raise ReproError(
+            "--profile times the open-loop pipeline phases; it does not "
+            "combine with --chaos/--sessions/--users"
+        )
+    if (args.sessions or args.users is not None) and args.shards != 1:
+        raise ReproError(
+            "closed-loop session runs do not shard: think-time feedback "
+            "couples every chip through the users"
+        )
+    if args.users is not None and args.users < 1:
+        raise ReproError(f"--users must be positive, got {args.users}")
     if args.shard_workers is not None and args.shards == 1:
         raise ReproError("--shard-workers needs --shards greater than 1")
     telemetry_on = bool(args.telemetry or args.dashboard)
@@ -720,7 +751,7 @@ def _cmd_serve(args) -> int:
             )
             _emit(args, table + "\n")
         return 0
-    if args.smoke:
+    if args.smoke and not args.scenario:
         serving_specs = specs_by_tag("serving")
         tables = engine.run_many(
             [spec.id for spec in serving_specs],
@@ -751,11 +782,37 @@ def _cmd_serve(args) -> int:
     names = [name.strip() for name in args.scenario.split(",") if name.strip()]
     if args.jobs != 1 or len(names) > 1:
         return _serve_suite(args, backends, names)
+    chaos_timeline = None
+    if args.chaos:
+        from repro.serving.chaos import ChaosTimeline
+
+        chaos_timeline = ChaosTimeline.load(args.chaos)
+        if not chaos_timeline:
+            raise ReproError(f"chaos timeline {args.chaos} has no incidents")
+    session_override = None
+    if args.sessions or args.users is not None:
+        import dataclasses
+
+        from repro.serving.scenarios import SERVED_WORKLOADS
+        from repro.serving.sessions import SessionConfig
+
+        base = scenarios.get_scenario(args.scenario).sessions
+        if base is None:
+            base = SessionConfig(
+                users=32, turns=4, sessions_per_user=2,
+                think_time_s=0.005, session_gap_s=0.02, start_spread_s=0.2,
+                mix=tuple((name, 1.0) for name in SERVED_WORKLOADS),
+            )
+        if args.users is not None:
+            base = dataclasses.replace(base, users=args.users)
+        session_override = base
+    # `SCENARIO --smoke` = that one scenario, shrunk to smoke scale.
+    duration_scale = args.duration_scale * (0.2 if args.smoke else 1.0)
     scenario, result = scenarios.run_scenario(
         args.scenario,
         seed=args.seed,
         load_scale=args.load_scale,
-        duration_scale=args.duration_scale,
+        duration_scale=duration_scale,
         num_chips=args.chips,
         router=args.router,
         policy=args.policy,
@@ -763,6 +820,8 @@ def _cmd_serve(args) -> int:
         shards=args.shards,
         shard_workers=args.shard_workers,
         telemetry_window_s=_serve_window_s(args),
+        chaos=chaos_timeline,
+        sessions=session_override,
     )
     _export_telemetry(
         args, result,
@@ -778,6 +837,11 @@ def _cmd_serve(args) -> int:
     summary = metrics.summarize_result(result, scenario.slo_s)
     breakdown = metrics.per_workload_summary(result, scenario.slo_s)
     by_backend = metrics.per_backend_summary(result, scenario.slo_s)
+    resilience = (
+        metrics.resilience_metrics(result)
+        if result.incidents or result.requests_lost or result.requests_shed
+        else None
+    )
     if args.format == "json":
         payload = {
             "scenario": scenario.name,
@@ -786,6 +850,8 @@ def _cmd_serve(args) -> int:
             "per_workload": breakdown,
             "per_backend": by_backend,
         }
+        if resilience is not None:
+            payload["resilience"] = resilience
         output = json.dumps(payload, indent=2) + "\n"
     else:
         lines = [f"## Scenario '{scenario.name}' — {scenario.description}", ""]
@@ -807,6 +873,14 @@ def _cmd_serve(args) -> int:
             lines.append(
                 format_markdown_table(
                     headers, [[row[h] for h in headers] for row in by_backend]
+                )
+            )
+        if resilience is not None:
+            lines.extend(["", "### Resilience", ""])
+            lines.append(
+                format_markdown_table(
+                    ["metric", "value"],
+                    [[key, value] for key, value in resilience.items()],
                 )
             )
         output = "\n".join(lines) + "\n"
@@ -1025,7 +1099,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--list", action="store_true",
                               help="enumerate the scenario presets")
     serve_parser.add_argument("--smoke", action="store_true",
-                              help="run every serving experiment at smoke scale")
+                              help="run every serving experiment at smoke "
+                                   "scale (with SCENARIO: that one scenario "
+                                   "at 0.2x duration)")
+    serve_parser.add_argument("--chaos", metavar="FILE",
+                              help="inject the chaos timeline (JSON incident "
+                                   "file) into the scenario run")
+    serve_parser.add_argument("--sessions", action="store_true",
+                              help="serve closed-loop session traffic (users "
+                                   "with think-time loops) instead of the "
+                                   "scenario's open-loop phases")
+    serve_parser.add_argument("--users", type=int, default=None, metavar="N",
+                              help="closed-loop user population (implies "
+                                   "--sessions; default 32)")
     serve_parser.add_argument("--seed", type=int, default=0,
                               help="traffic seed (default 0)")
     serve_parser.add_argument("--load-scale", type=float, default=1.0,

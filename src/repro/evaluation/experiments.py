@@ -55,6 +55,7 @@ from repro.evaluation.end_to_end import (
 )
 from repro.evaluation.serving_experiments import (
     batching_policy_comparison,
+    chaos_resilience_matrix,
     fleet_scaling,
     heterogeneous_fleet,
     latency_load_sweep,
@@ -97,6 +98,7 @@ __all__ = [
     "scenario_slo_matrix",
     "heterogeneous_fleet",
     "trace_replay_matrix",
+    "chaos_resilience_matrix",
     "design_space_sweep",
     "design_frontier",
     "capacity_plan",

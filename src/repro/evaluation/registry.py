@@ -669,6 +669,33 @@ register(
     )
 )
 
+register(
+    ExperimentSpec(
+        id="serve_chaos",
+        title="Serving — chaos resilience matrix (outage/straggler/sessions)",
+        anchor="serving",
+        driver=serving_experiments.chaos_resilience_matrix,
+        tags=("serving",),
+        param_schema={
+            "scenarios": "strs",
+            "seed": "int",
+            "load_scale": "float",
+            "duration_scale": "float",
+            "window_ms": "float",
+            "tolerance": "float",
+        },
+        smoke_params={"duration_scale": 0.2},
+        paper_note=(
+            "Beyond the paper: the chaos presets (mid-surge chip failure, "
+            "seeded straggler storm with a fleet power cap) and the "
+            "closed-loop session surge, with resilience accounting per "
+            "scenario — `conserved` certifies arrived == completed + lost "
+            "+ shed on every row, and `recovery_time_s` measures how long "
+            "the p95 tail stays inflated after the last incident."
+        ),
+    )
+)
+
 # ---------------------------------------------------------------------------
 # Design-space exploration (beyond the paper: grids + Pareto frontiers)
 # ---------------------------------------------------------------------------

@@ -14,7 +14,10 @@ seconds.  Five experiment families are registered:
   routing and per-backend utilization,
 * ``serve_trace`` — record each scenario's traffic to a JSONL trace, then
   replay it through the streaming event core and prove the streamed
-  metrics match the in-memory run.
+  metrics match the in-memory run,
+* ``serve_chaos`` — resilience matrix over the chaos presets: incident
+  counts, conservation (arrived == completed + lost + shed), tail
+  inflation and recovery time per scenario.
 """
 
 from __future__ import annotations
@@ -26,7 +29,11 @@ from repro.backends import ExecutionCache
 from repro.errors import ServingError
 from repro.serving.batching import build_policy
 from repro.serving.fleet import Fleet, FleetServiceModel
-from repro.serving.metrics import per_backend_summary, summarize_result
+from repro.serving.metrics import (
+    per_backend_summary,
+    resilience_metrics,
+    summarize_result,
+)
 from repro.serving.scenarios import get_scenario, run_scenario
 from repro.serving.simulator import ServingSimulator
 from repro.serving.trace import RequestTrace, record_scenario, replay_trace
@@ -40,6 +47,7 @@ __all__ = [
     "scenario_slo_matrix",
     "heterogeneous_fleet",
     "trace_replay_matrix",
+    "chaos_resilience_matrix",
 ]
 
 #: every registered workload, in stable (alphabetical) order
@@ -347,4 +355,70 @@ def trace_replay_matrix(
                     **streamed_summary,
                 }
             )
+    return rows
+
+
+def chaos_resilience_matrix(
+    scenarios: tuple[str, ...] = (
+        "chip_outage",
+        "straggler_storm",
+        "session_surge",
+    ),
+    seed: int = 0,
+    load_scale: float = 1.0,
+    duration_scale: float = 1.0,
+    window_ms: float = 50.0,
+    tolerance: float = 1.2,
+) -> list[dict]:
+    """Resilience accounting over the chaos and closed-loop presets.
+
+    Each scenario runs with its own incident timeline (or closed-loop
+    population) and reports the conservation counters — every arrived
+    request is completed, lost (in-flight batch killed) or shed (queue
+    dropped) — plus the tail-inflation ratio and the time for the p95
+    tail to recover to within ``tolerance`` of its pre-incident baseline
+    (measured in ``window_ms`` windows).  ``conserved`` certifies the
+    accounting identity on every row; chaos-free closed-loop rows report
+    zero losses and no recovery clock.
+    """
+    if window_ms <= 0:
+        raise ServingError(f"window_ms must be positive, got {window_ms}")
+    model = ExecutionCache()
+    rows = []
+    for name in scenarios:
+        scenario, result = run_scenario(
+            name,
+            seed=seed,
+            load_scale=load_scale,
+            duration_scale=duration_scale,
+            service_model=model,
+        )
+        resilience = resilience_metrics(
+            result, window_s=window_ms * 1e-3, tolerance=tolerance
+        )
+        summary = summarize_result(result, scenario.slo_s)
+        rows.append(
+            {
+                "scenario": scenario.name,
+                "closed_loop": scenario.sessions is not None,
+                "incidents": resilience["incidents"],
+                "requests_arrived": resilience["requests_arrived"],
+                "requests_completed": resilience["requests_completed"],
+                "requests_lost": resilience["requests_lost"],
+                "requests_shed": resilience["requests_shed"],
+                "conserved": (
+                    resilience["requests_completed"]
+                    + resilience["requests_lost"]
+                    + resilience["requests_shed"]
+                    == resilience["requests_arrived"]
+                ),
+                "pre_incident_p95_ms": resilience["pre_incident_p95_ms"],
+                "during_p95_ms": resilience["during_p95_ms"],
+                "tail_inflation_x": resilience["tail_inflation_x"],
+                "recovery_time_s": resilience["recovery_time_s"],
+                "p95_ms": summary["p95_ms"],
+                "slo_attainment": summary["slo_attainment"],
+                "throughput_rps": summary["throughput_rps"],
+            }
+        )
     return rows

@@ -20,10 +20,18 @@ deterministic discrete-event simulator over the cycle-level
   generator or scenario, replay deterministically in streaming chunks,
 * :mod:`~repro.serving.dsl` — the scenario DSL (steady/ramp/burst/drain/
   mix-shift phases composed into :class:`~repro.serving.dsl.ScenarioSpec`),
-* :mod:`~repro.serving.metrics` — tail latency, goodput under SLO and
-  saturation summaries over full-trace or streamed results,
+* :mod:`~repro.serving.chaos` — trace-replayable incident timelines
+  (chip fail/recover, straggler multipliers, power-cap windows) injected
+  as deterministic events into the event core (``repro serve --chaos``),
+* :mod:`~repro.serving.sessions` — closed-loop session traffic: a fixed
+  user population with think-time loops and multi-turn conversations, so
+  offered load responds to observed latency (``repro serve --sessions``),
+* :mod:`~repro.serving.metrics` — tail latency, goodput under SLO,
+  saturation summaries and resilience accounting (losses, tail
+  inflation, recovery time) over full-trace or streamed results,
 * :mod:`~repro.serving.scenarios` — DSL-defined presets (steady, diurnal,
-  flash-crowd, mixed-workload, ramp-surge) runnable via ``repro serve``,
+  flash-crowd, mixed-workload, ramp-surge, chip-outage, straggler-storm,
+  session-surge) runnable via ``repro serve``,
 * :mod:`~repro.serving.sharding` — component-sharded execution: factor a
   router-independent fleet into per-shard simulations whose merged result
   is byte-identical to the single-shard run,
@@ -50,6 +58,13 @@ from repro.serving.batching import (
     NoBatching,
     build_policy,
 )
+from repro.serving.chaos import (
+    ChaosTimeline,
+    Incident,
+    chip_failure,
+    power_cap,
+    straggler,
+)
 from repro.serving.fleet import (
     ROUTERS,
     AcceleratorServiceModel,
@@ -69,9 +84,11 @@ from repro.serving.metrics import (
     per_workload_summary,
     percentile,
     queueing_summary,
+    resilience_metrics,
     saturation_summary,
     summarize_result,
 )
+from repro.serving.sessions import SessionConfig, run_sessions
 from repro.serving.exporters import (
     render_dashboard,
     to_prometheus,
@@ -188,9 +205,17 @@ __all__ = [
     "queueing_summary",
     "goodput",
     "summarize_result",
+    "resilience_metrics",
     "per_workload_summary",
     "per_backend_summary",
     "saturation_summary",
+    "Incident",
+    "ChaosTimeline",
+    "chip_failure",
+    "straggler",
+    "power_cap",
+    "SessionConfig",
+    "run_sessions",
     "Scenario",
     "SCENARIOS",
     "get_scenario",

@@ -31,6 +31,8 @@ from collections.abc import Mapping
 from dataclasses import dataclass, field
 
 from repro.errors import ServingError
+from repro.serving.chaos import ChaosTimeline
+from repro.serving.sessions import SessionConfig
 from repro.serving.traffic import (
     SEED_STRIDE,
     ArrivalProcess,
@@ -267,16 +269,36 @@ class ScenarioSpec:
     router: str = "jsq"
     policy: str = "continuous"
     slo_s: float = 5e-3
+    #: incident timeline injected into every run of the scenario (in
+    #: unscaled phase time; ``run_scenario`` applies ``duration_scale``)
+    chaos: ChaosTimeline | None = None
+    #: closed-loop user population replacing the open-loop phases
+    sessions: SessionConfig | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ServingError("a scenario spec needs a name")
-        if not self.phases:
+        if self.sessions is not None:
+            if self.phases:
+                raise ServingError(
+                    f"scenario '{self.name}' is closed-loop (sessions) — "
+                    "it cannot also declare open-loop phases"
+                )
+            if not isinstance(self.sessions, SessionConfig):
+                raise ServingError(
+                    "sessions must be a SessionConfig, "
+                    f"got {type(self.sessions).__name__}"
+                )
+        elif not self.phases:
             raise ServingError(f"scenario '{self.name}' has no phases")
-        if all(phase.kind == "drain" for phase in self.phases):
+        if self.phases and all(phase.kind == "drain" for phase in self.phases):
             raise ServingError(
                 f"scenario '{self.name}' is all drain phases — it would "
                 "generate no traffic"
+            )
+        if self.chaos is not None and not isinstance(self.chaos, ChaosTimeline):
+            raise ServingError(
+                f"chaos must be a ChaosTimeline, got {type(self.chaos).__name__}"
             )
         if self.num_chips < 1:
             raise ServingError(f"num_chips must be positive, got {self.num_chips}")
@@ -300,6 +322,11 @@ class ScenarioSpec:
         """
         if load_scale <= 0 or duration_scale <= 0:
             raise ServingError("load_scale and duration_scale must be positive")
+        if self.sessions is not None:
+            raise ServingError(
+                f"scenario '{self.name}' is closed-loop — its traffic is "
+                "generated by run_sessions, not build_traffic"
+            )
         segments: list[tuple[ArrivalProcess | None, float]] = []
         for phase in self.phases:
             segments.extend(phase.segments(load_scale, duration_scale))
@@ -332,4 +359,6 @@ class ScenarioSpec:
             policy=self.policy,
             slo_s=self.slo_s,
             spec=self,
+            chaos=self.chaos,
+            sessions=self.sessions,
         )

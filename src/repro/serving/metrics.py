@@ -32,6 +32,7 @@ __all__ = [
     "queueing_summary",
     "goodput",
     "summarize_result",
+    "resilience_metrics",
     "per_workload_summary",
     "per_backend_summary",
     "saturation_summary",
@@ -146,7 +147,88 @@ def summarize_result(
     row.pop("count")
     if offered_rps is not None:
         row["offered_rps"] = round(offered_rps, 2)
+    if result.incidents or result.requests_lost or result.requests_shed:
+        # Present only on chaos runs, so chaos-free rows (and their golden
+        # tables) stay byte-identical to the pre-chaos layer.
+        row["requests_arrived"] = result.requests_arrived
+        row["requests_lost"] = result.requests_lost
+        row["requests_shed"] = result.requests_shed
     return row
+
+
+def resilience_metrics(
+    result: ServingResult | StreamedServingResult,
+    window_s: float = 0.05,
+    tolerance: float = 1.2,
+) -> dict:
+    """Resilience accounting of a chaos run: losses, tail, recovery time.
+
+    Consumes the result's realized incident log plus (when available) its
+    per-request records, and reports:
+
+    * the conservation counters — ``requests_arrived`` splits exactly into
+      completed, lost (in-flight batch killed) and shed (queue dropped),
+    * ``pre_incident_p95_ms`` — p95 latency of requests that *finished*
+      before the first incident began (the healthy baseline),
+    * ``during_p95_ms`` / ``tail_inflation_x`` — p95 of requests arriving
+      between the first and last incident event, as a ratio to baseline,
+    * ``recovery_time_s`` — time from the last incident event until the
+      first ``window_s``-wide window whose completion p95 is back within
+      ``tolerance`` of the baseline (an empty window — nothing completing,
+      so no elevated-tail evidence — also qualifies); ``None`` when the
+      tail never re-converges before the run's horizon, or when there is
+      no pre-incident baseline to converge to.
+
+    Percentile fields need per-request timestamps and are therefore
+    ``None`` for streamed results (which keep only latency arrays).
+    """
+    if window_s <= 0:
+        raise ServingError(f"window_s must be positive, got {window_s}")
+    if tolerance < 1.0:
+        raise ServingError(f"tolerance must be >= 1.0, got {tolerance}")
+    out = {
+        "incidents": len(result.incidents),
+        "requests_arrived": result.requests_arrived,
+        "requests_completed": result.num_requests,
+        "requests_lost": result.requests_lost,
+        "requests_shed": result.requests_shed,
+        "pre_incident_p95_ms": None,
+        "during_p95_ms": None,
+        "tail_inflation_x": None,
+        "recovery_time_s": None,
+    }
+    records = getattr(result, "records", None)
+    if not result.incidents or not records:
+        return out
+    first_s = min(event["at_s"] for event in result.incidents)
+    last_s = max(event["at_s"] for event in result.incidents)
+    arrivals = np.array([record.arrival_s for record in records], dtype=float)
+    finishes = np.array([record.finish_s for record in records], dtype=float)
+    latencies = finishes - arrivals
+    pre = latencies[finishes <= first_s]
+    if pre.size:
+        pre_p95 = float(np.percentile(pre, 95))
+        out["pre_incident_p95_ms"] = round(_ms(pre_p95), 4)
+    during = latencies[(arrivals >= first_s) & (arrivals <= last_s)]
+    if during.size:
+        during_p95 = float(np.percentile(during, 95))
+        out["during_p95_ms"] = round(_ms(during_p95), 4)
+        if pre.size and pre_p95 > 0:
+            out["tail_inflation_x"] = round(during_p95 / pre_p95, 4)
+    if pre.size:
+        start = last_s
+        while start < result.horizon_s:
+            window = latencies[(finishes > start)
+                               & (finishes <= start + window_s)]
+            if window.size == 0 or (
+                float(np.percentile(window, 95)) <= tolerance * pre_p95
+            ):
+                out["recovery_time_s"] = round(
+                    start + window_s - last_s, 6
+                )
+                break
+            start += window_s
+    return out
 
 
 def per_workload_summary(

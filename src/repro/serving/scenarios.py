@@ -17,6 +17,14 @@ canonical load shape a production deployment must survive:
 * ``ramp_surge`` — a ramp into an over-capacity burst, then a drain —
   the capacity-planning shape (only expressible with the DSL's ramp and
   drain phases).
+* ``chip_outage`` — steady traffic through a mid-run chip failure and
+  recovery (a :mod:`~repro.serving.chaos` timeline), the basic
+  resilience measurement.
+* ``straggler_storm`` — a seeded storm of per-chip slowdown windows
+  capped off by a fleet-wide power-cap window.
+* ``session_surge`` — closed-loop session traffic
+  (:mod:`~repro.serving.sessions`): a fixed user population whose
+  offered load backs off as latency grows.
 
 Rates are calibrated against the cycle model's sub-millisecond service
 times (a single chip sustains roughly 1.4-5.8k requests/s depending on the
@@ -33,8 +41,10 @@ from dataclasses import dataclass
 
 from repro.errors import ServingError
 from repro.serving.batching import build_policy
+from repro.serving.chaos import ChaosTimeline, chip_failure, power_cap
 from repro.serving.dsl import ScenarioSpec, burst, drain, ramp, steady
 from repro.serving.fleet import Fleet
+from repro.serving.sessions import SessionConfig, run_sessions
 from repro.serving.simulator import ServingResult, ServingSimulator
 from repro.serving.traffic import Request
 from repro.workloads.registry import WORKLOAD_BUILDERS
@@ -67,6 +77,10 @@ class Scenario:
     slo_s: float
     #: the DSL spec this scenario was built from (None for ad-hoc builders)
     spec: ScenarioSpec | None = None
+    #: incident timeline every run of this scenario injects (unscaled time)
+    chaos: ChaosTimeline | None = None
+    #: closed-loop user population (``traffic`` is unused when set)
+    sessions: SessionConfig | None = None
 
 
 #: 70 % NVSA hot spot over a light background of the other workloads
@@ -142,6 +156,57 @@ _PRESET_SPECS: tuple[ScenarioSpec, ...] = (
         policy="continuous",
         slo_s=10e-3,
     ),
+    ScenarioSpec(
+        name="chip_outage",
+        description="chip failure at the peak of an over-capacity surge",
+        phases=(
+            steady(9600.0, duration_s=0.5),
+            steady(1600.0, duration_s=1.5),
+        ),
+        num_chips=2,
+        router="jsq",
+        policy="continuous",
+        slo_s=5e-3,
+        # Chip 1 dies near the end of the surge — its standing queue
+        # guarantees a batch in flight (lost) and queued requests (shed)
+        # at any duration_scale — and recovers into the light phase,
+        # giving the tail a finite, measurable recovery time.
+        chaos=ChaosTimeline((chip_failure(1, 0.45, 0.4),)),
+    ),
+    ScenarioSpec(
+        name="straggler_storm",
+        description="seeded per-chip slowdown storm plus a fleet power cap",
+        phases=(steady(4000.0, duration_s=2.0),),
+        num_chips=4,
+        router="jsq",
+        policy="continuous",
+        slo_s=10e-3,
+        chaos=ChaosTimeline(
+            ChaosTimeline.seeded(
+                7, num_chips=4, horizon_s=1.3,
+                straggler_rate=1.5, mean_duration_s=0.2, multiplier=4.0,
+            ).incidents
+            + (power_cap(1.5, 0.3, 2.0),)
+        ),
+    ),
+    ScenarioSpec(
+        name="session_surge",
+        description="closed-loop user surge: think-time loops, multi-turn chats",
+        phases=(),
+        num_chips=2,
+        router="jsq",
+        policy="continuous",
+        slo_s=5e-3,
+        sessions=SessionConfig(
+            users=96,
+            turns=5,
+            sessions_per_user=2,
+            think_time_s=0.004,
+            session_gap_s=0.01,
+            start_spread_s=0.25,
+            mix=tuple((name, 1.0) for name in SERVED_WORKLOADS),
+        ),
+    ),
 )
 
 #: scenario name -> preset, in presentation order
@@ -190,6 +255,8 @@ def run_scenario(
     shards: int = 1,
     shard_workers: int | None = None,
     telemetry_window_s: float | None = None,
+    chaos: ChaosTimeline | None = None,
+    sessions: SessionConfig | None = None,
 ) -> tuple[Scenario, ServingResult]:
     """Execute one scenario preset (with optional overrides) end to end.
 
@@ -201,6 +268,15 @@ def run_scenario(
     simulations with records identical to the single-shard run (see
     :mod:`repro.serving.sharding`).  ``telemetry_window_s`` attaches the
     windowed time series (:mod:`repro.serving.telemetry`) to the result.
+
+    ``chaos`` replaces the scenario's incident timeline for this run
+    (``repro serve --chaos FILE``); open-loop runs scale it by
+    ``duration_scale`` so incidents stay aligned with the stretched
+    traffic phases.  ``sessions`` replaces the scenario's closed-loop
+    population (``--sessions``); a closed-loop run maps ``load_scale``
+    onto the user count and ``duration_scale`` onto conversations per
+    user, and cannot shard (incident and feedback accounting are
+    fleet-global).
     """
     if load_scale <= 0 or duration_scale <= 0:
         raise ServingError("load_scale and duration_scale must be positive")
@@ -220,21 +296,42 @@ def run_scenario(
         backends=backend_tuple,
     )
     batching = build_policy(policy if policy is not None else scenario.policy)
-    requests = scenario.traffic(seed, load_scale, duration_scale)
-    if not requests:
-        raise ServingError(
-            f"scenario '{name}' generated no requests "
-            f"(seed={seed}, load_scale={load_scale}, duration_scale={duration_scale})"
-        )
+    session_config = sessions if sessions is not None else scenario.sessions
+    timeline = chaos if chaos is not None else scenario.chaos
+    if timeline is not None and session_config is None:
+        # Closed-loop runs keep incident times as-is: their clock is set
+        # by think times and service latency, which the knobs don't touch.
+        timeline = timeline.scaled(duration_scale)
     simulator = ServingSimulator(
         service_model=service_model,
         fleet=fleet,
         batching_policy=batching,
+        chaos=timeline,
     )
-    result = simulator.run(
-        requests, shards=shards, shard_workers=shard_workers,
-        telemetry_window_s=telemetry_window_s,
-    )
+    if session_config is not None:
+        if shards != 1:
+            raise ServingError(
+                "closed-loop session runs do not shard: think-time "
+                "feedback couples every chip through the users"
+            )
+        result = run_sessions(
+            simulator,
+            session_config.scaled(load_scale, duration_scale),
+            seed=seed,
+            telemetry_window_s=telemetry_window_s,
+        )
+    else:
+        requests = scenario.traffic(seed, load_scale, duration_scale)
+        if not requests:
+            raise ServingError(
+                f"scenario '{name}' generated no requests "
+                f"(seed={seed}, load_scale={load_scale}, "
+                f"duration_scale={duration_scale})"
+            )
+        result = simulator.run(
+            requests, shards=shards, shard_workers=shard_workers,
+            telemetry_window_s=telemetry_window_s,
+        )
     result.provenance.update(
         {"scenario": name, "seed": seed, "load_scale": load_scale,
          "duration_scale": duration_scale}

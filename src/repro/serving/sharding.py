@@ -461,6 +461,9 @@ def _fallback_run(
     shell = ServingSimulator.__new__(ServingSimulator)
     shell.batching_policy = policy
     shell.vectorize = vectorize
+    # Shards never see a chaos timeline: run()/run_stream() fall back to a
+    # single-shard simulation before the sharding layer is ever entered.
+    shell.chaos = None
     names = [workload_names[code] for code in codes.tolist()]
     chunks = [(arr.tolist(), names, ids.tolist())]
     wl_code = {name: code for code, name in enumerate(workload_names)}

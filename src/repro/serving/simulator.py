@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from array import array
 from bisect import bisect_right, insort
 from collections.abc import Iterable, Mapping, Sequence
@@ -62,6 +63,13 @@ from repro.serving.batching import (
     ContinuousBatching,
     FixedSizeBatching,
     NoBatching,
+)
+from repro.serving.chaos import (
+    OP_FAIL,
+    OP_RECOVER,
+    OP_SLOW_END,
+    OP_SLOW_START,
+    ChaosTimeline,
 )
 from repro.serving.fleet import (
     FixedOwnersRouter,
@@ -87,8 +95,17 @@ __all__ = [
 
 # Event kinds, in tie-breaking order: arrivals first so load-aware routers
 # and batch formation see every request that lands at an instant, then chip
-# completions, then batching wake-ups.
-_ARRIVAL, _FREE, _WAKE = 0, 1, 2
+# completions, then batching wake-ups, then chaos incidents — a batch that
+# finishes exactly at a failure instant completes normally, and requests
+# arriving exactly then are enqueued first (and therefore shed).
+_ARRIVAL, _FREE, _WAKE, _CHAOS = 0, 1, 2, 3
+
+#: shard-fallback reason recorded when a chaos timeline forces the
+#: single-shard path (lost/shed accounting and fleet-wide power caps are
+#: global, so components cannot simulate independently)
+CHAOS_SHARD_FALLBACK = (
+    "chaos timeline couples shards (incident accounting is fleet-global)"
+)
 
 #: request-index chunk size used when columnarizing in-memory streams
 DEFAULT_CHUNK_SIZE = 65536
@@ -188,11 +205,23 @@ class ServingResult(_FleetRunStats):
     provenance: dict = field(default_factory=dict)
     #: windowed time series, present when the run asked for telemetry
     telemetry: "TelemetrySeries | None" = None
+    #: requests whose in-flight batch a chip failure killed
+    requests_lost: int = 0
+    #: requests dropped from a failed chip's queue (or stranded on a chip
+    #: that never recovered)
+    requests_shed: int = 0
+    #: realized incident log of the run's chaos timeline, in event order
+    incidents: tuple[dict, ...] = ()
 
     @property
     def num_requests(self) -> int:
         """Requests served."""
         return len(self.records)
+
+    @property
+    def requests_arrived(self) -> int:
+        """Requests offered to the fleet: completed + lost + shed."""
+        return len(self.records) + self.requests_lost + self.requests_shed
 
     def latencies_s(self) -> list[float]:
         """Per-request end-to-end latencies, in request-id order."""
@@ -247,6 +276,18 @@ class StreamedServingResult(_FleetRunStats):
     provenance: dict = field(default_factory=dict)
     #: windowed time series, present when the run asked for telemetry
     telemetry: "TelemetrySeries | None" = None
+    #: requests whose in-flight batch a chip failure killed
+    requests_lost: int = 0
+    #: requests dropped from a failed chip's queue (or stranded on a chip
+    #: that never recovered)
+    requests_shed: int = 0
+    #: realized incident log of the run's chaos timeline, in event order
+    incidents: tuple[dict, ...] = ()
+
+    @property
+    def requests_arrived(self) -> int:
+        """Requests offered to the fleet: completed + lost + shed."""
+        return self.num_requests + self.requests_lost + self.requests_shed
 
     def latencies_s(self) -> list[float]:
         """Per-request end-to-end latencies, in completion order."""
@@ -362,7 +403,7 @@ class _SlotChip:
 
     __slots__ = (
         "chip_id", "busy", "inflight", "groups", "depth", "pending", "busy_s",
-        "served", "pending_wake_s", "queue",
+        "served", "pending_wake_s", "queue", "pending_emit",
     )
 
     def __init__(self, chip_id: int) -> None:
@@ -380,6 +421,9 @@ class _SlotChip:
         # lets dispatch skip pushing duplicates for an unchanged deadline.
         self.pending_wake_s: float | None = None
         self.queue = None  # generic-path queue, unused on the fast path
+        # Chaos runs defer emission/accounting to completion time; the
+        # in-flight batch parks here until its FREE event proves it lived.
+        self.pending_emit: tuple | None = None
 
     @property
     def queue_depth(self) -> int:
@@ -392,7 +436,7 @@ class _ListChip:
 
     __slots__ = (
         "chip_id", "busy", "inflight", "queue", "pending", "busy_s", "served",
-        "pending_wake_s",
+        "pending_wake_s", "pending_emit",
     )
 
     def __init__(self, chip_id: int) -> None:
@@ -404,6 +448,7 @@ class _ListChip:
         self.busy_s = 0.0
         self.served = 0
         self.pending_wake_s: float | None = None
+        self.pending_emit: tuple | None = None
 
     @property
     def queue_depth(self) -> int:
@@ -555,6 +600,7 @@ class ServingSimulator:
         fleet: Fleet | None = None,
         batching_policy: BatchingPolicy | None = None,
         vectorize: bool = True,
+        chaos: ChaosTimeline | None = None,
     ) -> None:
         self.fleet = fleet or Fleet()
         self.service_model = service_model or FleetServiceModel(fleet=self.fleet)
@@ -563,6 +609,16 @@ class ServingSimulator:
         #: False forces the scalar event loop everywhere, which the
         #: equivalence harness uses to prove the two paths agree byte-for-byte
         self.vectorize = bool(vectorize)
+        if chaos is not None and not isinstance(chaos, ChaosTimeline):
+            raise ServingError(
+                f"chaos must be a ChaosTimeline, got {type(chaos).__name__}"
+            )
+        #: incident timeline injected into every run; an empty timeline
+        #: normalizes to None so "no incidents" is exactly the chaos-free
+        #: code path (zero cost when off, byte-for-byte)
+        self.chaos = chaos if chaos else None
+        if self.chaos is not None:
+            self.chaos.compile(self.fleet.num_chips)  # validate chip ids now
 
     def _chip_models(self) -> list:
         """Per-chip service oracles, validated against the fleet shape."""
@@ -633,9 +689,18 @@ class ServingSimulator:
             "cached_reports": self.service_model.cached_reports,
         }
         if self.fleet.router == "jsq":
+            # A chaos timeline disables the water-fill span (failures can
+            # interrupt a span mid-flight), so coupled runs report the
+            # scalar engine they actually used.
             provenance["coupled_engine"] = (
-                "water_fill" if self.vectorize else "scalar"
+                "water_fill" if self.vectorize and self.chaos is None
+                else "scalar"
             )
+        if self.chaos is not None:
+            provenance["chaos"] = {
+                "incidents": len(self.chaos.incidents),
+                "windows": list(self.chaos.windows()),
+            }
         if event_paths is not None:
             provenance["event_paths"] = dict(event_paths)
         return provenance
@@ -677,6 +742,18 @@ class ServingSimulator:
         if not requests:
             raise ServingError("cannot simulate an empty request stream")
         if shards != 1:
+            if self.chaos is not None:
+                # Incident accounting is fleet-global, so a timeline forces
+                # the single-shard path — recorded, never silent.
+                result = self.run(
+                    requests, telemetry_window_s=telemetry_window_s
+                )
+                result.provenance.update({
+                    "shards": shards,
+                    "shards_effective": 1,
+                    "shard_fallback": CHAOS_SHARD_FALLBACK,
+                })
+                return result
             from repro.serving.sharding import run_sharded
 
             return self._attach_telemetry(
@@ -708,9 +785,13 @@ class ServingSimulator:
             self._simulate(chunks, workloads, emit, emit_run=emit_run)
         )
         event_paths = self._event_paths
-        if served != len(stream):
+        chaos_stats = self._chaos_stats
+        lost = chaos_stats["requests_lost"] if chaos_stats else 0
+        shed = chaos_stats["requests_shed"] if chaos_stats else 0
+        if served + lost + shed != len(stream):
             raise ServingError(
-                f"simulation lost requests: {served} served of {len(stream)}"
+                f"simulation lost requests: {served} served + {lost} lost + "
+                f"{shed} shed of {len(stream)}"
             )
         series = None
         if telemetry_window_s is not None:
@@ -739,6 +820,9 @@ class ServingSimulator:
                 telemetry_window_s,
                 horizon,
                 first_arrival,
+                dropped_arrivals=(
+                    chaos_stats["dropped_arrivals"] if chaos_stats else None
+                ),
             )
         records = [
             RequestRecord(
@@ -784,6 +868,9 @@ class ServingSimulator:
             chip_backends=self.fleet.chip_backends,
             provenance=self._provenance(len(stream), event_paths),
             telemetry=series,
+            requests_lost=lost,
+            requests_shed=shed,
+            incidents=chaos_stats["incidents"] if chaos_stats else (),
         )
 
     def run_stream(
@@ -816,6 +903,17 @@ class ServingSimulator:
         if not workload_names:
             raise ServingError("run_stream needs the stream's workload set")
         if shards != 1:
+            if self.chaos is not None:
+                result = self.run_stream(
+                    chunks, workload_names, provenance=provenance,
+                    telemetry_window_s=telemetry_window_s,
+                )
+                result.provenance.update({
+                    "shards": shards,
+                    "shards_effective": 1,
+                    "shard_fallback": CHAOS_SHARD_FALLBACK,
+                })
+                return result
             from repro.serving.sharding import run_stream_sharded
 
             return run_stream_sharded(
@@ -902,7 +1000,10 @@ class ServingSimulator:
                 chip_models=chip_models,
             )
         )
-        run_provenance = self._provenance(served, self._event_paths)
+        chaos_stats = self._chaos_stats
+        lost = chaos_stats["requests_lost"] if chaos_stats else 0
+        shed = chaos_stats["requests_shed"] if chaos_stats else 0
+        run_provenance = self._provenance(served + lost + shed, self._event_paths)
         if provenance:
             run_provenance.update(provenance)
         return StreamedServingResult(
@@ -928,6 +1029,9 @@ class ServingSimulator:
             telemetry=(
                 collector.finalize(horizon) if collector is not None else None
             ),
+            requests_lost=lost,
+            requests_shed=shed,
+            incidents=chaos_stats["incidents"] if chaos_stats else (),
         )
 
     # -- event core ---------------------------------------------------------
@@ -993,6 +1097,33 @@ class ServingSimulator:
         num_batches = 0
         served = 0
 
+        # -- chaos state ---------------------------------------------------
+        # A timeline pre-loads the heap with _CHAOS events (payload:
+        # ``(opcode, chip, multiplier)``); everything below is untouched
+        # when no timeline is set — chaos costs one predictable branch per
+        # dispatch and per heap pop, nothing on the vectorized spans
+        # (which chaos disables outright so an incident can interrupt any
+        # batch mid-flight on the one scalar path both engines share).
+        self._chaos_stats = None
+        chaos_on = self.chaos is not None
+        if chaos_on:
+            # Down state is a counter, not a bool: a failure window that
+            # starts exactly where the previous one ends must keep the
+            # chip down regardless of same-instant event order.
+            chaos_down = [0] * num_chips
+            chaos_factors: list[list[float]] = [[] for _ in range(num_chips)]
+            chaos_mult = [1.0] * num_chips
+            chaos_lost = 0
+            chaos_shed = 0
+            chaos_log: list[dict] = []
+            # Arrival instants of every lost/shed request, so telemetry
+            # can still count them as arrivals (they never emit).
+            chaos_dropped: list[float] = []
+            for ev_time, op, ev_chip, ev_mult in self.chaos.compile(num_chips):
+                heappush(
+                    heap, (ev_time, _CHAOS, next_seq(), (op, ev_chip, ev_mult))
+                )
+
         # Routing fast paths for the exact built-in router classes; any
         # subclass (overridden route()) goes through the generic call.
         router_type = type(router)
@@ -1042,6 +1173,8 @@ class ServingSimulator:
                 nonlocal energy, num_batches, served, busy_count
                 if chip.busy or not chip.depth:
                     return
+                if chaos_on and chaos_down[chip.chip_id]:
+                    return  # queued work waits out the chip's down window
                 groups = chip.groups
                 if len(groups) == 1 and single_cap is not None:
                     # One workload queued: the batch is its head requests,
@@ -1081,6 +1214,24 @@ class ServingSimulator:
                     )
                     service_table[key] = cached
                 service_s, energy_j = cached
+                if chaos_on:
+                    factor = chaos_mult[chip.chip_id]
+                    if factor != 1.0:
+                        service_s *= factor
+                        energy_j *= factor
+                    finish = now + service_s
+                    chip.busy = True
+                    busy_count += 1
+                    chip.inflight = count
+                    seq = next_seq()
+                    # Completion is no longer certain: park the batch and
+                    # account for it only when its FREE event survives.
+                    chip.pending_emit = (
+                        seq, now, finish, count, workload, members,
+                        service_s, energy_j,
+                    )
+                    heappush(heap, (finish, _FREE, seq, chip.chip_id))
+                    return
                 finish = now + service_s
                 energy += energy_j
                 num_batches += 1
@@ -1099,6 +1250,8 @@ class ServingSimulator:
                 nonlocal energy, num_batches, served, busy_count
                 if chip.busy or not chip.queue:
                     return
+                if chaos_on and chaos_down[chip.chip_id]:
+                    return  # queued work waits out the chip's down window
                 decision = policy.select(tuple(chip.queue), now)
                 if decision.batch is None:
                     if (
@@ -1144,6 +1297,26 @@ class ServingSimulator:
                     )
                     service_table[key] = cached
                 service_s, energy_j = cached
+                members = (
+                    [request.arrival_s for request in batch.requests],
+                    [request.request_id for request in batch.requests],
+                )
+                if chaos_on:
+                    factor = chaos_mult[chip.chip_id]
+                    if factor != 1.0:
+                        service_s *= factor
+                        energy_j *= factor
+                    finish = now + service_s
+                    chip.busy = True
+                    busy_count += 1
+                    chip.inflight = count
+                    seq = next_seq()
+                    chip.pending_emit = (
+                        seq, now, finish, count, workload, members,
+                        service_s, energy_j,
+                    )
+                    heappush(heap, (finish, _FREE, seq, chip.chip_id))
+                    return
                 finish = now + service_s
                 energy += energy_j
                 num_batches += 1
@@ -1153,18 +1326,128 @@ class ServingSimulator:
                 chip.inflight = count
                 chip.busy_s += service_s
                 chip.served += count
-                emit(
-                    chip.chip_id,
-                    now,
-                    finish,
-                    count,
-                    workload,
-                    (
-                        [request.arrival_s for request in batch.requests],
-                        [request.request_id for request in batch.requests],
-                    ),
-                )
+                emit(chip.chip_id, now, finish, count, workload, members)
                 heappush(heap, (finish, _FREE, next_seq(), chip.chip_id))
+
+        # -- chaos event handling ------------------------------------------
+        if chaos_on:
+
+            def chaos_step(now, kind, seq, payload):
+                """Handle one heap pop of a chaos run.
+
+                Owns all three event kinds: incidents (``_CHAOS``),
+                completions (``_FREE`` — deferred accounting, stale pops
+                from killed batches ignored) and wake-ups.
+                """
+                nonlocal energy, num_batches, served, busy_count, horizon
+                nonlocal chaos_lost, chaos_shed
+                if kind == _CHAOS:
+                    op, ev_chip, ev_mult = payload
+                    chip = chips[ev_chip]
+                    if op == OP_FAIL:
+                        chaos_down[ev_chip] += 1
+                        lost_here = 0
+                        if chip.busy:
+                            # Kill the in-flight batch: its parked emit is
+                            # dropped, so the FREE event still in the heap
+                            # pops as a stale no-op.
+                            lost_here = chip.inflight
+                            chaos_dropped.extend(chip.pending_emit[5][0])
+                            chip.pending_emit = None
+                            chip.busy = False
+                            busy_count -= 1
+                            if jsq_index is not None:
+                                jsq_index.move(
+                                    ev_chip, chip.pending,
+                                    chip.pending - lost_here,
+                                )
+                            chip.pending -= lost_here
+                            chip.inflight = 0
+                        if plan is not None:
+                            shed_here = chip.depth
+                            for group in chip.groups.values():
+                                chaos_dropped.extend(group.arrs[group.head:])
+                            chip.groups.clear()
+                            chip.depth = 0
+                        else:
+                            shed_here = len(chip.queue)
+                            chaos_dropped.extend(
+                                request.arrival_s for request in chip.queue
+                            )
+                            chip.queue.clear()
+                        if shed_here:
+                            if jsq_index is not None:
+                                jsq_index.move(
+                                    ev_chip, chip.pending,
+                                    chip.pending - shed_here,
+                                )
+                            chip.pending -= shed_here
+                        chaos_lost += lost_here
+                        chaos_shed += shed_here
+                        chaos_log.append({
+                            "at_s": now, "kind": "fail", "chip": ev_chip,
+                            "requests_lost": lost_here,
+                            "requests_shed": shed_here,
+                        })
+                    elif op == OP_RECOVER:
+                        chaos_down[ev_chip] -= 1
+                        chaos_log.append(
+                            {"at_s": now, "kind": "recover", "chip": ev_chip}
+                        )
+                        if not chaos_down[ev_chip]:
+                            dispatch(chip, now)
+                    elif op == OP_SLOW_START:
+                        chaos_factors[ev_chip].append(ev_mult)
+                        chaos_mult[ev_chip] = math.prod(chaos_factors[ev_chip])
+                        chaos_log.append({
+                            "at_s": now, "kind": "slow", "chip": ev_chip,
+                            "multiplier": ev_mult,
+                        })
+                    else:  # OP_SLOW_END
+                        chaos_factors[ev_chip].remove(ev_mult)
+                        factors = chaos_factors[ev_chip]
+                        # Exact 1.0 restore once every window closes.
+                        chaos_mult[ev_chip] = (
+                            math.prod(factors) if factors else 1.0
+                        )
+                        chaos_log.append({
+                            "at_s": now, "kind": "slow_end", "chip": ev_chip,
+                            "multiplier": ev_mult,
+                        })
+                    return
+                chip = chips[payload]
+                if kind == _FREE:
+                    entry = chip.pending_emit
+                    if entry is None or entry[0] != seq:
+                        return  # stale completion of a killed batch
+                    (_, dispatch_s, finish_s, count, workload, members,
+                     service_s, energy_j) = entry
+                    chip.pending_emit = None
+                    if now > horizon:
+                        horizon = now
+                    energy += energy_j
+                    num_batches += 1
+                    served += count
+                    chip.busy_s += service_s
+                    chip.served += count
+                    emit(chip.chip_id, dispatch_s, finish_s, count, workload,
+                         members)
+                    chip.busy = False
+                    busy_count -= 1
+                    if jsq_index is not None and chip.inflight:
+                        jsq_index.move(
+                            payload, chip.pending, chip.pending - chip.inflight
+                        )
+                    chip.pending -= chip.inflight
+                    chip.inflight = 0
+                    dispatch(chip, now)
+                else:  # _WAKE — re-check a timed-out partial batch.
+                    if (
+                        chip.pending_wake_s is not None
+                        and chip.pending_wake_s <= now
+                    ):
+                        chip.pending_wake_s = None
+                    dispatch(chip, now)
 
         # -- arrival feed priming ------------------------------------------
         chunk_iter = iter(chunks)
@@ -1199,7 +1482,9 @@ class ServingSimulator:
         prev_arrival = -float("inf")
         prev_id = -1
         fast_chips = plan is not None
-        eager = shortcuts_trusted and policy.eager_singleton
+        # Chaos bars the eager inline dispatch (and with it the bulk run):
+        # every batch must park a pending emit so a failure can kill it.
+        eager = shortcuts_trusted and policy.eager_singleton and not chaos_on
         # Per-chip singleton (service, energy) rows — the eager path's
         # tuple-key-free view of the memoized service table.
         singleton_tables: list[dict] = [{} for _ in range(num_chips)]
@@ -1241,7 +1526,10 @@ class ServingSimulator:
         # all chips level out the remainder is a pure round-robin.  The
         # whole span therefore routes as a short catch-up prefix plus
         # strided slices, byte-identical to the per-arrival scan.
-        fill_mode = self.vectorize and fast_chips and route_mode == "jsq"
+        fill_mode = (
+            self.vectorize and fast_chips and route_mode == "jsq"
+            and not chaos_on
+        )
         fill_cols = None  # lazily-built per-chunk fill arrays
         # Position the chunk must reach before the next fill attempt: a
         # span that came up shorter than FILL_MIN_RUN stays short for every
@@ -1865,6 +2153,9 @@ class ServingSimulator:
                 break
 
             now, kind, _seq, chip_id = heappop(heap)
+            if chaos_on:
+                chaos_step(now, kind, _seq, chip_id)
+                continue
             chip = chips[chip_id]
             if kind == _FREE:
                 # Horizon advances on completions only: a stale batching
@@ -1886,6 +2177,37 @@ class ServingSimulator:
                 if chip.pending_wake_s is not None and chip.pending_wake_s <= now:
                     chip.pending_wake_s = None
                 dispatch(chip, now)
+
+        if chaos_on:
+            # Requests still queued when the event heap drained can only
+            # sit on a chip whose failure window never closed: count them
+            # shed (never dispatched, never completed) so conservation
+            # holds even for unrecovered outages.
+            for chip in chips:
+                stranded = chip.depth if fast_chips else len(chip.queue)
+                if stranded:
+                    if fast_chips:
+                        for group in chip.groups.values():
+                            chaos_dropped.extend(group.arrs[group.head:])
+                        chip.groups.clear()
+                        chip.depth = 0
+                    else:
+                        chaos_dropped.extend(
+                            request.arrival_s for request in chip.queue
+                        )
+                        chip.queue.clear()
+                    chip.pending -= stranded
+                    chaos_shed += stranded
+                    chaos_log.append({
+                        "at_s": horizon, "kind": "stranded",
+                        "chip": chip.chip_id, "requests_shed": stranded,
+                    })
+            self._chaos_stats = {
+                "requests_lost": chaos_lost,
+                "requests_shed": chaos_shed,
+                "incidents": tuple(chaos_log),
+                "dropped_arrivals": np.asarray(chaos_dropped, dtype=float),
+            }
 
         # Routing-path attribution for the most recent simulation, read by
         # ``run``/``run_stream`` right after ``_simulate`` returns (it is

@@ -321,8 +321,14 @@ def _series_from_parts(
     window_s: float,
     horizon_s: float,
     first_arrival_s: float,
+    extra_aw: np.ndarray | None = None,
 ) -> TelemetrySeries:
     """Windowing core shared by every vectorized telemetry producer.
+
+    ``extra_aw`` carries the arrival *window indices* of requests that
+    never completed (lost/shed by a chaos incident): they count toward
+    each window's arrivals — matching the streaming collector, which
+    counts fed arrivals — but contribute to nothing else.
 
     Takes per-request latency/chip columns with their arrival/dispatch/
     finish *window indices* (``t // window_s``, computed by the caller —
@@ -336,9 +342,15 @@ def _series_from_parts(
     """
     w0 = int(first_arrival_s // window_s)
     last = max(int(horizon_s // window_s), int(fw.max()))
+    if extra_aw is not None and extra_aw.size:
+        last = max(last, int(extra_aw.max()))
     n_win = last - w0 + 1
 
     count_arrived = np.bincount(aw - w0, minlength=n_win)
+    if extra_aw is not None and extra_aw.size:
+        count_arrived = count_arrived + np.bincount(
+            extra_aw - w0, minlength=n_win
+        )
     count_finished = np.bincount(fw - w0, minlength=n_win)
     b_widx = b_dw - w0
     count_batches = np.bincount(b_widx, minlength=n_win)
@@ -492,6 +504,7 @@ def _series_from_emits(
     window_s: float,
     horizon_s: float,
     first_arrival_s: float,
+    dropped_arrivals: np.ndarray | None = None,
 ) -> TelemetrySeries:
     """Windowed series straight from ``run()``'s captured emit structures.
 
@@ -588,8 +601,27 @@ def _series_from_emits(
                 names, energy_of,
             )
         )
+    extra_aw = None
+    if dropped_arrivals is not None and dropped_arrivals.size:
+        # Lost/shed requests still arrived: count them into their arrival
+        # windows so the series matches the streaming collector's fed-
+        # arrival accounting.
+        extra_aw = (dropped_arrivals // window_s).astype(np.int64)
     if not lat_p:
-        return TelemetrySeries(window_s, int(num_chips), ())
+        if extra_aw is None:
+            return TelemetrySeries(window_s, int(num_chips), ())
+        # Every request dropped before any batch completed: the series is
+        # arrival counts over otherwise-empty windows.
+        w0 = int(first_arrival_s // window_s)
+        last = max(int(horizon_s // window_s), int(extra_aw.max()))
+        n_win = last - w0 + 1
+        counts = np.bincount(extra_aw - w0, minlength=n_win).tolist()
+        zeros = [0] * num_chips
+        return TelemetrySeries(window_s, int(num_chips), tuple(
+            _window_row(w0 + i, window_s, num_chips, counts[i], 0, 0,
+                        [], [], [], zeros, zeros)
+            for i in range(n_win)
+        ))
     def cat(parts: list) -> np.ndarray:
         return parts[0] if len(parts) == 1 else np.concatenate(parts)
 
@@ -609,6 +641,7 @@ def _series_from_emits(
         window_s=window_s,
         horizon_s=horizon_s,
         first_arrival_s=first_arrival_s,
+        extra_aw=extra_aw,
     )
 
 
