@@ -30,6 +30,9 @@ Installed as a console script (see ``setup.py``) and runnable as
     (chip failures, stragglers, power caps), ``--sessions [--users N]``
     serves closed-loop session traffic, and ``SCENARIO --smoke`` runs one
     scenario at smoke (0.2x duration) scale with resilience accounting.
+    ``--controller target_util|queue_pid [--control-interval-ms W]`` runs
+    the scenario under the closed-loop fleet controller (autoscaling,
+    SLO-aware admission, adaptive batching).
 ``repro backends [NAME] [--format md|json]``
     List every registered backend, or describe one by name.
 ``repro cache [info|stats|clear] [--stats]``
@@ -41,6 +44,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from pathlib import Path
 
@@ -576,6 +580,7 @@ def _reject_stray_serve_options(args, backends) -> None:
                 ("--chaos", args.chaos),
                 ("--sessions", args.sessions),
                 ("--users", args.users is not None),
+                ("--controller", args.controller is not None),
             )
             if on
         ]
@@ -598,6 +603,7 @@ def _reject_stray_serve_options(args, backends) -> None:
                 ("--chaos", args.chaos, None),
                 ("--sessions", args.sessions, False),
                 ("--users", args.users, None),
+                ("--controller", args.controller, None),
             )
             if raw != default
         )
@@ -621,6 +627,7 @@ def _reject_stray_serve_options(args, backends) -> None:
                 ("--chaos", args.chaos),
                 ("--sessions", True if args.sessions else None),
                 ("--users", args.users),
+                ("--controller", args.controller),
             )
             if raw is not None
         ]
@@ -664,6 +671,39 @@ def _reject_stray_serve_options(args, backends) -> None:
             "closed-loop session runs do not shard: think-time feedback "
             "couples every chip through the users"
         )
+    if args.controller is not None:
+        if args.shards != 1:
+            raise ReproError(
+                "--controller does not combine with --shards: scale actions "
+                "couple every chip through the controller"
+            )
+        if args.sessions or args.users is not None:
+            raise ReproError(
+                "--controller runs are open-loop; closed-loop --sessions/"
+                "--users shape their own offered load and cannot be autoscaled"
+            )
+        if args.profile:
+            raise ReproError(
+                "--profile times the open-loop pipeline phases; it does not "
+                "combine with --controller"
+            )
+        if args.list:
+            raise ReproError(
+                "--controller applies to a single scenario run; it does not "
+                "combine with --list"
+            )
+        if args.smoke and not args.scenario:
+            raise ReproError(
+                "--controller applies to a single scenario run (including "
+                "`repro serve SCENARIO --smoke`), not the --smoke suite"
+            )
+    if args.control_interval_ms <= 0:
+        raise ReproError(
+            f"--control-interval-ms must be positive, "
+            f"got {args.control_interval_ms:g}"
+        )
+    if args.control_interval_ms != 50.0 and args.controller is None:
+        raise ReproError("--control-interval-ms needs --controller")
     if args.users is not None and args.users < 1:
         raise ReproError(f"--users must be positive, got {args.users}")
     if args.shard_workers is not None and args.shards == 1:
@@ -806,6 +846,14 @@ def _cmd_serve(args) -> int:
         if args.users is not None:
             base = dataclasses.replace(base, users=args.users)
         session_override = base
+    controller_config = None
+    if args.controller is not None:
+        from repro.serving.control import ControllerConfig
+
+        controller_config = ControllerConfig(
+            policy=args.controller,
+            interval_s=args.control_interval_ms * 1e-3,
+        )
     # `SCENARIO --smoke` = that one scenario, shrunk to smoke scale.
     duration_scale = args.duration_scale * (0.2 if args.smoke else 1.0)
     scenario, result = scenarios.run_scenario(
@@ -822,6 +870,7 @@ def _cmd_serve(args) -> int:
         telemetry_window_s=_serve_window_s(args),
         chaos=chaos_timeline,
         sessions=session_override,
+        controller=controller_config,
     )
     _export_telemetry(
         args, result,
@@ -875,17 +924,52 @@ def _cmd_serve(args) -> int:
                     headers, [[row[h] for h in headers] for row in by_backend]
                 )
             )
+        controller_info = result.provenance.get("controller")
+        if controller_info is not None:
+            lines.extend(["", "### Controller", ""])
+            lines.append(
+                format_markdown_table(
+                    ["metric", "value"],
+                    [
+                        ["policy", controller_info["policy"]],
+                        ["interval (ms)",
+                         f"{controller_info['interval_s'] * 1e3:g}"],
+                        ["initial chips", controller_info["initial_chips"]],
+                        ["peak chips", controller_info["peak_chips"]],
+                        ["final active", controller_info["final_active"]],
+                        ["scale-ups", controller_info["scale_ups"]],
+                        ["scale-downs", controller_info["scale_downs"]],
+                        ["shed (admission)",
+                         controller_info["shed_admission"]],
+                        ["final router", controller_info["final_router"]],
+                        ["final max batch",
+                         controller_info["final_max_batch_size"]],
+                    ],
+                )
+            )
         if resilience is not None:
             lines.extend(["", "### Resilience", ""])
             lines.append(
                 format_markdown_table(
                     ["metric", "value"],
-                    [[key, value] for key, value in resilience.items()],
+                    [
+                        [key, _render_resilience_value(value)]
+                        for key, value in resilience.items()
+                    ],
                 )
             )
         output = "\n".join(lines) + "\n"
     _emit(args, output)
     return 0
+
+
+def _render_resilience_value(value):
+    """Render one Resilience-table cell; never-recovered shows as em dash."""
+    if value is None:
+        return "—"
+    if isinstance(value, float) and math.isinf(value):
+        return "inf"
+    return value
 
 
 def _coerce_option(flag: str, raw: object, type_label: str):
@@ -1112,6 +1196,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--users", type=int, default=None, metavar="N",
                               help="closed-loop user population (implies "
                                    "--sessions; default 32)")
+    serve_parser.add_argument("--controller", default=None,
+                              choices=("target_util", "queue_pid"),
+                              help="run the scenario under a closed-loop "
+                                   "fleet controller (autoscaling + SLO-aware "
+                                   "admission; see repro.serving.control)")
+    serve_parser.add_argument("--control-interval-ms", type=float,
+                              default=50.0, metavar="MS",
+                              help="controller tick period in simulated "
+                                   "milliseconds (default 50)")
     serve_parser.add_argument("--seed", type=int, default=0,
                               help="traffic seed (default 0)")
     serve_parser.add_argument("--load-scale", type=float, default=1.0,

@@ -158,6 +158,7 @@ def recommend(rows: Sequence[Mapping[str, object]]) -> dict | None:
         key=lambda row: (
             row["fleet_power_w"],
             -float(row["goodput_rps"]),
-            row.get("chips", 0),
+            # A row with no chip count must lose ties, not win them.
+            float(row.get("chips", float("inf"))),
         ),
     )

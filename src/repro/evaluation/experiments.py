@@ -56,6 +56,7 @@ from repro.evaluation.end_to_end import (
 from repro.evaluation.serving_experiments import (
     batching_policy_comparison,
     chaos_resilience_matrix,
+    control_frontier,
     fleet_scaling,
     heterogeneous_fleet,
     latency_load_sweep,
@@ -99,6 +100,7 @@ __all__ = [
     "heterogeneous_fleet",
     "trace_replay_matrix",
     "chaos_resilience_matrix",
+    "control_frontier",
     "design_space_sweep",
     "design_frontier",
     "capacity_plan",

@@ -17,7 +17,11 @@ seconds.  Five experiment families are registered:
   metrics match the in-memory run,
 * ``serve_chaos`` — resilience matrix over the chaos presets: incident
   counts, conservation (arrived == completed + lost + shed), tail
-  inflation and recovery time per scenario.
+  inflation and recovery time per scenario,
+* ``serve_control`` — SLO-attainment versus provisioned-capacity
+  frontier: the cheapest static fleet meeting each scenario's p99 SLO
+  against the closed-loop controller's peak provisioning under the same
+  traffic, per autoscaler policy.
 """
 
 from __future__ import annotations
@@ -48,6 +52,7 @@ __all__ = [
     "heterogeneous_fleet",
     "trace_replay_matrix",
     "chaos_resilience_matrix",
+    "control_frontier",
 ]
 
 #: every registered workload, in stable (alphabetical) order
@@ -421,4 +426,143 @@ def chaos_resilience_matrix(
                 "throughput_rps": summary["throughput_rps"],
             }
         )
+    return rows
+
+
+def _provisioned_mean(info: dict, horizon_s: float) -> float:
+    """Time-weighted mean provisioned chip count from the action log."""
+    level = info["initial_chips"]
+    at = 0.0
+    area = 0.0
+    for action in info["actions"]:
+        if action["action"] not in ("scale_up", "scale_down"):
+            continue
+        area += level * (action["at_s"] - at)
+        at = action["at_s"]
+        level = action["provisioned"]
+    area += level * max(0.0, horizon_s - at)
+    return area / horizon_s if horizon_s > 0 else float(level)
+
+
+def control_frontier(
+    scenarios: tuple[str, ...] = (
+        "ramp_surge",
+        "flash_crowd",
+        "mix_shift",
+        "chip_outage",
+        "straggler_storm",
+    ),
+    policies: tuple[str, ...] = ("target_util", "queue_pid"),
+    seed: int = 0,
+    load_scale: float = 1.0,
+    duration_scale: float = 1.0,
+    max_chips: int = 8,
+    min_served_frac: float = 0.9,
+) -> list[dict]:
+    """SLO-attainment versus provisioned-capacity frontier, per scenario.
+
+    The dynamic version of the DSE capacity planner's question.  For every
+    scenario the driver sweeps capacity upward from the preset's fleet
+    until the p99 SLO is met, two ways:
+
+    * ``static`` rows provision ``chips`` chips for the whole run (what
+      ``repro dse plan`` recommends offline) — the frontier point is the
+      cheapest static fleet whose p99 meets the scenario SLO while
+      serving at least ``min_served_frac`` of arrivals;
+    * controller rows run the closed-loop control plane with
+      ``max_chips`` capped at ``chips`` — the frontier point is the
+      smallest cap whose run meets the same bar.  ``peak_chips`` /
+      ``mean_chips`` report what the autoscaler actually used, and
+      ``shed``/``lost``/``scale_ups``/``scale_downs`` expose how it got
+      there (admission shedding is visible, never hidden).
+
+    A row with ``meets_slo=False`` is the best attempt at ``max_chips``
+    — the scenario's SLO is not reachable inside the sweep's budget.
+    On surge scenarios the controller's frontier sits strictly left of
+    the static one: admission + autoscaling meet the p99 SLO with fewer
+    peak-provisioned chips than any static fleet.
+    """
+    from repro.serving.control import CONTROLLER_POLICIES, ControllerConfig
+
+    if max_chips < 1:
+        raise ServingError(f"max_chips must be positive, got {max_chips}")
+    if not 0 < min_served_frac <= 1:
+        raise ServingError(
+            f"min_served_frac must be in (0, 1], got {min_served_frac}"
+        )
+    for policy in policies:
+        if policy not in CONTROLLER_POLICIES:
+            raise ServingError(
+                f"unknown controller policy '{policy}'; "
+                f"known: {', '.join(CONTROLLER_POLICIES)}"
+            )
+    model = ExecutionCache()
+    rows = []
+
+    def run_point(name, *, num_chips=None, controller=None):
+        scenario, result = run_scenario(
+            name,
+            seed=seed,
+            load_scale=load_scale,
+            duration_scale=duration_scale,
+            num_chips=num_chips,
+            controller=controller,
+            service_model=model,
+        )
+        summary = summarize_result(result, scenario.slo_s)
+        arrived = result.requests_arrived
+        served_frac = len(result.records) / arrived if arrived else 0.0
+        meets = (
+            summary["p99_ms"] <= scenario.slo_s * 1e3
+            and served_frac >= min_served_frac
+        )
+        return scenario, result, summary, served_frac, meets
+
+    for name in scenarios:
+        floor = get_scenario(name).num_chips
+        candidates = list(range(floor, max(floor, max_chips) + 1))
+        for policy in ("static", *policies):
+            for chips in candidates:
+                if policy == "static":
+                    controller_info = None
+                    scenario, result, summary, served_frac, meets = run_point(
+                        name, num_chips=chips
+                    )
+                    peak = chips
+                    mean_chips = float(chips)
+                else:
+                    config = ControllerConfig(policy=policy, max_chips=chips)
+                    scenario, result, summary, served_frac, meets = run_point(
+                        name, controller=config
+                    )
+                    controller_info = result.provenance["controller"]
+                    peak = controller_info["peak_chips"]
+                    mean_chips = _provisioned_mean(
+                        controller_info, result.horizon_s
+                    )
+                if meets or chips == candidates[-1]:
+                    break
+            rows.append(
+                {
+                    "scenario": name,
+                    "policy": policy,
+                    "chips": chips,
+                    "peak_chips": peak,
+                    "mean_chips": round(mean_chips, 2),
+                    "meets_slo": meets,
+                    "p99_ms": summary["p99_ms"],
+                    "slo_ms": round(scenario.slo_s * 1e3, 4),
+                    "slo_attainment": summary["slo_attainment"],
+                    "served_frac": round(served_frac, 4),
+                    "shed": result.requests_shed,
+                    "lost": result.requests_lost,
+                    "scale_ups": (
+                        controller_info["scale_ups"] if controller_info else 0
+                    ),
+                    "scale_downs": (
+                        controller_info["scale_downs"] if controller_info else 0
+                    ),
+                    "goodput_rps": summary["goodput_rps"],
+                }
+            )
     return rows

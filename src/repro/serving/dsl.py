@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import ServingError
 from repro.serving.chaos import ChaosTimeline
+from repro.serving.control import ControllerConfig
 from repro.serving.sessions import SessionConfig
 from repro.serving.traffic import (
     SEED_STRIDE,
@@ -274,10 +275,24 @@ class ScenarioSpec:
     chaos: ChaosTimeline | None = None
     #: closed-loop user population replacing the open-loop phases
     sessions: SessionConfig | None = None
+    #: fleet controller every run of the scenario executes under
+    #: (:mod:`repro.serving.control`); None = static fleet
+    controller: ControllerConfig | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ServingError("a scenario spec needs a name")
+        if self.controller is not None:
+            if not isinstance(self.controller, ControllerConfig):
+                raise ServingError(
+                    "controller must be a ControllerConfig, "
+                    f"got {type(self.controller).__name__}"
+                )
+            if self.sessions is not None:
+                raise ServingError(
+                    f"scenario '{self.name}' is closed-loop (sessions) — "
+                    "a fleet controller needs open-loop traffic"
+                )
         if self.sessions is not None:
             if self.phases:
                 raise ServingError(
@@ -361,4 +376,5 @@ class ScenarioSpec:
             spec=self,
             chaos=self.chaos,
             sessions=self.sessions,
+            controller=self.controller,
         )

@@ -175,9 +175,10 @@ def resilience_metrics(
     * ``recovery_time_s`` — time from the last incident event until the
       first ``window_s``-wide window whose completion p95 is back within
       ``tolerance`` of the baseline (an empty window — nothing completing,
-      so no elevated-tail evidence — also qualifies); ``None`` when the
-      tail never re-converges before the run's horizon, or when there is
-      no pre-incident baseline to converge to.
+      so no elevated-tail evidence — also qualifies); ``inf`` when there
+      is a baseline but the tail never re-converges before the run's
+      horizon (a never-recovering outage), ``None`` when there is no
+      pre-incident baseline to converge to.
 
     Percentile fields need per-request timestamps and are therefore
     ``None`` for streamed results (which keep only latency arrays).
@@ -228,6 +229,11 @@ def resilience_metrics(
                 )
                 break
             start += window_s
+        else:
+            # There was a healthy baseline but the tail never re-converged
+            # before the horizon (e.g. an infinite-duration outage):
+            # distinguish "never recovered" from "no baseline to judge by".
+            out["recovery_time_s"] = float("inf")
     return out
 
 

@@ -17,6 +17,9 @@ canonical load shape a production deployment must survive:
 * ``ramp_surge`` — a ramp into an over-capacity burst, then a drain —
   the capacity-planning shape (only expressible with the DSL's ramp and
   drain phases).
+* ``mix_shift`` — constant-rate traffic whose workload mix migrates from
+  neural-heavy to symbolic-heavy mid-run (a model rollout), the shape
+  that stresses adaptive batching and routing controllers.
 * ``chip_outage`` — steady traffic through a mid-run chip failure and
   recovery (a :mod:`~repro.serving.chaos` timeline), the basic
   resilience measurement.
@@ -37,12 +40,13 @@ at ``load_scale=1.0``.  New scenarios can be added at runtime with
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as _dc_replace
 
 from repro.errors import ServingError
 from repro.serving.batching import build_policy
 from repro.serving.chaos import ChaosTimeline, chip_failure, power_cap
-from repro.serving.dsl import ScenarioSpec, burst, drain, ramp, steady
+from repro.serving.control import ControllerConfig, run_controlled
+from repro.serving.dsl import ScenarioSpec, burst, drain, mix_shift, ramp, steady
 from repro.serving.fleet import Fleet
 from repro.serving.sessions import SessionConfig, run_sessions
 from repro.serving.simulator import ServingResult, ServingSimulator
@@ -81,6 +85,8 @@ class Scenario:
     chaos: ChaosTimeline | None = None
     #: closed-loop user population (``traffic`` is unused when set)
     sessions: SessionConfig | None = None
+    #: fleet controller every run executes under (None = static fleet)
+    controller: ControllerConfig | None = None
 
 
 #: 70 % NVSA hot spot over a light background of the other workloads
@@ -155,6 +161,23 @@ _PRESET_SPECS: tuple[ScenarioSpec, ...] = (
         router="jsq",
         policy="continuous",
         slo_s=10e-3,
+    ),
+    ScenarioSpec(
+        name="mix_shift",
+        description="model-rollout migration: neural-heavy to symbolic-heavy mix",
+        phases=(
+            mix_shift(
+                1600.0,
+                duration_s=2.0,
+                mix_from={"mimonet": 0.7, "lvrf": 0.1, "nvsa": 0.1, "prae": 0.1},
+                mix_to={"nvsa": 0.7, "lvrf": 0.1, "mimonet": 0.1, "prae": 0.1},
+                steps=4,
+            ),
+        ),
+        num_chips=2,
+        router="jsq",
+        policy="continuous",
+        slo_s=5e-3,
     ),
     ScenarioSpec(
         name="chip_outage",
@@ -257,6 +280,7 @@ def run_scenario(
     telemetry_window_s: float | None = None,
     chaos: ChaosTimeline | None = None,
     sessions: SessionConfig | None = None,
+    controller: ControllerConfig | None = None,
 ) -> tuple[Scenario, ServingResult]:
     """Execute one scenario preset (with optional overrides) end to end.
 
@@ -277,6 +301,16 @@ def run_scenario(
     onto the user count and ``duration_scale`` onto conversations per
     user, and cannot shard (incident and feedback accounting are
     fleet-global).
+
+    ``controller`` replaces the scenario's fleet controller
+    (``--controller``): the run executes through
+    :func:`~repro.serving.control.run_controlled`, which autoscales the
+    fleet from the scenario's chip count and may shed over-budget
+    arrivals.  A controller whose ``slo_s`` is unset inherits the
+    scenario's SLO.  Controller runs are open-loop (no ``sessions``) and
+    cannot shard; with ``controller=None`` (and no scenario-declared
+    controller) this function is byte-identical to the pre-controller
+    layer — the control plane is never on the static path.
     """
     if load_scale <= 0 or duration_scale <= 0:
         raise ServingError("load_scale and duration_scale must be positive")
@@ -297,6 +331,20 @@ def run_scenario(
     )
     batching = build_policy(policy if policy is not None else scenario.policy)
     session_config = sessions if sessions is not None else scenario.sessions
+    control = controller if controller is not None else scenario.controller
+    if control is not None:
+        if session_config is not None:
+            raise ServingError(
+                "controller runs are open-loop: closed-loop sessions shape "
+                "their own offered load and cannot be autoscaled"
+            )
+        if shards != 1:
+            raise ServingError(
+                "controller runs do not shard: scale actions couple every "
+                "chip through the controller"
+            )
+        if control.slo_s is None:
+            control = _dc_replace(control, slo_s=scenario.slo_s)
     timeline = chaos if chaos is not None else scenario.chaos
     if timeline is not None and session_config is None:
         # Closed-loop runs keep incident times as-is: their clock is set
@@ -328,10 +376,16 @@ def run_scenario(
                 f"(seed={seed}, load_scale={load_scale}, "
                 f"duration_scale={duration_scale})"
             )
-        result = simulator.run(
-            requests, shards=shards, shard_workers=shard_workers,
-            telemetry_window_s=telemetry_window_s,
-        )
+        if control is not None:
+            result = run_controlled(
+                simulator, control, requests,
+                telemetry_window_s=telemetry_window_s,
+            )
+        else:
+            result = simulator.run(
+                requests, shards=shards, shard_workers=shard_workers,
+                telemetry_window_s=telemetry_window_s,
+            )
     result.provenance.update(
         {"scenario": name, "seed": seed, "load_scale": load_scale,
          "duration_scale": duration_scale}

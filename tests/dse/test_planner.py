@@ -64,6 +64,19 @@ class TestRecommend:
     def test_recommend_on_empty_rows(self):
         assert recommend([]) is None
 
+    def test_chipless_row_loses_ties(self):
+        # A row missing the ``chips`` key must sort as worst on the
+        # chip-count tie-break, not beat every real candidate.
+        base = {
+            "fleet_power_w": 100.0,
+            "goodput_rps": 500.0,
+            "meets_target": True,
+        }
+        chipless = dict(base)
+        real = dict(base, chips=4)
+        assert recommend([chipless, real])["chips"] == 4
+        assert recommend([real, chipless])["chips"] == 4
+
     def test_empty_traffic_draw_is_a_typed_error(self):
         # requests=1 with this seed draws zero Poisson arrivals; the planner
         # must name the bad parameters instead of crashing in the simulator.

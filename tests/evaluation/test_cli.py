@@ -198,7 +198,7 @@ class TestServe:
         payload = json.loads(output.read_text())
         assert {entry["scenario"] for entry in payload} == {
             "steady", "diurnal", "flash_crowd", "mixed_workload", "ramp_surge",
-            "chip_outage", "straggler_storm", "session_surge",
+            "mix_shift", "chip_outage", "straggler_storm", "session_surge",
         }
 
     def test_record_then_replay_roundtrip(self, capsys, tmp_path):
@@ -308,7 +308,8 @@ class TestServe:
         # Every spec tagged "serving", incl. the DSE capacity planner.
         assert [entry["experiment"] for entry in payload] == [
             "serve_load", "serve_batch", "serve_fleet", "serve_scenarios",
-            "serve_hetero", "serve_trace", "serve_chaos", "dse_capacity",
+            "serve_hetero", "serve_trace", "serve_chaos", "serve_control",
+            "dse_capacity",
         ]
 
 

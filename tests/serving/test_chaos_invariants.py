@@ -623,6 +623,21 @@ class TestResilienceMetrics:
         assert row["requests_shed"] == out["requests_shed"]
         assert row["requests_arrived"] == out["requests_arrived"]
 
+    def test_never_recovering_outage_reports_infinite_recovery(self):
+        # Infinite-duration failure: the tail never re-converges, so the
+        # metric must say "never recovered" (inf), not None (no baseline).
+        sim = _simulator(
+            NoBatching(), num_chips=2,
+            chaos=ChaosTimeline((chip_failure(0, 0.3, float("inf")),)),
+        )
+        result = sim.run(
+            [Request(i, "nvsa", 0.01 * i) for i in range(40)]
+        )
+        out = resilience_metrics(result)
+        assert out["pre_incident_p95_ms"] is not None
+        assert out["recovery_time_s"] == float("inf")
+        assert not math.isfinite(out["recovery_time_s"])
+
     def test_streamed_results_report_counts_without_percentiles(self):
         stream = sorted(
             [Request(i, "nvsa", 0.001 * i) for i in range(60)],

@@ -1,0 +1,429 @@
+"""Tests for the closed-loop serving control plane (`serving/control.py`).
+
+Four invariant families the controller must uphold:
+
+* **Conservation with shed** — admission control joins the chaos layer's
+  identity: every arrival is completed, lost or shed, under any policy.
+* **Warm-up discipline** — no request is ever dispatched on a chip before
+  that chip's ``first_active_at_s``: the router cannot see warming chips.
+* **Controller-off byte-identity** — a ``controller=None`` run through
+  `run_scenario` reproduces the PR 9 goldens exactly; the control plane
+  is pay-for-what-you-use.
+* **Determinism** — same seed, same action log, per policy.
+
+Plus `ControllerConfig` validation and the CLI flag-combination
+rejections the controller multiplies.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.errors import ServingError
+from repro.serving.batching import ContinuousBatching, NoBatching
+from repro.serving.chaos import ChaosTimeline, chip_failure
+from repro.serving.control import (
+    CONTROLLER_POLICIES,
+    ControllerConfig,
+    run_controlled,
+)
+from repro.serving.fleet import Fleet
+from repro.serving.scenarios import run_scenario
+from repro.serving.simulator import ServingSimulator
+from repro.serving.traffic import Request
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+WORKLOADS = ("nvsa", "mimonet", "lvrf", "prae")
+
+
+class FakeServiceModel:
+    """Deterministic service model: ``base * (0.5 + 0.5 * batch)``."""
+
+    scheduler = "fake"
+    cached_reports = 0
+
+    def __init__(self, base=None):
+        self.base = dict(base or {name: 0.01 for name in WORKLOADS})
+
+    def service_seconds(self, workload, batch_size):
+        return self.base[workload] * (0.5 + 0.5 * batch_size)
+
+    def energy_joules(self, workload, batch_size):
+        return self.service_seconds(workload, batch_size)
+
+
+def _simulator(policy=None, num_chips=2, router="jsq", chaos=None):
+    return ServingSimulator(
+        service_model=FakeServiceModel(),
+        fleet=Fleet(num_chips=num_chips, router=router),
+        batching_policy=policy or ContinuousBatching(max_batch_size=4),
+        chaos=chaos,
+    )
+
+
+def _record_rows(result):
+    return [
+        [r.request_id, r.workload, r.chip, r.arrival_s, r.dispatch_s,
+         r.finish_s, r.batch_size]
+        for r in result.records
+    ]
+
+
+#: arrivals on a 2 ms grid so ticks, warm-ups and completions collide
+request_streams = st.lists(
+    st.tuples(
+        st.sampled_from(WORKLOADS),
+        st.integers(min_value=0, max_value=100),
+    ),
+    min_size=1,
+    max_size=60,
+).map(
+    lambda entries: [
+        Request(request_id=index, workload=workload, arrival_s=tick / 500.0)
+        for index, (workload, tick) in enumerate(
+            sorted(entries, key=lambda e: e[1])
+        )
+    ]
+)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        ("kwargs", "match"),
+        [
+            (dict(policy="nope"), "unknown controller policy"),
+            (dict(interval_s=0.0), "interval_s"),
+            (dict(interval_s=float("inf")), "interval_s"),
+            (dict(warmup_s=-1.0), "warmup_s"),
+            (dict(min_chips=0), "min_chips"),
+            (dict(max_chips=0), "max_chips"),
+            (dict(min_chips=9, max_chips=4), "cannot exceed"),
+            (dict(target_utilization=0.0), "target_utilization"),
+            (dict(target_utilization=1.5), "target_utilization"),
+            (dict(deadband=-0.1), "deadband"),
+            (dict(target_queue=0.0), "target_queue"),
+            (dict(slo_s=0.0), "slo_s"),
+            (dict(slo_budget_s=0.0), "slo_budget_s"),
+            (dict(slo_budget_s={"nvsa": -1.0}), "budgets must be positive"),
+            (dict(batch_min=0), "batch"),
+            (dict(batch_min=8, batch_max=2), "batch"),
+            (dict(imbalance_threshold=0), "imbalance_threshold"),
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs, match):
+        with pytest.raises(ServingError, match=match):
+            ControllerConfig(**kwargs)
+
+    def test_budget_for_prefers_mapping_then_slo(self):
+        config = ControllerConfig(
+            slo_s=0.01, slo_budget_s={"nvsa": 0.002}
+        )
+        assert config.budget_for("nvsa") == 0.002
+        assert config.budget_for("mimonet") == 0.01
+        off = ControllerConfig(slo_s=0.01, admission=False)
+        assert off.budget_for("nvsa") is None
+
+    def test_to_dict_is_json_ready(self):
+        config = ControllerConfig(slo_budget_s={"nvsa": 0.002})
+        assert json.dumps(config.to_dict())
+
+    def test_run_rejects_wrong_types_and_fleets(self):
+        sim = _simulator()
+        requests = [Request(0, "nvsa", 0.0)]
+        with pytest.raises(ServingError, match="ControllerConfig"):
+            run_controlled(sim, "target_util", requests)
+        with pytest.raises(ServingError, match="empty stream"):
+            run_controlled(sim, ControllerConfig(), [])
+        affinity = _simulator(router="affinity")
+        with pytest.raises(ServingError, match="affinity"):
+            run_controlled(affinity, ControllerConfig(), requests)
+        with pytest.raises(ServingError, match="cannot exceed"):
+            run_controlled(sim, ControllerConfig(max_chips=1), requests)
+        with pytest.raises(ServingError, match="already exceeds"):
+            run_controlled(
+                sim, ControllerConfig(min_chips=1, max_chips=1), requests
+            )
+
+
+@pytest.mark.parametrize("policy_name", CONTROLLER_POLICIES)
+class TestConservation:
+    @settings(max_examples=25, deadline=None)
+    @given(stream=request_streams)
+    def test_arrived_equals_completed_plus_shed_plus_lost(
+        self, policy_name, stream
+    ):
+        sim = _simulator()
+        config = ControllerConfig(
+            policy=policy_name, slo_s=0.004, warmup_s=0.02,
+            target_queue=2.0, max_chips=4,
+        )
+        result = run_controlled(sim, config, stream)
+        assert (
+            len(result.records) + result.requests_lost + result.requests_shed
+            == len(stream)
+        )
+        assert result.requests_arrived == len(stream)
+        # Records come back sorted by request id, like every other core.
+        ids = [record.request_id for record in result.records]
+        assert ids == sorted(ids)
+
+    def test_conservation_holds_under_chaos(self, policy_name):
+        stream = [
+            Request(i, WORKLOADS[i % 4], 0.002 * i) for i in range(120)
+        ]
+        sim = _simulator(
+            chaos=ChaosTimeline((chip_failure(0, 0.05, float("inf")),)),
+        )
+        config = ControllerConfig(policy=policy_name, slo_s=0.02)
+        result = run_controlled(sim, config, stream)
+        assert (
+            len(result.records) + result.requests_lost + result.requests_shed
+            == 120
+        )
+        assert result.incidents
+
+
+class TestWarmup:
+    def test_no_dispatch_before_first_active(self):
+        # Saturate a 1-chip fleet so the autoscaler provisions more; every
+        # dispatch must land on a chip that had finished warming by then.
+        stream = [Request(i, "nvsa", 0.001 * i) for i in range(200)]
+        sim = _simulator(num_chips=1)
+        config = ControllerConfig(
+            policy="queue_pid", target_queue=2.0, warmup_s=0.04,
+            max_chips=6, admission=False, adapt_batching=False,
+        )
+        result = run_controlled(sim, config, stream)
+        info = result.provenance["controller"]
+        assert info["scale_ups"] > 0
+        assert info["peak_chips"] > 1
+        first_active = {
+            entry["chip"]: entry["first_active_at_s"]
+            for entry in info["chips"]
+        }
+        assert any(at > 0 for at in first_active.values() if at is not None)
+        for record in result.records:
+            activated = first_active[record.chip]
+            assert activated is not None
+            assert record.dispatch_s >= activated
+
+    def test_zero_warmup_activates_instantly(self):
+        stream = [Request(i, "nvsa", 0.001 * i) for i in range(80)]
+        sim = _simulator(num_chips=1)
+        config = ControllerConfig(
+            policy="queue_pid", target_queue=1.0, warmup_s=0.0,
+            max_chips=4, admission=False,
+        )
+        result = run_controlled(sim, config, stream)
+        info = result.provenance["controller"]
+        assert info["peak_chips"] > 1
+        assert all(
+            entry["first_active_at_s"] == entry["created_at_s"]
+            for entry in info["chips"]
+        )
+
+
+@pytest.mark.parametrize("policy_name", CONTROLLER_POLICIES)
+class TestDeterminism:
+    def test_same_seed_same_actions(self, policy_name):
+        config = ControllerConfig(policy=policy_name)
+        runs = [
+            run_scenario(
+                "flash_crowd", seed=3, duration_scale=0.2, controller=config
+            )[1]
+            for _ in range(2)
+        ]
+        first, second = (run.provenance["controller"] for run in runs)
+        assert first["actions"] == second["actions"]
+        assert first["peak_chips"] == second["peak_chips"]
+        assert _record_rows(runs[0]) == _record_rows(runs[1])
+        assert runs[0].energy_joules == runs[1].energy_joules
+
+
+class TestControllerOffByteIdentity:
+    @pytest.mark.parametrize("name", ("flash_crowd", "ramp_surge"))
+    def test_controller_none_reproduces_golden_records(self, name):
+        golden = json.loads((GOLDEN_DIR / f"{name}.json").read_text())
+        _, result = run_scenario(
+            name,
+            seed=golden["seed"],
+            load_scale=golden["load_scale"],
+            duration_scale=golden["duration_scale"],
+            controller=None,
+        )
+        assert _record_rows(result) == golden["records"]
+        assert result.energy_joules == golden["energy_joules"]
+        assert "controller" not in result.provenance
+
+
+class TestAdmission:
+    def test_tight_budget_sheds_and_loose_budget_does_not(self):
+        stream = [Request(i, "nvsa", 0.0005 * i) for i in range(100)]
+        config = ControllerConfig(
+            policy="target_util", slo_s=0.004, max_chips=2,
+            adapt_batching=False,
+        )
+        shed_run = run_controlled(_simulator(), config, stream)
+        assert shed_run.requests_shed > 0
+        assert (
+            shed_run.provenance["controller"]["shed_admission"]
+            == shed_run.requests_shed
+        )
+        loose = ControllerConfig(
+            policy="target_util", slo_s=0.004, max_chips=2,
+            slo_budget_s=10.0, adapt_batching=False,
+        )
+        keep_run = run_controlled(_simulator(), loose, stream)
+        assert keep_run.requests_shed == 0
+
+    def test_shed_counts_land_in_telemetry_windows(self):
+        stream = [Request(i, "nvsa", 0.0005 * i) for i in range(100)]
+        config = ControllerConfig(
+            policy="target_util", slo_s=0.004, max_chips=2,
+            adapt_batching=False,
+        )
+        result = run_controlled(
+            _simulator(), config, stream, telemetry_window_s=0.01
+        )
+        assert result.telemetry is not None
+        shed_total = sum(row["shed"] for row in result.telemetry.windows)
+        assert shed_total == result.requests_shed
+
+
+class TestAdaptiveKnobs:
+    def test_batching_retunes_and_restores_the_policy(self):
+        policy = ContinuousBatching(max_batch_size=2)
+        stream = [Request(i, "nvsa", 0.0005 * i) for i in range(150)]
+        sim = _simulator(policy=policy)
+        config = ControllerConfig(
+            policy="target_util", slo_s=0.003, max_chips=2,
+            admission=False, batch_max=16,
+        )
+        result = run_controlled(sim, config, stream)
+        info = result.provenance["controller"]
+        batch_actions = [
+            action for action in info["actions"]
+            if action["action"] == "batch"
+        ]
+        assert batch_actions
+        assert info["final_max_batch_size"] != 2 or len(batch_actions) > 1
+        # The caller's policy object comes back exactly as configured.
+        assert policy.max_batch_size == 2
+        assert policy.single_group_cap == 2
+
+    def test_round_robin_upgrades_to_jsq_on_imbalance(self):
+        # nvsa is 100x slower than mimonet here, so round-robin piles work
+        # on whichever chip drew the slow requests.
+        model = FakeServiceModel({"nvsa": 0.1, "mimonet": 0.001,
+                                  "lvrf": 0.001, "prae": 0.001})
+        sim = ServingSimulator(
+            service_model=model,
+            fleet=Fleet(num_chips=2, router="round_robin"),
+            batching_policy=NoBatching(),
+        )
+        stream = [
+            Request(i, "nvsa" if i % 2 == 0 else "mimonet", 0.001 * i)
+            for i in range(120)
+        ]
+        config = ControllerConfig(
+            policy="target_util", max_chips=2, admission=False,
+            adapt_batching=False, adapt_routing=True, imbalance_threshold=3,
+        )
+        result = run_controlled(sim, config, stream)
+        info = result.provenance["controller"]
+        assert info["final_router"] == "jsq"
+        assert any(
+            action["action"] == "router" for action in info["actions"]
+        )
+
+
+class TestRunScenarioIntegration:
+    def test_scenario_controller_run_meets_conservation(self):
+        config = ControllerConfig(policy="target_util")
+        scenario, result = run_scenario(
+            "flash_crowd", duration_scale=0.2, controller=config
+        )
+        info = result.provenance["controller"]
+        # run_scenario fills the SLO anchor from the scenario.
+        assert info["slo_s"] == scenario.slo_s
+        assert (
+            len(result.records) + result.requests_lost + result.requests_shed
+            == result.requests_arrived
+        )
+
+    def test_controller_rejects_sessions_and_shards(self):
+        config = ControllerConfig()
+        with pytest.raises(ServingError, match="closed-loop"):
+            run_scenario("session_surge", controller=config)
+        with pytest.raises(ServingError, match="shard"):
+            run_scenario("flash_crowd", shards=2, controller=config)
+
+
+class TestControlFrontier:
+    def test_flash_crowd_controller_beats_cheapest_static_fleet(self):
+        """Acceptance: dynamic frontier strictly left of the static one."""
+        from repro.evaluation.serving_experiments import control_frontier
+
+        rows = control_frontier(scenarios=("flash_crowd",))
+        by_policy = {row["policy"]: row for row in rows}
+        static = by_policy["static"]
+        assert static["meets_slo"]
+        for policy in ("target_util", "queue_pid"):
+            dynamic = by_policy[policy]
+            assert dynamic["meets_slo"]
+            assert dynamic["p99_ms"] <= dynamic["slo_ms"]
+            assert dynamic["peak_chips"] < static["chips"]
+
+    def test_frontier_validates_parameters(self):
+        from repro.evaluation.serving_experiments import control_frontier
+
+        with pytest.raises(ServingError, match="max_chips"):
+            control_frontier(max_chips=0)
+        with pytest.raises(ServingError, match="min_served_frac"):
+            control_frontier(min_served_frac=0.0)
+        with pytest.raises(ServingError, match="unknown controller policy"):
+            control_frontier(policies=("nope",))
+
+
+class TestServeCliFlags:
+    def test_controller_smoke_run_reports_provenance(self, capsys):
+        assert main([
+            "serve", "flash_crowd", "--controller", "target_util",
+            "--smoke", "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        info = payload["provenance"]["controller"]
+        assert info["policy"] == "target_util"
+        assert info["scale_ups"] > 0
+
+    @pytest.mark.parametrize("argv", [
+        # controller-specific combinations
+        ["serve", "steady", "--controller", "target_util", "--shards", "2"],
+        ["serve", "steady", "--controller", "target_util", "--sessions"],
+        ["serve", "steady", "--controller", "target_util", "--users", "4"],
+        ["serve", "steady", "--controller", "target_util", "--profile"],
+        ["serve", "--list", "--controller", "target_util"],
+        ["serve", "--smoke", "--controller", "target_util"],
+        ["serve", "steady,diurnal", "--controller", "target_util"],
+        ["serve", "steady", "--control-interval-ms", "20"],
+        ["serve", "steady", "--controller", "target_util",
+         "--control-interval-ms", "0"],
+        ["serve", "steady", "--controller", "target_util",
+         "--record", "t.jsonl"],
+        # pre-existing closed-loop inconsistencies the controller multiplies
+        ["serve", "--trace", "t.jsonl", "--sessions"],
+        ["serve", "--trace", "t.jsonl", "--controller", "target_util"],
+        ["serve", "steady", "--sessions", "--shards", "2"],
+    ])
+    def test_inconsistent_flag_combos_exit_with_one_line_errors(
+        self, argv, capsys
+    ):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1

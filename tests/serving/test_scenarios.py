@@ -20,7 +20,7 @@ class TestPresets:
     def test_the_presets_exist(self):
         assert list(SCENARIOS) == [
             "steady", "diurnal", "flash_crowd", "mixed_workload", "ramp_surge",
-            "chip_outage", "straggler_storm", "session_surge",
+            "mix_shift", "chip_outage", "straggler_storm", "session_surge",
         ]
         for scenario in SCENARIOS.values():
             assert scenario.description
